@@ -1,0 +1,81 @@
+/// Figure 4: "Servers allocated and effective capacity during migration,
+/// assuming one partition per server. Time in units of D." Three cases:
+/// 3 -> 5 (all at once), 3 -> 9 (blocks), 3 -> 14 (three phases).
+/// For each we print the allocation step function from the migration
+/// schedule and Equation 7's effective capacity, both in units of
+/// machine-equivalents.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table_writer.h"
+#include "migration/parallel_schedule.h"
+#include "planner/move_model.h"
+
+using namespace pstore;
+
+namespace {
+
+void RenderCase(int32_t b, int32_t a) {
+  MoveModelConfig config;
+  config.q = 1.0;  // capacity in machine-equivalents
+  config.partitions_per_node = 1;
+  config.d_minutes = 1.0;  // time in units of D
+  config.interval_minutes = 0.001;
+  MoveModel model(config);
+
+  auto schedule = BuildMoveSchedule(b, a);
+  if (!schedule.ok()) {
+    std::fprintf(stderr, "schedule failed\n");
+    return;
+  }
+  const double duration_d = model.MoveTimeMinutes(b, a);
+  const size_t rounds = schedule->rounds.size();
+
+  std::printf("\nCase %d -> %d: duration %.4f D, %zu rounds, avg machines "
+              "%.3f (Algorithm 4: %.3f)\n",
+              b, a, duration_d, rounds, schedule->AverageMachines(),
+              model.AvgMachinesAllocated(b, a));
+
+  std::vector<double> time_d, allocated, eff_cap;
+  const int samples_per_round = 8;
+  for (size_t r = 0; r < rounds; ++r) {
+    for (int s = 0; s < samples_per_round; ++s) {
+      const double f =
+          (static_cast<double>(r) + static_cast<double>(s) /
+                                        samples_per_round) /
+          static_cast<double>(rounds);
+      time_d.push_back(f * duration_d);
+      allocated.push_back(
+          schedule->MachinesDuringRound(static_cast<int32_t>(r)));
+      eff_cap.push_back(model.EffectiveCapacity(b, a, f));
+    }
+  }
+  bench::PrintSeries("servers allocated", allocated, 64);
+  bench::PrintSeries("effective capacity", eff_cap, 64);
+
+  char name[64];
+  std::snprintf(name, sizeof(name), "fig04_case_%d_to_%d.csv", b, a);
+  bench::WriteCsv(name, {"time_D", "allocated", "effective_capacity"},
+                  {time_d, allocated, eff_cap});
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintBanner(
+      "Figure 4",
+      "Servers allocated and effective capacity during migration",
+      "cases: 3->5 all-at-once, 3->9 blocks, 3->14 three phases; "
+      "effective capacity lags allocation for large moves");
+  RenderCase(3, 5);
+  RenderCase(3, 9);
+  RenderCase(3, 14);
+  std::cout << "\nNote how in 3 -> 14 the effective capacity (bottleneck: "
+               "the original 3 senders) stays well below the allocated "
+               "machine count until late in the move — the reason the "
+               "planner uses Equation 7 instead of cap(N).\n";
+  return 0;
+}

@@ -1,0 +1,118 @@
+/// Figure 6: "Evaluation of SPAR's predictions for ... Wikipedia's
+/// per-hour page requests" — English and German editions. (a) 60-minute
+/// (= 1 slot) ahead predictions over 24 hours; (b) MRE vs tau for 1..6
+/// hours. Paper: German error stays under ~10% up to 2 h and ~13% at
+/// 6 h; English is more predictable.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table_writer.h"
+#include "prediction/spar.h"
+#include "workload/wiki_trace.h"
+
+using namespace pstore;
+
+namespace {
+
+struct LanguageResult {
+  std::vector<double> mre_pct;  // indexed by tau-1
+};
+
+LanguageResult RunLanguage(const std::string& name,
+                           const WikiTraceConfig& config,
+                           int32_t train_days) {
+  auto trace = GenerateWikiTrace(config);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "%s\n", trace.status().ToString().c_str());
+    return {};
+  }
+
+  SparConfig spar;
+  spar.period = 24;      // hourly slots, daily seasonality
+  spar.num_periods = 7;  // previous week
+  spar.num_recent = 6;   // previous 6 hours
+  SparPredictor predictor(spar);
+  std::vector<double> train(trace->begin(),
+                            trace->begin() + train_days * 24);
+  Status fitted = predictor.Fit(train, 6);
+  if (!fitted.ok()) {
+    std::fprintf(stderr, "fit failed: %s\n", fitted.ToString().c_str());
+    return {};
+  }
+
+  // (a) one day of tau = 1 h predictions.
+  std::vector<double> actual, predicted, hour_axis;
+  const int64_t day_start = static_cast<int64_t>(train_days + 2) * 24;
+  for (int64_t t = day_start; t < day_start + 24; ++t) {
+    auto p = predictor.ForecastAt(*trace, t - 1, 1);
+    if (!p.ok()) continue;
+    hour_axis.push_back(static_cast<double>(t - day_start));
+    actual.push_back((*trace)[static_cast<size_t>(t)]);
+    predicted.push_back(*p);
+  }
+  std::printf("\n(a) %s: 1-hour-ahead predictions over 24 h\n",
+              name.c_str());
+  bench::PrintSeries("actual (req/hour)", actual);
+  bench::PrintSeries("SPAR prediction", predicted);
+  bench::WriteCsv("fig06a_" + name + ".csv",
+                  {"hour", "actual", "predicted"},
+                  {hour_axis, actual, predicted});
+
+  // (b) MRE vs tau.
+  LanguageResult result;
+  const int64_t eval_begin = static_cast<int64_t>(train_days) * 24;
+  const int64_t eval_end = static_cast<int64_t>(trace->size());
+  for (int32_t tau = 1; tau <= 6; ++tau) {
+    double total = 0;
+    int64_t n = 0;
+    for (int64_t t = eval_begin; t + tau < eval_end; ++t) {
+      auto p = predictor.ForecastAt(*trace, t, tau);
+      if (!p.ok()) continue;
+      const double a = (*trace)[static_cast<size_t>(t + tau)];
+      if (a <= 0) continue;
+      total += std::fabs(*p - a) / a;
+      ++n;
+    }
+    result.mre_pct.push_back(100.0 * total / static_cast<double>(n));
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::PrintBanner("Figure 6",
+                     "SPAR on Wikipedia hourly page views (EN and DE)",
+                     "German is less periodic -> higher error; both stay "
+                     "useful out to tau = 6 h");
+  const int32_t train_days =
+      static_cast<int32_t>(bench::IntFlag(argc, argv, "train_days", 28));
+
+  const LanguageResult en =
+      RunLanguage("english", WikiEnglish(62), train_days);
+  const LanguageResult de = RunLanguage("german", WikiGerman(62), train_days);
+
+  std::cout << "\n(b) prediction accuracy vs forecasting period:\n";
+  TableWriter table({"tau (hours)", "English MRE %", "German MRE %"});
+  std::vector<double> taus, en_col, de_col;
+  for (int32_t tau = 1; tau <= 6; ++tau) {
+    const double e = en.mre_pct.empty() ? 0 : en.mre_pct[tau - 1];
+    const double d = de.mre_pct.empty() ? 0 : de.mre_pct[tau - 1];
+    table.AddRow({TableWriter::Fmt(int64_t{tau}), TableWriter::Fmt(e, 2),
+                  TableWriter::Fmt(d, 2)});
+    taus.push_back(tau);
+    en_col.push_back(e);
+    de_col.push_back(d);
+  }
+  table.Print(std::cout);
+  bench::WriteCsv("fig06b_wiki_mre.csv",
+                  {"tau_hours", "english_mre_pct", "german_mre_pct"},
+                  {taus, en_col, de_col});
+  std::cout << "Expected shape: German MRE > English MRE at every tau; "
+               "both grow with tau (paper: DE <10% at 2 h, ~13% at 6 h).\n";
+  return 0;
+}

@@ -1,0 +1,181 @@
+/// Figure 13: "Actual load on B2W's DB and effective capacity of three
+/// allocation strategies simulated over two 4-day periods" — a regular
+/// week (left) where even the Simple strategy looks fine, and the Black
+/// Friday window (right) where only P-Store keeps capacity above load.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table_writer.h"
+#include "prediction/spar.h"
+#include "sim/strategies.h"
+#include "workload/b2w_trace.h"
+
+using namespace pstore;
+
+namespace {
+
+constexpr double kSaturation = 438.0;
+constexpr int32_t kSlot = 5;
+
+CapacitySimConfig SimConfig() {
+  CapacitySimConfig config;
+  config.move_model.q = kSaturation * 0.65;
+  config.move_model.partitions_per_node = 6;
+  config.move_model.d_minutes = 85.0;
+  config.move_model.interval_minutes = kSlot;
+  config.q_hat = kSaturation * 0.8;
+  config.max_machines = 40;
+  config.record_series = true;
+  return config;
+}
+
+std::vector<double> Window(const std::vector<double>& series, int64_t begin,
+                           int64_t len) {
+  return std::vector<double>(
+      series.begin() + begin,
+      series.begin() + std::min<int64_t>(begin + len,
+                                         static_cast<int64_t>(
+                                             series.size())));
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintBanner(
+      "Figure 13",
+      "Load vs effective capacity: normal 4 days and Black Friday",
+      "'Simple' tracks the pattern until the pattern breaks; P-Store "
+      "absorbs the Black Friday surge");
+
+  B2wTraceConfig trace_config = B2wAugustToDecember(20160801);
+  auto raw = GenerateB2wTrace(trace_config);
+  if (!raw.ok()) return 1;
+  double regular_peak = 0;
+  for (size_t i = 0; i < 100u * 1440; ++i) {
+    regular_peak = std::max(regular_peak, (*raw)[i]);
+  }
+  std::vector<double> load(raw->size());
+  for (size_t i = 0; i < load.size(); ++i) {
+    load[i] = (*raw)[i] / regular_peak * 2800.0;
+  }
+  const int64_t train_minutes = 28 * 1440;
+
+  // Slot series + SPAR fit.
+  std::vector<double> slots;
+  for (size_t i = 0; i + kSlot <= load.size(); i += kSlot) {
+    double acc = 0;
+    for (int32_t j = 0; j < kSlot; ++j) acc += load[i + j];
+    slots.push_back(acc / kSlot);
+  }
+  SparConfig spar_config;
+  spar_config.period = 1440 / kSlot;
+  spar_config.num_periods = 7;
+  spar_config.num_recent = 6;
+  auto spar = std::make_unique<SparPredictor>(spar_config);
+  {
+    std::vector<double> train(slots.begin(),
+                              slots.begin() + train_minutes / kSlot);
+    Status st = spar->Fit(train, 12);
+    if (!st.ok()) return 1;
+  }
+
+  PStoreStrategyConfig ps;
+  ps.move_model = SimConfig().move_model;
+  ps.horizon_intervals = 12;
+  ps.prediction_inflation = 0.15;
+  ps.max_machines = 40;
+  PStoreStrategy pstore(ps, std::move(spar), "P-Store SPAR");
+
+  // Simple/Static sized from training data the way an operator would:
+  // the *typical* (median) daily peak plus a buffer, not the all-time
+  // max — promotions already exceed the typical day, and Black Friday
+  // exceeds everything (the point of the figure).
+  std::vector<double> daily_peaks;
+  for (int64_t d = 0; d < train_minutes / 1440; ++d) {
+    double peak_of_day = 0;
+    for (int64_t m = 0; m < 1440; ++m) {
+      peak_of_day = std::max(
+          peak_of_day, load[static_cast<size_t>(d * 1440 + m)]);
+    }
+    daily_peaks.push_back(peak_of_day);
+  }
+  std::sort(daily_peaks.begin(), daily_peaks.end());
+  const double train_peak = daily_peaks[daily_peaks.size() / 2];
+  double train_trough = 1e18;
+  for (int64_t t = 0; t < train_minutes; ++t) {
+    train_trough = std::min(train_trough, load[static_cast<size_t>(t)]);
+  }
+  const double q = kSaturation * 0.65;
+  SimpleStrategy simple(
+      static_cast<int32_t>(std::ceil(train_peak * 1.15 / q)),
+      std::max<int32_t>(1,
+                        static_cast<int32_t>(
+                            std::ceil(train_trough * 3.0 / q))),
+      6.0, 23.0);
+  StaticStrategy static_strategy(
+      static_cast<int32_t>(std::ceil(train_peak * 1.15 / q)));
+
+  CapacitySimulator sim(SimConfig());
+  const int64_t end_minute = static_cast<int64_t>(load.size());
+  auto pstore_run = sim.Run(load, &pstore, train_minutes, end_minute);
+  auto simple_run = sim.Run(load, &simple, train_minutes, end_minute);
+  auto static_run = sim.Run(load, &static_strategy, train_minutes,
+                            end_minute);
+  if (!pstore_run.ok() || !simple_run.ok() || !static_run.ok()) return 1;
+
+  // Two 4-day windows relative to the simulated range.
+  const int64_t normal_begin = 40 * 1440 - train_minutes;  // a regular week
+  const int64_t bf_begin =
+      (static_cast<int64_t>(trace_config.black_friday_day) - 2) * 1440 -
+      train_minutes;
+  const int64_t window_len = 4 * 1440;
+
+  struct Panel {
+    const char* name;
+    int64_t begin;
+  };
+  for (const Panel panel : {Panel{"normal_week", normal_begin},
+                            Panel{"black_friday", bf_begin}}) {
+    std::printf("\n--- %s (4 days) ---\n", panel.name);
+    const auto demand =
+        Window(load, train_minutes + panel.begin, window_len);
+    const auto pstore_cap =
+        Window(pstore_run->effective_capacity, panel.begin, window_len);
+    const auto simple_cap =
+        Window(simple_run->effective_capacity, panel.begin, window_len);
+    const auto static_cap =
+        Window(static_run->effective_capacity, panel.begin, window_len);
+    bench::PrintSeries("actual load", demand);
+    bench::PrintSeries("P-Store SPAR capacity", pstore_cap);
+    bench::PrintSeries("Simple capacity", simple_cap);
+    bench::PrintSeries("Static capacity", static_cap);
+
+    auto deficit_minutes = [&](const std::vector<double>& cap) {
+      int64_t n = 0;
+      for (size_t i = 0; i < demand.size() && i < cap.size(); ++i) {
+        if (demand[i] > cap[i]) ++n;
+      }
+      return n;
+    };
+    std::printf(
+        "  minutes with insufficient capacity: P-Store=%lld Simple=%lld "
+        "Static=%lld\n",
+        static_cast<long long>(deficit_minutes(pstore_cap)),
+        static_cast<long long>(deficit_minutes(simple_cap)),
+        static_cast<long long>(deficit_minutes(static_cap)));
+    bench::WriteCsv(std::string("fig13_") + panel.name + ".csv",
+                    {"load", "pstore_cap", "simple_cap", "static_cap"},
+                    {demand, pstore_cap, simple_cap, static_cap});
+  }
+  std::cout << "\nExpected shape: on the normal week all three have "
+               "capacity above load (Simple looks fine); on Black Friday "
+               "only P-Store ramps far enough, Simple and Static fall "
+               "below the surge.\n";
+  return 0;
+}

@@ -1,0 +1,135 @@
+/// Micro-benchmarks (google-benchmark) for the hot components: the DP
+/// planner (runs every control interval online), SPAR prediction, the
+/// migration schedule generator, partition-map rebalancing, and the
+/// engine's transaction path on the virtual clock.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "cluster/engine.h"
+#include "migration/parallel_schedule.h"
+#include "planner/dp_planner.h"
+#include "prediction/spar.h"
+#include "sim/simulator.h"
+#include "storage/partition_map.h"
+#include "storage/schema.h"
+#include "txn/procedure.h"
+
+namespace pstore {
+namespace {
+
+MoveModelConfig PlannerConfig() {
+  MoveModelConfig config;
+  config.q = 285.0;
+  config.partitions_per_node = 6;
+  config.d_minutes = 85.0;
+  config.interval_minutes = 5.0;
+  return config;
+}
+
+void BM_DpPlannerSineHorizon(benchmark::State& state) {
+  const int32_t horizon = static_cast<int32_t>(state.range(0));
+  DpPlanner planner((MoveModel(PlannerConfig())));
+  std::vector<double> load(static_cast<size_t>(horizon) + 1);
+  for (size_t t = 0; t < load.size(); ++t) {
+    load[t] = 1500 + 1200 * std::sin(0.3 * static_cast<double>(t));
+  }
+  const int32_t n0 = planner.NodesForLoad(load[0]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.BestMoves(load, n0));
+  }
+}
+BENCHMARK(BM_DpPlannerSineHorizon)->Arg(12)->Arg(24)->Arg(56);
+
+void BM_SparPredict(benchmark::State& state) {
+  SparConfig config;
+  config.period = 288;
+  config.num_periods = 7;
+  config.num_recent = 6;
+  std::vector<double> series(288 * 30);
+  for (size_t t = 0; t < series.size(); ++t) {
+    series[t] = 100 + 50 * std::sin(2 * M_PI * (t % 288) / 288.0);
+  }
+  SparPredictor predictor(config);
+  if (!predictor.Fit(series, 12).ok()) state.SkipWithError("fit failed");
+  const int64_t t = static_cast<int64_t>(series.size()) - 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predictor.Forecast(series, t, 12));
+  }
+}
+BENCHMARK(BM_SparPredict);
+
+void BM_SparFit(benchmark::State& state) {
+  SparConfig config;
+  config.period = 288;
+  config.num_periods = 7;
+  config.num_recent = 6;
+  std::vector<double> series(288 * 28);
+  for (size_t t = 0; t < series.size(); ++t) {
+    series[t] = 100 + 50 * std::sin(2 * M_PI * (t % 288) / 288.0);
+  }
+  for (auto _ : state) {
+    SparPredictor predictor(config);
+    benchmark::DoNotOptimize(predictor.Fit(series, 4));
+  }
+}
+BENCHMARK(BM_SparFit);
+
+void BM_BuildMoveSchedule(benchmark::State& state) {
+  const int32_t a = static_cast<int32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildMoveSchedule(3, a));
+  }
+}
+BENCHMARK(BM_BuildMoveSchedule)->Arg(14)->Arg(40);
+
+void BM_PartitionMapRebalance(benchmark::State& state) {
+  PartitionMap map(1024, 18);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.Rebalanced(84));
+  }
+}
+BENCHMARK(BM_PartitionMapRebalance);
+
+void BM_EngineTxnPath(benchmark::State& state) {
+  Simulator sim;
+  Catalog catalog;
+  const TableId table = *catalog.AddTable(Schema(
+      "KV", {{"k", ColumnType::kInt64}, {"v", ColumnType::kInt64}}, 0));
+  ProcedureRegistry registry;
+  const ProcedureId put = *registry.Register(ProcedureDef{
+      "Put",
+      [table](ExecutionContext& ctx, const TxnRequest& req) {
+        TxnResult r;
+        r.status = ctx.Upsert(table,
+                              Row({Value(req.key), Value(int64_t{1})}));
+        return r;
+      },
+      1.0});
+  EngineConfig config;
+  config.num_buckets = 1024;
+  config.partitions_per_node = 6;
+  config.max_nodes = 4;
+  config.initial_nodes = 4;
+  config.txn_service_us_mean = 100.0;
+  config.txn_service_cv = 0.1;
+  ClusterEngine engine(&sim, catalog, registry, config);
+
+  int64_t key = 0;
+  for (auto _ : state) {
+    TxnRequest req;
+    req.proc = put;
+    req.key = ++key;
+    engine.Submit(std::move(req));
+    sim.RunUntil(sim.Now() + 200);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EngineTxnPath);
+
+}  // namespace
+}  // namespace pstore
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+/// Table 2: "Comparison of elasticity approaches in terms of number of
+/// SLA violations for 50th, 95th and 99th percentile latency, and
+/// average machines allocated." A violation is a second in which the
+/// percentile exceeds 500 ms. Paper values (3-day runs):
+///   Static-10: 0 / 13 / 25,  10.00 machines
+///   Static-4:  0 / 157 / 249, 4.00 machines
+///   Reactive:  35 / 220 / 327, 4.02 machines
+///   P-Store:   0 / 37 / 92,   5.05 machines
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table_writer.h"
+#include "core/experiment.h"
+
+using namespace pstore;
+
+int main(int argc, char** argv) {
+  bench::PrintBanner(
+      "Table 2", "SLA violations (>500 ms) and machines allocated",
+      "P-Store: ~1/3 the reactive violations at ~50% of peak cost");
+
+  struct RunSpec {
+    ElasticityStrategy strategy;
+    int32_t static_nodes;
+    const char* label;
+  };
+  const RunSpec specs[] = {
+      {ElasticityStrategy::kStatic, 10, "Static allocation, 10 servers"},
+      {ElasticityStrategy::kStatic, 4, "Static allocation, 4 servers"},
+      {ElasticityStrategy::kReactive, 10, "Reactive provisioning"},
+      {ElasticityStrategy::kPStoreSpar, 10, "P-Store"},
+  };
+  const int32_t days =
+      static_cast<int32_t>(bench::IntFlag(argc, argv, "days", 1));
+
+  TableWriter table({"Elasticity approach", "p50 viol.", "p95 viol.",
+                     "p99 viol.", "avg machines"});
+  int64_t reactive_p99 = -1, pstore_p99 = -1;
+  double static10_avg = 0, pstore_avg = 0;
+  for (const RunSpec& spec : specs) {
+    ExperimentConfig config;
+    config.strategy = spec.strategy;
+    config.static_nodes = spec.static_nodes;
+    config.replay_days = days;
+    config.trace = B2wRegularTraffic(config.train_days + days + 1, 20160715);
+    auto result = RunElasticityExperiment(config);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", spec.label,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    table.AddRow({spec.label, TableWriter::Fmt(result->violations_p50),
+                  TableWriter::Fmt(result->violations_p95),
+                  TableWriter::Fmt(result->violations_p99),
+                  TableWriter::Fmt(result->avg_machines, 2)});
+    if (spec.strategy == ElasticityStrategy::kReactive) {
+      reactive_p99 = result->violations_p99;
+    }
+    if (spec.strategy == ElasticityStrategy::kPStoreSpar) {
+      pstore_p99 = result->violations_p99;
+      pstore_avg = result->avg_machines;
+    }
+    if (spec.strategy == ElasticityStrategy::kStatic &&
+        spec.static_nodes == 10) {
+      static10_avg = result->avg_machines;
+    }
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nShape checks vs the paper:\n";
+  if (pstore_p99 >= 0 && reactive_p99 > 0) {
+    std::printf(
+        "  P-Store p99 violations = %.0f%% of reactive (paper: ~28%%)\n",
+        100.0 * static_cast<double>(pstore_p99) /
+            static_cast<double>(reactive_p99));
+  }
+  if (static10_avg > 0) {
+    std::printf(
+        "  P-Store used %.0f%% of peak provisioning's machines (paper: "
+        "~50%%)\n",
+        100.0 * pstore_avg / static10_avg);
+  }
+  return 0;
+}

@@ -1,0 +1,119 @@
+#include "bench_util.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+
+#include "common/table_writer.h"
+
+namespace pstore {
+namespace bench {
+
+void PrintBanner(const std::string& artifact, const std::string& title,
+                 const std::string& paper_note) {
+  std::cout << "\n==================================================="
+               "=============================\n";
+  std::cout << artifact << ": " << title << "\n";
+  if (!paper_note.empty()) std::cout << "Paper: " << paper_note << "\n";
+  std::cout << "====================================================="
+               "===========================\n";
+}
+
+void PrintSeries(const std::string& label, const std::vector<double>& values,
+                 size_t width) {
+  if (values.empty()) {
+    std::cout << label << ": (empty)\n";
+    return;
+  }
+  double lo = values[0], hi = values[0], sum = 0;
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    sum += v;
+  }
+  std::printf("%-28s min=%10.1f mean=%10.1f max=%10.1f\n", label.c_str(), lo,
+              sum / static_cast<double>(values.size()), hi);
+  std::cout << "  " << Sparkline(values, width) << "\n";
+}
+
+void WriteCsv(const std::string& file,
+              const std::vector<std::string>& names,
+              const std::vector<std::vector<double>>& columns) {
+  std::filesystem::create_directories("bench_out");
+  CsvSeriesWriter writer;
+  for (size_t i = 0; i < names.size() && i < columns.size(); ++i) {
+    writer.AddColumn(names[i], columns[i]);
+  }
+  const std::string path = "bench_out/" + file;
+  if (writer.WriteFile(path)) {
+    std::cout << "  [series written to " << path << "]\n";
+  }
+}
+
+namespace {
+std::string FlagValue(int argc, char** argv, const std::string& key) {
+  const std::string prefix = "--" + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return "";
+}
+}  // namespace
+
+int64_t IntFlag(int argc, char** argv, const std::string& key,
+                int64_t fallback) {
+  const std::string v = FlagValue(argc, argv, key);
+  return v.empty() ? fallback : std::strtoll(v.c_str(), nullptr, 10);
+}
+
+double DoubleFlag(int argc, char** argv, const std::string& key,
+                  double fallback) {
+  const std::string v = FlagValue(argc, argv, key);
+  return v.empty() ? fallback : std::strtod(v.c_str(), nullptr);
+}
+
+void PrintExperiment(const ExperimentResult& result) {
+  std::cout << "\n--- " << result.strategy_name << " ---\n";
+
+  // Machines-allocated series sampled per 10 s window for the chart.
+  std::vector<double> machines;
+  if (!result.allocation.empty() && !result.throughput_txn_s.empty()) {
+    size_t idx = 0;
+    for (size_t w = 0; w < result.throughput_txn_s.size(); ++w) {
+      const SimTime t = static_cast<SimTime>(w) * 10 * kSecond;
+      while (idx + 1 < result.allocation.size() &&
+             result.allocation[idx + 1].at <= t) {
+        ++idx;
+      }
+      machines.push_back(result.allocation[idx].nodes);
+    }
+  }
+  PrintSeries("throughput (txn/s)", result.throughput_txn_s);
+  std::vector<double> p99_ms, mean_ms;
+  for (const auto& w : result.latency_windows) {
+    p99_ms.push_back(static_cast<double>(w.p99) / 1000.0);
+    mean_ms.push_back(w.mean / 1000.0);
+  }
+  PrintSeries("avg latency (ms)", mean_ms);
+  PrintSeries("p99 latency (ms)", p99_ms);
+  if (!machines.empty()) PrintSeries("machines allocated", machines);
+
+  std::printf(
+      "  txns: %lld submitted, %lld committed, %lld aborted\n",
+      static_cast<long long>(result.submitted),
+      static_cast<long long>(result.committed),
+      static_cast<long long>(result.aborted));
+  std::printf(
+      "  SLA violations (>500 ms): p50=%lld p95=%lld p99=%lld | avg "
+      "machines=%.2f | reconfigurations=%zu\n",
+      static_cast<long long>(result.violations_p50),
+      static_cast<long long>(result.violations_p95),
+      static_cast<long long>(result.violations_p99), result.avg_machines,
+      result.moves.size());
+}
+
+}  // namespace bench
+}  // namespace pstore

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+/// \file bench_util.h
+/// Shared output helpers for the figure/table reproduction harnesses.
+/// Every bench prints: a banner naming the paper artifact it regenerates,
+/// aligned tables with the numbers, and terminal sparklines for series
+/// (full series also land in CSV files under bench_out/ for re-plotting).
+
+namespace pstore {
+namespace bench {
+
+/// Prints the "=== Figure N: ... ===" banner with context.
+void PrintBanner(const std::string& artifact, const std::string& title,
+                 const std::string& paper_note);
+
+/// Prints a labeled series as a sparkline plus min/mean/max.
+void PrintSeries(const std::string& label, const std::vector<double>& values,
+                 size_t width = 72);
+
+/// Writes a CSV of named columns under bench_out/<file>; prints where.
+void WriteCsv(const std::string& file,
+              const std::vector<std::string>& names,
+              const std::vector<std::vector<double>>& columns);
+
+/// Parses "--key=value" integer flags (returns fallback when absent).
+int64_t IntFlag(int argc, char** argv, const std::string& key,
+                int64_t fallback);
+
+/// Parses "--key=value" double flags.
+double DoubleFlag(int argc, char** argv, const std::string& key,
+                  double fallback);
+
+/// Renders one experiment result as the Figure 9-style block: machine
+/// allocation, throughput, latency sparklines and summary counters.
+void PrintExperiment(const ExperimentResult& result);
+
+}  // namespace bench
+}  // namespace pstore

@@ -1,0 +1,111 @@
+/// Forecast workbench: compare the time-series models (SPAR, ARMA, AR,
+/// last-value) on B2W-style and Wikipedia-style loads, the analysis of
+/// Section 5. Useful as a template for evaluating SPAR on your own load
+/// trace before wiring it into the controller.
+///
+///   ./build/examples/forecast_workbench
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "common/table_writer.h"
+#include "prediction/ar.h"
+#include "prediction/spar.h"
+#include "workload/b2w_trace.h"
+#include "workload/wiki_trace.h"
+
+using namespace pstore;
+
+namespace {
+
+double MreAt(const LoadPredictor& model, const std::vector<double>& series,
+             int64_t begin, int64_t end, int32_t tau) {
+  double total = 0;
+  int64_t n = 0;
+  for (int64_t t = std::max(begin, model.MinHistory()); t + tau < end;
+       t += 7) {
+    auto p = model.ForecastAt(series, t, tau);
+    if (!p.ok()) continue;
+    const double a = series[static_cast<size_t>(t + tau)];
+    if (a <= 0) continue;
+    total += std::fabs(*p - a) / a;
+    ++n;
+  }
+  return n == 0 ? 0 : 100.0 * total / static_cast<double>(n);
+}
+
+/// Naive baseline: predict the last observed value.
+class LastValuePredictor : public LoadPredictor {
+ public:
+  std::string name() const override { return "LastValue"; }
+  Status Fit(const std::vector<double>&, int32_t) override {
+    return Status::OK();
+  }
+  int64_t MinHistory() const override { return 0; }
+  Result<std::vector<double>> Forecast(const std::vector<double>& s,
+                                       int64_t t,
+                                       int32_t horizon) const override {
+    return std::vector<double>(static_cast<size_t>(horizon),
+                               s[static_cast<size_t>(t)]);
+  }
+};
+
+void Workbench(const std::string& title, const std::vector<double>& series,
+               int32_t period, int32_t tau, int64_t train_len) {
+  std::printf("\n=== %s (period %d slots, tau %d) ===\n", title.c_str(),
+              period, tau);
+  std::vector<double> train(series.begin(), series.begin() + train_len);
+
+  SparConfig spar_config;
+  spar_config.period = period;
+  spar_config.num_periods = 7;
+  spar_config.num_recent = std::min(30, period / 4);
+
+  std::vector<std::unique_ptr<LoadPredictor>> models;
+  models.push_back(std::make_unique<SparPredictor>(spar_config));
+  models.push_back(std::make_unique<ArmaPredictor>(20, 8));
+  models.push_back(std::make_unique<ArPredictor>(20));
+  models.push_back(std::make_unique<LastValuePredictor>());
+
+  TableWriter table({"model", "MRE %"});
+  for (auto& model : models) {
+    Status st = model->Fit(train, tau);
+    if (!st.ok()) {
+      table.AddRow({model->name(), "fit failed: " + st.ToString()});
+      continue;
+    }
+    table.AddRow({model->name(),
+                  TableWriter::Fmt(
+                      MreAt(*model, series, train_len,
+                            static_cast<int64_t>(series.size()), tau),
+                      2)});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  // B2W-style: per-minute, strongly diurnal, tau = 60 min.
+  auto b2w = GenerateB2wTrace(B2wRegularTraffic(35, 11));
+  if (b2w.ok()) {
+    Workbench("B2W-style load (per-minute)", *b2w, 1440, 60, 28 * 1440);
+  }
+  // Wikipedia-style: hourly, tau = 2 h.
+  auto en = GenerateWikiTrace(WikiEnglish(56, 22));
+  if (en.ok()) {
+    Workbench("English-Wikipedia-style load (hourly)", *en, 24, 2, 28 * 24);
+  }
+  auto de = GenerateWikiTrace(WikiGerman(56, 33));
+  if (de.ok()) {
+    Workbench("German-Wikipedia-style load (hourly)", *de, 24, 2, 28 * 24);
+  }
+  std::printf(
+      "\nReading: SPAR should lead on all three (Section 5 of the paper: "
+      "10.4%% vs 12.2%% ARMA vs 12.5%% AR at tau=60 on B2W), with the gap "
+      "narrowing on the noisier German trace.\n");
+  return 0;
+}

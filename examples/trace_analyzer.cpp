@@ -1,0 +1,171 @@
+/// Trace analyzer: point the library at *your own* load trace (CSV, one
+/// value per planning slot) and compare provisioning strategies the way
+/// Figure 12 does — static, simple day/night, reactive thresholds, and
+/// P-Store's predict-plan loop — reporting cost and time spent with
+/// insufficient capacity. With no argument it demonstrates on a
+/// generated B2W-style month.
+///
+///   ./build/examples/trace_analyzer [path/to/load.csv] [--column=N]
+///                                   [--q=285] [--qhat=350] [--d=85]
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "common/table_writer.h"
+#include "prediction/spar.h"
+#include "sim/strategies.h"
+#include "workload/b2w_trace.h"
+#include "workload/trace_io.h"
+
+using namespace pstore;
+
+namespace {
+
+double Flag(int argc, char** argv, const char* key, double fallback) {
+  const std::string prefix = std::string("--") + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atof(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --- Load the trace -----------------------------------------------------
+  std::vector<double> load;
+  std::string source = "synthetic B2W-style month";
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] != '-') path = argv[i];
+  }
+  if (path != nullptr) {
+    auto read =
+        ReadLoadCsv(path, static_cast<int32_t>(Flag(argc, argv, "column", 0)));
+    if (!read.ok()) {
+      std::fprintf(stderr, "cannot read %s: %s\n", path,
+                   read.status().ToString().c_str());
+      return 1;
+    }
+    load = std::move(read).MoveValueUnsafe();
+    source = path;
+  } else {
+    auto trace = GenerateB2wTrace(B2wRegularTraffic(42, 99));
+    if (!trace.ok()) return 1;
+    double peak = 0;
+    for (double v : *trace) peak = std::max(peak, v);
+    load.resize(trace->size());
+    for (size_t i = 0; i < load.size(); ++i) {
+      load[i] = (*trace)[i] / peak * 2800.0;
+    }
+  }
+  std::printf("Analyzing %zu load slots from %s\n", load.size(),
+              source.c_str());
+
+  // --- Configuration --------------------------------------------------------
+  CapacitySimConfig sim_config;
+  sim_config.move_model.q = Flag(argc, argv, "q", 285.0);
+  sim_config.move_model.partitions_per_node = 6;
+  sim_config.move_model.d_minutes = Flag(argc, argv, "d", 85.0);
+  sim_config.move_model.interval_minutes = 5;
+  sim_config.q_hat = Flag(argc, argv, "qhat", 350.0);
+  sim_config.max_machines = 60;
+  CapacitySimulator sim(sim_config);
+  const double q = sim_config.move_model.q;
+
+  const int64_t total = static_cast<int64_t>(load.size());
+  const int64_t train = std::min<int64_t>(28 * 1440, total * 2 / 3);
+  const int64_t begin = train;
+
+  // Train-window statistics for sizing static/simple.
+  double train_peak = 0, train_trough = 1e18;
+  for (int64_t t = 0; t < train; ++t) {
+    train_peak = std::max(train_peak, load[static_cast<size_t>(t)]);
+    train_trough = std::min(train_trough, load[static_cast<size_t>(t)]);
+  }
+
+  // SPAR over 5-slot aggregates.
+  std::vector<double> slots;
+  for (size_t i = 0; i + 5 <= load.size(); i += 5) {
+    double acc = 0;
+    for (size_t j = 0; j < 5; ++j) acc += load[i + j];
+    slots.push_back(acc / 5);
+  }
+  SparConfig spar_config;
+  spar_config.period = 288;
+  spar_config.num_periods = 7;
+  spar_config.num_recent = 6;
+  auto spar = std::make_unique<SparPredictor>(spar_config);
+  bool have_spar = false;
+  {
+    std::vector<double> spar_train(slots.begin(), slots.begin() + train / 5);
+    Status st = spar->Fit(spar_train, 12);
+    have_spar = st.ok();
+    if (!have_spar) {
+      std::printf("note: SPAR not fit (%s); skipping P-Store row\n",
+                  st.ToString().c_str());
+    }
+  }
+
+  // --- Run strategies --------------------------------------------------------
+  TableWriter table({"strategy", "avg machines", "cost (machine-min)",
+                     "% time insufficient", "moves"});
+  auto run = [&](AllocationStrategy* strategy) {
+    auto result = sim.Run(load, strategy, begin, total);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", strategy->name().c_str(),
+                   result.status().ToString().c_str());
+      return;
+    }
+    table.AddRow({result->strategy_name,
+                  TableWriter::Fmt(result->total_machine_minutes /
+                                       static_cast<double>(
+                                           result->minutes_simulated),
+                                   2),
+                  TableWriter::Fmt(result->total_machine_minutes, 0),
+                  TableWriter::Fmt(result->pct_time_insufficient, 3),
+                  TableWriter::Fmt(result->moves_started)});
+  };
+
+  StaticStrategy static_peak(
+      static_cast<int32_t>(std::ceil(train_peak * 1.15 / q)));
+  run(&static_peak);
+
+  SimpleStrategy simple(
+      static_cast<int32_t>(std::ceil(train_peak * 1.15 / q)),
+      std::max<int32_t>(1, static_cast<int32_t>(
+                               std::ceil(train_trough * 3.0 / q))),
+      6.0, 23.0);
+  run(&simple);
+
+  ReactiveStrategyConfig reactive_config;
+  reactive_config.q = q;
+  reactive_config.q_hat = sim_config.q_hat;
+  ReactiveStrategy reactive(reactive_config);
+  run(&reactive);
+
+  if (have_spar) {
+    PStoreStrategyConfig ps;
+    ps.move_model = sim_config.move_model;
+    ps.horizon_intervals = 12;
+    ps.prediction_inflation = 0.15;
+    ps.max_machines = sim_config.max_machines;
+    PStoreStrategy pstore(ps, std::move(spar), "P-Store SPAR");
+    run(&pstore);
+  }
+
+  table.Print(std::cout);
+  std::printf(
+      "\nReading: lower cost at the same (or lower) %% insufficient is "
+      "better; P-Store should dominate reactive, and both should beat "
+      "the clock-based strategies on any trace with day-to-day "
+      "variation.\n");
+  return 0;
+}

@@ -1,0 +1,7 @@
+#!/bin/sh
+# Runs every figure/table reproduction harness, mirroring the paper's
+# evaluation section. Outputs land on stdout and CSVs in ./bench_out/.
+set -e
+for b in build/bench/*; do
+  "$b"
+done

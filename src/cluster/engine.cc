@@ -1,0 +1,195 @@
+#include "cluster/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pstore {
+
+Status EngineConfig::Validate() const {
+  if (num_buckets < 1) return Status::InvalidArgument("num_buckets < 1");
+  if (partitions_per_node < 1) {
+    return Status::InvalidArgument("partitions_per_node < 1");
+  }
+  if (max_nodes < 1) return Status::InvalidArgument("max_nodes < 1");
+  if (initial_nodes < 1 || initial_nodes > max_nodes) {
+    return Status::InvalidArgument("initial_nodes out of [1, max_nodes]");
+  }
+  if (txn_service_us_mean <= 0) {
+    return Status::InvalidArgument("txn_service_us_mean <= 0");
+  }
+  if (txn_service_cv < 0) return Status::InvalidArgument("txn_service_cv < 0");
+  if (num_buckets < max_nodes * partitions_per_node) {
+    return Status::InvalidArgument(
+        "need at least one bucket per partition at max scale");
+  }
+  return Status::OK();
+}
+
+ClusterEngine::ClusterEngine(Simulator* sim, Catalog catalog,
+                             ProcedureRegistry registry, EngineConfig config)
+    : sim_(sim),
+      catalog_(std::move(catalog)),
+      registry_(std::move(registry)),
+      config_(config),
+      map_(config.num_buckets,
+           config.initial_nodes * config.partitions_per_node),
+      active_nodes_(config.initial_nodes),
+      rng_(config.seed),
+      latencies_(config.latency_window) {
+  assert(config_.Validate().ok());
+  const int32_t total = total_partitions();
+  fragments_.reserve(static_cast<size_t>(total));
+  executors_.reserve(static_cast<size_t>(total));
+  for (int32_t p = 0; p < total; ++p) {
+    fragments_.push_back(
+        std::make_unique<StorageFragment>(&catalog_, config_.num_buckets));
+    executors_.push_back(std::make_unique<PartitionExecutor>(sim_));
+  }
+  partition_access_counts_.assign(static_cast<size_t>(total), 0);
+  bucket_access_counts_.assign(static_cast<size_t>(config_.num_buckets), 0);
+  allocation_timeline_.push_back(AllocationEvent{0, active_nodes_});
+}
+
+Status ClusterEngine::ActivateNodes(int32_t n) {
+  if (n > config_.max_nodes) {
+    return Status::InvalidArgument("cannot activate beyond max_nodes");
+  }
+  if (n <= active_nodes_) return Status::OK();
+  active_nodes_ = n;
+  allocation_timeline_.push_back(AllocationEvent{sim_->Now(), active_nodes_});
+  return Status::OK();
+}
+
+Status ClusterEngine::DeactivateNodes(int32_t n) {
+  if (n < 1) return Status::InvalidArgument("must keep at least one node");
+  if (n >= active_nodes_) return Status::OK();
+  // Every partition on the nodes being released must be empty.
+  for (int32_t p = n * config_.partitions_per_node;
+       p < active_nodes_ * config_.partitions_per_node; ++p) {
+    if (fragments_[static_cast<size_t>(p)]->TotalRowCount() != 0) {
+      return Status::FailedPrecondition(
+          "partition " + std::to_string(p) + " still holds data");
+    }
+  }
+  active_nodes_ = n;
+  allocation_timeline_.push_back(AllocationEvent{sim_->Now(), active_nodes_});
+  return Status::OK();
+}
+
+Status ClusterEngine::LoadRow(TableId table, const Row& row) {
+  const Schema& schema = catalog_.GetSchema(table);
+  PSTORE_RETURN_NOT_OK(schema.Validate(row));
+  const int64_t key = schema.PartitionKey(row);
+  const PartitionId p = map_.PartitionOfKey(key);
+  return fragments_[static_cast<size_t>(p)]->Insert(table, row);
+}
+
+Status ClusterEngine::ApplyBucketMove(const BucketMove& move) {
+  if (map_.PartitionOfBucket(move.bucket) != move.from) {
+    return Status::FailedPrecondition(
+        "bucket " + std::to_string(move.bucket) + " not owned by partition " +
+        std::to_string(move.from));
+  }
+  auto data = fragments_[static_cast<size_t>(move.from)]->ExtractBucket(
+      move.bucket);
+  PSTORE_RETURN_NOT_OK(fragments_[static_cast<size_t>(move.to)]->InstallBucket(
+      move.bucket, std::move(data)));
+  map_.Assign(move.bucket, move.to);
+  map_.set_version(map_.version() + 1);
+  return Status::OK();
+}
+
+void ClusterEngine::SetPartitionMap(PartitionMap map) {
+  assert(map.num_buckets() == config_.num_buckets);
+  map_ = std::move(map);
+}
+
+int64_t ClusterEngine::TotalRowCount() const {
+  int64_t total = 0;
+  for (const auto& f : fragments_) total += f->TotalRowCount();
+  return total;
+}
+
+SimDuration ClusterEngine::DrawServiceTime(double weight) {
+  const double mean = config_.txn_service_us_mean * weight;
+  if (config_.txn_service_cv <= 0) {
+    return static_cast<SimDuration>(mean);
+  }
+  // Lognormal with the requested mean and coefficient of variation.
+  const double cv2 = config_.txn_service_cv * config_.txn_service_cv;
+  const double sigma2 = std::log1p(cv2);
+  const double mu = std::log(mean) - sigma2 / 2.0;
+  const double sample = std::exp(mu + std::sqrt(sigma2) * rng_.NextGaussian());
+  return std::max<SimDuration>(1, static_cast<SimDuration>(sample));
+}
+
+void ClusterEngine::RecordCompletion(SimTime arrival, SimTime finished) {
+  const int64_t latency_us = finished - arrival;
+  latencies_.Record(finished, latency_us);
+  latency_histogram_.Record(latency_us);
+  const size_t window =
+      static_cast<size_t>(finished / config_.throughput_window);
+  if (throughput_.size() <= window) throughput_.resize(window + 1, 0);
+  ++throughput_[window];
+}
+
+void ClusterEngine::Submit(TxnRequest req,
+                           std::function<void(const TxnResult&)> on_done) {
+  auto pending = std::make_shared<PendingTxn>(
+      PendingTxn{std::move(req), sim_->Now(), std::move(on_done)});
+  pending->req.txn_id = ++next_txn_seq_;
+  RouteAndRun(std::move(pending));
+}
+
+void ClusterEngine::RouteAndRun(std::shared_ptr<PendingTxn> pending) {
+  // Route (and re-route after mid-queue bucket moves, like Squall's
+  // transaction forwarding) until the executing partition owns the key.
+  const PartitionId p = map_.PartitionOfKey(pending->req.key);
+  const ProcedureDef& def = registry_.Get(pending->req.proc);
+  const SimDuration service = DrawServiceTime(def.service_weight);
+  executors_[static_cast<size_t>(p)]->Enqueue(
+      service,
+      [this, pending = std::move(pending), p](SimTime, SimTime finished) {
+        // If the bucket moved while we were queued, forward.
+        const PartitionId owner = map_.PartitionOfKey(pending->req.key);
+        if (owner != p) {
+          RouteAndRun(pending);
+          return;
+        }
+        ExecutionContext ctx(fragments_[static_cast<size_t>(p)].get());
+        const ProcedureDef& proc = registry_.Get(pending->req.proc);
+        TxnResult result = proc.body(ctx, pending->req);
+        ++partition_access_counts_[static_cast<size_t>(p)];
+        ++bucket_access_counts_[static_cast<size_t>(
+            KeyToBucket(pending->req.key, config_.num_buckets))];
+        if (result.status.ok()) {
+          ++txns_committed_;
+        } else {
+          ++txns_aborted_;
+        }
+        RecordCompletion(pending->arrival, finished);
+        if (pending->on_done) pending->on_done(result);
+      });
+}
+
+double ClusterEngine::AverageNodesAllocated() const {
+  if (allocation_timeline_.empty()) return active_nodes_;
+  const SimTime end = sim_->Now();
+  if (end <= 0) return allocation_timeline_.front().nodes;
+  double weighted = 0;
+  for (size_t i = 0; i < allocation_timeline_.size(); ++i) {
+    const SimTime start = allocation_timeline_[i].at;
+    const SimTime stop = i + 1 < allocation_timeline_.size()
+                             ? allocation_timeline_[i + 1].at
+                             : end;
+    if (stop <= start) continue;
+    weighted += static_cast<double>(stop - start) *
+                allocation_timeline_[i].nodes;
+  }
+  return weighted / static_cast<double>(end);
+}
+
+}  // namespace pstore

@@ -1,0 +1,35 @@
+#include "cluster/partition_executor.h"
+
+#include <cassert>
+#include <utility>
+
+namespace pstore {
+
+void PartitionExecutor::Enqueue(SimDuration service, Completion done) {
+  assert(service >= 0);
+  queue_.push_back(Item{service, std::move(done)});
+  if (!busy_) StartNext();
+}
+
+void PartitionExecutor::StartNext() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  Item item = std::move(queue_.front());
+  queue_.pop_front();
+  const SimTime started = sim_->Now();
+  const SimDuration service = item.service;
+  busy_time_ += service;
+  // Capture the completion by value; `this` outlives the simulator run.
+  sim_->Schedule(service, [this, started,
+                           done = std::move(item.done)]() mutable {
+    ++completed_;
+    const SimTime finished = sim_->Now();
+    if (done) done(started, finished);
+    StartNext();
+  });
+}
+
+}  // namespace pstore

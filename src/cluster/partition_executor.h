@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/sim_time.h"
+#include "sim/simulator.h"
+
+/// \file partition_executor.h
+/// A partition's single execution thread, modeled as a FIFO service
+/// station on the discrete-event simulator. Both transaction work and
+/// migration chunk (de)serialization occupy this station — that shared
+/// queue is exactly the contention the paper measures in Figure 8 and
+/// that makes reactive reconfiguration at peak load painful.
+
+namespace pstore {
+
+/// \brief FIFO, one-at-a-time work queue bound to a Simulator.
+class PartitionExecutor {
+ public:
+  /// Invoked when a work item finishes; receives (service start time,
+  /// completion time).
+  using Completion = std::function<void(SimTime started, SimTime finished)>;
+
+  explicit PartitionExecutor(Simulator* sim) : sim_(sim) {}
+
+  /// Enqueues a work item requiring `service` virtual time. Items run
+  /// in arrival order; `done` fires at completion.
+  void Enqueue(SimDuration service, Completion done);
+
+  /// Items waiting (not counting the one in service).
+  size_t queue_length() const { return queue_.size(); }
+
+  /// True while an item is in service.
+  bool busy() const { return busy_; }
+
+  /// Cumulative virtual time this executor has spent serving items.
+  SimDuration busy_time() const { return busy_time_; }
+
+  /// Cumulative items completed.
+  int64_t completed() const { return completed_; }
+
+ private:
+  struct Item {
+    SimDuration service;
+    Completion done;
+  };
+
+  void StartNext();
+
+  Simulator* sim_;
+  std::deque<Item> queue_;
+  bool busy_ = false;
+  SimDuration busy_time_ = 0;
+  int64_t completed_ = 0;
+};
+
+}  // namespace pstore

@@ -1,0 +1,161 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace pstore {
+
+Histogram::Histogram() : buckets_(kOctaves * kSubBuckets, 0) {}
+
+int Histogram::BucketIndex(int64_t value) {
+  if (value < kSubBuckets) return static_cast<int>(value);
+  // Octave = position of highest set bit above the sub-bucket range.
+  const int hi = 63 - __builtin_clzll(static_cast<uint64_t>(value));
+  const int octave = hi - kSubBucketBits + 1;
+  const int sub = static_cast<int>(value >> (hi - kSubBucketBits)) &
+                  (kSubBuckets - 1);
+  int idx = octave * kSubBuckets + sub;
+  const int max_idx = kOctaves * kSubBuckets - 1;
+  return idx > max_idx ? max_idx : idx;
+}
+
+int64_t Histogram::BucketMidpoint(int index) {
+  const int octave = index / kSubBuckets;
+  const int sub = index % kSubBuckets;
+  if (octave == 0) return sub;
+  const int shift = octave - 1;
+  const int64_t lo = (static_cast<int64_t>(kSubBuckets + sub)) << shift;
+  const int64_t width = 1LL << shift;
+  return lo + width / 2;
+}
+
+void Histogram::Record(int64_t value) { RecordMany(value, 1); }
+
+void Histogram::RecordMany(int64_t value, int64_t count) {
+  if (count <= 0) return;
+  if (value < 0) value = 0;
+  buckets_[static_cast<size_t>(BucketIndex(value))] += count;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  count_ += count;
+  sum_ += value * count;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+int64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the target observation (1-based, ceil).
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(p / 100.0 *
+                                        static_cast<double>(count_))));
+  int64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      int64_t v = BucketMidpoint(static_cast<int>(i));
+      // Clamp to the exact extremes we tracked.
+      return std::clamp(v, min_, max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::Clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = sum_ = max_ = min_ = 0;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%lld mean=%.1f p50=%lld p95=%lld p99=%lld max=%lld",
+                static_cast<long long>(count_), Mean(),
+                static_cast<long long>(Percentile(50)),
+                static_cast<long long>(Percentile(95)),
+                static_cast<long long>(Percentile(99)),
+                static_cast<long long>(max_));
+  return buf;
+}
+
+WindowedPercentiles::WindowedPercentiles(SimDuration window)
+    : window_(window) {
+  assert(window > 0);
+}
+
+void WindowedPercentiles::CloseThrough(SimTime now) {
+  while (has_current_ && now >= current_start_ + window_) {
+    Window w;
+    w.start = current_start_;
+    w.count = current_.count();
+    w.mean = current_.Mean();
+    w.p50 = current_.Percentile(50);
+    w.p95 = current_.Percentile(95);
+    w.p99 = current_.Percentile(99);
+    w.max = current_.max();
+    windows_.push_back(w);
+    current_.Clear();
+    current_start_ += window_;
+    // Skip empty gaps without emitting windows for them: jump directly
+    // to the window containing `now` if we are far behind.
+    if (now >= current_start_ + window_ && current_.count() == 0) {
+      const SimTime target = (now / window_) * window_;
+      if (target > current_start_) current_start_ = target;
+    }
+  }
+}
+
+void WindowedPercentiles::Record(SimTime at, int64_t latency_us) {
+  if (!has_current_) {
+    has_current_ = true;
+    current_start_ = (at / window_) * window_;
+  }
+  CloseThrough(at);
+  current_.Record(latency_us);
+}
+
+void WindowedPercentiles::Flush(SimTime now) {
+  if (!has_current_) return;
+  CloseThrough(now + window_);
+}
+
+int64_t WindowedPercentiles::CountViolations(int which,
+                                             int64_t threshold_us) const {
+  int64_t n = 0;
+  for (const auto& w : windows_) {
+    int64_t v = 0;
+    switch (which) {
+      case 50:
+        v = w.p50;
+        break;
+      case 95:
+        v = w.p95;
+        break;
+      case 99:
+        v = w.p99;
+        break;
+      default:
+        v = w.max;
+        break;
+    }
+    if (w.count > 0 && v > threshold_us) ++n;
+  }
+  return n;
+}
+
+}  // namespace pstore

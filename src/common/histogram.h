@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+
+/// \file histogram.h
+/// Latency accounting: a log-bucketed histogram with percentile queries
+/// (HdrHistogram-style, bounded relative error) and a windowed tracker
+/// that emits per-window percentiles the way the paper reports latencies
+/// "measured each second" (Figure 10).
+
+namespace pstore {
+
+/// \brief Log-bucketed histogram of non-negative integer values.
+///
+/// Values are bucketed with ~2% relative error (32 sub-buckets per
+/// power of two). Suitable for latency in microseconds.
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records one observation. Negative values are clamped to zero.
+  void Record(int64_t value);
+
+  /// Records `count` observations of the same value.
+  void RecordMany(int64_t value, int64_t count);
+
+  /// Merges another histogram into this one.
+  void Merge(const Histogram& other);
+
+  /// Total number of recorded observations.
+  int64_t count() const { return count_; }
+
+  /// Sum of recorded values (for means).
+  int64_t sum() const { return sum_; }
+
+  /// Largest recorded value (exact).
+  int64_t max() const { return max_; }
+
+  /// Smallest recorded value (exact); 0 if empty.
+  int64_t min() const { return count_ == 0 ? 0 : min_; }
+
+  /// Arithmetic mean; 0 if empty.
+  double Mean() const;
+
+  /// Value at the given percentile in [0, 100]; 0 if empty. The result
+  /// is the representative value of the bucket containing that rank, so
+  /// it carries the bucket's ~2% relative error.
+  int64_t Percentile(double p) const;
+
+  /// Resets to empty.
+  void Clear();
+
+  /// One-line summary: count/mean/p50/p95/p99/max.
+  std::string Summary() const;
+
+ private:
+  static constexpr int kSubBucketBits = 5;  // 32 sub-buckets per octave
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kOctaves = 40;       // covers up to ~2^40 us
+
+  static int BucketIndex(int64_t value);
+  static int64_t BucketMidpoint(int index);
+
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t max_ = 0;
+  int64_t min_ = 0;
+};
+
+/// \brief Tracks latency percentiles per fixed time window.
+///
+/// Observations carry a timestamp; when a window closes, its p50/p95/p99
+/// (and mean) are appended to the per-window series. The paper's SLA
+/// metric — "number of seconds in which the Nth percentile latency
+/// exceeds 500 ms" — is computed from these series.
+class WindowedPercentiles {
+ public:
+  /// One closed window's statistics.
+  struct Window {
+    SimTime start = 0;       ///< Window start time.
+    int64_t count = 0;       ///< Observations in the window.
+    double mean = 0;         ///< Mean latency (us).
+    int64_t p50 = 0;         ///< Median latency (us).
+    int64_t p95 = 0;         ///< 95th percentile latency (us).
+    int64_t p99 = 0;         ///< 99th percentile latency (us).
+    int64_t max = 0;         ///< Max latency (us).
+  };
+
+  explicit WindowedPercentiles(SimDuration window = kSecond);
+
+  /// Records a latency observed at the given time. Timestamps must be
+  /// non-decreasing across calls.
+  void Record(SimTime at, int64_t latency_us);
+
+  /// Closes any window containing `now` or earlier; call once at the end
+  /// of a run so the final partial window is flushed.
+  void Flush(SimTime now);
+
+  /// All closed windows so far.
+  const std::vector<Window>& windows() const { return windows_; }
+
+  /// Number of closed windows in which the chosen percentile exceeded
+  /// the threshold. `which` is 50, 95, or 99.
+  int64_t CountViolations(int which, int64_t threshold_us) const;
+
+ private:
+  void CloseThrough(SimTime now);
+
+  SimDuration window_;
+  SimTime current_start_ = 0;
+  bool has_current_ = false;
+  Histogram current_;
+  std::vector<Window> windows_;
+};
+
+}  // namespace pstore

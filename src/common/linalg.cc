@@ -1,0 +1,132 @@
+#include "common/linalg.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pstore {
+
+Matrix Matrix::Gram() const {
+  Matrix g(cols_, cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = &data_[r * cols_];
+    for (size_t i = 0; i < cols_; ++i) {
+      const double ri = row[i];
+      if (ri == 0.0) continue;
+      for (size_t j = i; j < cols_; ++j) {
+        g(i, j) += ri * row[j];
+      }
+    }
+  }
+  for (size_t i = 0; i < cols_; ++i) {
+    for (size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
+  }
+  return g;
+}
+
+std::vector<double> Matrix::TransposeTimes(const std::vector<double>& v) const {
+  assert(v.size() == rows_);
+  std::vector<double> out(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double vr = v[r];
+    if (vr == 0.0) continue;
+    const double* row = &data_[r * cols_];
+    for (size_t c = 0; c < cols_; ++c) out[c] += row[c] * vr;
+  }
+  return out;
+}
+
+std::vector<double> Matrix::Times(const std::vector<double>& x) const {
+  assert(x.size() == cols_);
+  std::vector<double> out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = &data_[r * cols_];
+    double acc = 0;
+    for (size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+Result<std::vector<double>> SolveLinearSystem(Matrix a,
+                                              std::vector<double> b) {
+  const size_t n = a.rows();
+  if (a.cols() != n) {
+    return Status::InvalidArgument("SolveLinearSystem: matrix not square");
+  }
+  if (b.size() != n) {
+    return Status::InvalidArgument("SolveLinearSystem: rhs size mismatch");
+  }
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivot: pick the row with the largest magnitude in this column.
+    size_t pivot = col;
+    double best = std::fabs(a(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      const double mag = std::fabs(a(r, col));
+      if (mag > best) {
+        best = mag;
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) {
+      return Status::FailedPrecondition(
+          "SolveLinearSystem: matrix is singular");
+    }
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    const double inv = 1.0 / a(col, col);
+    for (size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) * inv;
+      if (factor == 0.0) continue;
+      a(r, col) = 0.0;
+      for (size_t c = col + 1; c < n; ++c) a(r, c) -= factor * a(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (size_t ri = n; ri-- > 0;) {
+    double acc = b[ri];
+    for (size_t c = ri + 1; c < n; ++c) acc -= a(ri, c) * x[c];
+    x[ri] = acc / a(ri, ri);
+  }
+  return x;
+}
+
+Result<std::vector<double>> LeastSquares(const Matrix& a,
+                                         const std::vector<double>& b,
+                                         double ridge) {
+  if (a.rows() == 0 || a.cols() == 0) {
+    return Status::InvalidArgument("LeastSquares: empty design matrix");
+  }
+  if (b.size() != a.rows()) {
+    return Status::InvalidArgument("LeastSquares: rhs size mismatch");
+  }
+  Matrix gram = a.Gram();
+  // Scale the ridge by the mean diagonal so it is unit-free.
+  double diag_mean = 0;
+  for (size_t i = 0; i < gram.rows(); ++i) diag_mean += gram(i, i);
+  diag_mean /= static_cast<double>(gram.rows());
+  const double lambda = ridge * std::max(diag_mean, 1.0);
+  for (size_t i = 0; i < gram.rows(); ++i) gram(i, i) += lambda;
+  return SolveLinearSystem(std::move(gram), a.TransposeTimes(b));
+}
+
+double MeanRelativeError(const std::vector<double>& predicted,
+                         const std::vector<double>& actual,
+                         double min_denominator) {
+  const size_t n = std::min(predicted.size(), actual.size());
+  double total = 0;
+  size_t used = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double denom = std::fabs(actual[i]);
+    if (denom < min_denominator) continue;
+    total += std::fabs(predicted[i] - actual[i]) / denom;
+    ++used;
+  }
+  return used == 0 ? 0.0 : total / static_cast<double>(used);
+}
+
+}  // namespace pstore

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file linalg.h
+/// Just enough dense linear algebra to fit the auto-regressive prediction
+/// models (SPAR, AR, ARMA) by linear least squares, as Section 5 of the
+/// paper prescribes ("parameters are inferred using linear least squares
+/// regression over the training dataset").
+
+namespace pstore {
+
+/// \brief Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Returns this^T * this (cols x cols), the Gram matrix.
+  Matrix Gram() const;
+
+  /// Returns this^T * v. Precondition: v.size() == rows().
+  std::vector<double> TransposeTimes(const std::vector<double>& v) const;
+
+  /// Returns this * x. Precondition: x.size() == cols().
+  std::vector<double> Times(const std::vector<double>& x) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves the square linear system A x = b in place using Gaussian
+/// elimination with partial pivoting. Returns InvalidArgument on shape
+/// mismatch and FailedPrecondition if A is (numerically) singular.
+Result<std::vector<double>> SolveLinearSystem(Matrix a,
+                                              std::vector<double> b);
+
+/// Solves the least-squares problem min_x ||A x - b||_2 via the normal
+/// equations with Tikhonov (ridge) regularization:
+///   (A^T A + ridge * I) x = A^T b.
+/// A small ridge (default 1e-8, scaled by the Gram diagonal) keeps the
+/// solve stable when regressors are collinear. Requires rows >= 1 and
+/// cols >= 1.
+Result<std::vector<double>> LeastSquares(const Matrix& a,
+                                         const std::vector<double>& b,
+                                         double ridge = 1e-8);
+
+/// Mean relative error between predictions and actuals, as used for the
+/// paper's accuracy plots (Figures 5b and 6b):
+///   MRE = mean_i |pred_i - actual_i| / actual_i
+/// Pairs whose |actual| falls below `min_denominator` are skipped to keep
+/// the metric finite on near-zero loads. Returns 0 for empty input.
+double MeanRelativeError(const std::vector<double>& predicted,
+                         const std::vector<double>& actual,
+                         double min_denominator = 1e-9);
+
+}  // namespace pstore

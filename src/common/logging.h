@@ -1,0 +1,57 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+/// \file logging.h
+/// Minimal leveled logging. Disabled below the global threshold, so hot
+/// paths may log freely; tests default to WARN to stay quiet.
+
+namespace pstore {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that is emitted (default kWarn).
+void SetLogLevel(LogLevel level);
+
+/// Returns the current global level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line emitter; writes on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Discards everything; used when a level is compiled out or disabled.
+class NullLog {
+ public:
+  template <typename T>
+  NullLog& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define PSTORE_LOG(level)                                              \
+  if (static_cast<int>(::pstore::LogLevel::k##level) <                 \
+      static_cast<int>(::pstore::GetLogLevel())) {                     \
+  } else                                                               \
+    ::pstore::internal::LogMessage(::pstore::LogLevel::k##level,       \
+                                   __FILE__, __LINE__)
+
+}  // namespace pstore

@@ -1,0 +1,44 @@
+#include "common/murmur.h"
+
+#include <cstring>
+
+namespace pstore {
+
+uint64_t MurmurHash64A(const void* key, size_t len, uint64_t seed) {
+  const uint64_t m = 0xc6a4a7935bd1e995ULL;
+  const int r = 47;
+
+  uint64_t h = seed ^ (len * m);
+
+  const auto* data = static_cast<const unsigned char*>(key);
+  const unsigned char* end = data + (len / 8) * 8;
+
+  while (data != end) {
+    uint64_t k;
+    std::memcpy(&k, data, sizeof(k));
+    data += 8;
+
+    k *= m;
+    k ^= k >> r;
+    k *= m;
+
+    h ^= k;
+    h *= m;
+  }
+
+  const size_t tail = len & 7u;
+  if (tail != 0) {
+    uint64_t k = 0;
+    std::memcpy(&k, data, tail);
+    h ^= k;
+    h *= m;
+  }
+
+  h ^= h >> r;
+  h *= m;
+  h ^= h >> r;
+
+  return h;
+}
+
+}  // namespace pstore

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+/// \file murmur.h
+/// MurmurHash 2.0 (64-bit variant, MurmurHash64A). The paper hashes
+/// partitioning keys to partitions with MurmurHash 2.0 (Section 8.1); we
+/// use the same function so key-to-bucket uniformity matches.
+
+namespace pstore {
+
+/// MurmurHash64A over an arbitrary byte buffer.
+uint64_t MurmurHash64A(const void* key, size_t len, uint64_t seed = 0);
+
+/// Convenience overload hashing a 64-bit key's bytes.
+inline uint64_t MurmurHash64A(int64_t key, uint64_t seed = 0) {
+  return MurmurHash64A(&key, sizeof(key), seed);
+}
+
+/// Convenience overload hashing a string's bytes.
+inline uint64_t MurmurHash64A(std::string_view s, uint64_t seed = 0) {
+  return MurmurHash64A(s.data(), s.size(), seed);
+}
+
+}  // namespace pstore

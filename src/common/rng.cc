@@ -1,0 +1,178 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pstore {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless bounded sampling.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t threshold = -bound % bound;
+    while (l < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextGaussian() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_gaussian_;
+  }
+  double u1, u2;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  u2 = NextDouble();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  spare_gaussian_ = mag * std::sin(2.0 * M_PI * u2);
+  has_spare_ = true;
+  return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::NextExponential(double rate) {
+  assert(rate > 0);
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 1e-300);
+  return -std::log(u) / rate;
+}
+
+int64_t Rng::NextPoisson(double mean) {
+  if (mean <= 0) return 0;
+  if (mean < 30.0) {
+    // Knuth: multiply uniforms until below e^-mean.
+    const double limit = std::exp(-mean);
+    double prod = 1.0;
+    int64_t k = 0;
+    do {
+      ++k;
+      prod *= NextDouble();
+    } while (prod > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction; exact enough for
+  // workload synthesis at high rates.
+  const double v = mean + std::sqrt(mean) * NextGaussian() + 0.5;
+  return v < 0 ? 0 : static_cast<int64_t>(v);
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  return NextDouble() < p;
+}
+
+size_t Rng::NextDiscrete(const std::vector<double>& cumulative) {
+  assert(!cumulative.empty());
+  const double total = cumulative.back();
+  assert(total > 0);
+  const double u = NextDouble() * total;
+  auto it = std::upper_bound(cumulative.begin(), cumulative.end(), u);
+  if (it == cumulative.end()) --it;
+  return static_cast<size_t>(it - cumulative.begin());
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+namespace {
+/// Integral of x^-s, used by the rejection-inversion Zipf sampler.
+double ZipfIntegral(double x, double s) {
+  if (std::fabs(s - 1.0) < 1e-12) return std::log(x);
+  return (std::pow(x, 1.0 - s) - 1.0) / (1.0 - s);
+}
+double ZipfIntegralInverse(double u, double s) {
+  if (std::fabs(s - 1.0) < 1e-12) return std::exp(u);
+  return std::pow(1.0 + u * (1.0 - s), 1.0 / (1.0 - s));
+}
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double s) : n_(n), s_(s) {
+  assert(n >= 1);
+  assert(s > 0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  threshold_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -s));
+}
+
+double ZipfGenerator::H(double x) const { return ZipfIntegral(x, s_); }
+double ZipfGenerator::HInverse(double u) const {
+  return ZipfIntegralInverse(u, s_);
+}
+
+uint64_t ZipfGenerator::Next(Rng* rng) const {
+  if (n_ == 1) return 0;
+  while (true) {
+    const double u = h_n_ + rng->NextDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    double k = std::floor(x + 0.5);
+    k = std::clamp(k, 1.0, static_cast<double>(n_));
+    if (k - x <= threshold_) {
+      return static_cast<uint64_t>(k) - 1;
+    }
+    if (u >= H(k + 0.5) - std::pow(k, -s_)) {
+      return static_cast<uint64_t>(k) - 1;
+    }
+  }
+}
+
+std::vector<double> CumulativeWeights(const std::vector<double>& weights) {
+  std::vector<double> cum;
+  cum.reserve(weights.size());
+  double total = 0;
+  for (double w : weights) {
+    total += std::max(0.0, w);
+    cum.push_back(total);
+  }
+  return cum;
+}
+
+}  // namespace pstore

@@ -1,0 +1,33 @@
+#include "common/sim_time.h"
+
+#include <cstdio>
+
+namespace pstore {
+
+std::string FormatSimTime(SimTime t) {
+  const bool neg = t < 0;
+  if (neg) t = -t;
+  const int64_t days = t / kDay;
+  const int64_t hours = (t % kDay) / kHour;
+  const int64_t minutes = (t % kHour) / kMinute;
+  const int64_t seconds = (t % kMinute) / kSecond;
+  const int64_t millis = (t % kSecond) / kMillisecond;
+  char buf[64];
+  if (days > 0) {
+    std::snprintf(buf, sizeof(buf), "%s%lldd %02lld:%02lld:%02lld.%03lld",
+                  neg ? "-" : "", static_cast<long long>(days),
+                  static_cast<long long>(hours),
+                  static_cast<long long>(minutes),
+                  static_cast<long long>(seconds),
+                  static_cast<long long>(millis));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%02lld:%02lld:%02lld.%03lld",
+                  neg ? "-" : "", static_cast<long long>(hours),
+                  static_cast<long long>(minutes),
+                  static_cast<long long>(seconds),
+                  static_cast<long long>(millis));
+  }
+  return buf;
+}
+
+}  // namespace pstore

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+/// \file sim_time.h
+/// Virtual-time types shared by the discrete-event simulator and the
+/// planner. Simulated time is an integer count of microseconds so event
+/// ordering is exact and runs are reproducible.
+
+namespace pstore {
+
+/// A point in simulated time, in microseconds since simulation start.
+using SimTime = int64_t;
+
+/// A span of simulated time, in microseconds.
+using SimDuration = int64_t;
+
+constexpr SimDuration kMicrosecond = 1;
+constexpr SimDuration kMillisecond = 1000;
+constexpr SimDuration kSecond = 1000 * kMillisecond;
+constexpr SimDuration kMinute = 60 * kSecond;
+constexpr SimDuration kHour = 60 * kMinute;
+constexpr SimDuration kDay = 24 * kHour;
+
+/// Converts a floating-point number of seconds to a SimDuration, rounding
+/// to the nearest microsecond.
+constexpr SimDuration SecondsToDuration(double seconds) {
+  return static_cast<SimDuration>(seconds * static_cast<double>(kSecond) +
+                                  (seconds >= 0 ? 0.5 : -0.5));
+}
+
+/// Converts a SimDuration to floating-point seconds.
+constexpr double DurationToSeconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// Converts a SimDuration to floating-point minutes.
+constexpr double DurationToMinutes(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMinute);
+}
+
+/// Formats a time as "1d 02:03:04.500" for logs and bench output.
+std::string FormatSimTime(SimTime t);
+
+}  // namespace pstore

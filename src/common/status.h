@@ -1,0 +1,166 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+/// \file status.h
+/// Error-handling primitives in the Arrow/RocksDB idiom: cheap, explicit
+/// Status values instead of exceptions, plus Result<T> for value-or-error.
+
+namespace pstore {
+
+/// Machine-readable category of an error carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kAborted,
+  kUnavailable,
+  kInternal,
+  kNotImplemented,
+};
+
+/// Returns the canonical name of a status code, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation: OK or a code plus a human-readable
+/// message.
+///
+/// Status is cheap to copy in the OK case (no allocation) and should be
+/// returned by value. Functions that can fail return Status (or Result<T>)
+/// rather than throwing.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  /// Factory helpers, one per code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsNotImplemented() const {
+    return code_ == StatusCode::kNotImplemented;
+  }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string msg_;
+};
+
+/// \brief Value-or-error: holds either a T or a non-OK Status.
+///
+/// Mirrors arrow::Result. Access the value with ValueOrDie() /
+/// operator* after checking ok(), or move it out with MoveValueUnsafe().
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : repr_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns the error status; OK if this Result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// Returns the held value. Precondition: ok().
+  const T& ValueOrDie() const& { return std::get<T>(repr_); }
+  T& ValueOrDie() & { return std::get<T>(repr_); }
+  T&& MoveValueUnsafe() && { return std::move(std::get<T>(repr_)); }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value if ok, otherwise the provided default.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define PSTORE_RETURN_NOT_OK(expr)                  \
+  do {                                              \
+    ::pstore::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                      \
+  } while (false)
+
+/// Assigns the value of a Result expression to `lhs`, propagating errors.
+#define PSTORE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).MoveValueUnsafe();
+
+#define PSTORE_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  PSTORE_ASSIGN_OR_RETURN_IMPL(PSTORE_CONCAT_(_result_, __LINE__), lhs, rexpr)
+
+#define PSTORE_CONCAT_INNER_(a, b) a##b
+#define PSTORE_CONCAT_(a, b) PSTORE_CONCAT_INNER_(a, b)
+
+}  // namespace pstore

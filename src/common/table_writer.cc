@@ -1,0 +1,115 @@
+#include "common/table_writer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace pstore {
+
+TableWriter::TableWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TableWriter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TableWriter::Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TableWriter::Fmt(int64_t v) {
+  return std::to_string(v);
+}
+
+void TableWriter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      os << " " << cell;
+      for (size_t pad = cell.size(); pad < widths[i]; ++pad) os << ' ';
+      os << " |";
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  os << "|";
+  for (size_t i = 0; i < headers_.size(); ++i) {
+    for (size_t pad = 0; pad < widths[i] + 2; ++pad) os << '-';
+    os << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void CsvSeriesWriter::AddColumn(std::string name, std::vector<double> values) {
+  names_.push_back(std::move(name));
+  columns_.push_back(std::move(values));
+}
+
+void CsvSeriesWriter::Print(std::ostream& os) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (i > 0) os << ",";
+    os << names_[i];
+  }
+  os << "\n";
+  size_t max_len = 0;
+  for (const auto& col : columns_) max_len = std::max(max_len, col.size());
+  for (size_t r = 0; r < max_len; ++r) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (c > 0) os << ",";
+      if (r < columns_[c].size()) os << columns_[c][r];
+    }
+    os << "\n";
+  }
+}
+
+bool CsvSeriesWriter::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  Print(out);
+  return static_cast<bool>(out);
+}
+
+std::string Sparkline(const std::vector<double>& values, size_t width) {
+  static const char* kLevels[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (values.empty() || width == 0) return "";
+  double lo = values[0], hi = values[0];
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double span = hi - lo;
+  const size_t n = values.size();
+  const size_t cells = std::min(width, n);
+  std::string out;
+  for (size_t c = 0; c < cells; ++c) {
+    const size_t begin = c * n / cells;
+    const size_t end = std::max(begin + 1, (c + 1) * n / cells);
+    double acc = 0;
+    for (size_t i = begin; i < end; ++i) acc += values[i];
+    const double mean = acc / static_cast<double>(end - begin);
+    int level = span <= 0 ? 0
+                          : static_cast<int>(std::floor((mean - lo) / span *
+                                                        7.999));
+    level = std::clamp(level, 0, 7);
+    out += kLevels[level];
+  }
+  return out;
+}
+
+}  // namespace pstore

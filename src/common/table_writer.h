@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// \file table_writer.h
+/// Text output helpers for the benchmark harness: fixed-width tables that
+/// mirror the paper's tables, and CSV series that mirror its figures.
+
+namespace pstore {
+
+/// \brief Accumulates rows and renders them as an aligned text table.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, extra cells are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Fmt(double v, int precision = 2);
+  static std::string Fmt(int64_t v);
+
+  /// Renders the table (header, separator, rows) to the stream.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief Writes named columns of doubles as CSV, one series per column.
+///
+/// Used by figure benches so their data can be re-plotted; the harness
+/// also prints a coarse sparkline so the shape is visible in a terminal.
+class CsvSeriesWriter {
+ public:
+  /// Adds a column. All columns should have equal length; shorter ones
+  /// render empty cells at the tail.
+  void AddColumn(std::string name, std::vector<double> values);
+
+  /// Writes "name1,name2,...\nv11,v21,...\n..." to the stream.
+  void Print(std::ostream& os) const;
+
+  /// Writes the CSV to a file; returns false on I/O failure.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> columns_;
+};
+
+/// Renders a single series as a unicode sparkline of the given width by
+/// bucketing values and mapping each bucket mean onto eight levels.
+std::string Sparkline(const std::vector<double>& values, size_t width = 80);
+
+}  // namespace pstore

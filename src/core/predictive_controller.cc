@@ -1,0 +1,196 @@
+#include "core/predictive_controller.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pstore {
+
+Status ControllerConfig::Validate() const {
+  PSTORE_RETURN_NOT_OK(move_model.Validate());
+  if (q_hat < move_model.q) {
+    return Status::InvalidArgument("q_hat must be >= q");
+  }
+  if (horizon_intervals < 2) {
+    return Status::InvalidArgument("horizon_intervals must be >= 2");
+  }
+  if (prediction_inflation < 0) {
+    return Status::InvalidArgument("prediction_inflation < 0");
+  }
+  if (scale_in_confirmations < 1) {
+    return Status::InvalidArgument("scale_in_confirmations < 1");
+  }
+  if (infeasible_rate_multiplier <= 0) {
+    return Status::InvalidArgument("infeasible_rate_multiplier <= 0");
+  }
+  if (safety_net_watermark <= 0) {
+    return Status::InvalidArgument("safety_net_watermark <= 0");
+  }
+  if (refit_interval < 0) {
+    return Status::InvalidArgument("refit_interval < 0");
+  }
+  return Status::OK();
+}
+
+PredictiveController::PredictiveController(ClusterEngine* engine,
+                                           MigrationExecutor* migrator,
+                                           LoadPredictor* predictor,
+                                           ControllerConfig config)
+    : engine_(engine),
+      migrator_(migrator),
+      predictor_(predictor),
+      config_(config),
+      planner_(MoveModel(config.move_model), engine->max_nodes()),
+      interval_(SecondsToDuration(config.move_model.interval_minutes * 60.0)) {
+  assert(config_.Validate().ok());
+}
+
+void PredictiveController::SeedHistory(std::vector<double> history) {
+  series_ = std::move(history);
+}
+
+void PredictiveController::Start() {
+  running_ = true;
+  last_submitted_ = engine_->txns_submitted();
+  engine_->simulator()->Schedule(interval_, [this]() { Tick(); });
+}
+
+void PredictiveController::AddReservation(CapacityReservation reservation) {
+  reservations_.push_back(reservation);
+}
+
+void PredictiveController::ApplyReservations(int64_t now_interval,
+                                             std::vector<double>* load) {
+  // Plan as if the load needed min_nodes machines: raise the predicted
+  // load to just under that capacity so the planner provisions it.
+  const double q = config_.move_model.q;
+  for (const auto& res : reservations_) {
+    for (size_t h = 0; h < load->size(); ++h) {
+      const int64_t interval = now_interval + static_cast<int64_t>(h);
+      if (interval >= res.begin_interval && interval < res.end_interval) {
+        (*load)[h] = std::max((*load)[h], q * (res.min_nodes - 0.05));
+      }
+    }
+  }
+}
+
+bool PredictiveController::SafetyNet(double current_rate) {
+  if (!config_.enable_reactive_safety_net) return false;
+  const int32_t n = engine_->active_nodes();
+  if (current_rate <= config_.safety_net_watermark * config_.q_hat * n) {
+    return false;
+  }
+  // Measured overload the plan did not prevent: scale out right now,
+  // sized for the observed load plus headroom.
+  ++safety_net_activations_;
+  const int32_t target = std::min(
+      engine_->max_nodes(),
+      std::max(n + 1, planner_.NodesForLoad(current_rate * 1.15)));
+  if (target > n) {
+    Status st = migrator_->StartMove(target, nullptr,
+                                     config_.infeasible_rate_multiplier);
+    if (st.ok()) ++moves_started_;
+  }
+  scale_in_streak_ = 0;
+  return true;
+}
+
+void PredictiveController::Tick() {
+  if (!running_) return;
+  // Measure the load over the interval that just elapsed.
+  const int64_t submitted = engine_->txns_submitted();
+  const double seconds = DurationToSeconds(interval_);
+  const double rate =
+      static_cast<double>(submitted - last_submitted_) / seconds;
+  last_submitted_ = submitted;
+  series_.push_back(rate);
+
+  // Active learning: refit the predictor periodically on everything
+  // measured so far (the paper refits weekly).
+  if (config_.refit_interval > 0 &&
+      ++ticks_since_refit_ >= config_.refit_interval) {
+    ticks_since_refit_ = 0;
+    Status st = predictor_->Fit(series_, config_.horizon_intervals);
+    if (st.ok()) {
+      ++refits_;
+    } else {
+      PSTORE_LOG(Warn) << "online refit failed: " << st.ToString();
+    }
+  }
+
+  // While a reconfiguration is in flight, keep measuring but do not
+  // plan; the cycle restarts when the move completes (Section 6).
+  if (!migrator_->InProgress()) {
+    if (!SafetyNet(rate)) {
+      PlanAndAct(rate);
+    }
+  }
+  engine_->simulator()->Schedule(interval_, [this]() { Tick(); });
+}
+
+void PredictiveController::PlanAndAct(double current_rate) {
+  const int64_t t = static_cast<int64_t>(series_.size()) - 1;
+  auto forecast =
+      predictor_->Forecast(series_, t, config_.horizon_intervals);
+  if (!forecast.ok()) {
+    PSTORE_LOG(Warn) << "forecast failed: " << forecast.status().ToString();
+    return;
+  }
+  std::vector<double> load;
+  load.reserve(static_cast<size_t>(config_.horizon_intervals) + 1);
+  load.push_back(current_rate);
+  for (double v : *forecast) {
+    load.push_back(std::max(0.0, v * (1.0 + config_.prediction_inflation)));
+  }
+  ApplyReservations(t, &load);
+
+  const int32_t n0 = engine_->active_nodes();
+  const Plan plan = planner_.BestMoves(load, n0);
+
+  if (!plan.feasible) {
+    // No feasible plan: scale out toward the needed capacity right away,
+    // at rate R (ride out the spike) or R x 8 (Section 4.3.1).
+    ++infeasible_cycles_;
+    const double peak = *std::max_element(load.begin(), load.end());
+    const int32_t target =
+        std::min(engine_->max_nodes(), planner_.NodesForLoad(peak));
+    if (target > n0) {
+      Status st = migrator_->StartMove(target, nullptr,
+                                       config_.infeasible_rate_multiplier);
+      if (st.ok()) ++moves_started_;
+    }
+    scale_in_streak_ = 0;
+    return;
+  }
+
+  const PlannedMove* first = plan.FirstRealMove();
+  if (first == nullptr) {
+    scale_in_streak_ = 0;
+    return;  // the plan is "hold" across the horizon
+  }
+
+  if (first->to_nodes < n0) {
+    // Scale-in must be confirmed by N consecutive cycles to avoid
+    // spurious latency-inducing flapping (Section 6).
+    ++scale_in_streak_;
+    if (scale_in_streak_ < config_.scale_in_confirmations) return;
+    scale_in_streak_ = 0;
+  } else {
+    scale_in_streak_ = 0;
+  }
+
+  // Receding horizon: execute only the first move, and only when its
+  // planned start has arrived (the planner delays scale-outs as long as
+  // possible; re-planning next tick keeps the start time honest).
+  if (first->start_interval > 0) return;
+  Status st = migrator_->StartMove(first->to_nodes, nullptr);
+  if (st.ok()) {
+    ++moves_started_;
+  } else {
+    PSTORE_LOG(Warn) << "StartMove failed: " << st.ToString();
+  }
+}
+
+}  // namespace pstore

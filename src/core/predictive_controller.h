@@ -1,0 +1,146 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/engine.h"
+#include "common/status.h"
+#include "migration/migration_executor.h"
+#include "planner/dp_planner.h"
+#include "prediction/predictor.h"
+
+/// \file predictive_controller.h
+/// P-Store's Predictive Controller (Section 6): the online loop that
+/// monitors load, calls the Predictor for a forecast, the Planner for a
+/// best series of moves, keeps only the first move (receding-horizon
+/// control), and hands it to the Scheduler/Squall to execute. Includes
+/// the paper's two safeguards: a scale-in must be confirmed by three
+/// consecutive planning cycles, and when no feasible plan exists the
+/// controller falls back to reactive scale-out at rate R or R x 8
+/// (Section 4.3.1's options 2 and 1 respectively).
+
+namespace pstore {
+
+/// Controller configuration. Time quantities are in *virtual* minutes.
+struct ControllerConfig {
+  /// Move model shared with the planner: Q, P, D, interval length.
+  MoveModelConfig move_model;
+
+  /// Q-hat, the per-node rate beyond which latency degrades (txn/s).
+  double q_hat = 350.0;
+
+  /// Forecast horizon, in control intervals. Must cover at least two
+  /// reconfigurations (>= 2D/P, Section 5's discussion of tau).
+  int32_t horizon_intervals = 12;
+
+  /// Forecast inflation ("we inflate all predictions by 15%").
+  double prediction_inflation = 0.15;
+
+  /// Consecutive cycles required to confirm a scale-in.
+  int32_t scale_in_confirmations = 3;
+
+  /// Rate multiplier for the infeasible-plan fallback: 1.0 = keep rate R
+  /// and ride out the spike (the default, option 2); 8.0 = migrate
+  /// eight times faster and accept migration-induced latency (option 1).
+  double infeasible_rate_multiplier = 1.0;
+
+  /// Reactive safety net (the composite strategy of Section 1: combine
+  /// predictive with reactive provisioning). When the *measured* load
+  /// exceeds this fraction of Q-hat * nodes, scale out immediately even
+  /// if the forecast claims everything is fine — this catches spikes
+  /// the predictor missed entirely. Set >= 1.0 along with
+  /// enable_reactive_safety_net=false to disable.
+  bool enable_reactive_safety_net = true;
+  double safety_net_watermark = 0.95;
+
+  /// Online refitting (Section 6's "active learning"): refit the
+  /// predictor on the accumulated measured series every this many
+  /// control intervals (the paper refits weekly). 0 disables.
+  int64_t refit_interval = 0;
+
+  Status Validate() const;
+};
+
+/// A manual capacity reservation (the composite strategy's third leg:
+/// "manual provisioning for rare one-off, but expected, load spikes,
+/// e.g. special promotions"). While [begin_interval, end_interval) is
+/// inside the planning horizon, the controller plans as if the load
+/// required at least `min_nodes` machines, so capacity is in place
+/// before the event regardless of what the predictor says.
+struct CapacityReservation {
+  int64_t begin_interval = 0;  ///< Absolute control-interval index.
+  int64_t end_interval = 0;    ///< Exclusive.
+  int32_t min_nodes = 1;
+};
+
+/// \brief The predict -> plan -> migrate loop.
+class PredictiveController {
+ public:
+  /// \param engine engine to control (not owned)
+  /// \param migrator migration executor bound to the engine (not owned)
+  /// \param predictor fitted load predictor (not owned); its slot length
+  ///        must equal the controller interval
+  PredictiveController(ClusterEngine* engine, MigrationExecutor* migrator,
+                       LoadPredictor* predictor, ControllerConfig config);
+
+  /// Seeds the measured-load series with historical data (txn/s per
+  /// control interval) so the predictor has enough lags from the start.
+  void SeedHistory(std::vector<double> history);
+
+  /// Begins periodic control ticks at the current virtual time.
+  void Start();
+
+  /// Stops issuing new ticks (an in-flight migration still completes).
+  void Stop() { running_ = false; }
+
+  /// Measured + seeded load series (txn/s per interval).
+  const std::vector<double>& load_series() const { return series_; }
+
+  /// Registers a manual capacity reservation (absolute interval indices
+  /// in the controller's measured series). May be called at any time
+  /// before the event enters the horizon.
+  void AddReservation(CapacityReservation reservation);
+
+  /// Number of planning cycles that found no feasible plan.
+  int64_t infeasible_cycles() const { return infeasible_cycles_; }
+
+  /// Number of moves this controller initiated.
+  int64_t moves_started() const { return moves_started_; }
+
+  /// Times the reactive safety net fired (measured overload with no
+  /// reconfiguration in flight).
+  int64_t safety_net_activations() const { return safety_net_activations_; }
+
+  /// Times the predictor was refit online.
+  int64_t refits() const { return refits_; }
+
+  const ControllerConfig& config() const { return config_; }
+
+ private:
+  void Tick();
+  void PlanAndAct(double current_rate);
+  /// Raises forecast entries so reservations are honored.
+  void ApplyReservations(int64_t now_interval, std::vector<double>* load);
+  /// Returns true if it fired (and possibly started a move).
+  bool SafetyNet(double current_rate);
+
+  ClusterEngine* engine_;
+  MigrationExecutor* migrator_;
+  LoadPredictor* predictor_;
+  ControllerConfig config_;
+  DpPlanner planner_;
+  SimDuration interval_;
+  bool running_ = false;
+  std::vector<double> series_;
+  std::vector<CapacityReservation> reservations_;
+  int64_t last_submitted_ = 0;
+  int32_t scale_in_streak_ = 0;
+  int64_t infeasible_cycles_ = 0;
+  int64_t moves_started_ = 0;
+  int64_t safety_net_activations_ = 0;
+  int64_t refits_ = 0;
+  int64_t ticks_since_refit_ = 0;
+};
+
+}  // namespace pstore

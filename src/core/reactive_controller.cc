@@ -1,0 +1,98 @@
+#include "core/reactive_controller.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pstore {
+
+Status ReactiveConfig::Validate() const {
+  if (q <= 0 || q_hat < q) {
+    return Status::InvalidArgument("need 0 < q <= q_hat");
+  }
+  if (high_watermark <= 0 || high_watermark > 1) {
+    return Status::InvalidArgument("high_watermark out of (0, 1]");
+  }
+  if (low_watermark <= 0 || low_watermark >= 1) {
+    return Status::InvalidArgument("low_watermark out of (0, 1)");
+  }
+  if (monitor_period <= 0) {
+    return Status::InvalidArgument("monitor_period <= 0");
+  }
+  if (smoothing <= 0 || smoothing > 1) {
+    return Status::InvalidArgument("smoothing out of (0, 1]");
+  }
+  if (headroom < 0) return Status::InvalidArgument("headroom < 0");
+  if (rate_multiplier <= 0) {
+    return Status::InvalidArgument("rate_multiplier <= 0");
+  }
+  return Status::OK();
+}
+
+ReactiveController::ReactiveController(ClusterEngine* engine,
+                                       MigrationExecutor* migrator,
+                                       ReactiveConfig config)
+    : engine_(engine), migrator_(migrator), config_(config) {
+  assert(config_.Validate().ok());
+}
+
+void ReactiveController::Start() {
+  running_ = true;
+  last_submitted_ = engine_->txns_submitted();
+  engine_->simulator()->Schedule(config_.monitor_period,
+                                 [this]() { Tick(); });
+}
+
+void ReactiveController::Tick() {
+  if (!running_) return;
+  const int64_t submitted = engine_->txns_submitted();
+  const double seconds = DurationToSeconds(config_.monitor_period);
+  const double rate =
+      static_cast<double>(submitted - last_submitted_) / seconds;
+  last_submitted_ = submitted;
+  smoothed_rate_ = config_.smoothing * rate +
+                   (1.0 - config_.smoothing) * smoothed_rate_;
+
+  if (!migrator_->InProgress()) {
+    const int32_t n = engine_->active_nodes();
+    const double cap_hat = config_.q_hat * n;
+    auto size_for = [&](double load) {
+      return std::clamp<int32_t>(
+          static_cast<int32_t>(
+              std::ceil(load * (1.0 + config_.headroom) / config_.q)),
+          1, engine_->max_nodes());
+    };
+
+    if (smoothed_rate_ > config_.high_watermark * cap_hat) {
+      // Overload detected: scale out to fit the observed load.
+      const int32_t target = std::max(n + 1, size_for(smoothed_rate_));
+      if (target > n) {
+        low_since_ = -1;
+        Status st = migrator_->StartMove(target, nullptr,
+                                         config_.rate_multiplier);
+        if (st.ok()) ++scale_outs_;
+      }
+    } else if (n > 1 &&
+               smoothed_rate_ <
+                   config_.low_watermark * config_.q * (n - 1)) {
+      // Load would comfortably fit on a smaller cluster; require it to
+      // stay that way for the hold period before scaling in.
+      const SimTime now = engine_->simulator()->Now();
+      if (low_since_ < 0) low_since_ = now;
+      if (now - low_since_ >= config_.scale_in_hold) {
+        const int32_t target = std::min(n - 1, size_for(smoothed_rate_));
+        Status st = migrator_->StartMove(target, nullptr,
+                                         config_.rate_multiplier);
+        if (st.ok()) ++scale_ins_;
+        low_since_ = -1;
+      }
+    } else {
+      low_since_ = -1;
+    }
+  }
+
+  engine_->simulator()->Schedule(config_.monitor_period,
+                                 [this]() { Tick(); });
+}
+
+}  // namespace pstore

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/engine.h"
+#include "common/status.h"
+#include "migration/migration_executor.h"
+
+/// \file skew_manager.h
+/// E-Store-style skew management, the combination the paper's conclusion
+/// calls for ("Future work should investigate combining these ideas to
+/// build a system which uses predictive modeling for proactive
+/// reconfiguration, but also manages skew").
+///
+/// P-Store assumes the workload is (approximately) uniform across
+/// partitions (Section 4.2); when a hash-bucket becomes hot (a flash
+/// sale on one cart/SKU cluster), that assumption breaks and one
+/// partition saturates while the cluster as a whole has headroom. The
+/// SkewManager runs E-Store's loop at bucket granularity: monitor
+/// per-partition load, and when an imbalance exceeds a threshold,
+/// relocate the hottest buckets of the hottest partitions onto the
+/// coldest partitions. Relocations are small (a bucket at a time) and
+/// charge executor time on both sides, like any Squall transfer.
+
+namespace pstore {
+
+/// Skew-manager knobs.
+struct SkewManagerConfig {
+  /// Monitoring period (E-Store detects imbalance within seconds).
+  SimDuration monitor_period = 10 * kSecond;
+
+  /// Trigger: hottest partition load > threshold * mean partition load.
+  double imbalance_threshold = 1.4;
+
+  /// Minimum accesses per window before acting (noise floor).
+  int64_t min_window_accesses = 200;
+
+  /// Buckets relocated per balancing cycle (keep moves cheap).
+  int32_t max_buckets_per_cycle = 4;
+
+  /// Virtual size of one bucket (kB), for the transfer burst cost.
+  double kb_per_bucket = 1100.0;
+  /// Burst wire rate while a bucket ships (kB/s).
+  double wire_kbps = 10240.0;
+
+  Status Validate() const;
+};
+
+/// \brief Hot-bucket detector and relocator.
+class SkewManager {
+ public:
+  /// \param engine engine to balance (not owned)
+  /// \param migrator used only to avoid fighting an in-flight
+  ///        reconfiguration (not owned; may be null)
+  SkewManager(ClusterEngine* engine, MigrationExecutor* migrator,
+              SkewManagerConfig config);
+
+  void Start();
+  void Stop() { running_ = false; }
+
+  /// Balancing cycles that actually moved buckets.
+  int64_t rebalances() const { return rebalances_; }
+  /// Total hot buckets relocated.
+  int64_t buckets_moved() const { return buckets_moved_; }
+
+  const SkewManagerConfig& config() const { return config_; }
+
+ private:
+  void Tick();
+  /// Detects imbalance; fills the moves to perform. Returns true if the
+  /// threshold was exceeded.
+  bool PlanRelocations(std::vector<BucketMove>* moves) const;
+  void ExecuteRelocation(const BucketMove& move);
+
+  ClusterEngine* engine_;
+  MigrationExecutor* migrator_;
+  SkewManagerConfig config_;
+  bool running_ = false;
+  int64_t rebalances_ = 0;
+  int64_t buckets_moved_ = 0;
+};
+
+}  // namespace pstore

@@ -1,0 +1,307 @@
+#include "migration/migration_executor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pstore {
+
+Status MigrationOptions::Validate() const {
+  if (chunk_kb <= 0) return Status::InvalidArgument("chunk_kb <= 0");
+  if (rate_kbps <= 0) return Status::InvalidArgument("rate_kbps <= 0");
+  if (wire_kbps <= 0) return Status::InvalidArgument("wire_kbps <= 0");
+  if (db_size_mb <= 0) return Status::InvalidArgument("db_size_mb <= 0");
+  if (rate_multiplier <= 0) {
+    return Status::InvalidArgument("rate_multiplier <= 0");
+  }
+  return Status::OK();
+}
+
+/// One partition-pair bucket stream within the current round.
+struct MigrationExecutor::Stream {
+  PartitionId src = -1;
+  PartitionId dst = -1;
+  std::vector<BucketId> buckets;
+  size_t bucket_idx = 0;
+  double remaining_kb = 0;   ///< Virtual kB left in the current bucket.
+  SimTime earliest_next = 0; ///< Rate-limit gate for the next chunk.
+};
+
+struct MigrationExecutor::ActiveMove {
+  MoveSchedule schedule;
+  double kb_per_bucket = 0;
+  double rate_kbps = 0;  ///< Sustained rate including the multiplier.
+  size_t round_idx = 0;
+  int32_t streams_remaining = 0;
+  /// Engine nodes that must be active when round r starts (scale-out).
+  std::vector<int32_t> nodes_needed_before;
+  /// Engine nodes still active after round r completes (scale-in).
+  std::vector<int32_t> nodes_active_after;
+  /// Streams of each round, prebuilt at StartMove.
+  std::vector<std::vector<std::shared_ptr<Stream>>> round_streams;
+};
+
+MigrationExecutor::MigrationExecutor(ClusterEngine* engine,
+                                     MigrationOptions options)
+    : engine_(engine), options_(options) {
+  assert(engine != nullptr);
+  assert(options_.Validate().ok());
+}
+
+MigrationExecutor::~MigrationExecutor() = default;
+
+Status MigrationExecutor::StartMove(int32_t target_nodes,
+                                    std::function<void()> on_complete,
+                                    double rate_multiplier_override) {
+  if (in_progress_) {
+    return Status::FailedPrecondition("a reconfiguration is in flight");
+  }
+  if (target_nodes < 1 || target_nodes > engine_->max_nodes()) {
+    return Status::InvalidArgument("target_nodes out of [1, max_nodes]");
+  }
+  const int32_t b = engine_->active_nodes();
+  const int32_t a = target_nodes;
+  if (b == a) {
+    if (on_complete) engine_->simulator()->Schedule(0, std::move(on_complete));
+    return Status::OK();
+  }
+
+  auto schedule = BuildMoveSchedule(b, a);
+  if (!schedule.ok()) return schedule.status();
+
+  auto move = std::make_unique<ActiveMove>();
+  move->schedule = std::move(schedule).MoveValueUnsafe();
+  move->kb_per_bucket = options_.db_size_mb * 1024.0 /
+                        engine_->config().num_buckets;
+  const double multiplier = rate_multiplier_override > 0
+                                ? rate_multiplier_override
+                                : options_.rate_multiplier;
+  move->rate_kbps = options_.rate_kbps * multiplier;
+
+  const int32_t p = engine_->partitions_per_node();
+  const bool out = move->schedule.scale_out();
+  const int32_t delta = move->schedule.delta();
+
+  // Engine-node mapping for delta-side nodes: scale-out allocates b+d
+  // ascending; scale-in drains a+d from the top (largest d first, which
+  // the reversed schedule guarantees), keeping active nodes a prefix.
+  auto delta_engine_node = [&](int32_t d) { return out ? b + d : a + d; };
+
+  // --- Plan bucket flows -----------------------------------------------
+  // flows[src_partition][counterpart] = buckets shipped on that stream.
+  // Scale-out: counterpart = delta index (0..delta-1).
+  // Scale-in:  counterpart = survivor node index (0..a-1).
+  const int32_t counterparts = out ? delta : a;
+  std::vector<std::vector<std::vector<BucketId>>> flows(
+      static_cast<size_t>(engine_->total_partitions()));
+  const PartitionMap& map = engine_->partition_map();
+
+  auto split_buckets = [&](PartitionId sp, const std::vector<BucketId>& owned,
+                           size_t send_total) {
+    auto& out_flows = flows[static_cast<size_t>(sp)];
+    out_flows.assign(static_cast<size_t>(counterparts), {});
+    // Send the tail of the owned list, sliced round-robin so rounding
+    // surplus spreads across counterparts (offset by sp to decorrelate).
+    const size_t start = owned.size() - send_total;
+    for (size_t i = 0; i < send_total; ++i) {
+      const size_t c =
+          (i + static_cast<size_t>(sp)) % static_cast<size_t>(counterparts);
+      out_flows[c].push_back(owned[start + i]);
+    }
+  };
+
+  if (out) {
+    // Every partition of the original b nodes sends fraction delta/a of
+    // its buckets, split across the delta new nodes.
+    for (PartitionId sp = 0; sp < b * p; ++sp) {
+      const std::vector<BucketId> owned = map.BucketsOfPartition(sp);
+      const size_t send_total = static_cast<size_t>(
+          std::llround(static_cast<double>(owned.size()) * delta / a));
+      split_buckets(sp, owned, send_total);
+    }
+  } else {
+    // Every partition of the departing delta nodes sends *all* its
+    // buckets, split across the a surviving nodes.
+    for (PartitionId sp = a * p; sp < b * p; ++sp) {
+      const std::vector<BucketId> owned = map.BucketsOfPartition(sp);
+      split_buckets(sp, owned, owned.size());
+    }
+  }
+
+  // --- Materialize per-round streams -----------------------------------
+  const auto& rounds = move->schedule.rounds;
+  move->round_streams.resize(rounds.size());
+  move->nodes_needed_before.assign(rounds.size(), b);
+  move->nodes_active_after.assign(rounds.size(), b);
+
+  int32_t max_delta_seen = -1;
+  for (size_t r = 0; r < rounds.size(); ++r) {
+    for (const auto& t : rounds[r].transfers) {
+      max_delta_seen = std::max(max_delta_seen, t.delta_index);
+      const int32_t delta_node = delta_engine_node(t.delta_index);
+      const int32_t small_node = t.small_index;
+      const int32_t sender_node = out ? small_node : delta_node;
+      const int32_t receiver_node = out ? delta_node : small_node;
+      const int32_t counterpart = out ? t.delta_index : t.small_index;
+      for (int32_t k = 0; k < p; ++k) {
+        auto stream = std::make_shared<Stream>();
+        stream->src = sender_node * p + k;
+        stream->dst = receiver_node * p + k;
+        stream->buckets = flows[static_cast<size_t>(stream->src)]
+                               [static_cast<size_t>(counterpart)];
+        move->round_streams[r].push_back(std::move(stream));
+      }
+    }
+    if (out) {
+      move->nodes_needed_before[r] = b + max_delta_seen + 1;
+    }
+  }
+  if (!out) {
+    // After round r, delta nodes whose last transfer has completed are
+    // released; the reversed schedule drains the largest delta index
+    // first, so the surviving set stays a prefix.
+    for (size_t r = 0; r < rounds.size(); ++r) {
+      int32_t max_live_delta = -1;
+      for (size_t r2 = r + 1; r2 < rounds.size(); ++r2) {
+        for (const auto& t : rounds[r2].transfers) {
+          max_live_delta = std::max(max_live_delta, t.delta_index);
+        }
+      }
+      move->nodes_active_after[r] = a + max_live_delta + 1;
+    }
+  }
+
+  move_ = std::move(move);
+  in_progress_ = true;
+  on_complete_ = std::move(on_complete);
+  history_.push_back(MoveRecord{engine_->simulator()->Now(), -1, b, a});
+  StartRound();
+  return Status::OK();
+}
+
+void MigrationExecutor::StartRound() {
+  ActiveMove& move = *move_;
+  if (move.round_idx >= move.round_streams.size()) {
+    FinishMove();
+    return;
+  }
+  if (move.schedule.scale_out()) {
+    Status st = engine_->ActivateNodes(
+        move.nodes_needed_before[move.round_idx]);
+    assert(st.ok());
+    (void)st;
+  }
+  auto& streams = move.round_streams[move.round_idx];
+  move.streams_remaining = static_cast<int32_t>(streams.size());
+  if (streams.empty()) {
+    FinishRound();
+    return;
+  }
+  for (auto& stream : streams) StartStream(stream);
+}
+
+void MigrationExecutor::StartStream(const std::shared_ptr<Stream>& stream) {
+  if (stream->buckets.empty()) {
+    // Nothing to ship on this partition pair.
+    if (--move_->streams_remaining == 0) FinishRound();
+    return;
+  }
+  stream->bucket_idx = 0;
+  stream->remaining_kb = move_->kb_per_bucket;
+  stream->earliest_next = engine_->simulator()->Now();
+  NextChunk(stream);
+}
+
+void MigrationExecutor::NextChunk(const std::shared_ptr<Stream>& stream) {
+  ActiveMove& move = *move_;
+  Simulator* sim = engine_->simulator();
+
+  const double chunk_kb = std::min(options_.chunk_kb, stream->remaining_kb);
+  const SimDuration busy =
+      SecondsToDuration(chunk_kb / options_.wire_kbps);
+  const SimDuration period =
+      SecondsToDuration(chunk_kb / move.rate_kbps);
+  const SimTime gate_open = stream->earliest_next;
+  const SimDuration gate_delay = std::max<SimDuration>(
+      0, gate_open - sim->Now());
+
+  // After the rate-limit gate opens, occupy both partition executors for
+  // the burst; the chunk lands when the later of the two finishes.
+  sim->Schedule(gate_delay, [this, stream, busy, period, chunk_kb]() {
+    Simulator* sim = engine_->simulator();
+    stream->earliest_next = sim->Now() + period;
+    auto joins = std::make_shared<int32_t>(2);
+    auto on_side_done = [this, stream, joins, chunk_kb](SimTime, SimTime) {
+      if (--*joins > 0) return;
+      // Chunk landed on both sides.
+      total_kb_moved_ += chunk_kb;
+      stream->remaining_kb -= chunk_kb;
+      if (stream->remaining_kb <= 1e-9) {
+        // Bucket complete: flip ownership atomically. A concurrent
+        // skew-manager relocation may have already moved this bucket;
+        // in that case the transfer is simply wasted work.
+        const BucketId bucket = stream->buckets[stream->bucket_idx];
+        Status st = engine_->ApplyBucketMove(
+            BucketMove{bucket, stream->src, stream->dst});
+        if (!st.ok()) {
+          PSTORE_LOG(Info) << "bucket " << bucket
+                           << " relocated concurrently: " << st.ToString();
+        }
+        ++stream->bucket_idx;
+        if (stream->bucket_idx >= stream->buckets.size()) {
+          // Stream complete.
+          if (--move_->streams_remaining == 0) FinishRound();
+          return;
+        }
+        stream->remaining_kb = move_->kb_per_bucket;
+      }
+      NextChunk(stream);
+    };
+    engine_->executor(stream->src)->Enqueue(busy, on_side_done);
+    engine_->executor(stream->dst)->Enqueue(busy, on_side_done);
+  });
+}
+
+void MigrationExecutor::FinishRound() {
+  ActiveMove& move = *move_;
+  if (!move.schedule.scale_out()) {
+    // If a concurrent relocation parked a stray bucket on a drained
+    // node, evacuate it before releasing the node.
+    const int32_t keep = move.nodes_active_after[move.round_idx];
+    const int32_t p = engine_->partitions_per_node();
+    const PartitionMap& map = engine_->partition_map();
+    for (PartitionId src = keep * p;
+         src < engine_->active_nodes() * p; ++src) {
+      for (BucketId bucket : map.BucketsOfPartition(src)) {
+        const PartitionId dst = src % p;  // same index on node 0
+        Status st =
+            engine_->ApplyBucketMove(BucketMove{bucket, src, dst});
+        if (!st.ok()) {
+          PSTORE_LOG(Warn) << "stray-bucket evacuation failed: "
+                           << st.ToString();
+        }
+      }
+    }
+    Status st = engine_->DeactivateNodes(keep);
+    if (!st.ok()) {
+      PSTORE_LOG(Warn) << "node release failed: " << st.ToString();
+    }
+  }
+  ++move.round_idx;
+  StartRound();
+}
+
+void MigrationExecutor::FinishMove() {
+  history_.back().end = engine_->simulator()->Now();
+  move_.reset();
+  in_progress_ = false;
+  if (on_complete_) {
+    auto cb = std::move(on_complete_);
+    on_complete_ = nullptr;
+    cb();
+  }
+}
+
+}  // namespace pstore

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "planner/move_model.h"
+
+/// \file dp_planner.h
+/// P-Store's predictive elasticity algorithm (Section 4.3): a dynamic
+/// program over (time interval, machine count) states that finds the
+/// cheapest feasible sequence of moves — Algorithms 1 (best-moves),
+/// 2 (cost) and 3 (sub-cost) of the paper.
+
+namespace pstore {
+
+/// One planned reconfiguration. A move with from_nodes == to_nodes is
+/// the "do nothing" move and spans exactly one interval.
+struct PlannedMove {
+  int32_t start_interval = 0;  ///< Interval at which migration begins.
+  int32_t end_interval = 0;    ///< Interval at which the move completes.
+  int32_t from_nodes = 0;      ///< B: machines before the move.
+  int32_t to_nodes = 0;        ///< A: machines after the move.
+
+  bool IsNoop() const { return from_nodes == to_nodes; }
+  std::string ToString() const;
+
+  bool operator==(const PlannedMove& other) const {
+    return start_interval == other.start_interval &&
+           end_interval == other.end_interval &&
+           from_nodes == other.from_nodes && to_nodes == other.to_nodes;
+  }
+};
+
+/// Result of planning: the move sequence plus its total cost in
+/// machine-intervals (Equation 1 over the horizon).
+struct Plan {
+  std::vector<PlannedMove> moves;  ///< Contiguous, ordered by start.
+  double total_cost = 0.0;
+  bool feasible = false;
+
+  /// Machines at the end of the horizon (N at time T); 0 if infeasible.
+  int32_t final_nodes() const {
+    return moves.empty() ? 0 : moves.back().to_nodes;
+  }
+
+  /// The first non-noop move, or nullptr if the plan only idles. The
+  /// Predictive Controller executes just this move (receding horizon).
+  const PlannedMove* FirstRealMove() const;
+
+  std::string ToString() const;
+};
+
+/// \brief The dynamic-programming planner.
+///
+/// Given a predicted load series L[0..T] (L[0] is the current load) and
+/// the current machine count N0, finds a sequence of moves that (a) never
+/// lets predicted load exceed (effective) capacity and (b) minimizes
+/// total machine-intervals, ending with as few machines as possible.
+class DpPlanner {
+ public:
+  /// \param model the move model (shared parameters Q, P, D, interval)
+  /// \param max_nodes hard cap on cluster size (0 = derived from load)
+  explicit DpPlanner(MoveModel model, int32_t max_nodes = 0);
+
+  /// Algorithm 1 (best-moves). `load` must have at least 2 entries
+  /// (now plus one future interval); entry t is the predicted load at
+  /// interval t. Returns an infeasible Plan when no feasible sequence
+  /// exists from N0 — the controller then falls back to reactive
+  /// scale-out (Section 4.3.1's options 1 and 2).
+  Plan BestMoves(const std::vector<double>& load, int32_t n0) const;
+
+  /// Convenience: the number of machines whose *steady* capacity covers
+  /// `load` (ceil(load / Q)), at least 1.
+  int32_t NodesForLoad(double load) const;
+
+  const MoveModel& model() const { return model_; }
+
+ private:
+  struct MemoEntry {
+    double cost = std::numeric_limits<double>::infinity();
+    int32_t prev_time = -1;
+    int32_t prev_nodes = -1;
+    bool exists = false;
+  };
+
+  // Algorithm 2: min cost of a feasible series ending with `a` nodes at
+  // interval `t`.
+  double Cost(int32_t t, int32_t a, const std::vector<double>& load,
+              int32_t n0, int32_t z, std::vector<MemoEntry>* memo) const;
+
+  // Algorithm 3: min cost ending at `t` with the last move being b -> a.
+  double SubCost(int32_t t, int32_t b, int32_t a,
+                 const std::vector<double>& load, int32_t n0, int32_t z,
+                 std::vector<MemoEntry>* memo) const;
+
+  MoveModel model_;
+  int32_t max_nodes_;
+};
+
+}  // namespace pstore

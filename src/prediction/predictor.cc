@@ -1,0 +1,59 @@
+#include "prediction/predictor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pstore {
+
+Result<std::vector<double>> OraclePredictor::Forecast(
+    const std::vector<double>& series, int64_t t, int32_t horizon) const {
+  if (t < 0 || horizon < 1) {
+    return Status::InvalidArgument("Oracle: bad t or horizon");
+  }
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(horizon));
+  for (int32_t h = 1; h <= horizon; ++h) {
+    const int64_t idx = t + h;
+    // Beyond the end of the trace, hold the last known value.
+    const double v = idx < static_cast<int64_t>(series.size())
+                         ? series[static_cast<size_t>(idx)]
+                         : series.back();
+    out.push_back(v * (1.0 + inflation_));
+  }
+  return out;
+}
+
+Result<std::vector<double>> InflatingPredictor::Forecast(
+    const std::vector<double>& series, int64_t t, int32_t horizon) const {
+  auto res = inner_->Forecast(series, t, horizon);
+  if (!res.ok()) return res.status();
+  std::vector<double> out = std::move(res).MoveValueUnsafe();
+  for (double& v : out) v *= (1.0 + inflation_);
+  return out;
+}
+
+Result<double> EvaluateMre(const LoadPredictor& predictor,
+                           const std::vector<double>& series, int64_t begin,
+                           int64_t end, int32_t tau) {
+  if (tau < 1) return Status::InvalidArgument("tau must be >= 1");
+  begin = std::max(begin, predictor.MinHistory());
+  end = std::min(end, static_cast<int64_t>(series.size()));
+  if (begin >= end - tau) {
+    return Status::InvalidArgument("empty evaluation range");
+  }
+  double total = 0;
+  int64_t used = 0;
+  for (int64_t t = begin; t + tau < end; ++t) {
+    auto fc = predictor.ForecastAt(series, t, tau);
+    if (!fc.ok()) return fc.status();
+    const double predicted = *fc;
+    const double actual = series[static_cast<size_t>(t + tau)];
+    if (std::fabs(actual) < 1e-9) continue;
+    total += std::fabs(predicted - actual) / std::fabs(actual);
+    ++used;
+  }
+  if (used == 0) return Status::FailedPrecondition("no usable points");
+  return total / static_cast<double>(used);
+}
+
+}  // namespace pstore

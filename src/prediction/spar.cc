@@ -1,0 +1,164 @@
+#include "prediction/spar.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/linalg.h"
+
+namespace pstore {
+
+Status SparConfig::Validate() const {
+  if (period < 2) return Status::InvalidArgument("period must be >= 2");
+  if (num_periods < 1) {
+    return Status::InvalidArgument("num_periods must be >= 1");
+  }
+  if (num_recent < 0) {
+    return Status::InvalidArgument("num_recent must be >= 0");
+  }
+  return Status::OK();
+}
+
+SparModel::SparModel(SparConfig config, int32_t tau, std::vector<double> a,
+                     std::vector<double> b)
+    : config_(config), tau_(tau), a_(std::move(a)), b_(std::move(b)) {}
+
+int64_t SparModel::MinHistory() const {
+  return static_cast<int64_t>(config_.num_periods) * config_.period +
+         config_.num_recent;
+}
+
+namespace {
+
+/// Fills one feature row for predicting y(t + tau) from series[0..t].
+/// Layout: [y(t+tau-kT) for k=1..n] ++ [Dy(t-j) for j=1..m].
+void FillFeatures(const std::vector<double>& y, int64_t t, int32_t tau,
+                  const SparConfig& cfg, double* out) {
+  const int64_t period = cfg.period;
+  const int32_t n = cfg.num_periods;
+  const int32_t m = cfg.num_recent;
+  for (int32_t k = 1; k <= n; ++k) {
+    out[k - 1] = y[static_cast<size_t>(t + tau - k * period)];
+  }
+  for (int32_t j = 1; j <= m; ++j) {
+    double periodic_mean = 0;
+    for (int32_t k = 1; k <= n; ++k) {
+      periodic_mean += y[static_cast<size_t>(t - j - k * period)];
+    }
+    periodic_mean /= n;
+    out[n + j - 1] = y[static_cast<size_t>(t - j)] - periodic_mean;
+  }
+}
+
+}  // namespace
+
+Result<SparModel> SparModel::Fit(const std::vector<double>& train,
+                                 int32_t tau, const SparConfig& config) {
+  PSTORE_RETURN_NOT_OK(config.Validate());
+  if (tau < 1 || tau >= config.period) {
+    return Status::InvalidArgument(
+        "tau must be in [1, period); got " + std::to_string(tau));
+  }
+  const int32_t n = config.num_periods;
+  const int32_t m = config.num_recent;
+  const int64_t t_min =
+      static_cast<int64_t>(n) * config.period + m;  // = MinHistory
+  const int64_t t_max = static_cast<int64_t>(train.size()) - 1 - tau;
+  const int64_t rows = t_max - t_min + 1;
+  if (rows < n + m + 1) {
+    return Status::InvalidArgument(
+        "not enough training data: need > " +
+        std::to_string(t_min + tau + n + m) + " slots, have " +
+        std::to_string(train.size()));
+  }
+
+  Matrix design(static_cast<size_t>(rows), static_cast<size_t>(n + m));
+  std::vector<double> target(static_cast<size_t>(rows));
+  std::vector<double> feature_row(static_cast<size_t>(n + m));
+  for (int64_t t = t_min; t <= t_max; ++t) {
+    FillFeatures(train, t, tau, config, feature_row.data());
+    const size_t r = static_cast<size_t>(t - t_min);
+    for (size_t c = 0; c < feature_row.size(); ++c) {
+      design(r, c) = feature_row[c];
+    }
+    target[r] = train[static_cast<size_t>(t + tau)];
+  }
+
+  auto solved = LeastSquares(design, target, config.ridge);
+  if (!solved.ok()) return solved.status();
+  std::vector<double> coeffs = std::move(solved).MoveValueUnsafe();
+  std::vector<double> a(coeffs.begin(), coeffs.begin() + n);
+  std::vector<double> b(coeffs.begin() + n, coeffs.end());
+  return SparModel(config, tau, std::move(a), std::move(b));
+}
+
+double SparModel::Predict(const std::vector<double>& series, int64_t t) const {
+  assert(t >= MinHistory());
+  assert(t < static_cast<int64_t>(series.size()));
+  const int32_t n = config_.num_periods;
+  const int32_t m = config_.num_recent;
+  std::vector<double> features(static_cast<size_t>(n + m));
+  FillFeatures(series, t, tau_, config_, features.data());
+  double acc = 0;
+  for (int32_t k = 0; k < n; ++k) acc += a_[static_cast<size_t>(k)] *
+                                         features[static_cast<size_t>(k)];
+  for (int32_t j = 0; j < m; ++j) {
+    acc += b_[static_cast<size_t>(j)] * features[static_cast<size_t>(n + j)];
+  }
+  return acc;
+}
+
+Status SparPredictor::Fit(const std::vector<double>& train,
+                          int32_t max_horizon) {
+  if (max_horizon < 1) {
+    return Status::InvalidArgument("max_horizon must be >= 1");
+  }
+  std::vector<SparModel> models;
+  models.reserve(static_cast<size_t>(max_horizon));
+  for (int32_t tau = 1; tau <= max_horizon; ++tau) {
+    auto model = SparModel::Fit(train, tau, config_);
+    if (!model.ok()) return model.status();
+    models.push_back(std::move(model).MoveValueUnsafe());
+  }
+  models_ = std::move(models);
+  return Status::OK();
+}
+
+int64_t SparPredictor::MinHistory() const {
+  return static_cast<int64_t>(config_.num_periods) * config_.period +
+         config_.num_recent;
+}
+
+Result<std::vector<double>> SparPredictor::Forecast(
+    const std::vector<double>& series, int64_t t, int32_t horizon) const {
+  if (models_.empty()) {
+    return Status::FailedPrecondition("SparPredictor: Fit not called");
+  }
+  if (horizon < 1 || horizon > static_cast<int32_t>(models_.size())) {
+    return Status::InvalidArgument("horizon out of fitted range");
+  }
+  if (t < MinHistory() || t >= static_cast<int64_t>(series.size())) {
+    return Status::InvalidArgument("not enough history at t");
+  }
+  std::vector<double> out(static_cast<size_t>(horizon));
+  for (int32_t h = 1; h <= horizon; ++h) {
+    out[static_cast<size_t>(h - 1)] =
+        models_[static_cast<size_t>(h - 1)].Predict(series, t);
+  }
+  return out;
+}
+
+Result<double> SparPredictor::ForecastAt(const std::vector<double>& series,
+                                         int64_t t, int32_t tau) const {
+  if (models_.empty()) {
+    return Status::FailedPrecondition("SparPredictor: Fit not called");
+  }
+  if (tau < 1 || tau > static_cast<int32_t>(models_.size())) {
+    return Status::InvalidArgument("tau out of fitted range");
+  }
+  if (t < MinHistory() || t >= static_cast<int64_t>(series.size())) {
+    return Status::InvalidArgument("not enough history at t");
+  }
+  return models_[static_cast<size_t>(tau - 1)].Predict(series, t);
+}
+
+}  // namespace pstore

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "prediction/predictor.h"
+
+/// \file spar.h
+/// Sparse Periodic Auto-Regression (SPAR), the paper's default load
+/// model (Section 5, Equation 8):
+///
+///   y(t+tau) = sum_{k=1..n} a_k * y(t + tau - k*T)
+///            + sum_{j=1..m} b_j * Dy(t - j)
+///
+///   Dy(t-j)  = y(t-j) - (1/n) * sum_{k=1..n} y(t - j - k*T)
+///
+/// where T is the seasonal period in slots (1440 for per-minute data),
+/// n the number of previous periods (7 = the previous week) and m the
+/// number of recent measurements (30 minutes). Coefficients a_k, b_j are
+/// fit by linear least squares on the training series, one coefficient
+/// set per forecast distance tau.
+
+namespace pstore {
+
+/// SPAR hyper-parameters. Defaults are the paper's B2W settings.
+struct SparConfig {
+  int32_t period = 1440;     ///< T: slots per seasonal period.
+  int32_t num_periods = 7;   ///< n: seasonal lags (previous periods).
+  int32_t num_recent = 30;   ///< m: recent-offset lags.
+  double ridge = 1e-6;       ///< Regularization passed to LeastSquares.
+
+  Status Validate() const;
+};
+
+/// \brief Coefficients for a single forecast distance tau.
+class SparModel {
+ public:
+  /// Fits a_k, b_j on `train` for forecast distance `tau` slots.
+  /// Requires enough history: train.size() > n*T + max(m, tau) + tau.
+  static Result<SparModel> Fit(const std::vector<double>& train, int32_t tau,
+                               const SparConfig& config);
+
+  /// Predicts y(t + tau) from series[0..t]. Precondition:
+  /// t >= MinHistory() and t < series.size().
+  double Predict(const std::vector<double>& series, int64_t t) const;
+
+  /// Smallest t usable by Predict: n*T + m.
+  int64_t MinHistory() const;
+
+  int32_t tau() const { return tau_; }
+  const SparConfig& config() const { return config_; }
+
+  /// a_1..a_n — weights on the same slot in previous periods.
+  const std::vector<double>& periodic_coefficients() const { return a_; }
+  /// b_1..b_m — weights on recent offsets from the periodic mean.
+  const std::vector<double>& recent_coefficients() const { return b_; }
+
+ private:
+  SparModel(SparConfig config, int32_t tau, std::vector<double> a,
+            std::vector<double> b);
+
+  SparConfig config_;
+  int32_t tau_ = 1;
+  std::vector<double> a_;
+  std::vector<double> b_;
+};
+
+/// \brief LoadPredictor backed by one SparModel per forecast distance.
+///
+/// Fit() trains models for tau = 1..max_horizon; Forecast() evaluates
+/// each. This is the "Predictor" component of Section 6.
+class SparPredictor : public LoadPredictor {
+ public:
+  explicit SparPredictor(SparConfig config = SparConfig{})
+      : config_(config) {}
+
+  std::string name() const override { return "SPAR"; }
+  Status Fit(const std::vector<double>& train, int32_t max_horizon) override;
+  int64_t MinHistory() const override;
+  Result<std::vector<double>> Forecast(const std::vector<double>& series,
+                                       int64_t t,
+                                       int32_t horizon) const override;
+  Result<double> ForecastAt(const std::vector<double>& series, int64_t t,
+                            int32_t tau) const override;
+
+ private:
+  SparConfig config_;
+  std::vector<SparModel> models_;  // models_[i] forecasts tau = i + 1
+};
+
+}  // namespace pstore

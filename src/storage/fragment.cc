@@ -1,0 +1,184 @@
+#include "storage/fragment.h"
+
+#include <cassert>
+
+namespace pstore {
+
+StorageFragment::StorageFragment(const Catalog* catalog, int32_t num_buckets)
+    : catalog_(catalog), num_buckets_(num_buckets) {
+  assert(catalog != nullptr);
+  assert(num_buckets > 0);
+  tables_.resize(catalog->num_tables());
+}
+
+StorageFragment::TableStore& StorageFragment::StoreFor(TableId table) {
+  if (static_cast<size_t>(table) >= tables_.size()) {
+    tables_.resize(static_cast<size_t>(table) + 1);
+  }
+  return tables_[static_cast<size_t>(table)];
+}
+
+const StorageFragment::TableStore* StorageFragment::StoreFor(
+    TableId table) const {
+  if (table < 0 || static_cast<size_t>(table) >= tables_.size()) {
+    return nullptr;
+  }
+  return &tables_[static_cast<size_t>(table)];
+}
+
+Status StorageFragment::Insert(TableId table, const Row& row) {
+  const Schema& schema = catalog_->GetSchema(table);
+  PSTORE_RETURN_NOT_OK(schema.Validate(row));
+  const int64_t key = schema.PartitionKey(row);
+  const BucketId bucket = KeyToBucket(key, num_buckets_);
+  TableStore& store = StoreFor(table);
+  BucketRows& rows = store.buckets[bucket];
+  auto [it, inserted] = rows.emplace(key, row);
+  if (!inserted) {
+    return Status::AlreadyExists("key " + std::to_string(key) +
+                                 " already exists in table '" +
+                                 schema.name() + "'");
+  }
+  const int64_t bytes = static_cast<int64_t>(it->second.ByteSize());
+  bucket_bytes_[bucket] += bytes;
+  total_bytes_ += bytes;
+  ++store.row_count;
+  return Status::OK();
+}
+
+Status StorageFragment::Upsert(TableId table, const Row& row) {
+  const Schema& schema = catalog_->GetSchema(table);
+  PSTORE_RETURN_NOT_OK(schema.Validate(row));
+  const int64_t key = schema.PartitionKey(row);
+  const BucketId bucket = KeyToBucket(key, num_buckets_);
+  TableStore& store = StoreFor(table);
+  BucketRows& rows = store.buckets[bucket];
+  auto it = rows.find(key);
+  if (it == rows.end()) {
+    auto [new_it, ok] = rows.emplace(key, row);
+    (void)ok;
+    const int64_t bytes = static_cast<int64_t>(new_it->second.ByteSize());
+    bucket_bytes_[bucket] += bytes;
+    total_bytes_ += bytes;
+    ++store.row_count;
+    return Status::OK();
+  }
+  const int64_t old_bytes = static_cast<int64_t>(it->second.ByteSize());
+  it->second = row;
+  const int64_t new_bytes = static_cast<int64_t>(it->second.ByteSize());
+  bucket_bytes_[bucket] += new_bytes - old_bytes;
+  total_bytes_ += new_bytes - old_bytes;
+  return Status::OK();
+}
+
+Result<Row> StorageFragment::Get(TableId table, int64_t key) const {
+  const TableStore* store = StoreFor(table);
+  if (store != nullptr) {
+    const BucketId bucket = KeyToBucket(key, num_buckets_);
+    auto bit = store->buckets.find(bucket);
+    if (bit != store->buckets.end()) {
+      auto rit = bit->second.find(key);
+      if (rit != bit->second.end()) return rit->second;
+    }
+  }
+  return Status::NotFound("key " + std::to_string(key) + " not found");
+}
+
+bool StorageFragment::Contains(TableId table, int64_t key) const {
+  const TableStore* store = StoreFor(table);
+  if (store == nullptr) return false;
+  const BucketId bucket = KeyToBucket(key, num_buckets_);
+  auto bit = store->buckets.find(bucket);
+  return bit != store->buckets.end() && bit->second.count(key) > 0;
+}
+
+Status StorageFragment::Delete(TableId table, int64_t key) {
+  TableStore& store = StoreFor(table);
+  const BucketId bucket = KeyToBucket(key, num_buckets_);
+  auto bit = store.buckets.find(bucket);
+  if (bit == store.buckets.end()) {
+    return Status::NotFound("key " + std::to_string(key) + " not found");
+  }
+  auto rit = bit->second.find(key);
+  if (rit == bit->second.end()) {
+    return Status::NotFound("key " + std::to_string(key) + " not found");
+  }
+  const int64_t bytes = static_cast<int64_t>(rit->second.ByteSize());
+  bit->second.erase(rit);
+  if (bit->second.empty()) store.buckets.erase(bit);
+  bucket_bytes_[bucket] -= bytes;
+  total_bytes_ -= bytes;
+  --store.row_count;
+  return Status::OK();
+}
+
+int64_t StorageFragment::RowCount(TableId table) const {
+  const TableStore* store = StoreFor(table);
+  return store == nullptr ? 0 : store->row_count;
+}
+
+int64_t StorageFragment::TotalRowCount() const {
+  int64_t total = 0;
+  for (const auto& t : tables_) total += t.row_count;
+  return total;
+}
+
+int64_t StorageFragment::BucketBytes(BucketId bucket) const {
+  auto it = bucket_bytes_.find(bucket);
+  return it == bucket_bytes_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<TableId, BucketRows>> StorageFragment::ExtractBucket(
+    BucketId bucket) {
+  std::vector<std::pair<TableId, BucketRows>> out;
+  for (size_t t = 0; t < tables_.size(); ++t) {
+    auto bit = tables_[t].buckets.find(bucket);
+    if (bit == tables_[t].buckets.end()) continue;
+    tables_[t].row_count -= static_cast<int64_t>(bit->second.size());
+    out.emplace_back(static_cast<TableId>(t), std::move(bit->second));
+    tables_[t].buckets.erase(bit);
+  }
+  auto bytes_it = bucket_bytes_.find(bucket);
+  if (bytes_it != bucket_bytes_.end()) {
+    total_bytes_ -= bytes_it->second;
+    bucket_bytes_.erase(bytes_it);
+  }
+  return out;
+}
+
+Status StorageFragment::InstallBucket(
+    BucketId bucket, std::vector<std::pair<TableId, BucketRows>> data) {
+  int64_t bytes = 0;
+  for (auto& [table, rows] : data) {
+    TableStore& store = StoreFor(table);
+    BucketRows& dest = store.buckets[bucket];
+    for (auto& [key, row] : rows) {
+      bytes += static_cast<int64_t>(row.ByteSize());
+      auto [it, inserted] = dest.emplace(key, std::move(row));
+      (void)it;
+      if (!inserted) {
+        return Status::Internal("bucket " + std::to_string(bucket) +
+                                " key " + std::to_string(key) +
+                                " already present at destination");
+      }
+      ++store.row_count;
+    }
+  }
+  bucket_bytes_[bucket] += bytes;
+  total_bytes_ += bytes;
+  return Status::OK();
+}
+
+std::vector<int64_t> StorageFragment::BucketKeys(TableId table,
+                                                 BucketId bucket) const {
+  std::vector<int64_t> keys;
+  const TableStore* store = StoreFor(table);
+  if (store == nullptr) return keys;
+  auto bit = store->buckets.find(bucket);
+  if (bit == store->buckets.end()) return keys;
+  keys.reserve(bit->second.size());
+  for (const auto& [key, row] : bit->second) keys.push_back(key);
+  return keys;
+}
+
+}  // namespace pstore

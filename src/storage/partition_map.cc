@@ -1,0 +1,107 @@
+#include "storage/partition_map.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <sstream>
+
+namespace pstore {
+
+PartitionMap::PartitionMap(int32_t num_buckets, int32_t num_partitions)
+    : assignment_(static_cast<size_t>(num_buckets)),
+      num_partitions_(num_partitions) {
+  assert(num_buckets > 0);
+  assert(num_partitions > 0);
+  for (int32_t b = 0; b < num_buckets; ++b) {
+    assignment_[static_cast<size_t>(b)] = b % num_partitions;
+  }
+}
+
+std::vector<BucketId> PartitionMap::BucketsOfPartition(PartitionId p) const {
+  std::vector<BucketId> out;
+  for (size_t b = 0; b < assignment_.size(); ++b) {
+    if (assignment_[b] == p) out.push_back(static_cast<BucketId>(b));
+  }
+  return out;
+}
+
+std::vector<int32_t> PartitionMap::BucketCounts() const {
+  PartitionId max_p = 0;
+  for (PartitionId p : assignment_) max_p = std::max(max_p, p);
+  std::vector<int32_t> counts(static_cast<size_t>(max_p) + 1, 0);
+  for (PartitionId p : assignment_) ++counts[static_cast<size_t>(p)];
+  return counts;
+}
+
+void PartitionMap::RecomputePartitionCount() {
+  PartitionId max_p = 0;
+  for (PartitionId p : assignment_) max_p = std::max(max_p, p);
+  num_partitions_ = max_p + 1;
+}
+
+PartitionMap PartitionMap::Rebalanced(int32_t target_partitions) const {
+  assert(target_partitions > 0);
+  const int32_t nb = num_buckets();
+  PartitionMap out = *this;
+  out.num_partitions_ = target_partitions;
+
+  // Target share per partition: base or base+1 buckets, with the first
+  // `extra` partitions taking the larger share.
+  const int32_t base = nb / target_partitions;
+  const int32_t extra = nb % target_partitions;
+  auto quota = [&](PartitionId p) {
+    return base + (p < extra ? 1 : 0);
+  };
+
+  // Count current ownership restricted to surviving partitions.
+  std::vector<int32_t> have(static_cast<size_t>(target_partitions), 0);
+  std::vector<BucketId> to_place;
+  for (int32_t b = 0; b < nb; ++b) {
+    const PartitionId p = assignment_[static_cast<size_t>(b)];
+    if (p < target_partitions && have[static_cast<size_t>(p)] < quota(p)) {
+      ++have[static_cast<size_t>(p)];
+      out.assignment_[static_cast<size_t>(b)] = p;
+    } else {
+      to_place.push_back(b);
+    }
+  }
+  // Hand surplus buckets to partitions below quota, lowest id first.
+  PartitionId next = 0;
+  for (BucketId b : to_place) {
+    while (have[static_cast<size_t>(next)] >= quota(next)) {
+      ++next;
+      assert(next < target_partitions);
+    }
+    out.assignment_[static_cast<size_t>(b)] = next;
+    ++have[static_cast<size_t>(next)];
+  }
+  return out;
+}
+
+std::vector<BucketMove> PartitionMap::DiffTo(const PartitionMap& target) const {
+  assert(num_buckets() == target.num_buckets());
+  std::vector<BucketMove> moves;
+  for (int32_t b = 0; b < num_buckets(); ++b) {
+    const PartitionId from = assignment_[static_cast<size_t>(b)];
+    const PartitionId to = target.assignment_[static_cast<size_t>(b)];
+    if (from != to) moves.push_back(BucketMove{b, from, to});
+  }
+  return moves;
+}
+
+std::string PartitionMap::ToString() const {
+  std::map<PartitionId, int32_t> counts;
+  for (PartitionId p : assignment_) ++counts[p];
+  std::ostringstream os;
+  os << "PartitionMap{v" << version_ << ", " << num_buckets() << " buckets: ";
+  bool first = true;
+  for (const auto& [p, c] : counts) {
+    if (!first) os << ", ";
+    first = false;
+    os << "p" << p << "=" << c;
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace pstore

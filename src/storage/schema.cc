@@ -1,0 +1,77 @@
+#include "storage/schema.h"
+
+#include <cassert>
+
+namespace pstore {
+
+Schema::Schema(std::string name, std::vector<ColumnDef> columns,
+               size_t partition_key_column)
+    : name_(std::move(name)),
+      columns_(std::move(columns)),
+      partition_key_column_(partition_key_column) {
+  assert(partition_key_column_ < columns_.size());
+  assert(columns_[partition_key_column_].type == ColumnType::kInt64);
+}
+
+int Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Schema::Validate(const Row& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument("row has " + std::to_string(row.size()) +
+                                   " columns, schema '" + name_ + "' has " +
+                                   std::to_string(columns_.size()));
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const Value& v = row.at(i);
+    if (v.is_null()) {
+      if (i == partition_key_column_) {
+        return Status::InvalidArgument("partitioning key column '" +
+                                       columns_[i].name + "' is NULL");
+      }
+      continue;
+    }
+    bool ok = false;
+    switch (columns_[i].type) {
+      case ColumnType::kInt64:
+        ok = v.is_int64();
+        break;
+      case ColumnType::kDouble:
+        ok = v.is_double();
+        break;
+      case ColumnType::kString:
+        ok = v.is_string();
+        break;
+    }
+    if (!ok) {
+      return Status::InvalidArgument(
+          "column '" + columns_[i].name + "' expects " +
+          ColumnTypeToString(columns_[i].type) + ", got " + v.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+Result<TableId> Catalog::AddTable(Schema schema) {
+  for (const auto& existing : schemas_) {
+    if (existing.name() == schema.name()) {
+      return Status::AlreadyExists("table '" + schema.name() +
+                                   "' already exists");
+    }
+  }
+  schemas_.push_back(std::move(schema));
+  return static_cast<TableId>(schemas_.size() - 1);
+}
+
+Result<TableId> Catalog::TableIdByName(const std::string& name) const {
+  for (size_t i = 0; i < schemas_.size(); ++i) {
+    if (schemas_[i].name() == name) return static_cast<TableId>(i);
+  }
+  return Status::NotFound("table '" + name + "' not found");
+}
+
+}  // namespace pstore

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/value.h"
+
+/// \file schema.h
+/// Table schemas and the catalog. Tables are horizontally partitioned by
+/// a single BIGINT partitioning-key column, as in H-Store (Section 2 of
+/// the paper): "the assignment of rows to partitions is determined by one
+/// or more columns, which constitute the partitioning key".
+
+namespace pstore {
+
+using TableId = int32_t;
+
+/// One column: name and type.
+struct ColumnDef {
+  std::string name;
+  ColumnType type;
+};
+
+/// \brief Immutable description of a table.
+class Schema {
+ public:
+  /// \param name table name
+  /// \param columns column definitions, in tuple order
+  /// \param partition_key_column index of the BIGINT column rows are
+  ///        hash-partitioned by
+  Schema(std::string name, std::vector<ColumnDef> columns,
+         size_t partition_key_column);
+
+  const std::string& name() const { return name_; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+  size_t partition_key_column() const { return partition_key_column_; }
+
+  /// Index of a column by name, or -1 if absent.
+  int ColumnIndex(const std::string& name) const;
+
+  /// Checks that a row matches this schema: column count and types
+  /// (NULLs are allowed in any column except the partitioning key).
+  Status Validate(const Row& row) const;
+
+  /// Extracts the partitioning key of a valid row.
+  int64_t PartitionKey(const Row& row) const {
+    return row.at(partition_key_column_).as_int64();
+  }
+
+ private:
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+  size_t partition_key_column_;
+};
+
+/// \brief Registry of the tables in the database.
+class Catalog {
+ public:
+  /// Registers a table; returns its id or AlreadyExists.
+  Result<TableId> AddTable(Schema schema);
+
+  /// Looks up a table id by name.
+  Result<TableId> TableIdByName(const std::string& name) const;
+
+  /// Returns the schema of a table. Precondition: valid id.
+  const Schema& GetSchema(TableId id) const { return schemas_[id]; }
+
+  size_t num_tables() const { return schemas_.size(); }
+
+ private:
+  std::vector<Schema> schemas_;
+};
+
+}  // namespace pstore

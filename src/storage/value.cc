@@ -1,0 +1,57 @@
+#include "storage/value.h"
+
+#include <cstdio>
+
+namespace pstore {
+
+const char* ColumnTypeToString(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64:
+      return "BIGINT";
+    case ColumnType::kDouble:
+      return "DOUBLE";
+    case ColumnType::kString:
+      return "VARCHAR";
+  }
+  return "?";
+}
+
+size_t Value::ByteSize() const {
+  if (is_null()) return 1;
+  if (is_int64() || is_double()) return 8;
+  return 16 + as_string().size();
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int64()) return std::to_string(as_int64());
+  if (is_double()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", as_double());
+    return buf;
+  }
+  return "'" + as_string() + "'";
+}
+
+void Row::Set(size_t i, Value v) {
+  if (i >= values_.size()) values_.resize(i + 1);
+  values_[i] = std::move(v);
+}
+
+size_t Row::ByteSize() const {
+  size_t total = sizeof(Row) + values_.size() * sizeof(Value);
+  for (const auto& v : values_) total += v.ByteSize();
+  return total;
+}
+
+std::string Row::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace pstore

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+/// \file value.h
+/// Typed tuple values for the storage engine: a small closed set of SQL
+/// types (BIGINT, DOUBLE, VARCHAR) plus NULL, matching what the B2W
+/// schema (Figure 14 of the paper) needs.
+
+namespace pstore {
+
+/// Column type tags.
+enum class ColumnType { kInt64, kDouble, kString };
+
+/// Returns a readable name, e.g. "BIGINT".
+const char* ColumnTypeToString(ColumnType type);
+
+/// \brief A single typed value; monostate represents SQL NULL.
+class Value {
+ public:
+  Value() = default;  ///< NULL
+  Value(int64_t v) : repr_(v) {}             // NOLINT(runtime/explicit)
+  Value(double v) : repr_(v) {}              // NOLINT(runtime/explicit)
+  Value(std::string v) : repr_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : repr_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(repr_); }
+  bool is_int64() const { return std::holds_alternative<int64_t>(repr_); }
+  bool is_double() const { return std::holds_alternative<double>(repr_); }
+  bool is_string() const { return std::holds_alternative<std::string>(repr_); }
+
+  /// Accessors; preconditions: matching type.
+  int64_t as_int64() const { return std::get<int64_t>(repr_); }
+  double as_double() const { return std::get<double>(repr_); }
+  const std::string& as_string() const { return std::get<std::string>(repr_); }
+
+  /// Approximate in-memory footprint in bytes (used to size migration
+  /// chunks the way Squall reasons about kilobytes moved).
+  size_t ByteSize() const;
+
+  /// Debug rendering; NULL renders as "NULL".
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return repr_ == other.repr_; }
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> repr_;
+};
+
+/// \brief A tuple: one Value per column of its table's schema.
+class Row {
+ public:
+  Row() = default;
+  explicit Row(std::vector<Value> values) : values_(std::move(values)) {}
+
+  size_t size() const { return values_.size(); }
+  const Value& at(size_t i) const { return values_[i]; }
+  Value& at(size_t i) { return values_[i]; }
+  void Set(size_t i, Value v);
+
+  const std::vector<Value>& values() const { return values_; }
+
+  /// Approximate in-memory footprint in bytes.
+  size_t ByteSize() const;
+
+  std::string ToString() const;
+
+  bool operator==(const Row& other) const { return values_ == other.values_; }
+
+ private:
+  std::vector<Value> values_;
+};
+
+}  // namespace pstore

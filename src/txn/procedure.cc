@@ -1,0 +1,24 @@
+#include "txn/procedure.h"
+
+namespace pstore {
+
+Result<ProcedureId> ProcedureRegistry::Register(ProcedureDef def) {
+  for (const auto& p : procedures_) {
+    if (p.name == def.name) {
+      return Status::AlreadyExists("procedure '" + def.name +
+                                   "' already registered");
+    }
+  }
+  procedures_.push_back(std::move(def));
+  return static_cast<ProcedureId>(procedures_.size() - 1);
+}
+
+Result<ProcedureId> ProcedureRegistry::IdByName(
+    const std::string& name) const {
+  for (size_t i = 0; i < procedures_.size(); ++i) {
+    if (procedures_[i].name == name) return static_cast<ProcedureId>(i);
+  }
+  return Status::NotFound("procedure '" + name + "' not found");
+}
+
+}  // namespace pstore

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "storage/fragment.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+/// \file procedure.h
+/// H-Store-style stored procedures. Every transaction is a pre-declared
+/// procedure invoked with a partitioning key and arguments, routed to the
+/// single partition owning that key, and executed there to completion
+/// (the B2W workload is single-partition-key by construction — that is
+/// why the paper compares against E-Store rather than Clay, Section 8.2).
+
+namespace pstore {
+
+using ProcedureId = int32_t;
+
+/// \brief One transaction request submitted by a client.
+struct TxnRequest {
+  ProcedureId proc = -1;      ///< Which stored procedure to run.
+  int64_t key = 0;            ///< Partitioning key the txn accesses.
+  std::vector<Value> args;    ///< Procedure-specific arguments.
+  int64_t txn_id = 0;         ///< Client-assigned id (for bookkeeping).
+};
+
+/// \brief Outcome of a transaction.
+struct TxnResult {
+  Status status;            ///< OK on commit; error status on user abort.
+  std::vector<Row> rows;    ///< Rows returned by the procedure, if any.
+};
+
+/// \brief Storage operations a procedure may perform, bound to the
+/// partition fragment owning the transaction's key.
+///
+/// All reads and writes go through the context so procedures cannot
+/// accidentally touch data outside their partition (the single-partition
+/// execution model).
+class ExecutionContext {
+ public:
+  explicit ExecutionContext(StorageFragment* fragment)
+      : fragment_(fragment) {}
+
+  Result<Row> Get(TableId table, int64_t key) const {
+    return fragment_->Get(table, key);
+  }
+  bool Contains(TableId table, int64_t key) const {
+    return fragment_->Contains(table, key);
+  }
+  Status Insert(TableId table, const Row& row) {
+    return fragment_->Insert(table, row);
+  }
+  Status Upsert(TableId table, const Row& row) {
+    return fragment_->Upsert(table, row);
+  }
+  Status Delete(TableId table, int64_t key) {
+    return fragment_->Delete(table, key);
+  }
+
+ private:
+  StorageFragment* fragment_;
+};
+
+/// Body of a stored procedure.
+using ProcedureFn =
+    std::function<TxnResult(ExecutionContext&, const TxnRequest&)>;
+
+/// \brief A registered stored procedure.
+struct ProcedureDef {
+  std::string name;
+  ProcedureFn body;
+  /// Relative CPU weight; the engine multiplies its base service time by
+  /// this, letting heavier procedures (e.g. ReserveCart touching many
+  /// lines) cost more than a point read.
+  double service_weight = 1.0;
+};
+
+/// \brief Name -> id registry of the procedures a database exposes.
+class ProcedureRegistry {
+ public:
+  /// Registers a procedure; AlreadyExists if the name is taken.
+  Result<ProcedureId> Register(ProcedureDef def);
+
+  /// Id lookup by name.
+  Result<ProcedureId> IdByName(const std::string& name) const;
+
+  /// Definition lookup. Precondition: valid id.
+  const ProcedureDef& Get(ProcedureId id) const {
+    return procedures_[static_cast<size_t>(id)];
+  }
+
+  size_t size() const { return procedures_.size(); }
+
+ private:
+  std::vector<ProcedureDef> procedures_;
+};
+
+}  // namespace pstore

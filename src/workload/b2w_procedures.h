@@ -1,0 +1,62 @@
+#pragma once
+
+#include "common/status.h"
+#include "txn/procedure.h"
+#include "workload/b2w_schema.h"
+
+/// \file b2w_procedures.h
+/// The 19 stored procedures of the B2W benchmark (Table 4 of the paper).
+/// Each is single-partition: it touches exactly one partitioning key —
+/// a cart id, checkout id, stock id or stock-transaction id.
+///
+/// Argument conventions (all keys are TxnRequest::key):
+///   AddLineToCart(customer_id, sku, qty, unit_price)
+///   DeleteLineFromCart(sku)
+///   GetCart()
+///   DeleteCart()
+///   GetStock()
+///   GetStockQuantity()
+///   ReserveStock(qty)
+///   PurchaseStock(qty)
+///   CancelStockReservation(qty)
+///   CreateStockTransaction(checkout_id, stock_id, qty)
+///   ReserveCart()
+///   GetStockTransaction()
+///   UpdateStockTransaction(status)
+///   CreateCheckout(cart_id)
+///   CreateCheckoutPayment(payment)
+///   AddLineToCheckout(sku, qty, unit_price)
+///   DeleteLineFromCheckout(sku)
+///   GetCheckout()
+///   DeleteCheckout()
+
+namespace pstore {
+
+/// Procedure ids of the registered B2W procedures.
+struct B2wProcedures {
+  ProcedureId add_line_to_cart = -1;
+  ProcedureId delete_line_from_cart = -1;
+  ProcedureId get_cart = -1;
+  ProcedureId delete_cart = -1;
+  ProcedureId get_stock = -1;
+  ProcedureId get_stock_quantity = -1;
+  ProcedureId reserve_stock = -1;
+  ProcedureId purchase_stock = -1;
+  ProcedureId cancel_stock_reservation = -1;
+  ProcedureId create_stock_transaction = -1;
+  ProcedureId reserve_cart = -1;
+  ProcedureId get_stock_transaction = -1;
+  ProcedureId update_stock_transaction = -1;
+  ProcedureId create_checkout = -1;
+  ProcedureId create_checkout_payment = -1;
+  ProcedureId add_line_to_checkout = -1;
+  ProcedureId delete_line_from_checkout = -1;
+  ProcedureId get_checkout = -1;
+  ProcedureId delete_checkout = -1;
+};
+
+/// Registers all 19 procedures against the given table ids.
+Result<B2wProcedures> RegisterB2wProcedures(ProcedureRegistry* registry,
+                                            const B2wTables& tables);
+
+}  // namespace pstore

@@ -1,0 +1,107 @@
+#include "workload/b2w_schema.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pstore {
+
+Result<B2wTables> RegisterB2wTables(Catalog* catalog) {
+  B2wTables tables;
+  {
+    auto id = catalog->AddTable(Schema(
+        "CART",
+        {{"cart_id", ColumnType::kInt64},
+         {"customer_id", ColumnType::kInt64},
+         {"status", ColumnType::kString},
+         {"total", ColumnType::kDouble},
+         {"lines", ColumnType::kString}},
+        /*partition_key_column=*/0));
+    if (!id.ok()) return id.status();
+    tables.cart = *id;
+  }
+  {
+    auto id = catalog->AddTable(Schema(
+        "CHECKOUT",
+        {{"checkout_id", ColumnType::kInt64},
+         {"cart_id", ColumnType::kInt64},
+         {"status", ColumnType::kString},
+         {"amount_due", ColumnType::kDouble},
+         {"payment", ColumnType::kString},
+         {"lines", ColumnType::kString}},
+        /*partition_key_column=*/0));
+    if (!id.ok()) return id.status();
+    tables.checkout = *id;
+  }
+  {
+    auto id = catalog->AddTable(Schema(
+        "STOCK",
+        {{"stock_id", ColumnType::kInt64},
+         {"available", ColumnType::kInt64},
+         {"reserved", ColumnType::kInt64},
+         {"purchased", ColumnType::kInt64}},
+        /*partition_key_column=*/0));
+    if (!id.ok()) return id.status();
+    tables.stock = *id;
+  }
+  {
+    auto id = catalog->AddTable(Schema(
+        "STOCK_TRANSACTION",
+        {{"stock_tx_id", ColumnType::kInt64},
+         {"checkout_id", ColumnType::kInt64},
+         {"stock_id", ColumnType::kInt64},
+         {"qty", ColumnType::kInt64},
+         {"status", ColumnType::kString}},
+        /*partition_key_column=*/0));
+    if (!id.ok()) return id.status();
+    tables.stock_transaction = *id;
+  }
+  return tables;
+}
+
+std::string EncodeLines(const std::vector<LineItem>& lines) {
+  std::string out;
+  char buf[96];
+  for (const auto& line : lines) {
+    std::snprintf(buf, sizeof(buf), "%lld:%lld:%.2f;",
+                  static_cast<long long>(line.sku),
+                  static_cast<long long>(line.quantity), line.unit_price);
+    out += buf;
+  }
+  return out;
+}
+
+Result<std::vector<LineItem>> DecodeLines(const std::string& encoded) {
+  std::vector<LineItem> lines;
+  size_t pos = 0;
+  while (pos < encoded.size()) {
+    const size_t end = encoded.find(';', pos);
+    if (end == std::string::npos) {
+      return Status::InvalidArgument("unterminated line item");
+    }
+    const std::string item = encoded.substr(pos, end - pos);
+    LineItem line;
+    char* cursor = nullptr;
+    line.sku = std::strtoll(item.c_str(), &cursor, 10);
+    if (cursor == nullptr || *cursor != ':') {
+      return Status::InvalidArgument("bad line item: " + item);
+    }
+    line.quantity = std::strtoll(cursor + 1, &cursor, 10);
+    if (cursor == nullptr || *cursor != ':') {
+      return Status::InvalidArgument("bad line item: " + item);
+    }
+    line.unit_price = std::strtod(cursor + 1, &cursor);
+    lines.push_back(line);
+    pos = end + 1;
+  }
+  return lines;
+}
+
+double LinesTotal(const std::vector<LineItem>& lines) {
+  double total = 0;
+  for (const auto& line : lines) {
+    total += static_cast<double>(line.quantity) * line.unit_price;
+  }
+  return total;
+}
+
+}  // namespace pstore

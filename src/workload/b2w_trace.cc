@@ -1,0 +1,161 @@
+#include "workload/b2w_trace.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace pstore {
+
+namespace {
+constexpr int32_t kMinutesPerDay = 1440;
+}  // namespace
+
+Status B2wTraceConfig::Validate() const {
+  if (days < 1) return Status::InvalidArgument("days < 1");
+  if (peak_rpm <= 0) return Status::InvalidArgument("peak_rpm <= 0");
+  if (peak_to_trough < 1) {
+    return Status::InvalidArgument("peak_to_trough < 1");
+  }
+  if (noise_rho < 0 || noise_rho >= 1) {
+    return Status::InvalidArgument("noise_rho out of [0, 1)");
+  }
+  if (daily_drift_rho < 0 || daily_drift_rho >= 1) {
+    return Status::InvalidArgument("daily_drift_rho out of [0, 1)");
+  }
+  if (black_friday_day >= days) {
+    return Status::InvalidArgument("black_friday_day beyond trace");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<double>> GenerateB2wTrace(const B2wTraceConfig& config) {
+  PSTORE_RETURN_NOT_OK(config.Validate());
+  Rng rng(config.seed);
+  Rng promo_rng = rng.Fork();
+  Rng spike_rng = rng.Fork();
+
+  const int64_t total = static_cast<int64_t>(config.days) * kMinutesPerDay;
+  std::vector<double> trace(static_cast<size_t>(total));
+
+  // Per-day drift and event placement.
+  std::vector<double> day_drift(static_cast<size_t>(config.days), 0.0);
+  std::vector<double> promo_center(static_cast<size_t>(config.days), -1.0);
+  std::vector<double> spike_start(static_cast<size_t>(config.days), -1.0);
+  double drift = 0;
+  for (int32_t d = 0; d < config.days; ++d) {
+    drift = config.daily_drift_rho * drift +
+            config.daily_drift_sigma * rng.NextGaussian();
+    day_drift[static_cast<size_t>(d)] = drift;
+    if (promo_rng.NextBernoulli(config.promo_probability)) {
+      // Promotions land in the daytime (10:00 - 20:00).
+      promo_center[static_cast<size_t>(d)] =
+          600.0 + promo_rng.NextDouble() * 600.0;
+    }
+    if (spike_rng.NextBernoulli(config.spike_probability)) {
+      spike_start[static_cast<size_t>(d)] =
+          480.0 + spike_rng.NextDouble() * 720.0;
+    }
+  }
+  if (config.forced_spike_day >= 0 && config.forced_spike_day < config.days) {
+    spike_start[static_cast<size_t>(config.forced_spike_day)] =
+        config.forced_spike_minute;
+  }
+
+  // Diurnal shape: raised sine sharpened by shape_power, scaled so
+  // max/min = peak_to_trough.
+  const double trough_level = 1.0 / config.peak_to_trough;
+  auto diurnal = [&](double minute_of_day) {
+    const double phase =
+        2.0 * M_PI * (minute_of_day - config.peak_hour * 60.0) /
+        kMinutesPerDay;
+    const double raised = (1.0 + std::cos(phase)) / 2.0;  // 1 at peak hour
+    const double shaped = std::pow(raised, config.shape_power);
+    return trough_level + (1.0 - trough_level) * shaped;
+  };
+
+  double noise = 0;
+  for (int64_t t = 0; t < total; ++t) {
+    const int32_t day = static_cast<int32_t>(t / kMinutesPerDay);
+    const double minute = static_cast<double>(t % kMinutesPerDay);
+    const int32_t dow = day % 7;
+
+    double level = config.peak_rpm * diurnal(minute) *
+                   config.weekday_factors[dow] *
+                   std::exp(day_drift[static_cast<size_t>(day)]);
+
+    // Promotion bump: Gaussian in time around the promo center.
+    const double promo = promo_center[static_cast<size_t>(day)];
+    if (promo >= 0) {
+      const double width = config.promo_hours * 60.0 / 2.355;  // FWHM
+      const double d2 = (minute - promo) * (minute - promo);
+      level *= 1.0 + config.promo_boost * std::exp(-d2 / (2 * width * width));
+    }
+
+    // Black Friday: surge that starts abruptly at midnight and stays
+    // high all day (midnight doorbusters + elevated daytime peak).
+    if (day == config.black_friday_day) {
+      const double midnight_burst =
+          std::exp(-minute / 180.0);  // decays over ~3 hours
+      level *= 1.0 + config.black_friday_boost *
+                         (0.55 * midnight_burst + 0.45);
+      level += 0.35 * config.black_friday_boost * config.peak_rpm *
+               midnight_burst;
+    }
+
+    // Flash-crowd spike: fast ramp, brief plateau, fast decay.
+    const double spike = spike_start[static_cast<size_t>(day)];
+    if (spike >= 0 && minute >= spike &&
+        minute < spike + config.spike_minutes) {
+      const double into = minute - spike;
+      const double ramp = std::min(1.0, into / 5.0);
+      const double decay =
+          std::min(1.0, (config.spike_minutes - into) / 10.0);
+      level *= 1.0 + config.spike_boost * std::min(ramp, decay);
+    }
+
+    // Short-term correlated noise.
+    noise = config.noise_rho * noise + config.noise_sigma * rng.NextGaussian();
+    level *= std::exp(noise);
+
+    trace[static_cast<size_t>(t)] = std::max(0.0, level);
+  }
+  return trace;
+}
+
+B2wTraceConfig B2wRegularTraffic(int32_t days, uint64_t seed) {
+  B2wTraceConfig config;
+  config.days = days;
+  config.seed = seed;
+  return config;
+}
+
+B2wTraceConfig B2wAugustToDecember(uint64_t seed) {
+  B2wTraceConfig config;
+  config.days = 137;  // Aug 1 - Dec 15, 2016
+  config.seed = seed;
+  config.promo_probability = 0.06;
+  // Nov 25, 2016 is day index 116 from Aug 1. The surge clearly
+  // dominates ordinary promotions (Figure 13 shows roughly double the
+  // normal peak).
+  config.black_friday_day = 116;
+  config.black_friday_boost = 2.6;
+  // Occasional internal load tests / unplanned surges.
+  config.spike_probability = 0.015;
+  config.spike_boost = 0.8;
+  return config;
+}
+
+B2wTraceConfig B2wSpikeDay(int32_t lead_in_days, uint64_t seed) {
+  B2wTraceConfig config;
+  config.days = lead_in_days + 1;
+  config.seed = seed;
+  config.spike_probability = 0.0;
+  config.promo_probability = 0.0;
+  config.forced_spike_day = lead_in_days;
+  config.forced_spike_minute = 840.0;  // mid-afternoon, near peak
+  config.spike_boost = 0.9;
+  config.spike_minutes = 60.0;
+  return config;
+}
+
+}  // namespace pstore

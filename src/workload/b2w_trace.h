@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file b2w_trace.h
+/// Synthetic stand-in for B2W Digital's proprietary load traces. The
+/// paper's traces are per-minute request counts over several months with
+/// a strong diurnal pattern (peak about 10x the trough, Figure 1), weekly
+/// seasonality, day-to-day variability, occasional promotions, and the
+/// Black Friday surge (Figure 13). This generator produces a trace with
+/// exactly those structures — the structures SPAR exploits — calibrated
+/// to the statistics the paper reports. See DESIGN.md for the
+/// substitution rationale.
+
+namespace pstore {
+
+/// Knobs of the synthetic B2W trace.
+struct B2wTraceConfig {
+  int32_t days = 7 * 10;           ///< Trace length in days.
+  double peak_rpm = 25000.0;       ///< Typical weekday peak (Figure 1).
+  double peak_to_trough = 10.0;    ///< Diurnal ratio (~10x in the paper).
+  double peak_hour = 15.0;         ///< Daily load peak (local time).
+  double shape_power = 1.6;        ///< Sharpens the diurnal curve.
+
+  /// Day-of-week multipliers, Monday first.
+  double weekday_factors[7] = {1.0, 1.02, 1.01, 0.99, 1.05, 0.88, 0.82};
+
+  /// Short-term correlated multiplicative noise: log-AR(1). Calibrated
+  /// so SPAR's MRE lands near the paper's (~6% at tau=10 min rising to
+  /// ~10% at tau=60, Figure 5b).
+  double noise_rho = 0.97;
+  double noise_sigma = 0.026;
+
+  /// Slow day-scale drift (seasonality of demand): log-AR(1) per day.
+  double daily_drift_rho = 0.85;
+  double daily_drift_sigma = 0.05;
+
+  /// Promotions: each day may carry an advertising bump of a few hours.
+  double promo_probability = 0.05;  ///< Per day.
+  double promo_boost = 0.5;         ///< Fractional load increase at center.
+  double promo_hours = 3.0;         ///< Width of the bump.
+
+  /// Black Friday: a much larger surge on one day, starting at midnight
+  /// (doorbuster sales), as in Figure 13 (right).
+  int32_t black_friday_day = -1;    ///< Day index, or -1 for none.
+  double black_friday_boost = 1.6;  ///< Fractional increase at the peak.
+
+  /// Unpredictable flash-crowd spikes (Figure 11): sudden load jumps
+  /// lasting under an hour, at random times.
+  double spike_probability = 0.0;   ///< Per day.
+  double spike_boost = 1.0;         ///< Fractional increase.
+  double spike_minutes = 45.0;      ///< Spike duration.
+
+  /// Deterministically place one spike (for Figure 11's scripted
+  /// "unexpected load spike" day): day index, or -1 for none.
+  int32_t forced_spike_day = -1;
+  double forced_spike_minute = 840.0;  ///< 14:00, near the daily peak.
+
+  uint64_t seed = 20160701;
+
+  Status Validate() const;
+};
+
+/// Generates the per-minute trace (requests per minute), length
+/// days * 1440. Deterministic for a given config.
+Result<std::vector<double>> GenerateB2wTrace(const B2wTraceConfig& config);
+
+/// Convenience presets.
+
+/// ~10 weeks of regular traffic; the first 4 weeks are the conventional
+/// training window (Section 5).
+B2wTraceConfig B2wRegularTraffic(int32_t days = 70, uint64_t seed = 20160701);
+
+/// The 4.5-month August-December window of Section 8.3, including a
+/// Black Friday surge and sporadic promotions/load tests.
+B2wTraceConfig B2wAugustToDecember(uint64_t seed = 20160801);
+
+/// A day with a large unexpected flash-crowd spike (Figure 11's
+/// September day), appended after `lead_in_days` of regular traffic.
+B2wTraceConfig B2wSpikeDay(int32_t lead_in_days = 35,
+                           uint64_t seed = 20160901);
+
+}  // namespace pstore

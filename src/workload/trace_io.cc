@@ -1,0 +1,92 @@
+#include "workload/trace_io.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace pstore {
+
+namespace {
+
+/// Splits one CSV line on commas (no quoting — load traces are plain
+/// numeric tables).
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream stream(line);
+  while (std::getline(stream, field, ',')) fields.push_back(field);
+  if (!line.empty() && line.back() == ',') fields.emplace_back();
+  return fields;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  *out = std::strtod(begin, &end);
+  if (end == begin) return false;
+  while (*end == ' ' || *end == '\t' || *end == '\r') ++end;
+  return *end == '\0';
+}
+
+}  // namespace
+
+Result<std::vector<double>> ParseLoadCsv(const std::string& text,
+                                         int32_t column) {
+  if (column < 0) return Status::InvalidArgument("column must be >= 0");
+  std::vector<double> series;
+  std::istringstream stream(text);
+  std::string line;
+  int64_t line_no = 0;
+  bool first_data_line = true;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = SplitCsvLine(line);
+    if (static_cast<size_t>(column) >= fields.size()) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) + ": wanted column " +
+          std::to_string(column) + ", found " +
+          std::to_string(fields.size()) + " fields");
+    }
+    double value;
+    if (!ParseDouble(fields[static_cast<size_t>(column)], &value)) {
+      if (first_data_line) {
+        // Header row: skip it once.
+        first_data_line = false;
+        continue;
+      }
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) + ": '" +
+          fields[static_cast<size_t>(column)] + "' is not a number");
+    }
+    first_data_line = false;
+    series.push_back(value);
+  }
+  if (series.empty()) {
+    return Status::InvalidArgument("no numeric rows found");
+  }
+  return series;
+}
+
+Result<std::vector<double>> ReadLoadCsv(const std::string& path,
+                                        int32_t column) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseLoadCsv(buffer.str(), column);
+}
+
+Status WriteLoadCsv(const std::string& path,
+                    const std::vector<double>& series) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot write '" + path + "'");
+  out << "slot,load\n";
+  for (size_t i = 0; i < series.size(); ++i) {
+    out << i << "," << series[i] << "\n";
+  }
+  return out ? Status::OK() : Status::Internal("write failed");
+}
+
+}  // namespace pstore

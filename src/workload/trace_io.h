@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file trace_io.h
+/// Load-trace file I/O: read and write per-slot load series as CSV, so
+/// the planner/simulator stack can run against real production traces
+/// (the role B2W's proprietary logs play in the paper) instead of the
+/// synthetic generators.
+
+namespace pstore {
+
+/// \brief Reads a load series from CSV text.
+///
+/// Accepts either one value per line or multi-column CSV; `column`
+/// selects the field (0-based). A non-numeric first line is treated as
+/// a header and skipped. Empty lines are ignored. Fails with
+/// InvalidArgument on malformed numeric fields or missing columns.
+Result<std::vector<double>> ParseLoadCsv(const std::string& text,
+                                         int32_t column = 0);
+
+/// Reads a load series from a CSV file on disk.
+Result<std::vector<double>> ReadLoadCsv(const std::string& path,
+                                        int32_t column = 0);
+
+/// Writes a load series as "slot,value" CSV (with header).
+Status WriteLoadCsv(const std::string& path,
+                    const std::vector<double>& series);
+
+}  // namespace pstore

@@ -1,0 +1,94 @@
+#include "cluster/partition_executor.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace pstore {
+namespace {
+
+TEST(PartitionExecutorTest, SingleItemRunsForServiceTime) {
+  Simulator sim;
+  PartitionExecutor exec(&sim);
+  SimTime started = -1, finished = -1;
+  exec.Enqueue(100, [&](SimTime s, SimTime f) {
+    started = s;
+    finished = f;
+  });
+  sim.RunAll();
+  EXPECT_EQ(started, 0);
+  EXPECT_EQ(finished, 100);
+  EXPECT_EQ(exec.completed(), 1);
+  EXPECT_EQ(exec.busy_time(), 100);
+  EXPECT_FALSE(exec.busy());
+}
+
+TEST(PartitionExecutorTest, FifoOrderAndQueueing) {
+  Simulator sim;
+  PartitionExecutor exec(&sim);
+  std::vector<int> order;
+  std::vector<SimTime> finish;
+  for (int i = 0; i < 3; ++i) {
+    exec.Enqueue(10, [&, i](SimTime, SimTime f) {
+      order.push_back(i);
+      finish.push_back(f);
+    });
+  }
+  EXPECT_EQ(exec.queue_length(), 2u);  // one in service, two waiting
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(finish, (std::vector<SimTime>{10, 20, 30}));
+}
+
+TEST(PartitionExecutorTest, QueueingDelayAccumulates) {
+  Simulator sim;
+  PartitionExecutor exec(&sim);
+  // Saturate: 10 items of 100 each arriving at t=0.
+  SimTime last_finish = 0;
+  for (int i = 0; i < 10; ++i) {
+    exec.Enqueue(100, [&](SimTime, SimTime f) { last_finish = f; });
+  }
+  sim.RunAll();
+  EXPECT_EQ(last_finish, 1000);
+  EXPECT_EQ(exec.busy_time(), 1000);
+}
+
+TEST(PartitionExecutorTest, IdleThenNewWork) {
+  Simulator sim;
+  PartitionExecutor exec(&sim);
+  exec.Enqueue(10, nullptr);
+  sim.RunAll();
+  EXPECT_EQ(sim.Now(), 10);
+  SimTime f2 = -1;
+  exec.Enqueue(5, [&](SimTime, SimTime f) { f2 = f; });
+  sim.RunAll();
+  EXPECT_EQ(f2, 15);
+  EXPECT_EQ(exec.completed(), 2);
+}
+
+TEST(PartitionExecutorTest, WorkEnqueuedFromCompletion) {
+  Simulator sim;
+  PartitionExecutor exec(&sim);
+  int chain = 0;
+  std::function<void(SimTime, SimTime)> next = [&](SimTime, SimTime) {
+    if (++chain < 3) exec.Enqueue(7, next);
+  };
+  exec.Enqueue(7, next);
+  sim.RunAll();
+  EXPECT_EQ(chain, 3);
+  EXPECT_EQ(sim.Now(), 21);
+}
+
+TEST(PartitionExecutorTest, ZeroServiceTimeCompletesImmediately) {
+  Simulator sim;
+  PartitionExecutor exec(&sim);
+  SimTime f = -1;
+  exec.Enqueue(0, [&](SimTime, SimTime fin) { f = fin; });
+  sim.RunAll();
+  EXPECT_EQ(f, 0);
+}
+
+}  // namespace
+}  // namespace pstore

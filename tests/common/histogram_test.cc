@@ -1,0 +1,193 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace pstore {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.Percentile(50), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(123);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.Percentile(0), 123);
+  EXPECT_EQ(h.Percentile(50), 123);
+  EXPECT_EQ(h.Percentile(100), 123);
+  EXPECT_EQ(h.max(), 123);
+  EXPECT_EQ(h.min(), 123);
+  EXPECT_DOUBLE_EQ(h.Mean(), 123.0);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  // Values below the sub-bucket count (32) have exact buckets.
+  Histogram h;
+  for (int i = 1; i <= 10; ++i) h.Record(i);
+  EXPECT_EQ(h.Percentile(10), 1);
+  EXPECT_EQ(h.Percentile(50), 5);
+  EXPECT_EQ(h.Percentile(100), 10);
+}
+
+TEST(HistogramTest, PercentileWithinRelativeError) {
+  Histogram h;
+  for (int64_t v = 1; v <= 100000; ++v) h.Record(v);
+  // p50 should be ~50000 within the ~3% bucket error.
+  EXPECT_NEAR(static_cast<double>(h.Percentile(50)), 50000.0, 2000.0);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(99)), 99000.0, 3500.0);
+}
+
+TEST(HistogramTest, NegativeValuesClampToZero) {
+  Histogram h;
+  h.Record(-100);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.Percentile(50), 0);
+}
+
+TEST(HistogramTest, RecordMany) {
+  Histogram h;
+  h.RecordMany(7, 100);
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_EQ(h.sum(), 700);
+  EXPECT_EQ(h.Percentile(50), 7);
+  h.RecordMany(9, 0);   // no-op
+  h.RecordMany(9, -5);  // no-op
+  EXPECT_EQ(h.count(), 100);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a, b;
+  a.Record(10);
+  a.Record(20);
+  b.Record(30);
+  b.Record(40);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 40);
+  EXPECT_DOUBLE_EQ(a.Mean(), 25.0);
+}
+
+TEST(HistogramTest, MergeEmptyIsNoop) {
+  Histogram a, b;
+  a.Record(5);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.Record(100);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.Percentile(99), 0);
+}
+
+TEST(HistogramTest, MeanIsExact) {
+  Histogram h;
+  h.Record(1);
+  h.Record(2);
+  h.Record(3);
+  EXPECT_DOUBLE_EQ(h.Mean(), 2.0);
+}
+
+TEST(HistogramTest, SummaryMentionsCount) {
+  Histogram h;
+  h.Record(10);
+  EXPECT_NE(h.Summary().find("count=1"), std::string::npos);
+}
+
+TEST(HistogramTest, LargeValuesDoNotOverflowBuckets) {
+  Histogram h;
+  h.Record(int64_t{1} << 50);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.max(), int64_t{1} << 50);
+  EXPECT_GT(h.Percentile(50), 0);
+}
+
+TEST(WindowedPercentilesTest, SingleWindow) {
+  WindowedPercentiles wp(kSecond);
+  wp.Record(100 * kMillisecond, 1000);
+  wp.Record(200 * kMillisecond, 3000);
+  wp.Flush(kSecond);
+  ASSERT_EQ(wp.windows().size(), 1u);
+  EXPECT_EQ(wp.windows()[0].count, 2);
+  EXPECT_EQ(wp.windows()[0].max, 3000);
+}
+
+TEST(WindowedPercentilesTest, MultipleWindows) {
+  WindowedPercentiles wp(kSecond);
+  wp.Record(0, 100);
+  wp.Record(1 * kSecond + 1, 200);
+  wp.Record(2 * kSecond + 1, 300);
+  wp.Flush(3 * kSecond);
+  ASSERT_EQ(wp.windows().size(), 3u);
+  EXPECT_EQ(wp.windows()[0].p50, 100);
+  EXPECT_EQ(wp.windows()[1].p50, 200);
+  EXPECT_EQ(wp.windows()[2].p50, 300);
+}
+
+TEST(WindowedPercentilesTest, ViolationCounting) {
+  WindowedPercentiles wp(kSecond);
+  // Window 0: all fast. Window 1: only the p99 tail is slow (2 of 100
+  // observations, so the rank-99 value is slow). Window 2: all slow.
+  for (int i = 0; i < 100; ++i) wp.Record(i * kMillisecond, 1000);
+  for (int i = 0; i < 98; ++i) {
+    wp.Record(kSecond + i * kMillisecond, 1000);
+  }
+  wp.Record(kSecond + 998 * kMillisecond, 600000);
+  wp.Record(kSecond + 999 * kMillisecond, 600000);
+  for (int i = 0; i < 10; ++i) {
+    wp.Record(2 * kSecond + i * kMillisecond, 700000);
+  }
+  wp.Flush(3 * kSecond);
+  ASSERT_EQ(wp.windows().size(), 3u);
+  EXPECT_EQ(wp.CountViolations(50, 500000), 1);  // only window 2
+  EXPECT_EQ(wp.CountViolations(99, 500000), 2);  // windows 1 and 2
+}
+
+TEST(WindowedPercentilesTest, GapsDoNotEmitEmptyWindows) {
+  WindowedPercentiles wp(kSecond);
+  wp.Record(0, 100);
+  wp.Record(100 * kSecond, 200);
+  wp.Flush(101 * kSecond);
+  // Only windows that held data (plus possibly boundary) are emitted.
+  int64_t with_data = 0;
+  for (const auto& w : wp.windows()) {
+    if (w.count > 0) ++with_data;
+  }
+  EXPECT_EQ(with_data, 2);
+  EXPECT_LT(wp.windows().size(), 10u);
+}
+
+TEST(WindowedPercentilesTest, FlushIsIdempotentEnough) {
+  WindowedPercentiles wp(kSecond);
+  wp.Record(10, 50);
+  wp.Flush(2 * kSecond);
+  const size_t n = wp.windows().size();
+  wp.Flush(2 * kSecond);
+  EXPECT_EQ(wp.windows().size(), n);
+}
+
+TEST(WindowedPercentilesTest, PercentilesWithinWindow) {
+  WindowedPercentiles wp(kSecond);
+  for (int i = 1; i <= 100; ++i) {
+    wp.Record(i * 5 * kMillisecond, i * 10);
+  }
+  wp.Flush(kSecond);
+  ASSERT_EQ(wp.windows().size(), 1u);
+  const auto& w = wp.windows()[0];
+  EXPECT_NEAR(static_cast<double>(w.p50), 500.0, 30.0);
+  EXPECT_NEAR(static_cast<double>(w.p95), 950.0, 40.0);
+  EXPECT_EQ(w.max, 1000);
+}
+
+}  // namespace
+}  // namespace pstore

@@ -1,0 +1,181 @@
+#include "common/linalg.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace pstore {
+namespace {
+
+TEST(MatrixTest, Indexing) {
+  Matrix m(2, 3);
+  m(0, 0) = 1;
+  m(1, 2) = 5;
+  EXPECT_DOUBLE_EQ(m(0, 0), 1);
+  EXPECT_DOUBLE_EQ(m(1, 2), 5);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+}
+
+TEST(MatrixTest, GramIsTransposeTimesSelf) {
+  Matrix m(3, 2);
+  // Columns: [1,2,3], [4,5,6].
+  m(0, 0) = 1; m(0, 1) = 4;
+  m(1, 0) = 2; m(1, 1) = 5;
+  m(2, 0) = 3; m(2, 1) = 6;
+  Matrix g = m.Gram();
+  EXPECT_DOUBLE_EQ(g(0, 0), 14);   // 1+4+9
+  EXPECT_DOUBLE_EQ(g(0, 1), 32);   // 4+10+18
+  EXPECT_DOUBLE_EQ(g(1, 0), 32);
+  EXPECT_DOUBLE_EQ(g(1, 1), 77);   // 16+25+36
+}
+
+TEST(MatrixTest, TransposeTimesVector) {
+  Matrix m(2, 2);
+  m(0, 0) = 1; m(0, 1) = 2;
+  m(1, 0) = 3; m(1, 1) = 4;
+  const auto v = m.TransposeTimes({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(v[0], 4);
+  EXPECT_DOUBLE_EQ(v[1], 6);
+}
+
+TEST(MatrixTest, TimesVector) {
+  Matrix m(2, 2);
+  m(0, 0) = 1; m(0, 1) = 2;
+  m(1, 0) = 3; m(1, 1) = 4;
+  const auto v = m.Times({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(v[0], 5);
+  EXPECT_DOUBLE_EQ(v[1], 11);
+}
+
+TEST(SolveLinearSystemTest, Solves2x2) {
+  Matrix a(2, 2);
+  a(0, 0) = 2; a(0, 1) = 1;
+  a(1, 0) = 1; a(1, 1) = 3;
+  auto x = SolveLinearSystem(a, {5.0, 10.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-9);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-9);
+}
+
+TEST(SolveLinearSystemTest, RequiresPivoting) {
+  // Zero on the diagonal forces a row swap.
+  Matrix a(2, 2);
+  a(0, 0) = 0; a(0, 1) = 1;
+  a(1, 0) = 1; a(1, 1) = 0;
+  auto x = SolveLinearSystem(a, {2.0, 3.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 3.0, 1e-9);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-9);
+}
+
+TEST(SolveLinearSystemTest, DetectsSingular) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2;
+  a(1, 0) = 2; a(1, 1) = 4;
+  auto x = SolveLinearSystem(a, {1.0, 2.0});
+  EXPECT_FALSE(x.ok());
+  EXPECT_TRUE(x.status().IsFailedPrecondition());
+}
+
+TEST(SolveLinearSystemTest, ShapeErrors) {
+  EXPECT_TRUE(SolveLinearSystem(Matrix(2, 3), {1.0, 2.0})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(SolveLinearSystem(Matrix(2, 2), {1.0})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SolveLinearSystemTest, LargerRandomSystemRoundTrips) {
+  Rng rng(5);
+  const size_t n = 20;
+  Matrix a(n, n);
+  std::vector<double> truth(n);
+  for (size_t i = 0; i < n; ++i) {
+    truth[i] = rng.NextGaussian();
+    for (size_t j = 0; j < n; ++j) a(i, j) = rng.NextGaussian();
+    a(i, i) += 5.0;  // well-conditioned
+  }
+  const std::vector<double> b = a.Times(truth);
+  auto x = SolveLinearSystem(a, b);
+  ASSERT_TRUE(x.ok());
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR((*x)[i], truth[i], 1e-8);
+}
+
+TEST(LeastSquaresTest, RecoversExactLinearModel) {
+  // y = 2*x1 - 3*x2, no noise.
+  Rng rng(6);
+  Matrix a(50, 2);
+  std::vector<double> b(50);
+  for (size_t i = 0; i < 50; ++i) {
+    a(i, 0) = rng.NextGaussian();
+    a(i, 1) = rng.NextGaussian();
+    b[i] = 2 * a(i, 0) - 3 * a(i, 1);
+  }
+  auto x = LeastSquares(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 2.0, 1e-5);
+  EXPECT_NEAR((*x)[1], -3.0, 1e-5);
+}
+
+TEST(LeastSquaresTest, NoisyModelCloseToTruth) {
+  Rng rng(8);
+  Matrix a(2000, 2);
+  std::vector<double> b(2000);
+  for (size_t i = 0; i < 2000; ++i) {
+    a(i, 0) = rng.NextGaussian();
+    a(i, 1) = rng.NextGaussian();
+    b[i] = 1.5 * a(i, 0) + 0.5 * a(i, 1) + 0.1 * rng.NextGaussian();
+  }
+  auto x = LeastSquares(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.5, 0.02);
+  EXPECT_NEAR((*x)[1], 0.5, 0.02);
+}
+
+TEST(LeastSquaresTest, RidgeHandlesCollinearColumns) {
+  // Two identical columns: unregularized normal equations are singular.
+  Matrix a(10, 2);
+  std::vector<double> b(10);
+  for (size_t i = 0; i < 10; ++i) {
+    a(i, 0) = static_cast<double>(i);
+    a(i, 1) = static_cast<double>(i);
+    b[i] = 2.0 * static_cast<double>(i);
+  }
+  auto x = LeastSquares(a, b, 1e-6);
+  ASSERT_TRUE(x.ok());
+  // Combined effect should reproduce y ~ 2x.
+  EXPECT_NEAR((*x)[0] + (*x)[1], 2.0, 1e-3);
+}
+
+TEST(LeastSquaresTest, EmptyInputsRejected) {
+  EXPECT_TRUE(
+      LeastSquares(Matrix(0, 0), {}).status().IsInvalidArgument());
+  EXPECT_TRUE(LeastSquares(Matrix(3, 2), {1.0})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(MeanRelativeErrorTest, PerfectPredictionIsZero) {
+  EXPECT_DOUBLE_EQ(MeanRelativeError({1, 2, 3}, {1, 2, 3}), 0.0);
+}
+
+TEST(MeanRelativeErrorTest, KnownError) {
+  // |1.1-1|/1 = 0.1 and |1.8-2|/2 = 0.1 -> mean 0.1.
+  EXPECT_NEAR(MeanRelativeError({1.1, 1.8}, {1.0, 2.0}), 0.1, 1e-12);
+}
+
+TEST(MeanRelativeErrorTest, SkipsNearZeroActuals) {
+  EXPECT_NEAR(MeanRelativeError({5.0, 1.1}, {0.0, 1.0}), 0.1, 1e-12);
+}
+
+TEST(MeanRelativeErrorTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(MeanRelativeError({}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace pstore

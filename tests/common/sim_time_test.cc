@@ -1,0 +1,45 @@
+#include "common/sim_time.h"
+
+#include <gtest/gtest.h>
+
+namespace pstore {
+namespace {
+
+TEST(SimTimeTest, UnitRelations) {
+  EXPECT_EQ(kSecond, 1000 * kMillisecond);
+  EXPECT_EQ(kMinute, 60 * kSecond);
+  EXPECT_EQ(kHour, 60 * kMinute);
+  EXPECT_EQ(kDay, 24 * kHour);
+}
+
+TEST(SimTimeTest, SecondsRoundTrip) {
+  EXPECT_EQ(SecondsToDuration(1.5), 1500 * kMillisecond);
+  EXPECT_DOUBLE_EQ(DurationToSeconds(2 * kSecond), 2.0);
+  EXPECT_DOUBLE_EQ(DurationToMinutes(90 * kSecond), 1.5);
+}
+
+TEST(SimTimeTest, SecondsToDurationRounds) {
+  EXPECT_EQ(SecondsToDuration(0.0000014), 1);   // 1.4 us -> 1
+  EXPECT_EQ(SecondsToDuration(0.0000016), 2);   // 1.6 us -> 2
+}
+
+TEST(SimTimeTest, FormatSubDay) {
+  EXPECT_EQ(FormatSimTime(kHour + 2 * kMinute + 3 * kSecond +
+                          4 * kMillisecond),
+            "01:02:03.004");
+}
+
+TEST(SimTimeTest, FormatWithDays) {
+  EXPECT_EQ(FormatSimTime(2 * kDay + kHour), "2d 01:00:00.000");
+}
+
+TEST(SimTimeTest, FormatNegative) {
+  EXPECT_EQ(FormatSimTime(-kSecond), "-00:00:01.000");
+}
+
+TEST(SimTimeTest, FormatZero) {
+  EXPECT_EQ(FormatSimTime(0), "00:00:00.000");
+}
+
+}  // namespace
+}  // namespace pstore

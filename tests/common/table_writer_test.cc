@@ -1,0 +1,84 @@
+#include "common/table_writer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace pstore {
+namespace {
+
+TEST(TableWriterTest, RendersHeaderAndRows) {
+  TableWriter t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TableWriterTest, MissingCellsRenderEmpty) {
+  TableWriter t({"a", "b", "c"});
+  t.AddRow({"x"});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_NE(os.str().find("x"), std::string::npos);
+}
+
+TEST(TableWriterTest, FmtHelpers) {
+  EXPECT_EQ(TableWriter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TableWriter::Fmt(3.0, 0), "3");
+  EXPECT_EQ(TableWriter::Fmt(int64_t{42}), "42");
+}
+
+TEST(CsvSeriesWriterTest, WritesColumns) {
+  CsvSeriesWriter w;
+  w.AddColumn("t", {0, 1, 2});
+  w.AddColumn("load", {10, 20, 30});
+  std::ostringstream os;
+  w.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("t,load"), std::string::npos);
+  EXPECT_NE(out.find("1,20"), std::string::npos);
+}
+
+TEST(CsvSeriesWriterTest, UnequalColumnLengths) {
+  CsvSeriesWriter w;
+  w.AddColumn("a", {1, 2, 3});
+  w.AddColumn("b", {9});
+  std::ostringstream os;
+  w.Print(os);
+  // Header plus three data rows; trailing cells empty, no crash.
+  const std::string out = os.str();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(SparklineTest, EmptyAndConstant) {
+  EXPECT_EQ(Sparkline({}), "");
+  const std::string flat = Sparkline({5, 5, 5, 5}, 4);
+  EXPECT_FALSE(flat.empty());
+}
+
+TEST(SparklineTest, WidthBoundsOutput) {
+  std::vector<double> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  const std::string s = Sparkline(v, 10);
+  // Each sparkline glyph is a 3-byte UTF-8 sequence.
+  EXPECT_EQ(s.size(), 30u);
+}
+
+TEST(SparklineTest, MonotoneSeriesEndsHigh) {
+  std::vector<double> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  const std::string s = Sparkline(v, 8);
+  // Last glyph should be the full block.
+  EXPECT_EQ(s.substr(s.size() - 3), "█");
+}
+
+}  // namespace
+}  // namespace pstore

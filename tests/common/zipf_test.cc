@@ -1,0 +1,77 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace pstore {
+namespace {
+
+TEST(ZipfTest, SingleItemAlwaysZero) {
+  ZipfGenerator zipf(1, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Next(&rng), 0u);
+}
+
+TEST(ZipfTest, StaysInRange) {
+  ZipfGenerator zipf(100, 0.99);
+  Rng rng(2);
+  for (int i = 0; i < 50000; ++i) {
+    EXPECT_LT(zipf.Next(&rng), 100u);
+  }
+}
+
+TEST(ZipfTest, FrequenciesMatchZipfLaw) {
+  // With s = 1, P(rank k) ~ 1/k: rank 0 should be ~2x rank 1, ~10x
+  // rank 9.
+  const uint64_t n = 1000;
+  ZipfGenerator zipf(n, 1.0);
+  Rng rng(3);
+  std::vector<int64_t> counts(n, 0);
+  const int64_t samples = 500000;
+  for (int64_t i = 0; i < samples; ++i) ++counts[zipf.Next(&rng)];
+  EXPECT_NEAR(static_cast<double>(counts[0]) / counts[1], 2.0, 0.15);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / counts[9], 10.0, 1.2);
+  // Every rank is reachable in aggregate: the tail holds real mass.
+  int64_t tail = 0;
+  for (size_t k = 100; k < n; ++k) tail += counts[k];
+  EXPECT_GT(tail, samples / 20);
+}
+
+TEST(ZipfTest, LowerSkewFlattens) {
+  const uint64_t n = 1000;
+  Rng rng_a(4), rng_b(4);
+  ZipfGenerator steep(n, 1.2);
+  ZipfGenerator shallow(n, 0.5);
+  int64_t steep_top = 0, shallow_top = 0;
+  const int64_t samples = 200000;
+  for (int64_t i = 0; i < samples; ++i) {
+    if (steep.Next(&rng_a) < 10) ++steep_top;
+    if (shallow.Next(&rng_b) < 10) ++shallow_top;
+  }
+  EXPECT_GT(steep_top, 2 * shallow_top);
+}
+
+TEST(ZipfTest, DeterministicGivenRngSeed) {
+  ZipfGenerator zipf(500, 0.9);
+  Rng a(7), b(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(zipf.Next(&a), zipf.Next(&b));
+  }
+}
+
+TEST(ZipfTest, LargeDomainWorksWithoutPrecompute) {
+  ZipfGenerator zipf(10'000'000, 0.99);
+  Rng rng(8);
+  uint64_t max_seen = 0;
+  for (int i = 0; i < 20000; ++i) {
+    max_seen = std::max(max_seen, zipf.Next(&rng));
+  }
+  EXPECT_LT(max_seen, 10'000'000u);
+  EXPECT_GT(max_seen, 100'000u);  // the tail is actually sampled
+}
+
+}  // namespace
+}  // namespace pstore

@@ -1,0 +1,119 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace pstore {
+namespace {
+
+/// Small, fast experiment configuration: one replay day at high
+/// acceleration with modest transaction rates.
+ExperimentConfig FastConfig(ElasticityStrategy strategy) {
+  ExperimentConfig config;
+  config.strategy = strategy;
+  config.replay_days = 1;
+  config.train_days = 10;
+  config.speedup = 60.0;           // 1 trace-day in 24 virtual minutes
+  config.peak_txn_rate = 600.0;    // ~2-3 nodes at peak
+  config.trace = B2wRegularTraffic(11, 1234);
+  config.engine.max_nodes = 6;
+  config.static_nodes = 4;
+  config.spar_recent = 4;
+  // A smaller database keeps D (and hence the controller's forecast
+  // horizon) proportionate to the strongly accelerated replay.
+  config.migration.db_size_mb = 110.0;
+  return config;
+}
+
+TEST(AggregateSlotsTest, MeansGroups) {
+  const auto out = AggregateSlots({1, 2, 3, 4, 5, 6, 7}, 3);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 2.0);
+  EXPECT_DOUBLE_EQ(out[1], 5.0);
+}
+
+TEST(ExperimentConfigTest, Validation) {
+  ExperimentConfig c = FastConfig(ElasticityStrategy::kStatic);
+  EXPECT_TRUE(c.Validate().ok());
+  c.static_nodes = 100;
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+  c = FastConfig(ElasticityStrategy::kStatic);
+  c.replay_days = 0;
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+  c = FastConfig(ElasticityStrategy::kStatic);
+  c.train_days = 2;
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+}
+
+TEST(ExperimentTest, StrategyNames) {
+  EXPECT_STREQ(ElasticityStrategyName(ElasticityStrategy::kStatic),
+               "Static");
+  EXPECT_STREQ(ElasticityStrategyName(ElasticityStrategy::kReactive),
+               "Reactive");
+  EXPECT_STREQ(ElasticityStrategyName(ElasticityStrategy::kPStoreSpar),
+               "P-Store (SPAR)");
+  EXPECT_STREQ(ElasticityStrategyName(ElasticityStrategy::kPStoreOracle),
+               "P-Store (Oracle)");
+}
+
+TEST(ExperimentTest, StaticRunCompletes) {
+  auto result =
+      RunElasticityExperiment(FastConfig(ElasticityStrategy::kStatic));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->strategy_name, "Static");
+  EXPECT_GT(result->submitted, 10000);
+  EXPECT_GT(result->committed, 0);
+  EXPECT_DOUBLE_EQ(result->avg_machines, 4.0);
+  EXPECT_TRUE(result->moves.empty());
+  EXPECT_FALSE(result->latency_windows.empty());
+  EXPECT_FALSE(result->throughput_txn_s.empty());
+}
+
+TEST(ExperimentTest, OracleRunScalesWithLoad) {
+  auto result =
+      RunElasticityExperiment(FastConfig(ElasticityStrategy::kPStoreOracle));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Elastic: the cluster changed size at least twice over the day and
+  // used fewer machines on average than peak provisioning.
+  EXPECT_GE(static_cast<int64_t>(result->moves.size()), 2);
+  EXPECT_LT(result->avg_machines, 4.0);
+  EXPECT_GT(result->avg_machines, 0.9);
+}
+
+TEST(ExperimentTest, ReactiveRunCompletes) {
+  auto result =
+      RunElasticityExperiment(FastConfig(ElasticityStrategy::kReactive));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->submitted, 10000);
+  EXPECT_LT(result->avg_machines, 4.0);
+}
+
+TEST(ExperimentTest, SparRunCompletes) {
+  ExperimentConfig config = FastConfig(ElasticityStrategy::kPStoreSpar);
+  config.train_days = 10;
+  auto result = RunElasticityExperiment(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->submitted, 10000);
+  EXPECT_FALSE(result->moves.empty());
+}
+
+TEST(ExperimentTest, DeterministicForSameConfig) {
+  auto a = RunElasticityExperiment(FastConfig(ElasticityStrategy::kStatic));
+  auto b = RunElasticityExperiment(FastConfig(ElasticityStrategy::kStatic));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->submitted, b->submitted);
+  EXPECT_EQ(a->committed, b->committed);
+  EXPECT_EQ(a->violations_p99, b->violations_p99);
+}
+
+TEST(ExperimentTest, UniformityStatReported) {
+  auto result =
+      RunElasticityExperiment(FastConfig(ElasticityStrategy::kStatic));
+  ASSERT_TRUE(result.ok());
+  // Section 8.1: most-accessed partition close to the mean.
+  EXPECT_GT(result->max_partition_access_over_mean, 1.0);
+  EXPECT_LT(result->max_partition_access_over_mean, 1.4);
+}
+
+}  // namespace
+}  // namespace pstore

@@ -1,0 +1,124 @@
+#include "core/reactive_controller.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace pstore {
+namespace {
+
+using testing_util::MakeKvDatabase;
+
+class ReactiveControllerTest : public ::testing::Test {
+ protected:
+  ReactiveControllerTest() : db_(MakeKvDatabase()) {}
+
+  void Build(int32_t initial_nodes) {
+    EngineConfig config = testing_util::SmallEngineConfig();
+    config.initial_nodes = initial_nodes;
+    engine_ = std::make_unique<ClusterEngine>(&sim_, db_.catalog,
+                                              db_.registry, config);
+    MigrationOptions migration;
+    migration.chunk_kb = 200;
+    migration.rate_kbps = 5000;
+    migration.wire_kbps = 50000;
+    migration.db_size_mb = 10;
+    migrator_ = std::make_unique<MigrationExecutor>(engine_.get(), migration);
+  }
+
+  ReactiveConfig Config() {
+    ReactiveConfig config;
+    config.q = 100.0;
+    config.q_hat = 125.0;
+    config.high_watermark = 0.9;  // tests exercise the knobs explicitly
+    config.headroom = 0.10;
+    config.monitor_period = kSecond;
+    config.scale_in_hold = 5 * kSecond;
+    return config;
+  }
+
+  void OfferLoad(double rate, double seconds, double start_s = 0) {
+    const int64_t n = static_cast<int64_t>(rate * seconds);
+    for (int64_t i = 0; i < n; ++i) {
+      TxnRequest put;
+      put.proc = db_.put;
+      put.key = (i * 48271) % 100000;
+      put.args = {Value(int64_t{1})};
+      sim_.ScheduleAt(
+          SecondsToDuration(start_s + i * seconds / n),
+          [this, put]() { engine_->Submit(put); });
+    }
+  }
+
+  Simulator sim_;
+  testing_util::KvDatabase db_;
+  std::unique_ptr<ClusterEngine> engine_;
+  std::unique_ptr<MigrationExecutor> migrator_;
+};
+
+TEST_F(ReactiveControllerTest, ConfigValidation) {
+  ReactiveConfig c = Config();
+  EXPECT_TRUE(c.Validate().ok());
+  c.q_hat = 50;
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+  c = Config();
+  c.high_watermark = 1.5;
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+  c = Config();
+  c.low_watermark = 0;
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+  c = Config();
+  c.smoothing = 0;
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+}
+
+TEST_F(ReactiveControllerTest, ScalesOutOnlyAfterOverload) {
+  Build(1);
+  ReactiveController controller(engine_.get(), migrator_.get(), Config());
+  controller.Start();
+  // Light load first: nothing happens.
+  OfferLoad(50.0, 5.0);
+  sim_.RunUntil(SecondsToDuration(5.0));
+  EXPECT_EQ(engine_->active_nodes(), 1);
+  EXPECT_EQ(controller.scale_outs(), 0);
+  // Heavy load: 250 txn/s overloads one node (cap_hat 125).
+  OfferLoad(250.0, 15.0, 5.0);
+  sim_.RunUntil(SecondsToDuration(20.0));
+  EXPECT_GT(controller.scale_outs(), 0);
+  EXPECT_GE(engine_->active_nodes(), 3);
+}
+
+TEST_F(ReactiveControllerTest, ScalesInAfterSustainedLowLoad) {
+  Build(4);
+  ReactiveController controller(engine_.get(), migrator_.get(), Config());
+  controller.Start();
+  OfferLoad(60.0, 40.0);  // fits comfortably on 1 node
+  sim_.RunUntil(SecondsToDuration(40.0));
+  EXPECT_GT(controller.scale_ins(), 0);
+  EXPECT_LT(engine_->active_nodes(), 4);
+}
+
+TEST_F(ReactiveControllerTest, ScaleInWaitsForHoldPeriod) {
+  Build(2);
+  ReactiveConfig config = Config();
+  config.scale_in_hold = 30 * kSecond;
+  ReactiveController controller(engine_.get(), migrator_.get(), config);
+  controller.Start();
+  OfferLoad(30.0, 10.0);
+  sim_.RunUntil(SecondsToDuration(10.0));
+  EXPECT_EQ(engine_->active_nodes(), 2);  // hold not yet elapsed
+}
+
+TEST_F(ReactiveControllerTest, StopHaltsDecisions) {
+  Build(1);
+  ReactiveController controller(engine_.get(), migrator_.get(), Config());
+  controller.Start();
+  controller.Stop();
+  OfferLoad(400.0, 5.0);
+  sim_.RunUntil(SecondsToDuration(6.0));
+  EXPECT_EQ(controller.scale_outs(), 0);
+  EXPECT_EQ(engine_->active_nodes(), 1);
+}
+
+}  // namespace
+}  // namespace pstore

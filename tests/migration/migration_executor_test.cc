@@ -1,0 +1,238 @@
+#include "migration/migration_executor.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace pstore {
+namespace {
+
+using testing_util::MakeKvDatabase;
+using testing_util::SmallEngineConfig;
+
+class MigrationExecutorTest : public ::testing::Test {
+ protected:
+  MigrationExecutorTest() : db_(MakeKvDatabase()) {}
+
+  void BuildEngine(EngineConfig config, int64_t rows = 500) {
+    engine_ = std::make_unique<ClusterEngine>(&sim_, db_.catalog,
+                                              db_.registry, config);
+    for (int64_t k = 0; k < rows; ++k) {
+      ASSERT_TRUE(
+          engine_->LoadRow(db_.table, Row({Value(k), Value(k)})).ok());
+    }
+  }
+
+  MigrationOptions FastOptions() {
+    MigrationOptions opts;
+    opts.chunk_kb = 100;
+    opts.rate_kbps = 10000;   // fast so tests are cheap
+    opts.wire_kbps = 100000;
+    opts.db_size_mb = 10;
+    return opts;
+  }
+
+  Simulator sim_;
+  testing_util::KvDatabase db_;
+  std::unique_ptr<ClusterEngine> engine_;
+};
+
+TEST_F(MigrationExecutorTest, OptionsValidation) {
+  MigrationOptions opts;
+  EXPECT_TRUE(opts.Validate().ok());
+  opts.chunk_kb = 0;
+  EXPECT_TRUE(opts.Validate().IsInvalidArgument());
+  opts = MigrationOptions{};
+  opts.rate_kbps = -1;
+  EXPECT_TRUE(opts.Validate().IsInvalidArgument());
+  opts = MigrationOptions{};
+  opts.rate_multiplier = 0;
+  EXPECT_TRUE(opts.Validate().IsInvalidArgument());
+}
+
+TEST_F(MigrationExecutorTest, ScaleOutMovesDataAndBalances) {
+  BuildEngine(SmallEngineConfig());
+  MigrationExecutor migrator(engine_.get(), FastOptions());
+  const int64_t rows_before = engine_->TotalRowCount();
+
+  bool completed = false;
+  ASSERT_TRUE(migrator.StartMove(4, [&]() { completed = true; }).ok());
+  EXPECT_TRUE(migrator.InProgress());
+  sim_.RunAll();
+
+  EXPECT_TRUE(completed);
+  EXPECT_FALSE(migrator.InProgress());
+  EXPECT_EQ(engine_->active_nodes(), 4);
+  EXPECT_EQ(engine_->TotalRowCount(), rows_before);
+
+  // Buckets spread evenly: 64 buckets over 8 partitions -> 8 each.
+  const auto counts = engine_->partition_map().BucketCounts();
+  for (int32_t p = 0; p < engine_->active_partitions(); ++p) {
+    EXPECT_NEAR(counts[static_cast<size_t>(p)], 8, 3);
+  }
+  // Every row is where the map says.
+  for (int64_t k = 0; k < rows_before; ++k) {
+    const PartitionId p = engine_->partition_map().PartitionOfKey(k);
+    EXPECT_TRUE(engine_->fragment(p)->Contains(db_.table, k));
+  }
+}
+
+TEST_F(MigrationExecutorTest, ScaleInDrainsAndReleasesNodes) {
+  EngineConfig config = SmallEngineConfig();
+  config.initial_nodes = 4;
+  BuildEngine(config);
+  MigrationExecutor migrator(engine_.get(), FastOptions());
+
+  bool completed = false;
+  ASSERT_TRUE(migrator.StartMove(2, [&]() { completed = true; }).ok());
+  sim_.RunAll();
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(engine_->active_nodes(), 2);
+  EXPECT_EQ(engine_->TotalRowCount(), 500);
+  // Released nodes hold nothing.
+  for (int32_t p = 4; p < 8; ++p) {
+    EXPECT_EQ(engine_->fragment(p)->TotalRowCount(), 0);
+  }
+  // All keys still reachable.
+  for (int64_t k = 0; k < 500; ++k) {
+    const PartitionId p = engine_->partition_map().PartitionOfKey(k);
+    EXPECT_TRUE(engine_->fragment(p)->Contains(db_.table, k));
+    EXPECT_LT(p, 4);
+  }
+}
+
+TEST_F(MigrationExecutorTest, RejectsConcurrentMoves) {
+  BuildEngine(SmallEngineConfig());
+  MigrationExecutor migrator(engine_.get(), FastOptions());
+  ASSERT_TRUE(migrator.StartMove(4, nullptr).ok());
+  EXPECT_TRUE(migrator.StartMove(6, nullptr).IsFailedPrecondition());
+  sim_.RunAll();
+  EXPECT_TRUE(migrator.StartMove(6, nullptr).ok());
+  sim_.RunAll();
+  EXPECT_EQ(engine_->active_nodes(), 6);
+}
+
+TEST_F(MigrationExecutorTest, TargetOutOfRangeRejected) {
+  BuildEngine(SmallEngineConfig());
+  MigrationExecutor migrator(engine_.get(), FastOptions());
+  EXPECT_TRUE(migrator.StartMove(0, nullptr).IsInvalidArgument());
+  EXPECT_TRUE(migrator.StartMove(100, nullptr).IsInvalidArgument());
+}
+
+TEST_F(MigrationExecutorTest, SameTargetCompletesImmediately) {
+  BuildEngine(SmallEngineConfig());
+  MigrationExecutor migrator(engine_.get(), FastOptions());
+  bool completed = false;
+  ASSERT_TRUE(migrator.StartMove(2, [&]() { completed = true; }).ok());
+  sim_.RunAll();
+  EXPECT_TRUE(completed);
+  EXPECT_TRUE(migrator.history().empty());
+}
+
+TEST_F(MigrationExecutorTest, DurationMatchesMoveModel) {
+  // 1 -> 2 with P=2: max parallelism 2, fraction 1/2. The sustained
+  // per-stream rate R gives T = (db/2) / R / 2 seconds.
+  EngineConfig config = SmallEngineConfig();
+  config.initial_nodes = 1;
+  BuildEngine(config);
+  MigrationOptions opts;
+  opts.chunk_kb = 64;
+  opts.rate_kbps = 1000;
+  opts.wire_kbps = 1e9;   // negligible burst time
+  opts.db_size_mb = 100;  // 102400 kB
+  MigrationExecutor migrator(engine_.get(), opts);
+
+  ASSERT_TRUE(migrator.StartMove(2, nullptr).ok());
+  sim_.RunAll();
+  ASSERT_EQ(migrator.history().size(), 1u);
+  const MoveRecord& record = migrator.history()[0];
+  const double elapsed_s = DurationToSeconds(record.end - record.start);
+  // Expected: total moved = half the DB = 51200 kB over 2 parallel
+  // streams at 1000 kB/s -> ~25.6 s.
+  EXPECT_NEAR(elapsed_s, 25.6, 3.0);
+  EXPECT_NEAR(migrator.total_kb_moved(), 51200, 5200);
+}
+
+TEST_F(MigrationExecutorTest, RateMultiplierShortensMove) {
+  auto run = [&](double multiplier) {
+    Simulator sim;
+    ClusterEngine engine(&sim, db_.catalog, db_.registry,
+                         SmallEngineConfig());
+    for (int64_t k = 0; k < 100; ++k) {
+      EXPECT_TRUE(engine.LoadRow(db_.table, Row({Value(k), Value(k)})).ok());
+    }
+    MigrationOptions opts = FastOptions();
+    opts.rate_kbps = 500;
+    MigrationExecutor migrator(&engine, opts);
+    EXPECT_TRUE(migrator.StartMove(4, nullptr, multiplier).ok());
+    sim.RunAll();
+    return migrator.history()[0].end - migrator.history()[0].start;
+  };
+  const SimDuration slow = run(1.0);
+  const SimDuration fast = run(8.0);
+  EXPECT_GT(static_cast<double>(slow) / static_cast<double>(fast), 4.0);
+}
+
+TEST_F(MigrationExecutorTest, MigrationOccupiesExecutors) {
+  EngineConfig config = SmallEngineConfig();
+  config.initial_nodes = 1;
+  BuildEngine(config);
+  MigrationOptions opts = FastOptions();
+  opts.wire_kbps = 1000;  // slow wire: long bursts
+  MigrationExecutor migrator(engine_.get(), opts);
+  const SimDuration busy_before = engine_->executor(0)->busy_time();
+  ASSERT_TRUE(migrator.StartMove(2, nullptr).ok());
+  sim_.RunAll();
+  EXPECT_GT(engine_->executor(0)->busy_time(), busy_before);
+  EXPECT_GT(engine_->executor(2)->busy_time(), 0);  // receiver side
+}
+
+TEST_F(MigrationExecutorTest, TransactionsKeepCommittingDuringMigration) {
+  BuildEngine(SmallEngineConfig());
+  MigrationExecutor migrator(engine_.get(), FastOptions());
+  ASSERT_TRUE(migrator.StartMove(4, nullptr).ok());
+  // Interleave reads of existing keys with the move.
+  for (int64_t i = 0; i < 200; ++i) {
+    TxnRequest get;
+    get.proc = db_.get;
+    get.key = i % 500;
+    sim_.Schedule(i * kMillisecond,
+                  [this, get]() { engine_->Submit(get); });
+  }
+  sim_.RunAll();
+  EXPECT_EQ(engine_->txns_committed(), 200);
+  EXPECT_EQ(engine_->txns_aborted(), 0);
+}
+
+TEST_F(MigrationExecutorTest, HistoryRecordsSpans) {
+  BuildEngine(SmallEngineConfig());
+  MigrationExecutor migrator(engine_.get(), FastOptions());
+  ASSERT_TRUE(migrator.StartMove(4, nullptr).ok());
+  ASSERT_EQ(migrator.history().size(), 1u);
+  EXPECT_EQ(migrator.history()[0].end, -1);  // in flight
+  sim_.RunAll();
+  EXPECT_GT(migrator.history()[0].end, migrator.history()[0].start);
+  EXPECT_EQ(migrator.history()[0].from_nodes, 2);
+  EXPECT_EQ(migrator.history()[0].to_nodes, 4);
+}
+
+TEST_F(MigrationExecutorTest, RepeatedScaleOutInRoundTripPreservesData) {
+  BuildEngine(SmallEngineConfig(), 300);
+  MigrationExecutor migrator(engine_.get(), FastOptions());
+  const std::vector<int32_t> targets = {5, 3, 8, 1, 2};
+  for (int32_t target : targets) {
+    ASSERT_TRUE(migrator.StartMove(target, nullptr).ok());
+    sim_.RunAll();
+    ASSERT_EQ(engine_->active_nodes(), target);
+    ASSERT_EQ(engine_->TotalRowCount(), 300);
+    for (int64_t k = 0; k < 300; ++k) {
+      const PartitionId p = engine_->partition_map().PartitionOfKey(k);
+      ASSERT_TRUE(engine_->fragment(p)->Contains(db_.table, k))
+          << "key " << k << " lost at " << target << " nodes";
+      ASSERT_LT(engine_->NodeOfPartition(p), target);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pstore

@@ -1,0 +1,194 @@
+#include "migration/parallel_schedule.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "planner/move_model.h"
+
+namespace pstore {
+namespace {
+
+/// Checks the structural invariants of Section 4.4.1 on a schedule:
+///  - rounds = max(s, delta);
+///  - every (small, delta) pair transfers exactly once;
+///  - within a round, each small-side node and each delta-side node
+///    participates in at most one transfer;
+///  - scale-out allocation is non-decreasing, scale-in non-increasing.
+void CheckScheduleInvariants(const MoveSchedule& schedule) {
+  const int32_t s = schedule.small_side();
+  const int32_t delta = schedule.delta();
+  if (delta == 0) {
+    EXPECT_TRUE(schedule.rounds.empty());
+    return;
+  }
+  EXPECT_EQ(static_cast<int32_t>(schedule.rounds.size()),
+            std::max(s, delta));
+
+  std::map<std::pair<int32_t, int32_t>, int> pair_count;
+  for (const auto& round : schedule.rounds) {
+    std::set<int32_t> small_used, delta_used;
+    for (const auto& t : round.transfers) {
+      ASSERT_GE(t.small_index, 0);
+      ASSERT_LT(t.small_index, s);
+      ASSERT_GE(t.delta_index, 0);
+      ASSERT_LT(t.delta_index, delta);
+      EXPECT_TRUE(small_used.insert(t.small_index).second)
+          << "small node used twice in a round";
+      EXPECT_TRUE(delta_used.insert(t.delta_index).second)
+          << "delta node used twice in a round";
+      ++pair_count[{t.small_index, t.delta_index}];
+    }
+  }
+  for (int32_t i = 0; i < s; ++i) {
+    for (int32_t d = 0; d < delta; ++d) {
+      EXPECT_EQ((pair_count[{i, d}]), 1)
+          << "pair (" << i << "," << d << ") in " << schedule.from_nodes
+          << "->" << schedule.to_nodes;
+    }
+  }
+
+  int32_t prev = schedule.MachinesDuringRound(0);
+  for (size_t r = 1; r < schedule.rounds.size(); ++r) {
+    const int32_t cur = schedule.MachinesDuringRound(static_cast<int32_t>(r));
+    if (schedule.scale_out()) {
+      EXPECT_GE(cur, prev);
+    } else {
+      EXPECT_LE(cur, prev);
+    }
+    prev = cur;
+  }
+}
+
+TEST(MoveScheduleTest, NoopMoveHasNoRounds) {
+  auto schedule = BuildMoveSchedule(4, 4);
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_TRUE(schedule->rounds.empty());
+  EXPECT_DOUBLE_EQ(schedule->AverageMachines(), 4.0);
+}
+
+TEST(MoveScheduleTest, InvalidSizesRejected) {
+  EXPECT_FALSE(BuildMoveSchedule(0, 3).ok());
+  EXPECT_FALSE(BuildMoveSchedule(3, 0).ok());
+}
+
+TEST(MoveScheduleTest, Case1AllAtOnce) {
+  // 3 -> 5: delta 2 <= s 3, all receivers join immediately, s rounds.
+  auto schedule = BuildMoveSchedule(3, 5);
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_EQ(schedule->rounds.size(), 3u);
+  CheckScheduleInvariants(*schedule);
+  for (size_t r = 0; r < schedule->rounds.size(); ++r) {
+    EXPECT_EQ(schedule->MachinesDuringRound(static_cast<int32_t>(r)), 5);
+  }
+}
+
+TEST(MoveScheduleTest, Case2PerfectMultipleBlocks) {
+  // 3 -> 9: two blocks of 3, six rounds, machines 6 then 9.
+  auto schedule = BuildMoveSchedule(3, 9);
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_EQ(schedule->rounds.size(), 6u);
+  CheckScheduleInvariants(*schedule);
+  EXPECT_EQ(schedule->MachinesDuringRound(0), 6);
+  EXPECT_EQ(schedule->MachinesDuringRound(2), 6);
+  EXPECT_EQ(schedule->MachinesDuringRound(3), 9);
+  EXPECT_EQ(schedule->MachinesDuringRound(5), 9);
+  EXPECT_DOUBLE_EQ(schedule->AverageMachines(), 7.5);
+}
+
+TEST(MoveScheduleTest, Case3ThreePhasesTable1) {
+  // Table 1's example: 3 -> 14 completes in 11 rounds (a naive
+  // block-only schedule needs 12).
+  auto schedule = BuildMoveSchedule(3, 14);
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_EQ(schedule->rounds.size(), 11u);
+  CheckScheduleInvariants(*schedule);
+  // Phase 1: two blocks of 3 -> machines 6,6,6,9,9,9.
+  EXPECT_EQ(schedule->MachinesDuringRound(0), 6);
+  EXPECT_EQ(schedule->MachinesDuringRound(3), 9);
+  // Phase 2: machines 12 for 2 rounds.
+  EXPECT_EQ(schedule->MachinesDuringRound(6), 12);
+  EXPECT_EQ(schedule->MachinesDuringRound(7), 12);
+  // Phase 3: all 14.
+  EXPECT_EQ(schedule->MachinesDuringRound(8), 14);
+  EXPECT_EQ(schedule->MachinesDuringRound(10), 14);
+  // Every sender busy in every phase-3 round (the point of the phases).
+  for (int32_t r = 8; r <= 10; ++r) {
+    EXPECT_EQ(schedule->rounds[static_cast<size_t>(r)].transfers.size(), 3u);
+  }
+}
+
+TEST(MoveScheduleTest, ScaleInReversesAllocationTimeline) {
+  auto schedule = BuildMoveSchedule(14, 3);
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_EQ(schedule->rounds.size(), 11u);
+  CheckScheduleInvariants(*schedule);
+  // Mirror of scale-out: 14 first, 6 last.
+  EXPECT_EQ(schedule->MachinesDuringRound(0), 14);
+  EXPECT_EQ(schedule->MachinesDuringRound(10), 6);
+}
+
+TEST(MoveScheduleTest, AverageMachinesMatchesAlgorithm4ForTable1) {
+  auto schedule = BuildMoveSchedule(3, 14);
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_NEAR(schedule->AverageMachines(), 111.0 / 11.0, 1e-9);
+}
+
+TEST(MoveScheduleTest, ToStringMentionsRounds) {
+  auto schedule = BuildMoveSchedule(3, 5);
+  ASSERT_TRUE(schedule.ok());
+  const std::string s = schedule->ToString();
+  EXPECT_NE(s.find("3 -> 5"), std::string::npos);
+  EXPECT_NE(s.find("round 0"), std::string::npos);
+}
+
+TEST(MoveScheduleTest, FirstAndLastAppearance) {
+  auto schedule = BuildMoveSchedule(3, 9);
+  ASSERT_TRUE(schedule.ok());
+  // Block 0 delta nodes appear in rounds 0-2; block 1 in rounds 3-5.
+  EXPECT_EQ(schedule->FirstAppearance(0), 0);
+  EXPECT_EQ(schedule->LastAppearance(0), 2);
+  EXPECT_EQ(schedule->FirstAppearance(3), 3);
+  EXPECT_EQ(schedule->LastAppearance(5), 5);
+  EXPECT_EQ(schedule->FirstAppearance(99), -1);
+}
+
+// Property sweep: invariants hold and the schedule's realized average
+// machine count equals Algorithm 4's closed form for every (b, a).
+class ScheduleSweepTest
+    : public ::testing::TestWithParam<std::tuple<int32_t, int32_t>> {};
+
+TEST_P(ScheduleSweepTest, InvariantsAndAlgorithm4Agreement) {
+  const auto [b, a] = GetParam();
+  auto schedule = BuildMoveSchedule(b, a);
+  ASSERT_TRUE(schedule.ok());
+  CheckScheduleInvariants(*schedule);
+
+  MoveModelConfig config;
+  config.q = 100;
+  config.partitions_per_node = 1;
+  config.d_minutes = 1;
+  config.interval_minutes = 0.001;
+  MoveModel model(config);
+  EXPECT_NEAR(schedule->AverageMachines(), model.AvgMachinesAllocated(b, a),
+              1e-9)
+      << b << " -> " << a;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCases, ScheduleSweepTest,
+    ::testing::Values(
+        std::make_tuple(1, 2), std::make_tuple(2, 1), std::make_tuple(1, 10),
+        std::make_tuple(10, 1), std::make_tuple(3, 5), std::make_tuple(5, 3),
+        std::make_tuple(3, 9), std::make_tuple(9, 3), std::make_tuple(3, 14),
+        std::make_tuple(14, 3), std::make_tuple(4, 14),
+        std::make_tuple(14, 4), std::make_tuple(5, 23),
+        std::make_tuple(23, 5), std::make_tuple(7, 8), std::make_tuple(8, 7),
+        std::make_tuple(2, 9), std::make_tuple(9, 2), std::make_tuple(6, 40),
+        std::make_tuple(40, 6), std::make_tuple(12, 30),
+        std::make_tuple(30, 12)));
+
+}  // namespace
+}  // namespace pstore

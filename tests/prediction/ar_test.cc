@@ -1,0 +1,107 @@
+#include "prediction/ar.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace pstore {
+namespace {
+
+/// AR(1) process y(t) = c + phi * y(t-1) + eps.
+std::vector<double> Ar1Series(int64_t n, double phi, double c, double sigma,
+                              uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> y(static_cast<size_t>(n));
+  double prev = c / (1 - phi);
+  for (int64_t t = 0; t < n; ++t) {
+    prev = c + phi * prev + sigma * rng.NextGaussian();
+    y[static_cast<size_t>(t)] = prev;
+  }
+  return y;
+}
+
+TEST(ArPredictorTest, FitValidation) {
+  ArPredictor predictor(0);
+  EXPECT_TRUE(predictor.Fit({1, 2, 3}, 1).IsInvalidArgument());
+  ArPredictor ok(2);
+  EXPECT_TRUE(ok.Fit({1, 2, 3}, 0).IsInvalidArgument());
+  std::vector<double> tiny(3, 1.0);
+  EXPECT_FALSE(ok.Fit(tiny, 1).ok());
+}
+
+TEST(ArPredictorTest, LearnsAr1Process) {
+  const auto y = Ar1Series(5000, 0.9, 10.0, 1.0, 11);
+  ArPredictor predictor(5);
+  ASSERT_TRUE(predictor.Fit(y, 1).ok());
+  // One-step predictions should beat the naive last-value predictor.
+  double model_err = 0, naive_err = 0;
+  const auto test = Ar1Series(2000, 0.9, 10.0, 1.0, 13);
+  for (int64_t t = 10; t + 1 < static_cast<int64_t>(test.size()); t += 3) {
+    auto pred = predictor.ForecastAt(test, t, 1);
+    ASSERT_TRUE(pred.ok());
+    model_err += std::fabs(*pred - test[static_cast<size_t>(t + 1)]);
+    naive_err += std::fabs(test[static_cast<size_t>(t)] -
+                           test[static_cast<size_t>(t + 1)]);
+  }
+  EXPECT_LT(model_err, naive_err);
+}
+
+TEST(ArPredictorTest, ForecastLengthAndBounds) {
+  const auto y = Ar1Series(2000, 0.8, 5.0, 0.5, 17);
+  ArPredictor predictor(10);
+  ASSERT_TRUE(predictor.Fit(y, 5).ok());
+  auto forecast = predictor.Forecast(y, 1000, 5);
+  ASSERT_TRUE(forecast.ok());
+  EXPECT_EQ(forecast->size(), 5u);
+  EXPECT_FALSE(predictor.Forecast(y, 1000, 6).ok());
+  EXPECT_FALSE(predictor.ForecastAt(y, 1000, 0).ok());
+  EXPECT_FALSE(predictor.ForecastAt(y, 3, 1).ok());  // below MinHistory
+}
+
+TEST(ArPredictorTest, NameAndMinHistory) {
+  ArPredictor predictor(30);
+  EXPECT_EQ(predictor.name(), "AR");
+  EXPECT_EQ(predictor.MinHistory(), 29);
+}
+
+TEST(ArmaPredictorTest, FitValidation) {
+  ArmaPredictor bad(0, 1);
+  EXPECT_TRUE(bad.Fit({1, 2}, 1).IsInvalidArgument());
+  ArmaPredictor bad2(1, 0);
+  EXPECT_TRUE(bad2.Fit({1, 2}, 1).IsInvalidArgument());
+}
+
+TEST(ArmaPredictorTest, LearnsNoisyPeriodicBetterThanNaive) {
+  Rng rng(23);
+  std::vector<double> y(4000);
+  for (size_t t = 0; t < y.size(); ++t) {
+    y[t] = 100 + 20 * std::sin(2 * M_PI * t / 50.0) + rng.NextGaussian();
+  }
+  ArmaPredictor predictor(20, 5);
+  ASSERT_TRUE(predictor.Fit(y, 3).ok());
+  double model_err = 0, naive_err = 0;
+  for (int64_t t = predictor.MinHistory(); t + 3 < 4000; t += 7) {
+    auto pred = predictor.ForecastAt(y, t, 3);
+    ASSERT_TRUE(pred.ok());
+    model_err += std::fabs(*pred - y[static_cast<size_t>(t + 3)]);
+    naive_err += std::fabs(y[static_cast<size_t>(t)] -
+                           y[static_cast<size_t>(t + 3)]);
+  }
+  EXPECT_LT(model_err, naive_err * 0.8);
+}
+
+TEST(ArmaPredictorTest, ForecastShapes) {
+  const auto y = Ar1Series(3000, 0.7, 1.0, 0.3, 29);
+  ArmaPredictor predictor(5, 3);
+  ASSERT_TRUE(predictor.Fit(y, 4).ok());
+  auto forecast = predictor.Forecast(y, 2000, 4);
+  ASSERT_TRUE(forecast.ok());
+  EXPECT_EQ(forecast->size(), 4u);
+  EXPECT_EQ(predictor.name(), "ARMA");
+  EXPECT_FALSE(predictor.ForecastAt(y, 2000, 9).ok());
+}
+
+}  // namespace
+}  // namespace pstore

@@ -1,0 +1,97 @@
+#include "prediction/predictor.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "prediction/spar.h"
+
+namespace pstore {
+namespace {
+
+TEST(OraclePredictorTest, ReturnsActualFuture) {
+  OraclePredictor oracle;
+  std::vector<double> series = {1, 2, 3, 4, 5, 6};
+  auto forecast = oracle.Forecast(series, 1, 3);
+  ASSERT_TRUE(forecast.ok());
+  EXPECT_EQ(*forecast, (std::vector<double>{3, 4, 5}));
+}
+
+TEST(OraclePredictorTest, HoldsLastValueBeyondTrace) {
+  OraclePredictor oracle;
+  std::vector<double> series = {1, 2, 3};
+  auto forecast = oracle.Forecast(series, 1, 4);
+  ASSERT_TRUE(forecast.ok());
+  EXPECT_EQ(*forecast, (std::vector<double>{3, 3, 3, 3}));
+}
+
+TEST(OraclePredictorTest, InflationApplies) {
+  OraclePredictor oracle(0.5);
+  std::vector<double> series = {10, 20};
+  auto forecast = oracle.Forecast(series, 0, 1);
+  ASSERT_TRUE(forecast.ok());
+  EXPECT_DOUBLE_EQ((*forecast)[0], 30.0);
+}
+
+TEST(OraclePredictorTest, RejectsBadArgs) {
+  OraclePredictor oracle;
+  EXPECT_FALSE(oracle.Forecast({1.0}, -1, 1).ok());
+  EXPECT_FALSE(oracle.Forecast({1.0}, 0, 0).ok());
+}
+
+TEST(InflatingPredictorTest, WrapsInnerForecast) {
+  auto inner = std::make_unique<OraclePredictor>(0.0);
+  InflatingPredictor inflating(std::move(inner), 0.15);
+  std::vector<double> series = {100, 200, 300};
+  auto forecast = inflating.Forecast(series, 0, 2);
+  ASSERT_TRUE(forecast.ok());
+  EXPECT_DOUBLE_EQ((*forecast)[0], 230.0);
+  EXPECT_DOUBLE_EQ((*forecast)[1], 345.0);
+  EXPECT_NE(inflating.name().find("Oracle"), std::string::npos);
+}
+
+TEST(EvaluateMreTest, PerfectOracleHasZeroError) {
+  OraclePredictor oracle;
+  std::vector<double> series(200, 0.0);
+  for (size_t i = 0; i < series.size(); ++i) {
+    series[i] = 100 + std::sin(static_cast<double>(i)) * 10;
+  }
+  auto mre = EvaluateMre(oracle, series, 0, 200, 5);
+  ASSERT_TRUE(mre.ok());
+  EXPECT_NEAR(*mre, 0.0, 1e-12);
+}
+
+TEST(EvaluateMreTest, InflatedOracleHasKnownError) {
+  OraclePredictor oracle(0.1);
+  std::vector<double> series(100, 50.0);
+  auto mre = EvaluateMre(oracle, series, 0, 100, 3);
+  ASSERT_TRUE(mre.ok());
+  EXPECT_NEAR(*mre, 0.1, 1e-9);
+}
+
+TEST(EvaluateMreTest, RejectsEmptyRange) {
+  OraclePredictor oracle;
+  std::vector<double> series(10, 1.0);
+  EXPECT_FALSE(EvaluateMre(oracle, series, 8, 9, 5).ok());
+  EXPECT_FALSE(EvaluateMre(oracle, series, 0, 10, 0).ok());
+}
+
+TEST(EvaluateMreTest, RespectsMinHistory) {
+  SparConfig config;
+  config.period = 10;
+  config.num_periods = 2;
+  config.num_recent = 2;
+  SparPredictor predictor(config);
+  std::vector<double> series(400);
+  for (size_t i = 0; i < series.size(); ++i) {
+    series[i] = 100 + 10 * std::sin(2 * M_PI * i / 10.0);
+  }
+  ASSERT_TRUE(predictor.Fit(series, 2).ok());
+  // Start below MinHistory; the evaluator should clamp, not fail.
+  auto mre = EvaluateMre(predictor, series, 0, 400, 2);
+  ASSERT_TRUE(mre.ok());
+  EXPECT_LT(*mre, 0.05);
+}
+
+}  // namespace
+}  // namespace pstore

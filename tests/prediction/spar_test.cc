@@ -1,0 +1,208 @@
+#include "prediction/spar.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "workload/b2w_trace.h"
+
+namespace pstore {
+namespace {
+
+/// Noiseless periodic signal: SPAR should learn it exactly.
+std::vector<double> PurePeriodic(int64_t slots, int32_t period) {
+  std::vector<double> y(static_cast<size_t>(slots));
+  for (int64_t t = 0; t < slots; ++t) {
+    y[static_cast<size_t>(t)] =
+        100.0 + 50.0 * std::sin(2 * M_PI * (t % period) / period);
+  }
+  return y;
+}
+
+TEST(SparConfigTest, Validation) {
+  SparConfig c;
+  EXPECT_TRUE(c.Validate().ok());
+  c.period = 1;
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+  c = SparConfig{};
+  c.num_periods = 0;
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+  c = SparConfig{};
+  c.num_recent = -1;
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+}
+
+TEST(SparModelTest, FitRejectsBadTau) {
+  SparConfig config;
+  config.period = 24;
+  std::vector<double> train(24 * 20, 1.0);
+  EXPECT_FALSE(SparModel::Fit(train, 0, config).ok());
+  EXPECT_FALSE(SparModel::Fit(train, 24, config).ok());
+}
+
+TEST(SparModelTest, FitRejectsShortTraining) {
+  SparConfig config;
+  config.period = 24;
+  config.num_periods = 7;
+  std::vector<double> train(24 * 6, 1.0);  // fewer than n periods
+  EXPECT_TRUE(SparModel::Fit(train, 1, config).status().IsInvalidArgument());
+}
+
+TEST(SparModelTest, LearnsPurePeriodicSignalExactly) {
+  SparConfig config;
+  config.period = 24;
+  config.num_periods = 3;
+  config.num_recent = 4;
+  config.ridge = 1e-9;
+  const auto y = PurePeriodic(24 * 30, 24);
+  auto model = SparModel::Fit(y, 2, config);
+  ASSERT_TRUE(model.ok());
+  // Out-of-sample continuation of the same signal.
+  const auto test = PurePeriodic(24 * 40, 24);
+  for (int64_t t = model->MinHistory(); t < 24 * 40 - 2; t += 7) {
+    EXPECT_NEAR(model->Predict(test, t), test[static_cast<size_t>(t + 2)],
+                0.5);
+  }
+}
+
+TEST(SparModelTest, CoefficientLayout) {
+  SparConfig config;
+  config.period = 24;
+  config.num_periods = 3;
+  config.num_recent = 5;
+  const auto y = PurePeriodic(24 * 20, 24);
+  auto model = SparModel::Fit(y, 1, config);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->periodic_coefficients().size(), 3u);
+  EXPECT_EQ(model->recent_coefficients().size(), 5u);
+  EXPECT_EQ(model->tau(), 1);
+  EXPECT_EQ(model->MinHistory(), 3 * 24 + 5);
+}
+
+TEST(SparModelTest, PeriodicCoefficientsDominateForPeriodicSignal) {
+  SparConfig config;
+  config.period = 24;
+  config.num_periods = 3;
+  config.num_recent = 2;
+  const auto y = PurePeriodic(24 * 30, 24);
+  auto model = SparModel::Fit(y, 1, config);
+  ASSERT_TRUE(model.ok());
+  double periodic_weight = 0;
+  for (double a : model->periodic_coefficients()) periodic_weight += a;
+  // The periodic part should reconstruct the signal: weights sum to ~1.
+  EXPECT_NEAR(periodic_weight, 1.0, 0.05);
+}
+
+TEST(SparModelTest, RecentOffsetsCaptureLevelShifts) {
+  // Periodic signal plus a persistent level shift in the last hours:
+  // the Delta-y terms should push predictions toward the shifted level.
+  SparConfig config;
+  config.period = 48;
+  config.num_periods = 4;
+  config.num_recent = 6;
+  Rng rng(3);
+  const int32_t period = 48;
+  std::vector<double> y(static_cast<size_t>(period) * 60);
+  double shift = 0;
+  for (size_t t = 0; t < y.size(); ++t) {
+    if (t % 17 == 0) shift = 0.9 * shift + rng.NextGaussian() * 5;
+    y[t] = 100.0 + 30.0 * std::sin(2 * M_PI * (t % period) / period) + shift;
+  }
+  auto model = SparModel::Fit(y, 1, config);
+  ASSERT_TRUE(model.ok());
+  double recent_weight = 0;
+  for (double b : model->recent_coefficients()) recent_weight += b;
+  EXPECT_GT(recent_weight, 0.3);  // persistence is learned
+}
+
+TEST(SparPredictorTest, FitThenForecastShapes) {
+  SparConfig config;
+  config.period = 24;
+  config.num_periods = 3;
+  config.num_recent = 4;
+  SparPredictor predictor(config);
+  EXPECT_FALSE(predictor.Forecast({}, 0, 1).ok());  // not fitted
+
+  const auto y = PurePeriodic(24 * 30, 24);
+  ASSERT_TRUE(predictor.Fit(y, 6).ok());
+  auto forecast = predictor.Forecast(y, 24 * 20, 6);
+  ASSERT_TRUE(forecast.ok());
+  EXPECT_EQ(forecast->size(), 6u);
+  EXPECT_FALSE(predictor.Forecast(y, 24 * 20, 7).ok());  // beyond horizon
+  EXPECT_FALSE(predictor.Forecast(y, 10, 3).ok());       // thin history
+}
+
+TEST(SparPredictorTest, ForecastAtMatchesForecast) {
+  SparConfig config;
+  config.period = 24;
+  config.num_periods = 2;
+  config.num_recent = 3;
+  SparPredictor predictor(config);
+  const auto y = PurePeriodic(24 * 20, 24);
+  ASSERT_TRUE(predictor.Fit(y, 4).ok());
+  auto all = predictor.Forecast(y, 24 * 15, 4);
+  ASSERT_TRUE(all.ok());
+  for (int32_t tau = 1; tau <= 4; ++tau) {
+    auto one = predictor.ForecastAt(y, 24 * 15, tau);
+    ASSERT_TRUE(one.ok());
+    EXPECT_DOUBLE_EQ(*one, (*all)[static_cast<size_t>(tau - 1)]);
+  }
+}
+
+TEST(SparPredictorTest, AccurateOnSyntheticB2wTrace) {
+  // The headline claim of Section 5: ~10% MRE at tau = 60 minutes on the
+  // B2W load. Our synthetic trace should admit comparable accuracy.
+  B2wTraceConfig trace_config = B2wRegularTraffic(42, 99);
+  auto trace = GenerateB2wTrace(trace_config);
+  ASSERT_TRUE(trace.ok());
+
+  SparConfig config;  // paper settings: T=1440, n=7, m=30
+  SparPredictor predictor(config);
+  std::vector<double> train(trace->begin(), trace->begin() + 28 * 1440);
+  ASSERT_TRUE(predictor.Fit(train, 60).ok());
+
+  // Evaluate tau=60 over days 29-34.
+  double total = 0;
+  int64_t n = 0;
+  for (int64_t t = 29 * 1440; t < 34 * 1440; t += 13) {
+    auto pred = predictor.ForecastAt(*trace, t, 60);
+    ASSERT_TRUE(pred.ok());
+    const double actual = (*trace)[static_cast<size_t>(t + 60)];
+    total += std::fabs(*pred - actual) / actual;
+    ++n;
+  }
+  const double mre = total / static_cast<double>(n);
+  EXPECT_LT(mre, 0.15) << "MRE " << mre;
+}
+
+TEST(SparPredictorTest, ErrorGrowsWithTau) {
+  // Figure 5b: accuracy decays gracefully with the forecast window.
+  B2wTraceConfig trace_config = B2wRegularTraffic(42, 7);
+  auto trace = GenerateB2wTrace(trace_config);
+  ASSERT_TRUE(trace.ok());
+  SparConfig config;
+  SparPredictor predictor(config);
+  std::vector<double> train(trace->begin(), trace->begin() + 28 * 1440);
+  ASSERT_TRUE(predictor.Fit(train, 60).ok());
+
+  auto mre_at = [&](int32_t tau) {
+    double total = 0;
+    int64_t n = 0;
+    for (int64_t t = 29 * 1440; t < 33 * 1440; t += 17) {
+      auto pred = predictor.ForecastAt(*trace, t, tau);
+      EXPECT_TRUE(pred.ok());
+      const double actual = (*trace)[static_cast<size_t>(t + tau)];
+      total += std::fabs(*pred - actual) / actual;
+      ++n;
+    }
+    return total / static_cast<double>(n);
+  };
+  const double short_horizon = mre_at(5);
+  const double long_horizon = mre_at(60);
+  EXPECT_LT(short_horizon, long_horizon);
+  EXPECT_LT(short_horizon, 0.06);
+}
+
+}  // namespace
+}  // namespace pstore

@@ -1,0 +1,165 @@
+#include "sim/capacity_sim.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sim/strategies.h"
+
+namespace pstore {
+namespace {
+
+CapacitySimConfig SimConfig() {
+  CapacitySimConfig config;
+  config.move_model.q = 100.0;
+  config.move_model.partitions_per_node = 2;
+  config.move_model.d_minutes = 40.0;
+  config.move_model.interval_minutes = 5.0;
+  config.q_hat = 125.0;
+  config.max_machines = 12;
+  return config;
+}
+
+std::vector<double> FlatLoad(int64_t minutes, double level) {
+  return std::vector<double>(static_cast<size_t>(minutes), level);
+}
+
+TEST(CapacitySimConfigTest, Validation) {
+  CapacitySimConfig c = SimConfig();
+  EXPECT_TRUE(c.Validate().ok());
+  c.q_hat = 10;
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+  c = SimConfig();
+  c.max_machines = 0;
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+}
+
+TEST(CapacitySimTest, StaticCostIsMachineMinutes) {
+  CapacitySimulator sim(SimConfig());
+  StaticStrategy strategy(3);
+  auto result = sim.Run(FlatLoad(100, 50.0), &strategy, 0, 100, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->total_machine_minutes, 300.0);
+  EXPECT_EQ(result->minutes_insufficient, 0);
+  EXPECT_EQ(result->moves_started, 0);
+}
+
+TEST(CapacitySimTest, InsufficiencyCounted) {
+  CapacitySimulator sim(SimConfig());
+  StaticStrategy strategy(1);
+  // cap_hat(1) = 125; load 200 for the last half.
+  std::vector<double> load = FlatLoad(100, 50.0);
+  for (size_t t = 50; t < 100; ++t) load[t] = 200.0;
+  auto result = sim.Run(load, &strategy, 0, 100, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->minutes_insufficient, 50);
+  EXPECT_NEAR(result->pct_time_insufficient, 50.0, 1e-9);
+}
+
+TEST(CapacitySimTest, InitialMachinesDerivedFromLoad) {
+  CapacitySimulator sim(SimConfig());
+  StaticStrategy strategy(5);
+  auto result = sim.Run(FlatLoad(10, 450.0), &strategy, 0, 10);
+  ASSERT_TRUE(result.ok());
+  // ceil(450 * 1.2 / 100) = 6 initially, then the strategy moves to 5.
+  EXPECT_GT(result->total_machine_minutes, 50.0);
+}
+
+TEST(CapacitySimTest, MoveTakesModelTime) {
+  CapacitySimConfig config = SimConfig();
+  config.record_series = true;
+  CapacitySimulator sim(config);
+  StaticStrategy strategy(4);  // wants 4; we start at 2
+  auto result = sim.Run(FlatLoad(60, 150.0), &strategy, 0, 60, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->moves_started, 1);
+  // T(2,4) = D / (P*min(2,2)) * (1 - 2/4) = 40/4 * 0.5 = 5 minutes.
+  // Machines reach 4 after the move and stay.
+  EXPECT_EQ(result->machines.back(), 4);
+  // During the first few minutes the allocation is the schedule's.
+  EXPECT_LT(result->machines[1], 5);
+}
+
+TEST(CapacitySimTest, EffectiveCapacityRampsDuringScaleOut) {
+  CapacitySimConfig config = SimConfig();
+  config.record_series = true;
+  CapacitySimulator sim(config);
+  StaticStrategy strategy(8);
+  auto result = sim.Run(FlatLoad(120, 150.0), &strategy, 0, 120, 2);
+  ASSERT_TRUE(result.ok());
+  const auto& cap = result->effective_capacity;
+  // Capacity starts near cap_hat(2) and ends at cap_hat(8).
+  EXPECT_NEAR(cap.front(), 2 * 125.0, 30.0);
+  EXPECT_NEAR(cap.back(), 8 * 125.0, 1e-6);
+  // Monotone non-decreasing during the single scale-out.
+  for (size_t t = 1; t < cap.size(); ++t) {
+    EXPECT_GE(cap[t], cap[t - 1] - 1e-9);
+  }
+}
+
+TEST(CapacitySimTest, RateMultiplierShortensMoves) {
+  // Strategy that asks for a big jump with a multiplier.
+  class FastScaler : public AllocationStrategy {
+   public:
+    std::string name() const override { return "FastScaler"; }
+    AllocationDecision Decide(const std::vector<double>&, int64_t,
+                              int32_t current) override {
+      if (!fired_) {
+        fired_ = true;
+        return AllocationDecision{8, 8.0};
+      }
+      return AllocationDecision{current, 1.0};
+    }
+    void Reset() override { fired_ = false; }
+
+   private:
+    bool fired_ = false;
+  };
+
+  CapacitySimConfig config = SimConfig();
+  config.record_series = true;
+  CapacitySimulator sim(config);
+  FastScaler strategy;
+  auto result = sim.Run(FlatLoad(60, 150.0), &strategy, 0, 60, 2);
+  ASSERT_TRUE(result.ok());
+  // T(2,8) = 40/(2*2) * (1 - 1/4) = 7.5 min; at 8x -> ~1 minute.
+  int64_t minutes_to_full = 0;
+  for (size_t t = 0; t < result->machines.size(); ++t) {
+    if (result->machines[t] == 8) {
+      minutes_to_full = static_cast<int64_t>(t);
+      break;
+    }
+  }
+  EXPECT_LE(minutes_to_full, 3);
+}
+
+TEST(CapacitySimTest, RejectsBadWindows) {
+  CapacitySimulator sim(SimConfig());
+  StaticStrategy strategy(1);
+  std::vector<double> load = FlatLoad(10, 10.0);
+  EXPECT_FALSE(sim.Run(load, &strategy, 5, 5).ok());
+  EXPECT_FALSE(sim.Run(load, &strategy, -1, 5).ok());
+  EXPECT_FALSE(sim.Run(load, nullptr, 0, 5).ok());
+}
+
+TEST(CapacitySimTest, DecisionsOnlyAtControlSlots) {
+  // A strategy that counts invocations.
+  class CountingStrategy : public AllocationStrategy {
+   public:
+    std::string name() const override { return "Counting"; }
+    AllocationDecision Decide(const std::vector<double>&, int64_t,
+                              int32_t current) override {
+      ++calls;
+      return AllocationDecision{current, 1.0};
+    }
+    int calls = 0;
+  };
+  CapacitySimulator sim(SimConfig());
+  CountingStrategy strategy;
+  auto result = sim.Run(FlatLoad(50, 10.0), &strategy, 0, 50, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(strategy.calls, 10);  // every 5 minutes over 50 minutes
+}
+
+}  // namespace
+}  // namespace pstore

@@ -1,0 +1,101 @@
+#include "sim/simulator.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pstore {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now(), 0);
+  EXPECT_TRUE(sim.Empty());
+}
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(30, [&]() { order.push_back(3); });
+  sim.Schedule(10, [&]() { order.push_back(1); });
+  sim.Schedule(20, [&]() { order.push_back(2); });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30);
+  EXPECT_EQ(sim.events_executed(), 3);
+}
+
+TEST(SimulatorTest, TiesFireInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(5, [&order, i]() { order.push_back(i); });
+  }
+  sim.RunAll();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(10, [&]() { ++fired; });
+  sim.Schedule(20, [&]() { ++fired; });
+  sim.Schedule(30, [&]() { ++fired; });
+  sim.RunUntil(20);
+  EXPECT_EQ(fired, 2);  // events at t <= 20 fire
+  EXPECT_EQ(sim.Now(), 20);
+  sim.RunUntil(100);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.Now(), 100);  // clock advances to `until`
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&]() {
+    if (++depth < 5) sim.Schedule(10, recurse);
+  };
+  sim.Schedule(0, recurse);
+  sim.RunAll();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.Now(), 40);
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
+  Simulator sim;
+  sim.Schedule(10, []() {});
+  sim.RunAll();
+  SimTime fired_at = -1;
+  sim.Schedule(-100, [&]() { fired_at = sim.Now(); });
+  sim.RunAll();
+  EXPECT_EQ(fired_at, 10);
+}
+
+TEST(SimulatorTest, ScheduleAtInThePastClamps) {
+  Simulator sim;
+  sim.Schedule(50, []() {});
+  sim.RunAll();
+  SimTime fired_at = -1;
+  sim.ScheduleAt(10, [&]() { fired_at = sim.Now(); });
+  sim.RunAll();
+  EXPECT_EQ(fired_at, 50);
+}
+
+TEST(SimulatorTest, RunUntilWithEmptyQueueAdvancesClock) {
+  Simulator sim;
+  sim.RunUntil(1234);
+  EXPECT_EQ(sim.Now(), 1234);
+}
+
+TEST(SimulatorTest, ManyEventsPerformanceSmoke) {
+  Simulator sim;
+  int64_t count = 0;
+  for (int i = 0; i < 100000; ++i) {
+    sim.Schedule(i, [&]() { ++count; });
+  }
+  sim.RunAll();
+  EXPECT_EQ(count, 100000);
+}
+
+}  // namespace
+}  // namespace pstore

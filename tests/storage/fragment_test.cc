@@ -1,0 +1,159 @@
+#include "storage/fragment.h"
+
+#include <gtest/gtest.h>
+
+namespace pstore {
+namespace {
+
+class FragmentTest : public ::testing::Test {
+ protected:
+  FragmentTest() {
+    auto id = catalog_.AddTable(Schema(
+        "T", {{"id", ColumnType::kInt64}, {"payload", ColumnType::kString}},
+        0));
+    table_ = *id;
+    auto id2 = catalog_.AddTable(
+        Schema("U", {{"id", ColumnType::kInt64}}, 0));
+    table2_ = *id2;
+  }
+
+  Row MakeRow(int64_t key, const std::string& payload = "p") {
+    return Row({Value(key), Value(payload)});
+  }
+
+  Catalog catalog_;
+  TableId table_;
+  TableId table2_;
+};
+
+TEST_F(FragmentTest, InsertAndGet) {
+  StorageFragment frag(&catalog_, 16);
+  ASSERT_TRUE(frag.Insert(table_, MakeRow(1, "a")).ok());
+  auto row = frag.Get(table_, 1);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->at(1).as_string(), "a");
+  EXPECT_TRUE(frag.Contains(table_, 1));
+  EXPECT_FALSE(frag.Contains(table_, 2));
+}
+
+TEST_F(FragmentTest, InsertDuplicateFails) {
+  StorageFragment frag(&catalog_, 16);
+  ASSERT_TRUE(frag.Insert(table_, MakeRow(1)).ok());
+  EXPECT_TRUE(frag.Insert(table_, MakeRow(1)).IsAlreadyExists());
+  EXPECT_EQ(frag.RowCount(table_), 1);
+}
+
+TEST_F(FragmentTest, InsertValidatesSchema) {
+  StorageFragment frag(&catalog_, 16);
+  EXPECT_TRUE(frag.Insert(table_, Row({Value(int64_t{1})}))
+                  .IsInvalidArgument());
+}
+
+TEST_F(FragmentTest, UpsertInsertsAndReplaces) {
+  StorageFragment frag(&catalog_, 16);
+  ASSERT_TRUE(frag.Upsert(table_, MakeRow(5, "v1")).ok());
+  ASSERT_TRUE(frag.Upsert(table_, MakeRow(5, "v2")).ok());
+  EXPECT_EQ(frag.RowCount(table_), 1);
+  EXPECT_EQ(frag.Get(table_, 5)->at(1).as_string(), "v2");
+}
+
+TEST_F(FragmentTest, DeleteRemoves) {
+  StorageFragment frag(&catalog_, 16);
+  ASSERT_TRUE(frag.Insert(table_, MakeRow(3)).ok());
+  ASSERT_TRUE(frag.Delete(table_, 3).ok());
+  EXPECT_FALSE(frag.Contains(table_, 3));
+  EXPECT_TRUE(frag.Delete(table_, 3).IsNotFound());
+  EXPECT_EQ(frag.RowCount(table_), 0);
+}
+
+TEST_F(FragmentTest, GetMissingIsNotFound) {
+  StorageFragment frag(&catalog_, 16);
+  EXPECT_TRUE(frag.Get(table_, 99).status().IsNotFound());
+}
+
+TEST_F(FragmentTest, ByteAccountingTracksMutations) {
+  StorageFragment frag(&catalog_, 16);
+  EXPECT_EQ(frag.TotalBytes(), 0);
+  ASSERT_TRUE(frag.Insert(table_, MakeRow(1, std::string(100, 'x'))).ok());
+  const int64_t after_insert = frag.TotalBytes();
+  EXPECT_GT(after_insert, 100);
+  ASSERT_TRUE(frag.Upsert(table_, MakeRow(1, std::string(200, 'x'))).ok());
+  EXPECT_GT(frag.TotalBytes(), after_insert);
+  ASSERT_TRUE(frag.Delete(table_, 1).ok());
+  EXPECT_EQ(frag.TotalBytes(), 0);
+}
+
+TEST_F(FragmentTest, BucketBytesSumsToTotal) {
+  StorageFragment frag(&catalog_, 8);
+  for (int64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(frag.Insert(table_, MakeRow(k)).ok());
+  }
+  int64_t sum = 0;
+  for (BucketId b = 0; b < 8; ++b) sum += frag.BucketBytes(b);
+  EXPECT_EQ(sum, frag.TotalBytes());
+}
+
+TEST_F(FragmentTest, RowCountsPerTable) {
+  StorageFragment frag(&catalog_, 8);
+  ASSERT_TRUE(frag.Insert(table_, MakeRow(1)).ok());
+  ASSERT_TRUE(frag.Insert(table2_, Row({Value(int64_t{1})})).ok());
+  ASSERT_TRUE(frag.Insert(table2_, Row({Value(int64_t{2})})).ok());
+  EXPECT_EQ(frag.RowCount(table_), 1);
+  EXPECT_EQ(frag.RowCount(table2_), 2);
+  EXPECT_EQ(frag.TotalRowCount(), 3);
+}
+
+TEST_F(FragmentTest, ExtractInstallMovesAllTables) {
+  StorageFragment src(&catalog_, 4);
+  StorageFragment dst(&catalog_, 4);
+  // Find keys landing in bucket 2.
+  std::vector<int64_t> keys;
+  for (int64_t k = 0; keys.size() < 10; ++k) {
+    if (KeyToBucket(k, 4) == 2) keys.push_back(k);
+  }
+  for (int64_t k : keys) {
+    ASSERT_TRUE(src.Insert(table_, MakeRow(k)).ok());
+    ASSERT_TRUE(src.Insert(table2_, Row({Value(k)})).ok());
+  }
+  const int64_t bytes_before = src.BucketBytes(2);
+  auto data = src.ExtractBucket(2);
+  EXPECT_EQ(src.TotalRowCount(), 0);
+  EXPECT_EQ(src.BucketBytes(2), 0);
+  ASSERT_TRUE(dst.InstallBucket(2, std::move(data)).ok());
+  EXPECT_EQ(dst.TotalRowCount(), 20);
+  EXPECT_EQ(dst.BucketBytes(2), bytes_before);
+  for (int64_t k : keys) {
+    EXPECT_TRUE(dst.Contains(table_, k));
+    EXPECT_TRUE(dst.Contains(table2_, k));
+  }
+}
+
+TEST_F(FragmentTest, ExtractEmptyBucketIsEmpty) {
+  StorageFragment frag(&catalog_, 4);
+  EXPECT_TRUE(frag.ExtractBucket(1).empty());
+}
+
+TEST_F(FragmentTest, InstallCollisionIsInternalError) {
+  StorageFragment a(&catalog_, 4);
+  StorageFragment b(&catalog_, 4);
+  int64_t key = 0;
+  while (KeyToBucket(key, 4) != 1) ++key;
+  ASSERT_TRUE(a.Insert(table_, MakeRow(key)).ok());
+  ASSERT_TRUE(b.Insert(table_, MakeRow(key)).ok());
+  auto data = a.ExtractBucket(1);
+  EXPECT_TRUE(b.InstallBucket(1, std::move(data)).IsInternal());
+}
+
+TEST_F(FragmentTest, BucketKeysListsBucketContents) {
+  StorageFragment frag(&catalog_, 4);
+  std::vector<int64_t> expected;
+  for (int64_t k = 0; k < 50; ++k) {
+    ASSERT_TRUE(frag.Insert(table_, MakeRow(k)).ok());
+    if (KeyToBucket(k, 4) == 0) expected.push_back(k);
+  }
+  auto keys = frag.BucketKeys(table_, 0);
+  EXPECT_EQ(keys.size(), expected.size());
+}
+
+}  // namespace
+}  // namespace pstore

@@ -1,0 +1,148 @@
+#include "storage/partition_map.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace pstore {
+namespace {
+
+TEST(PartitionMapTest, RoundRobinInitialLayout) {
+  PartitionMap map(12, 3);
+  const auto counts = map.BucketCounts();
+  ASSERT_EQ(counts.size(), 3u);
+  for (int32_t c : counts) EXPECT_EQ(c, 4);
+  EXPECT_EQ(map.PartitionOfBucket(0), 0);
+  EXPECT_EQ(map.PartitionOfBucket(1), 1);
+  EXPECT_EQ(map.PartitionOfBucket(3), 0);
+}
+
+TEST(PartitionMapTest, KeyRoutingConsistent) {
+  PartitionMap map(64, 4);
+  for (int64_t key = 0; key < 100; ++key) {
+    const BucketId b = KeyToBucket(key, 64);
+    EXPECT_EQ(map.PartitionOfKey(key), map.PartitionOfBucket(b));
+  }
+}
+
+TEST(PartitionMapTest, BucketsOfPartition) {
+  PartitionMap map(10, 2);
+  const auto p0 = map.BucketsOfPartition(0);
+  const auto p1 = map.BucketsOfPartition(1);
+  EXPECT_EQ(p0.size(), 5u);
+  EXPECT_EQ(p1.size(), 5u);
+  std::set<BucketId> all(p0.begin(), p0.end());
+  all.insert(p1.begin(), p1.end());
+  EXPECT_EQ(all.size(), 10u);
+}
+
+TEST(PartitionMapTest, AssignMovesBucket) {
+  PartitionMap map(8, 2);
+  map.Assign(0, 1);
+  EXPECT_EQ(map.PartitionOfBucket(0), 1);
+  EXPECT_EQ(map.BucketCounts()[0], 3);
+  EXPECT_EQ(map.BucketCounts()[1], 5);
+}
+
+TEST(PartitionMapTest, RebalancedScaleOutBalances) {
+  PartitionMap map(12, 2);
+  PartitionMap target = map.Rebalanced(4);
+  const auto counts = target.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  for (int32_t c : counts) EXPECT_EQ(c, 3);
+}
+
+TEST(PartitionMapTest, RebalancedScaleOutOnlyMovesToNewPartitions) {
+  PartitionMap map(12, 2);
+  PartitionMap target = map.Rebalanced(4);
+  for (const auto& move : map.DiffTo(target)) {
+    EXPECT_LT(move.from, 2);   // senders are original partitions
+    EXPECT_GE(move.to, 0);
+  }
+}
+
+TEST(PartitionMapTest, RebalancedScaleInDrainsRemovedPartitions) {
+  PartitionMap map(12, 4);
+  PartitionMap target = map.Rebalanced(2);
+  const auto counts = target.BucketCounts();
+  EXPECT_EQ(counts[0], 6);
+  EXPECT_EQ(counts[1], 6);
+  for (const auto& move : map.DiffTo(target)) {
+    EXPECT_GE(move.from, 2);  // only removed partitions send
+    EXPECT_LT(move.to, 2);
+  }
+}
+
+TEST(PartitionMapTest, RebalancedMovesMinimalOnScaleOut) {
+  // Moving 2 -> 4 over 12 buckets should move exactly 6 buckets.
+  PartitionMap map(12, 2);
+  EXPECT_EQ(map.DiffTo(map.Rebalanced(4)).size(), 6u);
+}
+
+TEST(PartitionMapTest, DiffToSelfIsEmpty) {
+  PartitionMap map(16, 4);
+  EXPECT_TRUE(map.DiffTo(map).empty());
+}
+
+TEST(PartitionMapTest, VersionTracking) {
+  PartitionMap map(4, 2);
+  EXPECT_EQ(map.version(), 0);
+  map.set_version(7);
+  EXPECT_EQ(map.version(), 7);
+}
+
+TEST(PartitionMapTest, ToStringMentionsCounts) {
+  PartitionMap map(4, 2);
+  const std::string s = map.ToString();
+  EXPECT_NE(s.find("p0=2"), std::string::npos);
+  EXPECT_NE(s.find("p1=2"), std::string::npos);
+}
+
+// Property sweep: Rebalanced always yields floor/ceil shares, and the
+// diff size equals the theoretical minimum.
+class RebalanceSweepTest
+    : public ::testing::TestWithParam<std::tuple<int32_t, int32_t>> {};
+
+TEST_P(RebalanceSweepTest, BalancedAndMinimal) {
+  const auto [from, to] = GetParam();
+  const int32_t buckets = 1024;
+  PartitionMap map(buckets, from);
+  PartitionMap target = map.Rebalanced(to);
+
+  const auto counts = target.BucketCounts();
+  const int32_t base = buckets / to;
+  int32_t total = 0;
+  ASSERT_GE(static_cast<int32_t>(counts.size()), to);
+  for (int32_t p = 0; p < to; ++p) {
+    EXPECT_GE(counts[static_cast<size_t>(p)], base);
+    EXPECT_LE(counts[static_cast<size_t>(p)], base + 1);
+    total += counts[static_cast<size_t>(p)];
+  }
+  EXPECT_EQ(total, buckets);
+
+  // Minimal moves: sum over partitions of max(0, have - quota).
+  const auto before = map.BucketCounts();
+  int64_t minimal = 0;
+  for (size_t p = 0; p < before.size(); ++p) {
+    const int64_t quota =
+        static_cast<int32_t>(p) < to
+            ? counts[p]  // its final share
+            : 0;
+    minimal += std::max<int64_t>(0, before[p] - quota);
+  }
+  EXPECT_EQ(static_cast<int64_t>(map.DiffTo(target).size()), minimal);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, RebalanceSweepTest,
+    ::testing::Values(std::make_tuple(1, 2), std::make_tuple(2, 4),
+                      std::make_tuple(3, 14), std::make_tuple(14, 3),
+                      std::make_tuple(3, 9), std::make_tuple(9, 3),
+                      std::make_tuple(3, 5), std::make_tuple(5, 3),
+                      std::make_tuple(7, 8), std::make_tuple(10, 1),
+                      std::make_tuple(6, 6), std::make_tuple(5, 60)));
+
+}  // namespace
+}  // namespace pstore

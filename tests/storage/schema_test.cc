@@ -1,0 +1,92 @@
+#include "storage/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace pstore {
+namespace {
+
+Schema TestSchema() {
+  return Schema("T",
+                {{"id", ColumnType::kInt64},
+                 {"amount", ColumnType::kDouble},
+                 {"note", ColumnType::kString}},
+                0);
+}
+
+TEST(SchemaTest, Basics) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.name(), "T");
+  EXPECT_EQ(s.num_columns(), 3u);
+  EXPECT_EQ(s.partition_key_column(), 0u);
+}
+
+TEST(SchemaTest, ColumnIndex) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.ColumnIndex("id"), 0);
+  EXPECT_EQ(s.ColumnIndex("note"), 2);
+  EXPECT_EQ(s.ColumnIndex("missing"), -1);
+}
+
+TEST(SchemaTest, ValidateAcceptsMatchingRow) {
+  Schema s = TestSchema();
+  EXPECT_TRUE(s.Validate(Row({Value(int64_t{1}), Value(2.0), Value("x")}))
+                  .ok());
+}
+
+TEST(SchemaTest, ValidateAcceptsNullsInNonKeyColumns) {
+  Schema s = TestSchema();
+  EXPECT_TRUE(s.Validate(Row({Value(int64_t{1}), Value(), Value()})).ok());
+}
+
+TEST(SchemaTest, ValidateRejectsNullKey) {
+  Schema s = TestSchema();
+  EXPECT_TRUE(s.Validate(Row({Value(), Value(2.0), Value("x")}))
+                  .IsInvalidArgument());
+}
+
+TEST(SchemaTest, ValidateRejectsWrongArity) {
+  Schema s = TestSchema();
+  EXPECT_TRUE(s.Validate(Row({Value(int64_t{1})})).IsInvalidArgument());
+}
+
+TEST(SchemaTest, ValidateRejectsWrongTypes) {
+  Schema s = TestSchema();
+  EXPECT_TRUE(s.Validate(Row({Value(int64_t{1}), Value("no"), Value("x")}))
+                  .IsInvalidArgument());
+  EXPECT_TRUE(s.Validate(Row({Value(1.0), Value(2.0), Value("x")}))
+                  .IsInvalidArgument());
+}
+
+TEST(SchemaTest, PartitionKeyExtraction) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.PartitionKey(Row({Value(int64_t{77}), Value(1.0), Value("")})),
+            77);
+}
+
+TEST(CatalogTest, AddAndLookup) {
+  Catalog c;
+  auto id1 = c.AddTable(TestSchema());
+  ASSERT_TRUE(id1.ok());
+  auto id2 = c.AddTable(Schema("U", {{"k", ColumnType::kInt64}}, 0));
+  ASSERT_TRUE(id2.ok());
+  EXPECT_NE(*id1, *id2);
+  EXPECT_EQ(c.num_tables(), 2u);
+  EXPECT_EQ(c.GetSchema(*id1).name(), "T");
+  auto found = c.TableIdByName("U");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, *id2);
+}
+
+TEST(CatalogTest, DuplicateNameRejected) {
+  Catalog c;
+  ASSERT_TRUE(c.AddTable(TestSchema()).ok());
+  EXPECT_TRUE(c.AddTable(TestSchema()).status().IsAlreadyExists());
+}
+
+TEST(CatalogTest, MissingTableNotFound) {
+  Catalog c;
+  EXPECT_TRUE(c.TableIdByName("nope").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace pstore

@@ -1,0 +1,93 @@
+#include "storage/value.h"
+
+#include <gtest/gtest.h>
+
+namespace pstore {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(v.is_int64());
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, Int64) {
+  Value v(int64_t{42});
+  EXPECT_TRUE(v.is_int64());
+  EXPECT_EQ(v.as_int64(), 42);
+  EXPECT_EQ(v.ToString(), "42");
+}
+
+TEST(ValueTest, Double) {
+  Value v(2.5);
+  EXPECT_TRUE(v.is_double());
+  EXPECT_DOUBLE_EQ(v.as_double(), 2.5);
+  EXPECT_EQ(v.ToString(), "2.5");
+}
+
+TEST(ValueTest, StringAndCString) {
+  Value a(std::string("hi"));
+  Value b("hi");
+  EXPECT_TRUE(a.is_string());
+  EXPECT_TRUE(b.is_string());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.ToString(), "'hi'");
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_FALSE(Value(int64_t{1}) == Value(int64_t{2}));
+  EXPECT_FALSE(Value(int64_t{1}) == Value(1.0));
+  EXPECT_EQ(Value(), Value());
+}
+
+TEST(ValueTest, ByteSizeScalesWithStrings) {
+  EXPECT_EQ(Value().ByteSize(), 1u);
+  EXPECT_EQ(Value(int64_t{1}).ByteSize(), 8u);
+  EXPECT_EQ(Value(1.0).ByteSize(), 8u);
+  EXPECT_GT(Value(std::string(100, 'x')).ByteSize(), 100u);
+}
+
+TEST(RowTest, BasicAccess) {
+  Row r({Value(int64_t{1}), Value("a")});
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.at(0).as_int64(), 1);
+  EXPECT_EQ(r.at(1).as_string(), "a");
+}
+
+TEST(RowTest, SetGrowsRow) {
+  Row r;
+  r.Set(2, Value(int64_t{9}));
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_TRUE(r.at(0).is_null());
+  EXPECT_EQ(r.at(2).as_int64(), 9);
+}
+
+TEST(RowTest, Equality) {
+  Row a({Value(int64_t{1}), Value("x")});
+  Row b({Value(int64_t{1}), Value("x")});
+  Row c({Value(int64_t{2}), Value("x")});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(RowTest, ToString) {
+  Row r({Value(int64_t{1}), Value("a"), Value()});
+  EXPECT_EQ(r.ToString(), "(1, 'a', NULL)");
+}
+
+TEST(RowTest, ByteSizeIncludesValues) {
+  Row small({Value(int64_t{1})});
+  Row big({Value(int64_t{1}), Value(std::string(1000, 'y'))});
+  EXPECT_GT(big.ByteSize(), small.ByteSize() + 900);
+}
+
+TEST(ColumnTypeTest, Names) {
+  EXPECT_STREQ(ColumnTypeToString(ColumnType::kInt64), "BIGINT");
+  EXPECT_STREQ(ColumnTypeToString(ColumnType::kDouble), "DOUBLE");
+  EXPECT_STREQ(ColumnTypeToString(ColumnType::kString), "VARCHAR");
+}
+
+}  // namespace
+}  // namespace pstore

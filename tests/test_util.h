@@ -1,0 +1,81 @@
+#pragma once
+
+#include <memory>
+
+#include "cluster/engine.h"
+#include "sim/simulator.h"
+#include "storage/schema.h"
+#include "txn/procedure.h"
+
+/// \file test_util.h
+/// Shared fixtures: a minimal key-value database (one table, Put/Get/
+/// Delete procedures) on a ClusterEngine, for cluster/migration/core
+/// tests that don't need the full B2W workload.
+
+namespace pstore {
+namespace testing_util {
+
+struct KvDatabase {
+  TableId table = -1;
+  ProcedureId put = -1;
+  ProcedureId get = -1;
+  ProcedureId del = -1;
+  Catalog catalog;
+  ProcedureRegistry registry;
+};
+
+inline KvDatabase MakeKvDatabase() {
+  KvDatabase db;
+  db.table = *db.catalog.AddTable(Schema(
+      "KV", {{"k", ColumnType::kInt64}, {"v", ColumnType::kInt64}}, 0));
+  const TableId table = db.table;
+  db.put = *db.registry.Register(ProcedureDef{
+      "Put",
+      [table](ExecutionContext& ctx, const TxnRequest& req) {
+        TxnResult r;
+        r.status = ctx.Upsert(
+            table, Row({Value(req.key), req.args.empty()
+                                            ? Value(int64_t{0})
+                                            : req.args[0]}));
+        return r;
+      },
+      1.0});
+  db.get = *db.registry.Register(ProcedureDef{
+      "Get",
+      [table](ExecutionContext& ctx, const TxnRequest& req) {
+        TxnResult r;
+        auto row = ctx.Get(table, req.key);
+        if (!row.ok()) {
+          r.status = row.status();
+        } else {
+          r.rows.push_back(std::move(row).MoveValueUnsafe());
+        }
+        return r;
+      },
+      1.0});
+  db.del = *db.registry.Register(ProcedureDef{
+      "Del",
+      [table](ExecutionContext& ctx, const TxnRequest& req) {
+        TxnResult r;
+        r.status = ctx.Delete(table, req.key);
+        return r;
+      },
+      1.0});
+  return db;
+}
+
+/// Engine with small, fast-to-test defaults (deterministic service
+/// times unless overridden).
+inline EngineConfig SmallEngineConfig() {
+  EngineConfig config;
+  config.num_buckets = 64;
+  config.partitions_per_node = 2;
+  config.max_nodes = 8;
+  config.initial_nodes = 2;
+  config.txn_service_us_mean = 1000.0;  // 1 ms
+  config.txn_service_cv = 0.0;          // deterministic
+  return config;
+}
+
+}  // namespace testing_util
+}  // namespace pstore

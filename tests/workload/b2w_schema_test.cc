@@ -1,0 +1,78 @@
+#include "workload/b2w_schema.h"
+
+#include <gtest/gtest.h>
+
+namespace pstore {
+namespace {
+
+TEST(B2wSchemaTest, RegistersFourTables) {
+  Catalog catalog;
+  auto tables = RegisterB2wTables(&catalog);
+  ASSERT_TRUE(tables.ok());
+  EXPECT_EQ(catalog.num_tables(), 4u);
+  EXPECT_EQ(catalog.GetSchema(tables->cart).name(), "CART");
+  EXPECT_EQ(catalog.GetSchema(tables->checkout).name(), "CHECKOUT");
+  EXPECT_EQ(catalog.GetSchema(tables->stock).name(), "STOCK");
+  EXPECT_EQ(catalog.GetSchema(tables->stock_transaction).name(),
+            "STOCK_TRANSACTION");
+}
+
+TEST(B2wSchemaTest, AllTablesPartitionedByFirstColumn) {
+  Catalog catalog;
+  auto tables = RegisterB2wTables(&catalog);
+  ASSERT_TRUE(tables.ok());
+  for (size_t t = 0; t < catalog.num_tables(); ++t) {
+    EXPECT_EQ(catalog.GetSchema(static_cast<TableId>(t))
+                  .partition_key_column(),
+              0u);
+    EXPECT_EQ(catalog.GetSchema(static_cast<TableId>(t)).columns()[0].type,
+              ColumnType::kInt64);
+  }
+}
+
+TEST(B2wSchemaTest, DoubleRegistrationFails) {
+  Catalog catalog;
+  ASSERT_TRUE(RegisterB2wTables(&catalog).ok());
+  EXPECT_FALSE(RegisterB2wTables(&catalog).ok());
+}
+
+TEST(LineItemsTest, EncodeDecodeRoundTrip) {
+  std::vector<LineItem> lines = {
+      {100, 2, 19.99}, {200, 1, 5.50}, {300, 10, 0.25}};
+  auto decoded = DecodeLines(EncodeLines(lines));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), 3u);
+  EXPECT_EQ((*decoded)[0].sku, 100);
+  EXPECT_EQ((*decoded)[0].quantity, 2);
+  EXPECT_NEAR((*decoded)[0].unit_price, 19.99, 1e-9);
+  EXPECT_EQ((*decoded)[2].sku, 300);
+}
+
+TEST(LineItemsTest, EmptyEncodesToEmpty) {
+  EXPECT_EQ(EncodeLines({}), "");
+  auto decoded = DecodeLines("");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(LineItemsTest, MalformedInputRejected) {
+  EXPECT_FALSE(DecodeLines("1:2:3").ok());       // unterminated
+  EXPECT_FALSE(DecodeLines("1-2-3;").ok());      // wrong separators
+  EXPECT_FALSE(DecodeLines("abc;").ok());
+}
+
+TEST(LineItemsTest, LinesTotal) {
+  std::vector<LineItem> lines = {{1, 2, 10.0}, {2, 3, 1.5}};
+  EXPECT_DOUBLE_EQ(LinesTotal(lines), 24.5);
+  EXPECT_DOUBLE_EQ(LinesTotal({}), 0.0);
+}
+
+TEST(LineItemsTest, LargeSkusSurviveRoundTrip) {
+  std::vector<LineItem> lines = {{int64_t{1} << 55, 1, 9.99}};
+  auto decoded = DecodeLines(EncodeLines(lines));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ((*decoded)[0].sku, int64_t{1} << 55);
+}
+
+}  // namespace
+}  // namespace pstore

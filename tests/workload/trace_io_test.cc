@@ -1,0 +1,67 @@
+#include "workload/trace_io.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+namespace pstore {
+namespace {
+
+TEST(TraceIoTest, ParsesSingleColumn) {
+  auto series = ParseLoadCsv("1.5\n2\n3.25\n");
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(*series, (std::vector<double>{1.5, 2.0, 3.25}));
+}
+
+TEST(TraceIoTest, SkipsHeader) {
+  auto series = ParseLoadCsv("load\n10\n20\n");
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(*series, (std::vector<double>{10.0, 20.0}));
+}
+
+TEST(TraceIoTest, SelectsColumn) {
+  auto series = ParseLoadCsv("minute,load\n0,100\n1,200\n2,300\n", 1);
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(*series, (std::vector<double>{100.0, 200.0, 300.0}));
+}
+
+TEST(TraceIoTest, HandlesCrlfAndBlankLines) {
+  auto series = ParseLoadCsv("5\r\n\n6\r\n");
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(*series, (std::vector<double>{5.0, 6.0}));
+}
+
+TEST(TraceIoTest, RejectsMalformedNumbers) {
+  EXPECT_FALSE(ParseLoadCsv("1\nabc\n2\n").ok());
+  EXPECT_FALSE(ParseLoadCsv("1,x\n2,oops\n", 1).ok());
+}
+
+TEST(TraceIoTest, RejectsMissingColumn) {
+  EXPECT_FALSE(ParseLoadCsv("1,2\n3\n", 1).ok());
+  EXPECT_FALSE(ParseLoadCsv("1\n", -1).ok());
+}
+
+TEST(TraceIoTest, RejectsEmptyInput) {
+  EXPECT_FALSE(ParseLoadCsv("").ok());
+  EXPECT_FALSE(ParseLoadCsv("header_only\n").ok());
+}
+
+TEST(TraceIoTest, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "pstore_trace_io_test.csv")
+          .string();
+  const std::vector<double> series = {1.0, 2.5, 3.75, 100000.0};
+  ASSERT_TRUE(WriteLoadCsv(path, series).ok());
+  auto read = ReadLoadCsv(path, 1);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, series);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, MissingFileIsNotFound) {
+  EXPECT_TRUE(ReadLoadCsv("/nonexistent/nope.csv").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace pstore
