@@ -50,6 +50,7 @@ ClusterEngine::ClusterEngine(Simulator* sim, Catalog catalog,
   }
   partition_access_counts_.assign(static_cast<size_t>(total), 0);
   bucket_access_counts_.assign(static_cast<size_t>(config_.num_buckets), 0);
+  node_up_.assign(static_cast<size_t>(config_.max_nodes), 1);
   allocation_timeline_.push_back(AllocationEvent{0, active_nodes_});
 }
 
@@ -58,6 +59,11 @@ Status ClusterEngine::ActivateNodes(int32_t n) {
     return Status::InvalidArgument("cannot activate beyond max_nodes");
   }
   if (n <= active_nodes_) return Status::OK();
+  // Newly provisioned machines always come up healthy, even if a node of
+  // the same index crashed before being released earlier.
+  for (int32_t i = active_nodes_; i < n; ++i) {
+    node_up_[static_cast<size_t>(i)] = 1;
+  }
   active_nodes_ = n;
   allocation_timeline_.push_back(AllocationEvent{sim_->Now(), active_nodes_});
   return Status::OK();
@@ -76,6 +82,63 @@ Status ClusterEngine::DeactivateNodes(int32_t n) {
   }
   active_nodes_ = n;
   allocation_timeline_.push_back(AllocationEvent{sim_->Now(), active_nodes_});
+  return Status::OK();
+}
+
+int32_t ClusterEngine::live_nodes() const {
+  int32_t live = 0;
+  for (int32_t n = 0; n < active_nodes_; ++n) {
+    if (node_up_[static_cast<size_t>(n)] != 0) ++live;
+  }
+  return live;
+}
+
+Status ClusterEngine::CrashNode(NodeId n) {
+  if (!IsNodeUp(n)) {
+    return Status::FailedPrecondition(
+        "node " + std::to_string(n) + " is not an up, active node");
+  }
+  if (live_nodes() <= 1) {
+    return Status::FailedPrecondition("cannot crash the last live node");
+  }
+  node_up_[static_cast<size_t>(n)] = 0;
+  ++fault_epoch_;
+
+  // Failover: redistribute the dead node's buckets (rows included —
+  // replica recovery) round-robin over the surviving live partitions.
+  // Everything iterates in ascending order so failover is deterministic.
+  std::vector<PartitionId> live_partitions;
+  for (int32_t m = 0; m < active_nodes_; ++m) {
+    if (node_up_[static_cast<size_t>(m)] == 0) continue;
+    for (int32_t k = 0; k < config_.partitions_per_node; ++k) {
+      live_partitions.push_back(m * config_.partitions_per_node + k);
+    }
+  }
+  size_t rr = 0;
+  for (int32_t k = 0; k < config_.partitions_per_node; ++k) {
+    const PartitionId dead = n * config_.partitions_per_node + k;
+    for (BucketId bucket : map_.BucketsOfPartition(dead)) {
+      const PartitionId target = live_partitions[rr++ % live_partitions.size()];
+      Status st = ApplyBucketMove(BucketMove{bucket, dead, target});
+      if (!st.ok()) {
+        PSTORE_LOG(Warn) << "failover of bucket " << bucket
+                         << " failed: " << st.ToString();
+        continue;
+      }
+      ++failover_moves_;
+    }
+  }
+  return Status::OK();
+}
+
+Status ClusterEngine::RestartNode(NodeId n) {
+  if (n < 0 || n >= active_nodes_ ||
+      node_up_[static_cast<size_t>(n)] != 0) {
+    return Status::FailedPrecondition(
+        "node " + std::to_string(n) + " is not a crashed, active node");
+  }
+  node_up_[static_cast<size_t>(n)] = 1;
+  ++fault_epoch_;
   return Status::OK();
 }
 

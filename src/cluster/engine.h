@@ -99,6 +99,40 @@ class ClusterEngine {
   /// nodes must be empty (drained by migration first).
   Status DeactivateNodes(int32_t n);
 
+  // --- Fault model -----------------------------------------------------
+  //
+  // A node can *crash* (fail-stop) and later *restart*. Crash recovery is
+  // modeled as instantaneous failover from replicas: the dead node's
+  // buckets — rows included — redistribute round-robin over the surviving
+  // live partitions, so committed data is never lost and bucket ownership
+  // stays a partition of the bucket universe over live nodes. A restarted
+  // node rejoins empty; the elasticity controllers repopulate it.
+
+  /// True if `n` is an active node that has not crashed.
+  bool IsNodeUp(NodeId n) const {
+    return n >= 0 && n < active_nodes_ &&
+           node_up_[static_cast<size_t>(n)] != 0;
+  }
+
+  /// Active nodes currently serving (active minus crashed).
+  int32_t live_nodes() const;
+
+  /// Bumped on every crash and restart. Controllers watch this to reset
+  /// fault-sensitive state (e.g. the scale-in confirmation streak).
+  int64_t fault_epoch() const { return fault_epoch_; }
+
+  /// Buckets reassigned by crash failovers so far.
+  int64_t failover_moves() const { return failover_moves_; }
+
+  /// Crashes an active node: marks it down and fails its buckets over to
+  /// the surviving live partitions. Fails with FailedPrecondition if `n`
+  /// is not an up, active node or is the last live node.
+  Status CrashNode(NodeId n);
+
+  /// Restarts a crashed node; it rejoins empty. Fails with
+  /// FailedPrecondition if `n` is not a crashed, active node.
+  Status RestartNode(NodeId n);
+
   // --- Data ------------------------------------------------------------
 
   const Catalog& catalog() const { return catalog_; }
@@ -203,6 +237,9 @@ class ClusterEngine {
   std::vector<std::unique_ptr<PartitionExecutor>> executors_;
   PartitionMap map_;
   int32_t active_nodes_;
+  std::vector<uint8_t> node_up_;  ///< Indexed by NodeId, 1 = serving.
+  int64_t fault_epoch_ = 0;
+  int64_t failover_moves_ = 0;
 
   Rng rng_;
   WindowedPercentiles latencies_;

@@ -123,6 +123,20 @@ size_t Rng::NextDiscrete(const std::vector<double>& cumulative) {
 
 Rng Rng::Fork() { return Rng(Next()); }
 
+uint64_t Rng::StateHash() const {
+  // SplitMix64-style mixing of the four state words (plus the cached
+  // Gaussian spare, whose presence is part of the observable state).
+  uint64_t h = has_spare_ ? 0x9E3779B97F4A7C15ULL : 0;
+  for (uint64_t word : s_) {
+    h ^= word + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    uint64_t z = h;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    h = z ^ (z >> 31);
+  }
+  return h;
+}
+
 namespace {
 /// Integral of x^-s, used by the rejection-inversion Zipf sampler.
 double ZipfIntegral(double x, double s) {

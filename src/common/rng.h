@@ -62,6 +62,11 @@ class Rng {
   /// practice with this one (seeded from this generator's output).
   Rng Fork();
 
+  /// A 64-bit digest of the generator's current state (without
+  /// advancing it). Two runs that made identical draws have identical
+  /// hashes — the determinism property tests compare these.
+  uint64_t StateHash() const;
+
  private:
   uint64_t s_[4];
   double spare_gaussian_ = 0.0;

@@ -79,15 +79,21 @@ void PredictiveController::ApplyReservations(int64_t now_interval,
 bool PredictiveController::SafetyNet(double current_rate) {
   if (!config_.enable_reactive_safety_net) return false;
   const int32_t n = engine_->active_nodes();
-  if (current_rate <= config_.safety_net_watermark * config_.q_hat * n) {
+  // Only live nodes serve: a crash shrinks capacity even though the
+  // allocation count is unchanged (graceful degradation — the net fires
+  // on the capacity that actually exists).
+  const int32_t live = engine_->live_nodes();
+  if (current_rate <= config_.safety_net_watermark * config_.q_hat * live) {
     return false;
   }
   // Measured overload the plan did not prevent: scale out right now,
-  // sized for the observed load plus headroom.
+  // sized for the observed load plus headroom, plus one extra machine
+  // per dead node (dead nodes hold an allocation but serve nothing).
   ++safety_net_activations_;
   const int32_t target = std::min(
       engine_->max_nodes(),
-      std::max(n + 1, planner_.NodesForLoad(current_rate * 1.15)));
+      std::max(n + 1,
+               planner_.NodesForLoad(current_rate * 1.15) + (n - live)));
   if (target > n) {
     Status st = migrator_->StartMove(target, nullptr,
                                      config_.infeasible_rate_multiplier);
@@ -99,6 +105,14 @@ bool PredictiveController::SafetyNet(double current_rate) {
 
 void PredictiveController::Tick() {
   if (!running_) return;
+  // A crash or restart since the last tick invalidates fault-sensitive
+  // control state: a scale-in confirmed against the pre-fault topology
+  // must be re-confirmed from scratch (Section 6's flapping guard).
+  const int64_t epoch = engine_->fault_epoch();
+  if (epoch != last_fault_epoch_) {
+    last_fault_epoch_ = epoch;
+    scale_in_streak_ = 0;
+  }
   // Measure the load over the interval that just elapsed.
   const int64_t submitted = engine_->txns_submitted();
   const double seconds = DurationToSeconds(interval_);

@@ -109,7 +109,9 @@ class PredictiveController {
   int64_t moves_started() const { return moves_started_; }
 
   /// Times the reactive safety net fired (measured overload with no
-  /// reconfiguration in flight).
+  /// reconfiguration in flight). Capacity is assessed against *live*
+  /// nodes, so a crashed node's lost capacity can trip the net even at
+  /// steady load — the composite strategy's graceful degradation.
   int64_t safety_net_activations() const { return safety_net_activations_; }
 
   /// Times the predictor was refit online.
@@ -135,6 +137,7 @@ class PredictiveController {
   std::vector<double> series_;
   std::vector<CapacityReservation> reservations_;
   int64_t last_submitted_ = 0;
+  int64_t last_fault_epoch_ = 0;
   int32_t scale_in_streak_ = 0;
   int64_t infeasible_cycles_ = 0;
   int64_t moves_started_ = 0;

@@ -53,13 +53,27 @@ void ReactiveController::Tick() {
   smoothed_rate_ = config_.smoothing * rate +
                    (1.0 - config_.smoothing) * smoothed_rate_;
 
+  // A crash or restart invalidates the scale-in hold timer: capacity
+  // changed under us, so "load has stayed low" must be re-established
+  // against the new topology.
+  const int64_t epoch = engine_->fault_epoch();
+  if (epoch != last_fault_epoch_) {
+    last_fault_epoch_ = epoch;
+    low_since_ = -1;
+  }
+
   if (!migrator_->InProgress()) {
     const int32_t n = engine_->active_nodes();
-    const double cap_hat = config_.q_hat * n;
+    // Size against the capacity that actually serves: dead nodes hold an
+    // allocation but no load, so a crash can trip the high watermark at
+    // steady offered load (graceful degradation).
+    const int32_t live = engine_->live_nodes();
+    const double cap_hat = config_.q_hat * live;
     auto size_for = [&](double load) {
       return std::clamp<int32_t>(
           static_cast<int32_t>(
-              std::ceil(load * (1.0 + config_.headroom) / config_.q)),
+              std::ceil(load * (1.0 + config_.headroom) / config_.q)) +
+              (n - live),
           1, engine_->max_nodes());
     };
 
@@ -72,9 +86,9 @@ void ReactiveController::Tick() {
                                          config_.rate_multiplier);
         if (st.ok()) ++scale_outs_;
       }
-    } else if (n > 1 &&
+    } else if (n > 1 && live > 1 &&
                smoothed_rate_ <
-                   config_.low_watermark * config_.q * (n - 1)) {
+                   config_.low_watermark * config_.q * (live - 1)) {
       // Load would comfortably fit on a smaller cluster; require it to
       // stay that way for the hold period before scaling in.
       const SimTime now = engine_->simulator()->Now();

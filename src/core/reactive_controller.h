@@ -69,6 +69,7 @@ class ReactiveController {
   ReactiveConfig config_;
   bool running_ = false;
   int64_t last_submitted_ = 0;
+  int64_t last_fault_epoch_ = 0;
   double smoothed_rate_ = 0;
   SimTime low_since_ = -1;
   int64_t scale_outs_ = 0;

@@ -87,11 +87,18 @@ bool SkewManager::PlanRelocations(std::vector<BucketMove>* moves) const {
     if (donor_load <= mean) break;
     const int64_t heat = bucket_counts[static_cast<size_t>(b)];
     if (heat == 0) break;
-    const auto coldest_it =
-        std::min_element(partition_load.begin(), partition_load.end());
-    const PartitionId coldest = static_cast<PartitionId>(
-        coldest_it - partition_load.begin());
-    if (coldest == hottest) break;
+    // Coldest *live* partition: a crashed node's partitions report zero
+    // load but must never receive data.
+    PartitionId coldest = -1;
+    for (PartitionId c = 0; c < active; ++c) {
+      if (!engine_->IsNodeUp(engine_->NodeOfPartition(c))) continue;
+      if (coldest < 0 || partition_load[static_cast<size_t>(c)] <
+                             partition_load[static_cast<size_t>(coldest)]) {
+        coldest = c;
+      }
+    }
+    if (coldest < 0 || coldest == hottest) break;
+    const auto coldest_it = partition_load.begin() + coldest;
     // Move only if it strictly improves balance: the receiver must end
     // up cooler than the donor currently is. A single scorching bucket
     // always satisfies this (better to host it on the idlest node),

@@ -1,0 +1,28 @@
+#include "fault/event_trace.h"
+
+#include "common/murmur.h"
+
+namespace pstore {
+
+void EventTrace::Record(SimTime at, const std::string& what) {
+  lines_.push_back("[" + FormatSimTime(at) + "] " + what);
+}
+
+std::string EventTrace::ToString() const {
+  std::string out;
+  for (const std::string& line : lines_) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+uint64_t EventTrace::Fingerprint() const {
+  uint64_t h = 0;
+  for (const std::string& line : lines_) {
+    h = MurmurHash64A(line, h);
+  }
+  return h;
+}
+
+}  // namespace pstore

@@ -1,0 +1,154 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "sim/simulator.h"
+
+namespace pstore {
+
+FaultInjector::FaultInjector(ClusterEngine* engine,
+                             MigrationExecutor* migrator, uint64_t seed)
+    : engine_(engine), migrator_(migrator), rng_(seed) {}
+
+Status FaultInjector::Arm(const FaultPlan& plan) {
+  if (armed_) return Status::FailedPrecondition("already armed");
+  PSTORE_RETURN_NOT_OK(plan.Validate());
+  armed_ = true;
+  Simulator* sim = engine_->simulator();
+  if (migrator_ != nullptr) {
+    migrator_->set_chunk_fault_hook(
+        [this](PartitionId src, PartitionId dst, SimTime now) {
+          return OnChunk(src, dst, now);
+        });
+    migrator_->set_event_sink([this](const std::string& what) {
+      trace_.Record(engine_->simulator()->Now(), what);
+    });
+  }
+  for (const FaultEvent& event : plan.events) {
+    sim->ScheduleAt(event.at, [this, event]() { ApplyEvent(event); });
+  }
+  trace_.Record(sim->Now(),
+                "armed fault plan with " +
+                    std::to_string(plan.events.size()) + " events");
+  return Status::OK();
+}
+
+NodeId FaultInjector::PickCrashTarget() const {
+  // Highest live node, never node 0: keeps the cluster alive and makes
+  // the choice a pure function of topology (deterministic).
+  for (NodeId n = engine_->active_nodes() - 1; n >= 1; --n) {
+    if (engine_->IsNodeUp(n)) return n;
+  }
+  return -1;
+}
+
+NodeId FaultInjector::PickRestartTarget() const {
+  for (NodeId n = 0; n < engine_->active_nodes(); ++n) {
+    if (!engine_->IsNodeUp(n)) return n;
+  }
+  return -1;
+}
+
+void FaultInjector::ApplyEvent(const FaultEvent& event) {
+  const SimTime now = engine_->simulator()->Now();
+  switch (event.type) {
+    case FaultType::kNodeCrash: {
+      const NodeId target = event.node >= 0 ? event.node : PickCrashTarget();
+      if (target < 0) {
+        trace_.Record(now, "crash skipped: no crashable node");
+        return;
+      }
+      Status st = engine_->CrashNode(target);
+      if (st.ok()) {
+        ++crashes_;
+        trace_.Record(now, "crashed node " + std::to_string(target) +
+                               " (live=" +
+                               std::to_string(engine_->live_nodes()) + ")");
+      } else {
+        trace_.Record(now, "crash of node " + std::to_string(target) +
+                               " rejected: " + st.ToString());
+      }
+      return;
+    }
+    case FaultType::kNodeRestart: {
+      const NodeId target =
+          event.node >= 0 ? event.node : PickRestartTarget();
+      if (target < 0) {
+        trace_.Record(now, "restart skipped: no crashed node");
+        return;
+      }
+      Status st = engine_->RestartNode(target);
+      if (st.ok()) {
+        ++restarts_;
+        trace_.Record(now, "restarted node " + std::to_string(target) +
+                               " (live=" +
+                               std::to_string(engine_->live_nodes()) + ")");
+      } else {
+        trace_.Record(now, "restart of node " + std::to_string(target) +
+                               " rejected: " + st.ToString());
+      }
+      return;
+    }
+    case FaultType::kMigrationStall:
+      stall_until_ = now + event.duration;
+      stall_len_ = event.stall;
+      trace_.Record(now, "migration-stall window open for " +
+                             FormatSimTime(event.duration) +
+                             " (stall " + FormatSimTime(event.stall) + ")");
+      return;
+    case FaultType::kChunkFailure:
+      chunk_fail_until_ = now + event.duration;
+      chunk_fail_p_ = event.probability;
+      trace_.Record(now, "chunk-failure window open for " +
+                             FormatSimTime(event.duration) + " (p=" +
+                             std::to_string(event.probability) + ")");
+      return;
+    case FaultType::kMisforecast:
+      misforecast_until_ = now + event.duration;
+      misforecast_scale_ = event.forecast_scale;
+      trace_.Record(now, "misforecast window open for " +
+                             FormatSimTime(event.duration) + " (scale=" +
+                             std::to_string(event.forecast_scale) + ")");
+      return;
+  }
+}
+
+ChunkFault FaultInjector::OnChunk(PartitionId src, PartitionId dst,
+                                  SimTime now) {
+  ChunkFault fault;
+  if (now < stall_until_) {
+    ++chunk_faults_;
+    fault.kind = ChunkFault::Kind::kStall;
+    fault.stall = stall_len_;
+    return fault;
+  }
+  if (now < chunk_fail_until_ && rng_.NextBernoulli(chunk_fail_p_)) {
+    ++chunk_faults_;
+    fault.kind = ChunkFault::Kind::kFail;
+    trace_.Record(now, "injected chunk failure on stream " +
+                           std::to_string(src) + "->" +
+                           std::to_string(dst));
+    return fault;
+  }
+  return fault;
+}
+
+double FaultInjector::forecast_scale() const {
+  return engine_->simulator()->Now() < misforecast_until_
+             ? misforecast_scale_
+             : 1.0;
+}
+
+Result<std::vector<double>> MisforecastPredictor::Forecast(
+    const std::vector<double>& series, int64_t t, int32_t horizon) const {
+  auto res = inner_->Forecast(series, t, horizon);
+  if (!res.ok()) return res.status();
+  const double scale = injector_->forecast_scale();
+  if (scale != 1.0) {
+    for (double& v : *res) v *= scale;
+  }
+  return res;
+}
+
+}  // namespace pstore

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/engine.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "fault/event_trace.h"
+#include "fault/fault_plan.h"
+#include "migration/migration_executor.h"
+#include "prediction/predictor.h"
+
+/// \file fault_injector.h
+/// Replays a FaultPlan against a live engine/migrator on the simulator's
+/// virtual clock. All stochastic choices (which chunk fails inside a
+/// failure window) flow through a pstore::Rng seeded at construction, so
+/// a chaos run is exactly replayable: (plan, seed) -> identical trace.
+
+namespace pstore {
+
+/// \brief Schedules and applies the faults of a FaultPlan.
+///
+/// Crash/restart go through ClusterEngine::CrashNode/RestartNode (bucket
+/// failover included); migration faults are delivered through the
+/// MigrationExecutor's chunk-fault hook; misforecast windows are exposed
+/// via forecast_scale() for a MisforecastPredictor to consult. Every
+/// action lands in the EventTrace with its virtual timestamp.
+class FaultInjector {
+ public:
+  /// \param engine engine to fault (not owned)
+  /// \param migrator migration executor to fault; may be null, in which
+  ///        case stall/chunk-failure events are recorded but inert
+  /// \param seed seeds the injector's private Rng
+  FaultInjector(ClusterEngine* engine, MigrationExecutor* migrator,
+                uint64_t seed);
+
+  /// Validates `plan` and schedules every event at its virtual time on
+  /// the engine's simulator. Installs the chunk-fault hook and event
+  /// sink on the migrator. Call once, before running the simulation.
+  Status Arm(const FaultPlan& plan);
+
+  /// Forecast multiplier currently in force (1.0 outside misforecast
+  /// windows). MisforecastPredictor consults this on every forecast.
+  double forecast_scale() const;
+
+  const EventTrace& trace() const { return trace_; }
+  EventTrace* mutable_trace() { return &trace_; }
+
+  int64_t crashes() const { return crashes_; }
+  int64_t restarts() const { return restarts_; }
+  /// Chunk attempts this injector failed or stalled.
+  int64_t chunk_faults() const { return chunk_faults_; }
+
+  /// Digest of the injector's Rng state — equal across two runs iff the
+  /// runs made identical random draws (determinism golden tests).
+  uint64_t rng_state_hash() const { return rng_.StateHash(); }
+
+ private:
+  void ApplyEvent(const FaultEvent& event);
+  /// Highest-indexed live node, never node 0 (keeps the cluster alive
+  /// and the choice deterministic). -1 if no crashable node exists.
+  NodeId PickCrashTarget() const;
+  /// Lowest-indexed crashed active node; -1 if none.
+  NodeId PickRestartTarget() const;
+  ChunkFault OnChunk(PartitionId src, PartitionId dst, SimTime now);
+
+  ClusterEngine* engine_;
+  MigrationExecutor* migrator_;
+  Rng rng_;
+  EventTrace trace_;
+  bool armed_ = false;
+
+  // Open fault windows (absolute virtual end times; -1 = closed).
+  SimTime stall_until_ = -1;
+  SimDuration stall_len_ = 0;
+  SimTime chunk_fail_until_ = -1;
+  double chunk_fail_p_ = 0;
+  SimTime misforecast_until_ = -1;
+  double misforecast_scale_ = 1.0;
+
+  int64_t crashes_ = 0;
+  int64_t restarts_ = 0;
+  int64_t chunk_faults_ = 0;
+};
+
+/// \brief Decorator that scales another predictor's forecasts by the
+/// injector's live misforecast factor — modeling a badly wrong forecast
+/// (scale 0.2 = the predictor misses 80% of the coming load, so the
+/// reactive safety net must catch the overload; scale 3.0 = it
+/// hallucinates a spike and over-provisions).
+class MisforecastPredictor : public LoadPredictor {
+ public:
+  /// Neither pointer is owned; both must outlive this object.
+  MisforecastPredictor(LoadPredictor* inner, const FaultInjector* injector)
+      : inner_(inner), injector_(injector) {}
+
+  std::string name() const override { return inner_->name() + "+faults"; }
+  Status Fit(const std::vector<double>& train, int32_t max_horizon) override {
+    return inner_->Fit(train, max_horizon);
+  }
+  int64_t MinHistory() const override { return inner_->MinHistory(); }
+  Result<std::vector<double>> Forecast(const std::vector<double>& series,
+                                       int64_t t,
+                                       int32_t horizon) const override;
+
+ private:
+  LoadPredictor* inner_;
+  const FaultInjector* injector_;
+};
+
+}  // namespace pstore

@@ -1,0 +1,133 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+
+namespace pstore {
+
+const char* FaultTypeName(FaultType type) {
+  switch (type) {
+    case FaultType::kNodeCrash:
+      return "node-crash";
+    case FaultType::kNodeRestart:
+      return "node-restart";
+    case FaultType::kMigrationStall:
+      return "migration-stall";
+    case FaultType::kChunkFailure:
+      return "chunk-failure";
+    case FaultType::kMisforecast:
+      return "misforecast";
+  }
+  return "unknown";
+}
+
+std::string FaultEvent::ToString() const {
+  std::string out =
+      "at " + FormatSimTime(at) + " " + FaultTypeName(type);
+  switch (type) {
+    case FaultType::kNodeCrash:
+    case FaultType::kNodeRestart:
+      out += " node=" + (node < 0 ? std::string("auto")
+                                  : std::to_string(node));
+      break;
+    case FaultType::kMigrationStall:
+      out += " window=" + FormatSimTime(duration) +
+             " stall=" + FormatSimTime(stall);
+      break;
+    case FaultType::kChunkFailure:
+      out += " window=" + FormatSimTime(duration) +
+             " p=" + std::to_string(probability);
+      break;
+    case FaultType::kMisforecast:
+      out += " window=" + FormatSimTime(duration) +
+             " scale=" + std::to_string(forecast_scale);
+      break;
+  }
+  return out;
+}
+
+Status FaultPlan::Validate() const {
+  for (const FaultEvent& e : events) {
+    if (e.at < 0) return Status::InvalidArgument("event time < 0");
+    if (e.duration < 0) return Status::InvalidArgument("duration < 0");
+    if (e.stall < 0) return Status::InvalidArgument("stall < 0");
+    if (e.probability < 0 || e.probability > 1) {
+      return Status::InvalidArgument("probability outside [0, 1]");
+    }
+    if (e.forecast_scale <= 0) {
+      return Status::InvalidArgument("forecast_scale <= 0");
+    }
+  }
+  return Status::OK();
+}
+
+std::string FaultPlan::ToString() const {
+  std::string out;
+  for (const FaultEvent& e : events) {
+    out += e.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+Status ChaosConfig::Validate() const {
+  if (horizon <= 0) return Status::InvalidArgument("horizon <= 0");
+  if (num_events < 0) return Status::InvalidArgument("num_events < 0");
+  if (crash_weight < 0 || restart_weight < 0 || stall_weight < 0 ||
+      chunk_failure_weight < 0 || misforecast_weight < 0) {
+    return Status::InvalidArgument("fault weights must be >= 0");
+  }
+  if (crash_weight + restart_weight + stall_weight + chunk_failure_weight +
+          misforecast_weight <=
+      0) {
+    return Status::InvalidArgument("at least one weight must be > 0");
+  }
+  if (max_window <= 0) return Status::InvalidArgument("max_window <= 0");
+  if (max_stall <= 0) return Status::InvalidArgument("max_stall <= 0");
+  return Status::OK();
+}
+
+FaultPlan RandomFaultPlan(Rng* rng, const ChaosConfig& config) {
+  FaultPlan plan;
+  const std::vector<double> cumulative = CumulativeWeights(
+      {config.crash_weight, config.restart_weight, config.stall_weight,
+       config.chunk_failure_weight, config.misforecast_weight});
+  for (int32_t i = 0; i < config.num_events; ++i) {
+    FaultEvent e;
+    e.at = static_cast<SimTime>(
+        rng->NextBounded(static_cast<uint64_t>(config.horizon)));
+    e.type = static_cast<FaultType>(rng->NextDiscrete(cumulative));
+    switch (e.type) {
+      case FaultType::kNodeCrash:
+      case FaultType::kNodeRestart:
+        e.node = -1;  // injector picks from the live topology at fire time
+        break;
+      case FaultType::kMigrationStall:
+        e.duration = 1 + static_cast<SimDuration>(rng->NextBounded(
+                             static_cast<uint64_t>(config.max_window)));
+        e.stall = 1 + static_cast<SimDuration>(rng->NextBounded(
+                          static_cast<uint64_t>(config.max_stall)));
+        break;
+      case FaultType::kChunkFailure:
+        e.duration = 1 + static_cast<SimDuration>(rng->NextBounded(
+                             static_cast<uint64_t>(config.max_window)));
+        e.probability = 0.25 + 0.75 * rng->NextDouble();
+        break;
+      case FaultType::kMisforecast:
+        e.duration = 1 + static_cast<SimDuration>(rng->NextBounded(
+                             static_cast<uint64_t>(config.max_window)));
+        // Under- or over-forecast, well away from 1.0 either way.
+        e.forecast_scale =
+            rng->NextBernoulli(0.5) ? 0.1 + 0.4 * rng->NextDouble()
+                                    : 1.5 + 2.0 * rng->NextDouble();
+        break;
+    }
+    plan.events.push_back(e);
+  }
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  return plan;
+}
+
+}  // namespace pstore

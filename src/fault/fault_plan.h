@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "storage/partition_map.h"
+
+/// \file fault_plan.h
+/// Declarative fault schedules for chaos runs. A FaultPlan is a list of
+/// FaultEvents pinned to virtual times; the FaultInjector replays it on
+/// the discrete-event simulator. Plans are plain data, so a chaos run is
+/// exactly reproducible from (plan, seed) — and RandomFaultPlan derives
+/// the plan itself from a pstore::Rng, so a single seed reproduces the
+/// whole run (CLAUDE.md determinism rule).
+
+namespace pstore {
+
+using NodeId = int32_t;
+
+/// What kind of fault fires.
+enum class FaultType {
+  kNodeCrash,       ///< Fail-stop a node; its buckets fail over.
+  kNodeRestart,     ///< Bring a crashed node back (it rejoins empty).
+  kMigrationStall,  ///< Open a window in which chunk streams hang.
+  kChunkFailure,    ///< Open a window of probabilistic chunk failures.
+  kMisforecast,     ///< Open a window scaling the predictor's forecasts.
+};
+
+const char* FaultTypeName(FaultType type);
+
+/// One scheduled fault. Fields beyond `at`/`type` apply per type:
+/// `node` for crash/restart (-1 lets the injector pick a target
+/// deterministically), `duration` is the window length for the three
+/// window faults, `stall` the per-chunk hang inside a stall window,
+/// `probability` the per-chunk failure odds inside a failure window, and
+/// `forecast_scale` the multiplier inside a misforecast window (e.g.
+/// 0.2 = the predictor misses 80% of the load).
+struct FaultEvent {
+  SimTime at = 0;
+  FaultType type = FaultType::kNodeCrash;
+  NodeId node = -1;
+  SimDuration duration = 0;
+  SimDuration stall = 0;
+  double probability = 1.0;
+  double forecast_scale = 1.0;
+
+  std::string ToString() const;
+};
+
+/// \brief A deterministic schedule of faults.
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  /// Rejects negative times/durations/stalls, probabilities outside
+  /// [0, 1], and non-positive forecast scales.
+  Status Validate() const;
+
+  /// One event per line, in schedule order (golden-testable).
+  std::string ToString() const;
+};
+
+/// Knobs for RandomFaultPlan: the time horizon events are drawn in, how
+/// many events, relative weights per fault type, and window magnitudes.
+struct ChaosConfig {
+  SimTime horizon = 10 * kMinute;  ///< Events drawn in [0, horizon).
+  int32_t num_events = 6;
+  double crash_weight = 1.0;
+  double restart_weight = 1.0;
+  double stall_weight = 1.0;
+  double chunk_failure_weight = 1.0;
+  double misforecast_weight = 1.0;
+  SimDuration max_window = kMinute;     ///< Max window fault duration.
+  SimDuration max_stall = 10 * kSecond; ///< Max per-chunk stall.
+
+  Status Validate() const;
+};
+
+/// Draws a random plan, sorted by time. All randomness flows through
+/// `rng`, so a plan is exactly reproducible from a seed. Crash/restart
+/// events use node = -1 (injector picks the target from live topology).
+FaultPlan RandomFaultPlan(Rng* rng, const ChaosConfig& config);
+
+}  // namespace pstore

@@ -1,0 +1,150 @@
+#include "fault/invariant_checker.h"
+
+#include <numeric>
+
+#include "sim/simulator.h"
+
+namespace pstore {
+
+void InvariantChecker::Violation(const std::string& what) {
+  InvariantViolation v;
+  v.at = engine_->simulator()->Now();
+  v.what = what;
+  violations_.push_back(v);
+}
+
+Status InvariantChecker::Check() {
+  const size_t before = violations_.size();
+  ++checks_run_;
+  const Simulator* sim = engine_->simulator();
+  const PartitionMap& map = engine_->partition_map();
+
+  // 1. Ownership: every bucket is owned by exactly one partition (the
+  //    map is a function, so uniqueness is structural) and that
+  //    partition is active and on a live node.
+  for (BucketId b = 0; b < map.num_buckets(); ++b) {
+    const PartitionId owner = map.PartitionOfBucket(b);
+    if (owner < 0 || owner >= engine_->active_partitions()) {
+      Violation("bucket " + std::to_string(b) +
+                " owned by inactive partition " + std::to_string(owner));
+      continue;
+    }
+    if (!engine_->IsNodeUp(engine_->NodeOfPartition(owner))) {
+      Violation("bucket " + std::to_string(b) + " owned by partition " +
+                std::to_string(owner) + " on dead node " +
+                std::to_string(engine_->NodeOfPartition(owner)));
+    }
+  }
+
+  // 2. No orphan rows: a partition that does not own a bucket must hold
+  //    no rows of it (rows outside the routing map would be unreachable
+  //    — effectively lost — or duplicated if the owner also has them).
+  for (PartitionId p = 0; p < engine_->total_partitions(); ++p) {
+    const StorageFragment* frag = engine_->fragment(p);
+    if (frag->TotalRowCount() == 0) continue;  // fast path: empty
+    for (BucketId b = 0; b < map.num_buckets(); ++b) {
+      if (map.PartitionOfBucket(b) == p) continue;
+      const int64_t rows = frag->BucketRowCount(b);
+      if (rows > 0) {
+        Violation("partition " + std::to_string(p) + " holds " +
+                  std::to_string(rows) + " orphan rows of bucket " +
+                  std::to_string(b) + " owned by " +
+                  std::to_string(map.PartitionOfBucket(b)));
+      }
+    }
+  }
+
+  // 3. Row conservation: crashes and migrations move rows, never create
+  //    or destroy them.
+  if (expected_rows_ >= 0) {
+    const int64_t total = engine_->TotalRowCount();
+    if (total != expected_rows_) {
+      Violation("row conservation broken: " + std::to_string(total) +
+                " rows present, expected " +
+                std::to_string(expected_rows_));
+    }
+  }
+
+  // 4. Transaction accounting: per-partition completions sum to the
+  //    committed count, committed+aborted never exceeds submitted, and
+  //    committed never goes backwards (no lost or duplicated commits).
+  const auto& per_partition = engine_->partition_access_counts();
+  const int64_t per_partition_sum = std::accumulate(
+      per_partition.begin(), per_partition.end(), static_cast<int64_t>(0));
+  if (per_partition_sum != engine_->txns_committed()) {
+    Violation("committed txns " +
+              std::to_string(engine_->txns_committed()) +
+              " != per-partition completion sum " +
+              std::to_string(per_partition_sum));
+  }
+  const int64_t finished =
+      engine_->txns_committed() + engine_->txns_aborted();
+  if (finished > engine_->txns_submitted()) {
+    Violation("finished txns " + std::to_string(finished) +
+              " exceed submitted " +
+              std::to_string(engine_->txns_submitted()));
+  }
+  if (engine_->txns_committed() < last_committed_) {
+    Violation("committed txns moved backwards: " +
+              std::to_string(engine_->txns_committed()) + " < " +
+              std::to_string(last_committed_));
+  }
+  last_committed_ = engine_->txns_committed();
+
+  // 5. Virtual time: Now() and events_executed() are monotone, and no
+  //    more events execute than were ever scheduled.
+  if (sim->Now() < last_now_) {
+    Violation("virtual time moved backwards: " + FormatSimTime(sim->Now()) +
+              " < " + FormatSimTime(last_now_));
+  }
+  last_now_ = sim->Now();
+  if (sim->events_executed() < last_events_executed_) {
+    Violation("events_executed moved backwards");
+  }
+  last_events_executed_ = sim->events_executed();
+  if (sim->events_executed() > sim->events_scheduled()) {
+    Violation("more events executed (" +
+              std::to_string(sim->events_executed()) +
+              ") than scheduled (" +
+              std::to_string(sim->events_scheduled()) + ")");
+  }
+
+  // 6. Migration accounting: moved bytes are conserved (monotone, never
+  //    un-moved) and every finished move has a sane time range.
+  if (migrator_ != nullptr) {
+    if (migrator_->total_kb_moved() < last_kb_moved_) {
+      Violation("total_kb_moved moved backwards");
+    }
+    last_kb_moved_ = migrator_->total_kb_moved();
+    for (size_t i = 0; i < migrator_->history().size(); ++i) {
+      const MoveRecord& rec = migrator_->history()[i];
+      if (rec.end >= 0 && rec.end < rec.start) {
+        Violation("move record " + std::to_string(i) +
+                  " ends before it starts");
+      }
+    }
+  }
+
+  if (violations_.size() != before) {
+    return Status::Internal(
+        std::to_string(violations_.size() - before) +
+        " invariant violation(s); first: " +
+        violations_[before].ToString());
+  }
+  return Status::OK();
+}
+
+void InvariantChecker::StartPeriodic(SimDuration period) {
+  ++generation_;
+  Tick(period, generation_);
+}
+
+void InvariantChecker::Tick(SimDuration period, int64_t generation) {
+  engine_->simulator()->Schedule(period, [this, period, generation]() {
+    if (generation != generation_) return;
+    Check();  // violations accumulate in violations()
+    Tick(period, generation);
+  });
+}
+
+}  // namespace pstore

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/engine.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "migration/migration_executor.h"
+
+/// \file invariant_checker.h
+/// Always-on cluster invariant checking for chaos runs. The checker
+/// audits engine + migrator state against the safety properties the
+/// fault model must preserve: single live ownership of every bucket, no
+/// lost or duplicated rows, consistent transaction accounting, monotone
+/// virtual time, and conservation of migrated bytes. Run it standalone
+/// via Check() or on a cadence via StartPeriodic().
+
+namespace pstore {
+
+/// One failed invariant, stamped with the virtual time it was observed.
+struct InvariantViolation {
+  SimTime at = 0;
+  std::string what;
+
+  std::string ToString() const {
+    return "[" + FormatSimTime(at) + "] " + what;
+  }
+};
+
+/// \brief Audits engine/migrator state; accumulates violations.
+///
+/// Checks are read-only and deterministic. A null migrator skips the
+/// migration-accounting checks.
+class InvariantChecker {
+ public:
+  /// \param engine engine under audit (not owned)
+  /// \param migrator migration executor under audit; may be null
+  InvariantChecker(ClusterEngine* engine, MigrationExecutor* migrator)
+      : engine_(engine), migrator_(migrator) {}
+
+  /// Expected total row count for the conservation check. Set once after
+  /// loading; negative (default) disables the check. Crash failover and
+  /// migration move rows but never create or destroy them, so the total
+  /// must stay fixed for read-only workloads.
+  void set_expected_rows(int64_t rows) { expected_rows_ = rows; }
+
+  /// Runs every invariant once. Returns OK iff no new violation was
+  /// found; each violation is also appended to violations().
+  Status Check();
+
+  /// Schedules Check() every `period` of virtual time, forever (chaos
+  /// runs bound the simulation with RunUntil, which caps the schedule).
+  void StartPeriodic(SimDuration period);
+
+  /// Stops the periodic schedule after the currently queued check.
+  void Stop() { ++generation_; }
+
+  const std::vector<InvariantViolation>& violations() const {
+    return violations_;
+  }
+  int64_t checks_run() const { return checks_run_; }
+
+ private:
+  void Tick(SimDuration period, int64_t generation);
+  void Violation(const std::string& what);
+
+  ClusterEngine* engine_;
+  MigrationExecutor* migrator_;
+  int64_t expected_rows_ = -1;
+  std::vector<InvariantViolation> violations_;
+  int64_t checks_run_ = 0;
+  int64_t generation_ = 0;
+
+  // Monotonicity watermarks from the previous Check().
+  SimTime last_now_ = -1;
+  int64_t last_events_executed_ = -1;
+  int64_t last_committed_ = -1;
+  double last_kb_moved_ = -1.0;
+};
+
+}  // namespace pstore

@@ -16,6 +16,15 @@ Status MigrationOptions::Validate() const {
   if (rate_multiplier <= 0) {
     return Status::InvalidArgument("rate_multiplier <= 0");
   }
+  if (max_chunk_retries < 0) {
+    return Status::InvalidArgument("max_chunk_retries < 0");
+  }
+  if (retry_backoff_ms < 0) {
+    return Status::InvalidArgument("retry_backoff_ms < 0");
+  }
+  if (chunk_timeout_factor <= 1.0) {
+    return Status::InvalidArgument("chunk_timeout_factor must be > 1");
+  }
   return Status::OK();
 }
 
@@ -27,6 +36,10 @@ struct MigrationExecutor::Stream {
   size_t bucket_idx = 0;
   double remaining_kb = 0;   ///< Virtual kB left in the current bucket.
   SimTime earliest_next = 0; ///< Rate-limit gate for the next chunk.
+  int32_t attempts = 0;      ///< Retries consumed by the current chunk.
+  /// Attempt generation: bumped when a chunk lands or is retried, so a
+  /// stale timeout or stalled transfer for a superseded attempt no-ops.
+  int64_t gen = 0;
 };
 
 struct MigrationExecutor::ActiveMove {
@@ -66,6 +79,18 @@ Status MigrationExecutor::StartMove(int32_t target_nodes,
   if (b == a) {
     if (on_complete) engine_->simulator()->Schedule(0, std::move(on_complete));
     return Status::OK();
+  }
+  // Scale-in receivers are the surviving nodes; a crashed survivor could
+  // never accept its share, so reject up front. (Scale-out receivers are
+  // freshly activated and therefore healthy; a crashed *sender* owns no
+  // buckets after failover, so its streams are simply empty.)
+  if (a < b) {
+    for (NodeId n = 0; n < a; ++n) {
+      if (!engine_->IsNodeUp(n)) {
+        return Status::FailedPrecondition(
+            "scale-in survivor node " + std::to_string(n) + " is down");
+      }
+    }
   }
 
   auto schedule = BuildMoveSchedule(b, a);
@@ -175,10 +200,33 @@ Status MigrationExecutor::StartMove(int32_t target_nodes,
 
   move_ = std::move(move);
   in_progress_ = true;
+  ++move_epoch_;
   on_complete_ = std::move(on_complete);
   history_.push_back(MoveRecord{engine_->simulator()->Now(), -1, b, a});
   StartRound();
   return Status::OK();
+}
+
+void MigrationExecutor::Abort(const std::string& reason) {
+  if (!in_progress_) return;
+  PSTORE_LOG(Warn) << "migration aborted: " << reason;
+  Emit("migration aborted: " + reason);
+  history_.back().end = engine_->simulator()->Now();
+  history_.back().aborted = true;
+  ++moves_aborted_;
+  ++move_epoch_;  // cancels every event still scheduled for this move
+  move_.reset();
+  in_progress_ = false;
+  on_complete_ = nullptr;  // aborted moves do not report completion
+}
+
+void MigrationExecutor::Emit(const std::string& what) {
+  if (event_sink_) event_sink_(what);
+}
+
+bool MigrationExecutor::EndpointsUp(const Stream& stream) const {
+  return engine_->IsNodeUp(engine_->NodeOfPartition(stream.src)) &&
+         engine_->IsNodeUp(engine_->NodeOfPartition(stream.dst));
 }
 
 void MigrationExecutor::StartRound() {
@@ -217,6 +265,7 @@ void MigrationExecutor::StartStream(const std::shared_ptr<Stream>& stream) {
 void MigrationExecutor::NextChunk(const std::shared_ptr<Stream>& stream) {
   ActiveMove& move = *move_;
   Simulator* sim = engine_->simulator();
+  const int64_t epoch = move_epoch_;
 
   const double chunk_kb = std::min(options_.chunk_kb, stream->remaining_kb);
   const SimDuration busy =
@@ -227,40 +276,142 @@ void MigrationExecutor::NextChunk(const std::shared_ptr<Stream>& stream) {
   const SimDuration gate_delay = std::max<SimDuration>(
       0, gate_open - sim->Now());
 
-  // After the rate-limit gate opens, occupy both partition executors for
-  // the burst; the chunk lands when the later of the two finishes.
-  sim->Schedule(gate_delay, [this, stream, busy, period, chunk_kb]() {
+  // After the rate-limit gate opens, consult the fault layer (if any),
+  // then ship the chunk.
+  sim->Schedule(gate_delay, [this, stream, busy, period, chunk_kb, epoch]() {
+    if (epoch != move_epoch_) return;  // move finished/aborted meanwhile
     Simulator* sim = engine_->simulator();
-    stream->earliest_next = sim->Now() + period;
-    auto joins = std::make_shared<int32_t>(2);
-    auto on_side_done = [this, stream, joins, chunk_kb](SimTime, SimTime) {
-      if (--*joins > 0) return;
-      // Chunk landed on both sides.
-      total_kb_moved_ += chunk_kb;
-      stream->remaining_kb -= chunk_kb;
-      if (stream->remaining_kb <= 1e-9) {
-        // Bucket complete: flip ownership atomically. A concurrent
-        // skew-manager relocation may have already moved this bucket;
-        // in that case the transfer is simply wasted work.
-        const BucketId bucket = stream->buckets[stream->bucket_idx];
-        Status st = engine_->ApplyBucketMove(
-            BucketMove{bucket, stream->src, stream->dst});
-        if (!st.ok()) {
-          PSTORE_LOG(Info) << "bucket " << bucket
-                           << " relocated concurrently: " << st.ToString();
-        }
-        ++stream->bucket_idx;
-        if (stream->bucket_idx >= stream->buckets.size()) {
-          // Stream complete.
-          if (--move_->streams_remaining == 0) FinishRound();
-          return;
-        }
-        stream->remaining_kb = move_->kb_per_bucket;
+    // A dead endpoint cannot make progress: abort rather than flip
+    // ownership of unlanded buckets or hang forever.
+    if (!EndpointsUp(*stream)) {
+      Abort("stream " + std::to_string(stream->src) + "->" +
+            std::to_string(stream->dst) + " endpoint node is down");
+      return;
+    }
+    if (fault_hook_) {
+      const ChunkFault fault = fault_hook_(stream->src, stream->dst,
+                                           sim->Now());
+      if (fault.kind == ChunkFault::Kind::kFail) {
+        Emit("chunk transfer failed on stream " +
+             std::to_string(stream->src) + "->" +
+             std::to_string(stream->dst));
+        RetryChunk(stream, "chunk transfer failed");
+        return;
       }
-      NextChunk(stream);
-    };
-    engine_->executor(stream->src)->Enqueue(busy, on_side_done);
-    engine_->executor(stream->dst)->Enqueue(busy, on_side_done);
+      if (fault.kind == ChunkFault::Kind::kStall) {
+        // The stream hangs: the transfer restarts after the stall unless
+        // the timeout fires first and supersedes this attempt.
+        Emit("stream " + std::to_string(stream->src) + "->" +
+             std::to_string(stream->dst) + " stalled");
+        const int64_t gen = stream->gen;
+        sim->Schedule(fault.stall,
+                      [this, stream, busy, period, chunk_kb, epoch, gen]() {
+                        if (epoch != move_epoch_ || gen != stream->gen) {
+                          return;
+                        }
+                        SendChunk(stream, busy, period, chunk_kb, epoch);
+                      });
+        ArmChunkTimeout(stream, busy, period, epoch);
+        return;
+      }
+    }
+    SendChunk(stream, busy, period, chunk_kb, epoch);
+    if (fault_hook_) ArmChunkTimeout(stream, busy, period, epoch);
+  });
+}
+
+void MigrationExecutor::SendChunk(const std::shared_ptr<Stream>& stream,
+                                  SimDuration busy, SimDuration period,
+                                  double chunk_kb, int64_t epoch) {
+  Simulator* sim = engine_->simulator();
+  stream->earliest_next = sim->Now() + period;
+  const int64_t gen = stream->gen;
+  // Occupy both partition executors for the burst; the chunk lands when
+  // the later of the two finishes.
+  auto joins = std::make_shared<int32_t>(2);
+  auto on_side_done = [this, stream, joins, chunk_kb, epoch,
+                       gen](SimTime, SimTime) {
+    if (epoch != move_epoch_ || gen != stream->gen) return;
+    if (--*joins > 0) return;
+    if (!EndpointsUp(*stream)) {
+      // The receiver (or sender) died while the chunk was in flight:
+      // the chunk is lost, ownership must not flip to a dead node.
+      Abort("stream " + std::to_string(stream->src) + "->" +
+            std::to_string(stream->dst) + " endpoint died mid-chunk");
+      return;
+    }
+    // Chunk landed on both sides; supersede any armed timeout.
+    ++stream->gen;
+    stream->attempts = 0;
+    total_kb_moved_ += chunk_kb;
+    stream->remaining_kb -= chunk_kb;
+    if (stream->remaining_kb <= 1e-9) {
+      // Bucket complete: flip ownership atomically. A concurrent
+      // skew-manager relocation may have already moved this bucket;
+      // in that case the transfer is simply wasted work.
+      const BucketId bucket = stream->buckets[stream->bucket_idx];
+      Status st = engine_->ApplyBucketMove(
+          BucketMove{bucket, stream->src, stream->dst});
+      if (!st.ok()) {
+        PSTORE_LOG(Info) << "bucket " << bucket
+                         << " relocated concurrently: " << st.ToString();
+      }
+      ++stream->bucket_idx;
+      if (stream->bucket_idx >= stream->buckets.size()) {
+        // Stream complete.
+        if (--move_->streams_remaining == 0) FinishRound();
+        return;
+      }
+      stream->remaining_kb = move_->kb_per_bucket;
+    }
+    NextChunk(stream);
+  };
+  engine_->executor(stream->src)->Enqueue(busy, on_side_done);
+  engine_->executor(stream->dst)->Enqueue(busy, on_side_done);
+}
+
+void MigrationExecutor::ArmChunkTimeout(const std::shared_ptr<Stream>& stream,
+                                        SimDuration busy, SimDuration period,
+                                        int64_t epoch) {
+  const SimDuration nominal = std::max<SimDuration>(1, busy + period);
+  const SimDuration timeout = static_cast<SimDuration>(
+      static_cast<double>(nominal) * options_.chunk_timeout_factor);
+  const int64_t gen = stream->gen;
+  engine_->simulator()->Schedule(timeout, [this, stream, epoch, gen]() {
+    if (epoch != move_epoch_ || gen != stream->gen) return;  // landed
+    Emit("chunk timeout on stream " + std::to_string(stream->src) + "->" +
+         std::to_string(stream->dst));
+    RetryChunk(stream, "chunk timed out");
+  });
+}
+
+void MigrationExecutor::RetryChunk(const std::shared_ptr<Stream>& stream,
+                                   const char* why) {
+  ++stream->gen;  // supersede the failed/stalled attempt and its timeout
+  if (stream->attempts >= options_.max_chunk_retries) {
+    Abort(std::string(why) + " on stream " + std::to_string(stream->src) +
+          "->" + std::to_string(stream->dst) + ": retry budget (" +
+          std::to_string(options_.max_chunk_retries) + ") exhausted");
+    return;
+  }
+  // Exponential backoff; the retry is idempotent (no bytes were counted
+  // and no ownership flipped for the failed attempt).
+  const SimDuration backoff = SecondsToDuration(
+      options_.retry_backoff_ms / 1000.0 *
+      std::pow(2.0, static_cast<double>(stream->attempts)));
+  ++stream->attempts;
+  ++chunk_retries_;
+  Emit("retrying chunk on stream " + std::to_string(stream->src) + "->" +
+       std::to_string(stream->dst) + " (attempt " +
+       std::to_string(stream->attempts) + ")");
+  const int64_t epoch = move_epoch_;
+  engine_->simulator()->Schedule(backoff, [this, stream, epoch]() {
+    if (epoch != move_epoch_) return;
+    if (!EndpointsUp(*stream)) {
+      Abort("retry target node is down");
+      return;
+    }
+    NextChunk(stream);
   });
 }
 
@@ -272,10 +423,23 @@ void MigrationExecutor::FinishRound() {
     const int32_t keep = move.nodes_active_after[move.round_idx];
     const int32_t p = engine_->partitions_per_node();
     const PartitionMap& map = engine_->partition_map();
+    // Evacuate onto the lowest *live* surviving node (node 0 may have
+    // crashed since the move was planned).
+    NodeId refuge = -1;
+    for (NodeId n = 0; n < keep; ++n) {
+      if (engine_->IsNodeUp(n)) {
+        refuge = n;
+        break;
+      }
+    }
     for (PartitionId src = keep * p;
          src < engine_->active_nodes() * p; ++src) {
       for (BucketId bucket : map.BucketsOfPartition(src)) {
-        const PartitionId dst = src % p;  // same index on node 0
+        if (refuge < 0) {
+          Abort("no live surviving node for stray-bucket evacuation");
+          return;
+        }
+        const PartitionId dst = refuge * p + src % p;  // same index
         Status st =
             engine_->ApplyBucketMove(BucketMove{bucket, src, dst});
         if (!st.ok()) {
@@ -295,6 +459,7 @@ void MigrationExecutor::FinishRound() {
 
 void MigrationExecutor::FinishMove() {
   history_.back().end = engine_->simulator()->Now();
+  ++move_epoch_;  // retire any stray events still scheduled for this move
   move_.reset();
   in_progress_ = false;
   if (on_complete_) {

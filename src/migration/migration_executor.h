@@ -40,6 +40,16 @@ struct MigrationOptions {
   double db_size_mb = 1106.0;    ///< Virtual database size for timing.
   double rate_multiplier = 1.0;  ///< 1 = rate R; 8 = the R x 8 fallback.
 
+  /// Retry budget per chunk before the move aborts (fault runs only).
+  int32_t max_chunk_retries = 5;
+  /// Base retry backoff; doubles on every consecutive retry of a chunk.
+  double retry_backoff_ms = 50.0;
+  /// A chunk that has not landed after this multiple of its nominal
+  /// transfer time (burst + pacing period) is considered stalled and
+  /// retried. Timeouts are armed only while a fault hook is installed,
+  /// so fault-free runs schedule exactly the pre-fault event sequence.
+  double chunk_timeout_factor = 4.0;
+
   Status Validate() const;
 };
 
@@ -50,7 +60,29 @@ struct MoveRecord {
   SimTime end = -1;  ///< -1 while in flight.
   int32_t from_nodes = 0;
   int32_t to_nodes = 0;
+  bool aborted = false;  ///< True if the move ended without completing.
+
+  bool operator==(const MoveRecord& o) const {
+    return start == o.start && end == o.end && from_nodes == o.from_nodes &&
+           to_nodes == o.to_nodes && aborted == o.aborted;
+  }
 };
+
+/// Decision the fault layer returns for one chunk-transfer attempt.
+struct ChunkFault {
+  enum class Kind {
+    kNone,   ///< Transfer proceeds normally.
+    kFail,   ///< Transfer fails immediately; retried with backoff.
+    kStall,  ///< Stream hangs for `stall`; the timeout may fire first.
+  };
+  Kind kind = Kind::kNone;
+  SimDuration stall = 0;
+};
+
+/// Consulted once per chunk attempt when installed (src/dst partitions,
+/// current virtual time). Must be deterministic for a fixed seed.
+using ChunkFaultHook =
+    std::function<ChunkFault(PartitionId src, PartitionId dst, SimTime now)>;
 
 /// \brief Executes reconfigurations against a ClusterEngine.
 class MigrationExecutor {
@@ -69,10 +101,38 @@ class MigrationExecutor {
 
   bool InProgress() const { return in_progress_; }
 
+  /// Aborts the in-flight move, if any: all pending chunk transfers are
+  /// cancelled, ownership of unlanded buckets never flips, and the
+  /// completion callback is dropped (aborted moves do not report
+  /// completion; callers observe InProgress() turning false and the
+  /// MoveRecord's `aborted` flag). Buckets that already landed stay
+  /// where they are — ownership remains a partition of the universe.
+  void Abort(const std::string& reason);
+
+  /// Installs (or clears, with nullptr) the fault layer's per-chunk
+  /// decision hook. Timeout/retry machinery is armed only while a hook
+  /// is installed; without one the executor schedules exactly the same
+  /// event sequence as a fault-free build.
+  void set_chunk_fault_hook(ChunkFaultHook hook) {
+    fault_hook_ = std::move(hook);
+  }
+
+  /// Optional sink for fault/retry/abort notices (e.g. an EventTrace).
+  void set_event_sink(std::function<void(const std::string&)> sink) {
+    event_sink_ = std::move(sink);
+  }
+
   const std::vector<MoveRecord>& history() const { return history_; }
 
-  /// Total virtual kB shipped so far (all moves).
+  /// Total virtual kB shipped so far (all moves). Failed or stalled
+  /// chunk attempts are not counted — only landed chunks.
   double total_kb_moved() const { return total_kb_moved_; }
+
+  /// Chunk attempts that were retried (failure or stall timeout).
+  int64_t chunk_retries() const { return chunk_retries_; }
+
+  /// Moves that ended in Abort().
+  int64_t moves_aborted() const { return moves_aborted_; }
 
   const MigrationOptions& options() const { return options_; }
 
@@ -83,8 +143,15 @@ class MigrationExecutor {
   void StartRound();
   void StartStream(const std::shared_ptr<Stream>& stream);
   void NextChunk(const std::shared_ptr<Stream>& stream);
+  void SendChunk(const std::shared_ptr<Stream>& stream, SimDuration busy,
+                 SimDuration period, double chunk_kb, int64_t epoch);
+  void ArmChunkTimeout(const std::shared_ptr<Stream>& stream,
+                       SimDuration busy, SimDuration period, int64_t epoch);
+  void RetryChunk(const std::shared_ptr<Stream>& stream, const char* why);
+  bool EndpointsUp(const Stream& stream) const;
   void FinishRound();
   void FinishMove();
+  void Emit(const std::string& what);
 
   ClusterEngine* engine_;
   MigrationOptions options_;
@@ -92,7 +159,14 @@ class MigrationExecutor {
   std::unique_ptr<ActiveMove> move_;
   std::vector<MoveRecord> history_;
   double total_kb_moved_ = 0;
+  int64_t chunk_retries_ = 0;
+  int64_t moves_aborted_ = 0;
+  /// Bumped on every move start/finish/abort; scheduled events capture
+  /// it and become no-ops if the move they belong to is gone.
+  int64_t move_epoch_ = 0;
   std::function<void()> on_complete_;
+  ChunkFaultHook fault_hook_;
+  std::function<void(const std::string&)> event_sink_;
 };
 
 }  // namespace pstore

@@ -44,6 +44,11 @@ class Simulator {
   /// Number of events executed so far (for tests and sanity checks).
   int64_t events_executed() const { return events_executed_; }
 
+  /// Number of events ever scheduled. Together with events_executed()
+  /// this gives the invariant checker a cheap progress/accounting
+  /// signal: executed is monotone and never exceeds scheduled.
+  int64_t events_scheduled() const { return next_seq_; }
+
   /// True if no events are pending.
   bool Empty() const { return queue_.empty(); }
 

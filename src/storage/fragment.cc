@@ -123,6 +123,17 @@ int64_t StorageFragment::TotalRowCount() const {
   return total;
 }
 
+int64_t StorageFragment::BucketRowCount(BucketId bucket) const {
+  int64_t rows = 0;
+  for (const auto& t : tables_) {
+    auto bit = t.buckets.find(bucket);
+    if (bit != t.buckets.end()) {
+      rows += static_cast<int64_t>(bit->second.size());
+    }
+  }
+  return rows;
+}
+
 int64_t StorageFragment::BucketBytes(BucketId bucket) const {
   auto it = bucket_bytes_.find(bucket);
   return it == bucket_bytes_.end() ? 0 : it->second;

@@ -54,6 +54,11 @@ class StorageFragment {
   /// Approximate bytes held for one bucket across all tables.
   int64_t BucketBytes(BucketId bucket) const;
 
+  /// Rows held for one bucket across all tables (the invariant checker
+  /// uses this to detect rows stranded on a partition that does not own
+  /// the bucket).
+  int64_t BucketRowCount(BucketId bucket) const;
+
   /// Approximate total bytes held.
   int64_t TotalBytes() const { return total_bytes_; }
 

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "../test_util.h"
+#include "fault/fault_injector.h"
 #include "prediction/spar.h"
 #include "workload/b2w_client.h"
 
@@ -278,6 +279,92 @@ TEST_F(PredictiveControllerTest, StopPreventsFurtherMoves) {
   sim_.RunUntil(SecondsToDuration(10.0));
   EXPECT_EQ(controller.moves_started(), 0);
   EXPECT_EQ(engine_->active_nodes(), 2);
+}
+
+// --- Fault-handling regressions --------------------------------------
+
+TEST_F(PredictiveControllerTest, MisforecastTripsSafetyNet) {
+  Build(1);
+  // The underlying predictor is perfectly accurate (flat 300 txn/s), but
+  // an injected misforecast window scales its output to 75 txn/s: the
+  // plan holds at 1 node while the real load is far beyond it, so the
+  // reactive safety net must catch the overload.
+  FaultInjector injector(engine_.get(), migrator_.get(), /*seed=*/3);
+  FaultPlan plan;
+  FaultEvent mis;
+  mis.at = 0;
+  mis.type = FaultType::kMisforecast;
+  mis.duration = 60 * kSecond;
+  mis.forecast_scale = 0.25;
+  plan.events = {mis};
+  ASSERT_TRUE(injector.Arm(plan).ok());
+
+  ScriptedPredictor accurate(std::vector<double>(40, 300.0));
+  MisforecastPredictor predictor(&accurate, &injector);
+  ControllerConfig config = Config();
+  config.enable_reactive_safety_net = true;
+  config.safety_net_watermark = 0.95;
+  PredictiveController controller(engine_.get(), migrator_.get(), &predictor,
+                                  config);
+  controller.Start();
+  OfferLoad(300.0, 20.0);
+  sim_.RunUntil(SecondsToDuration(20.0));
+
+  EXPECT_GT(controller.safety_net_activations(), 0);
+  EXPECT_GE(engine_->active_nodes(), 3);
+}
+
+TEST_F(PredictiveControllerTest, CrashDuringScaleInConfirmationResetsStreak) {
+  // A scale-in needs 3 consecutive confirming cycles (ticks at 2/4/6 s).
+  // A crash between the second and third tick must reset the streak: the
+  // confirmation was established against a topology that no longer
+  // exists. The control run (no crash) is free to scale in on schedule.
+  auto run = [&](bool crash, int64_t* moves_by_7s, int32_t* nodes_at_7s) {
+    Simulator sim;
+    EngineConfig engine_config = testing_util::SmallEngineConfig();
+    engine_config.initial_nodes = 4;
+    engine_config.max_nodes = 8;
+    ClusterEngine engine(&sim, db_.catalog, db_.registry, engine_config);
+    MigrationOptions migration;
+    migration.chunk_kb = 200;
+    migration.rate_kbps = 2000;
+    migration.wire_kbps = 50000;
+    migration.db_size_mb = 12;
+    MigrationExecutor migrator(&engine, migration);
+    ScriptedPredictor predictor(std::vector<double>(30, 50.0));
+    ControllerConfig config = Config();
+    config.scale_in_confirmations = 3;
+    PredictiveController controller(&engine, &migrator, &predictor, config);
+    controller.Start();
+    // 50 txn/s of Put load for 10 s.
+    for (int64_t i = 0; i < 500; ++i) {
+      TxnRequest put;
+      put.proc = db_.put;
+      put.key = (i * 2654435761LL) % 100000;
+      put.args = {Value(int64_t{1})};
+      sim.ScheduleAt(static_cast<SimTime>(i * 20 * kMillisecond),
+                     [&engine, put]() { engine.Submit(put); });
+    }
+    if (crash) {
+      sim.Schedule(5 * kSecond,
+                   [&engine]() { ASSERT_TRUE(engine.CrashNode(3).ok()); });
+    }
+    sim.RunUntil(SecondsToDuration(7.0));
+    *moves_by_7s = controller.moves_started();
+    *nodes_at_7s = engine.active_nodes();
+  };
+
+  int64_t moves_control = 0, moves_crash = 0;
+  int32_t nodes_control = 0, nodes_crash = 0;
+  run(false, &moves_control, &nodes_control);
+  run(true, &moves_crash, &nodes_crash);
+
+  // Control: confirmations complete at the 6 s tick and scale-in starts.
+  EXPECT_GE(moves_control, 1);
+  // Crash at 5 s: the streak resets, so no scale-in may start by 7 s and
+  // the allocation is untouched.
+  EXPECT_EQ(moves_crash, 0);
+  EXPECT_EQ(nodes_crash, 4);
 }
 
 }  // namespace

@@ -120,5 +120,44 @@ TEST_F(ReactiveControllerTest, StopHaltsDecisions) {
   EXPECT_EQ(engine_->active_nodes(), 1);
 }
 
+// --- Fault-handling regressions --------------------------------------
+
+TEST_F(ReactiveControllerTest, CrashedNodeCapacityLossTriggersScaleOut) {
+  Build(2);
+  ReactiveController controller(engine_.get(), migrator_.get(), Config());
+  controller.Start();
+  // 150 txn/s fits two live nodes (cap_hat 250, watermark 225): steady
+  // state, no trigger.
+  OfferLoad(150.0, 25.0);
+  sim_.RunUntil(SecondsToDuration(10.0));
+  EXPECT_EQ(controller.scale_outs(), 0);
+  EXPECT_EQ(engine_->active_nodes(), 2);
+
+  // Killing a node halves serving capacity at unchanged offered load:
+  // 150 txn/s now exceeds 0.9 x 125, so the controller must scale out
+  // even though the allocation count never dropped.
+  ASSERT_TRUE(engine_->CrashNode(1).ok());
+  sim_.RunUntil(SecondsToDuration(20.0));
+  EXPECT_GE(controller.scale_outs(), 1);
+  EXPECT_GT(engine_->active_nodes(), 2);
+}
+
+TEST_F(ReactiveControllerTest, CrashResetsScaleInHoldTimer) {
+  Build(3);
+  ReactiveConfig config = Config();
+  config.scale_in_hold = 8 * kSecond;
+  ReactiveController controller(engine_.get(), migrator_.get(), config);
+  controller.Start();
+  OfferLoad(30.0, 30.0);  // low: scale-in would fire at ~9-10 s
+  sim_.Schedule(5 * kSecond,
+                [this]() { ASSERT_TRUE(engine_->CrashNode(2).ok()); });
+  sim_.RunUntil(SecondsToDuration(12.0));
+  // The 5 s crash reset the hold timer, so the earliest scale-in is
+  // ~14 s; nothing may have fired yet.
+  EXPECT_EQ(controller.scale_ins(), 0);
+  sim_.RunUntil(SecondsToDuration(30.0));
+  EXPECT_GE(controller.scale_ins(), 1);  // re-established low period
+}
+
 }  // namespace
 }  // namespace pstore

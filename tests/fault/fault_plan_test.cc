@@ -1,0 +1,114 @@
+#include "fault/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "fault/event_trace.h"
+
+namespace pstore {
+namespace {
+
+TEST(FaultPlanTest, ValidationRejectsBadEvents) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.Validate().ok());  // empty plan is fine
+
+  FaultEvent e;
+  e.at = -1;
+  plan.events = {e};
+  EXPECT_TRUE(plan.Validate().IsInvalidArgument());
+
+  e = FaultEvent{};
+  e.type = FaultType::kChunkFailure;
+  e.probability = 1.5;
+  plan.events = {e};
+  EXPECT_TRUE(plan.Validate().IsInvalidArgument());
+
+  e = FaultEvent{};
+  e.type = FaultType::kMisforecast;
+  e.forecast_scale = 0.0;
+  plan.events = {e};
+  EXPECT_TRUE(plan.Validate().IsInvalidArgument());
+
+  e = FaultEvent{};
+  e.type = FaultType::kMigrationStall;
+  e.duration = -5;
+  plan.events = {e};
+  EXPECT_TRUE(plan.Validate().IsInvalidArgument());
+}
+
+TEST(FaultPlanTest, ChaosConfigValidation) {
+  ChaosConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+  config.horizon = 0;
+  EXPECT_TRUE(config.Validate().IsInvalidArgument());
+  config = ChaosConfig{};
+  config.crash_weight = -1;
+  EXPECT_TRUE(config.Validate().IsInvalidArgument());
+  config = ChaosConfig{};
+  config.crash_weight = config.restart_weight = config.stall_weight =
+      config.chunk_failure_weight = config.misforecast_weight = 0;
+  EXPECT_TRUE(config.Validate().IsInvalidArgument());
+}
+
+TEST(FaultPlanTest, RandomPlanIsSortedValidAndWithinHorizon) {
+  Rng rng(7);
+  ChaosConfig config;
+  config.num_events = 40;
+  const FaultPlan plan = RandomFaultPlan(&rng, config);
+  ASSERT_EQ(plan.events.size(), 40u);
+  EXPECT_TRUE(plan.Validate().ok());
+  for (size_t i = 0; i < plan.events.size(); ++i) {
+    EXPECT_GE(plan.events[i].at, 0);
+    EXPECT_LT(plan.events[i].at, config.horizon);
+    if (i > 0) EXPECT_LE(plan.events[i - 1].at, plan.events[i].at);
+  }
+}
+
+TEST(FaultPlanTest, SameSeedSamePlan) {
+  ChaosConfig config;
+  config.num_events = 25;
+  Rng a(123), b(123);
+  EXPECT_EQ(RandomFaultPlan(&a, config).ToString(),
+            RandomFaultPlan(&b, config).ToString());
+}
+
+TEST(FaultPlanTest, DifferentSeedsDifferentPlans) {
+  ChaosConfig config;
+  config.num_events = 25;
+  Rng a(1), b(2);
+  EXPECT_NE(RandomFaultPlan(&a, config).ToString(),
+            RandomFaultPlan(&b, config).ToString());
+}
+
+TEST(FaultPlanTest, WeightsSteerEventMix) {
+  ChaosConfig config;
+  config.num_events = 30;
+  config.crash_weight = 1.0;
+  config.restart_weight = 0.0;
+  config.stall_weight = 0.0;
+  config.chunk_failure_weight = 0.0;
+  config.misforecast_weight = 0.0;
+  Rng rng(9);
+  const FaultPlan plan = RandomFaultPlan(&rng, config);
+  for (const FaultEvent& e : plan.events) {
+    EXPECT_EQ(e.type, FaultType::kNodeCrash);
+  }
+}
+
+TEST(EventTraceTest, FingerprintIsOrderSensitive) {
+  EventTrace a, b;
+  a.Record(0, "x");
+  a.Record(kSecond, "y");
+  b.Record(kSecond, "y");
+  b.Record(0, "x");
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+  EXPECT_EQ(a.size(), 2u);
+
+  EventTrace c;
+  c.Record(0, "x");
+  c.Record(kSecond, "y");
+  EXPECT_EQ(a.Fingerprint(), c.Fingerprint());
+  EXPECT_EQ(a.ToString(), c.ToString());
+}
+
+}  // namespace
+}  // namespace pstore
