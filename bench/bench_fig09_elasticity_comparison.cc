@@ -72,6 +72,15 @@ int main(int argc, char** argv) {
     ExperimentConfig config = BaseConfig(argc, argv);
     config.strategy = spec.strategy;
     config.static_nodes = spec.static_nodes;
+    // Per-run telemetry: controller/migration/cluster metrics sampled
+    // every 10 virtual seconds. Disarmed builds skip it entirely, so
+    // their figure CSVs stay bit-identical to uninstrumented builds.
+    obs::TelemetryBundle telemetry;
+    obs::TimeseriesExporter exporter(&telemetry.metrics);
+    if (obs::Enabled()) {
+      config.telemetry = telemetry.view();
+      config.telemetry_exporter = &exporter;
+    }
     auto result = RunElasticityExperiment(config);
     if (!result.ok()) {
       std::fprintf(stderr, "%s failed: %s\n", spec.tag,
@@ -84,6 +93,8 @@ int main(int argc, char** argv) {
     }
     bench::PrintExperiment(*result);
     DumpCsv(spec.tag, *result);
+    bench::WriteRunTelemetry(std::string("fig09_") + spec.tag, &telemetry,
+                             &exporter);
   }
 
   std::cout << "\nExpected shape (paper Figure 9): the reactive run shows "

@@ -39,6 +39,14 @@ int main(int argc, char** argv) {
     ExperimentConfig tuned = config;
     // Thread the fallback multiplier through the controller defaults.
     tuned.controller.infeasible_rate_multiplier = multiplier;
+    // Per-run telemetry (safety-net trips, forecast error, migration
+    // spans); disarmed builds attach nothing.
+    obs::TelemetryBundle telemetry;
+    obs::TimeseriesExporter exporter(&telemetry.metrics);
+    if (obs::Enabled()) {
+      tuned.telemetry = telemetry.view();
+      tuned.telemetry_exporter = &exporter;
+    }
     // RunElasticityExperiment derives controller settings unless
     // overridden; copy the multiplier by marking a partial override.
     auto result = RunElasticityExperiment(tuned);
@@ -60,6 +68,9 @@ int main(int argc, char** argv) {
                                    1),
                   TableWriter::Fmt(result->infeasible_cycles)});
     bench::PrintExperiment(*result);
+    char prefix[32];
+    std::snprintf(prefix, sizeof(prefix), "fig11_rate_x%.0f", multiplier);
+    bench::WriteRunTelemetry(prefix, &telemetry, &exporter);
   }
   table.Print(std::cout);
   std::cout << "\nExpected shape: R x 8 ends the violation period sooner "

@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <filesystem>
 #include <iostream>
 
 #include "common/table_writer.h"
+#include "obs/exporter.h"
 
 namespace pstore {
 namespace bench {
@@ -41,14 +41,33 @@ void PrintSeries(const std::string& label, const std::vector<double>& values,
 void WriteCsv(const std::string& file,
               const std::vector<std::string>& names,
               const std::vector<std::vector<double>>& columns) {
-  std::filesystem::create_directories("bench_out");
-  CsvSeriesWriter writer;
-  for (size_t i = 0; i < names.size() && i < columns.size(); ++i) {
-    writer.AddColumn(names[i], columns[i]);
-  }
+  // obs::WriteColumnsCsv creates the full parent chain (so files under
+  // bench_out/sub/ work too) and warns instead of silently dropping the
+  // CSV when the path cannot be written. Output bytes are identical to
+  // the old CsvSeriesWriter path.
   const std::string path = "bench_out/" + file;
-  if (writer.WriteFile(path)) {
+  if (obs::WriteColumnsCsv(path, names, columns)) {
     std::cout << "  [series written to " << path << "]\n";
+  }
+}
+
+void WriteRunTelemetry(const std::string& prefix,
+                       obs::TelemetryBundle* telemetry,
+                       const obs::TimeseriesExporter* exporter) {
+  if (!obs::Enabled()) return;  // disarmed builds keep bench_out pristine
+  const std::string base = "bench_out/" + prefix;
+  bool ok = obs::WriteStringToFile(base + "_metrics.json",
+                                   telemetry->metrics.DumpJson());
+  if (exporter != nullptr) {
+    ok = exporter->WriteCsv(base + "_metrics.csv") && ok;
+  }
+  ok = obs::WriteStringToFile(base + "_events.txt",
+                              telemetry->events.ToString()) &&
+       ok;
+  if (ok) {
+    std::cout << "  [telemetry written to " << base << "_metrics.json";
+    if (exporter != nullptr) std::cout << " / _metrics.csv";
+    std::cout << " / _events.txt]\n";
   }
 }
 

@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "obs/exporter.h"
+#include "obs/telemetry.h"
 
 /// \file bench_util.h
 /// Shared output helpers for the figure/table reproduction harnesses.
@@ -26,6 +28,14 @@ void PrintSeries(const std::string& label, const std::vector<double>& values,
 void WriteCsv(const std::string& file,
               const std::vector<std::string>& names,
               const std::vector<std::vector<double>>& columns);
+
+/// Writes one run's telemetry under bench_out/<prefix>_metrics.json,
+/// <prefix>_metrics.csv (when an exporter sampled the run) and
+/// <prefix>_events.txt. No-op in disarmed (PSTORE_OBS=OFF) builds, so
+/// figure CSV output stays bit-identical to uninstrumented builds.
+void WriteRunTelemetry(const std::string& prefix,
+                       obs::TelemetryBundle* telemetry,
+                       const obs::TimeseriesExporter* exporter = nullptr);
 
 /// Parses "--key=value" integer flags (returns fallback when absent).
 int64_t IntFlag(int argc, char** argv, const std::string& key,

@@ -6,11 +6,17 @@
 /// seed, so it is executed TWICE and the two event traces must match
 /// byte for byte (same fingerprint).
 ///
-///   ./build/examples/chaos_run [--seed=42] [--events=10]
+/// Telemetry: every run records cluster/migration/reactive metrics,
+/// spans and events through src/obs; the replay also proves the metric
+/// and span dumps reproduce byte for byte. Pass --out=DIR to write
+/// metrics.json, metrics.csv, spans.txt and events.txt there.
+///
+///   ./build/examples/chaos_run [--seed=42] [--events=10] [--out=DIR]
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -20,6 +26,8 @@
 #include "fault/fault_injector.h"
 #include "fault/invariant_checker.h"
 #include "migration/migration_executor.h"
+#include "obs/exporter.h"
+#include "obs/telemetry.h"
 #include "sim/simulator.h"
 #include "storage/schema.h"
 #include "txn/procedure.h"
@@ -42,6 +50,13 @@ struct RunResult {
   int64_t checks = 0;
   size_t violations = 0;
   int64_t events = 0;
+  // Telemetry dumps + their determinism digests.
+  std::string metrics_json;
+  std::string metrics_csv;
+  std::string spans;
+  std::string telemetry_events;
+  uint64_t metrics_fingerprint = 0;
+  uint64_t span_fingerprint = 0;
 };
 
 RunResult RunOnce(uint64_t seed, int32_t num_events) {
@@ -73,6 +88,9 @@ RunResult RunOnce(uint64_t seed, int32_t num_events) {
   config.txn_service_us_mean = 1000.0;
   config.txn_service_cv = 0.0;
   ClusterEngine engine(&sim, catalog, registry, config);
+  obs::TelemetryBundle telemetry;
+  telemetry.tracer.set_clock([&sim]() { return sim.Now(); });
+  engine.set_telemetry(telemetry.view());
   const int64_t rows = 500;
   for (int64_t k = 0; k < rows; ++k) {
     if (!engine.LoadRow(table, Row({Value(k), Value(k)})).ok()) abort();
@@ -84,6 +102,7 @@ RunResult RunOnce(uint64_t seed, int32_t num_events) {
   migration.wire_kbps = 100000;
   migration.db_size_mb = 10;
   MigrationExecutor migrator(&engine, migration);
+  migrator.set_telemetry(telemetry.view());
 
   ReactiveConfig reactive;
   reactive.q = 100.0;
@@ -93,7 +112,20 @@ RunResult RunOnce(uint64_t seed, int32_t num_events) {
   reactive.monitor_period = kSecond;
   reactive.scale_in_hold = 5 * kSecond;
   ReactiveController controller(&engine, &migrator, reactive);
+  controller.set_telemetry(telemetry.view());
   controller.Start();
+
+  // Sample the registry once per virtual second (read-only: the tick
+  // never perturbs engine state, so traces match un-sampled runs).
+  obs::TimeseriesExporter exporter(&telemetry.metrics);
+  auto sample = std::make_shared<std::function<void()>>();
+  // Raw-pointer capture: `sample` outlives the run, and a shared_ptr
+  // capture would be a reference cycle that never frees the closure.
+  *sample = [&sim, &exporter, tick = sample.get()]() {
+    exporter.Sample(sim.Now());
+    sim.Schedule(kSecond, *tick);
+  };
+  sim.Schedule(0, *sample);
 
   // The fault plan itself is drawn from the seed.
   Rng plan_rng(seed ^ 0x9e3779b97f4a7c15ULL);
@@ -141,6 +173,12 @@ RunResult RunOnce(uint64_t seed, int32_t num_events) {
   out.checks = checker.checks_run();
   out.violations = checker.violations().size();
   out.events = sim.events_executed();
+  out.metrics_json = telemetry.metrics.DumpJson();
+  out.metrics_csv = exporter.ToCsv();
+  out.spans = telemetry.tracer.ToString();
+  out.telemetry_events = telemetry.events.ToString();
+  out.metrics_fingerprint = telemetry.metrics.Fingerprint();
+  out.span_fingerprint = telemetry.tracer.Fingerprint();
   if (!checker.violations().empty()) {
     std::printf("INVARIANT VIOLATIONS:\n");
     for (const auto& v : checker.violations()) {
@@ -155,11 +193,14 @@ RunResult RunOnce(uint64_t seed, int32_t num_events) {
 int main(int argc, char** argv) {
   uint64_t seed = 42;
   int32_t num_events = 10;
+  std::string out_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       seed = std::strtoull(argv[i] + 7, nullptr, 10);
     } else if (std::strncmp(argv[i], "--events=", 9) == 0) {
       num_events = std::atoi(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_dir = argv[i] + 6;
     }
   }
 
@@ -181,19 +222,41 @@ int main(int argc, char** argv) {
       static_cast<long long>(first.committed),
       static_cast<long long>(first.checks), first.violations);
 
-  // Replay: the same seed must reproduce the run exactly.
+  if (!out_dir.empty()) {
+    const bool wrote =
+        obs::WriteStringToFile(out_dir + "/metrics.json",
+                               first.metrics_json) &&
+        obs::WriteStringToFile(out_dir + "/metrics.csv", first.metrics_csv) &&
+        obs::WriteStringToFile(out_dir + "/spans.txt", first.spans) &&
+        obs::WriteStringToFile(out_dir + "/events.txt",
+                               first.telemetry_events) &&
+        obs::WriteStringToFile(out_dir + "/fault_trace.txt", first.trace);
+    std::printf("\ntelemetry %s to %s\n",
+                wrote ? "written" : "FAILED to write", out_dir.c_str());
+    if (!wrote) return 1;
+  }
+
+  // Replay: the same seed must reproduce the run exactly — the fault
+  // trace, the metric dump and the span trace all fingerprint-equal.
   const RunResult second = RunOnce(seed, num_events);
-  std::printf("\nreplay: trace fingerprints %016llx vs %016llx -> %s\n",
+  const bool replay_ok =
+      first.fingerprint == second.fingerprint &&
+      first.events == second.events &&
+      first.metrics_fingerprint == second.metrics_fingerprint &&
+      first.span_fingerprint == second.span_fingerprint &&
+      first.metrics_csv == second.metrics_csv;
+  std::printf("\nreplay: trace fingerprints %016llx vs %016llx, "
+              "metrics %016llx vs %016llx, spans %016llx vs %016llx -> %s\n",
               static_cast<unsigned long long>(first.fingerprint),
               static_cast<unsigned long long>(second.fingerprint),
-              first.fingerprint == second.fingerprint &&
-                      first.events == second.events
-                  ? "IDENTICAL"
-                  : "MISMATCH");
+              static_cast<unsigned long long>(first.metrics_fingerprint),
+              static_cast<unsigned long long>(second.metrics_fingerprint),
+              static_cast<unsigned long long>(first.span_fingerprint),
+              static_cast<unsigned long long>(second.span_fingerprint),
+              replay_ok ? "IDENTICAL" : "MISMATCH");
 
-  const bool ok = first.violations == 0 && second.violations == 0 &&
-                  first.fingerprint == second.fingerprint &&
-                  first.events == second.events;
+  const bool ok =
+      first.violations == 0 && second.violations == 0 && replay_ok;
   std::printf("%s\n", ok ? "chaos run PASSED" : "chaos run FAILED");
   return ok ? 0 : 1;
 }

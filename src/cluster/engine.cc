@@ -54,6 +54,45 @@ ClusterEngine::ClusterEngine(Simulator* sim, Catalog catalog,
   allocation_timeline_.push_back(AllocationEvent{0, active_nodes_});
 }
 
+void ClusterEngine::set_telemetry(const obs::Telemetry& telemetry) {
+  telemetry_ = telemetry;
+  obs::MetricsRegistry* metrics = telemetry_.metrics;
+  if (metrics == nullptr) return;
+  m_committed_ = metrics->GetCounter("cluster.txn_committed");
+  m_aborted_ = metrics->GetCounter("cluster.txn_aborted");
+  m_forwarded_ = metrics->GetCounter("cluster.txn_forwarded");
+  m_failovers_ = metrics->GetCounter("cluster.failover_moves");
+  m_active_nodes_ = metrics->GetGauge("cluster.active_nodes");
+  m_live_nodes_ = metrics->GetGauge("cluster.live_nodes");
+  m_active_nodes_->Set(active_nodes_);
+  m_live_nodes_->Set(live_nodes());
+  m_latency_us_ = metrics->GetHistogram("cluster.txn_latency_us");
+  m_queue_delay_us_ = metrics->GetHistogram("cluster.queue_delay_us");
+  m_node_txns_.assign(static_cast<size_t>(config_.max_nodes), nullptr);
+  for (int32_t n = 0; n < config_.max_nodes; ++n) {
+    m_node_txns_[static_cast<size_t>(n)] =
+        metrics->GetCounter("cluster.node" + std::to_string(n) + ".txns");
+  }
+  // Queue depths are cheap to read but change constantly; expose them as
+  // callback gauges the exporter evaluates at sample time.
+  metrics->RegisterCallbackGauge("cluster.queue_depth_total", [this]() {
+    int64_t total = 0;
+    for (int32_t p = 0; p < active_partitions(); ++p) {
+      total += static_cast<int64_t>(
+          executors_[static_cast<size_t>(p)]->queue_length());
+    }
+    return static_cast<double>(total);
+  });
+  metrics->RegisterCallbackGauge("cluster.queue_depth_max", [this]() {
+    size_t deepest = 0;
+    for (int32_t p = 0; p < active_partitions(); ++p) {
+      deepest = std::max(deepest,
+                         executors_[static_cast<size_t>(p)]->queue_length());
+    }
+    return static_cast<double>(deepest);
+  });
+}
+
 Status ClusterEngine::ActivateNodes(int32_t n) {
   if (n > config_.max_nodes) {
     return Status::InvalidArgument("cannot activate beyond max_nodes");
@@ -66,6 +105,14 @@ Status ClusterEngine::ActivateNodes(int32_t n) {
   }
   active_nodes_ = n;
   allocation_timeline_.push_back(AllocationEvent{sim_->Now(), active_nodes_});
+  if (m_active_nodes_ != nullptr) {
+    m_active_nodes_->Set(active_nodes_);
+    m_live_nodes_->Set(live_nodes());
+  }
+  if (telemetry_.events != nullptr) {
+    telemetry_.events->Record(sim_->Now(), "cluster",
+                              "scaled to " + std::to_string(n) + " nodes");
+  }
   return Status::OK();
 }
 
@@ -82,6 +129,14 @@ Status ClusterEngine::DeactivateNodes(int32_t n) {
   }
   active_nodes_ = n;
   allocation_timeline_.push_back(AllocationEvent{sim_->Now(), active_nodes_});
+  if (m_active_nodes_ != nullptr) {
+    m_active_nodes_->Set(active_nodes_);
+    m_live_nodes_->Set(live_nodes());
+  }
+  if (telemetry_.events != nullptr) {
+    telemetry_.events->Record(sim_->Now(), "cluster",
+                              "scaled to " + std::to_string(n) + " nodes");
+  }
   return Status::OK();
 }
 
@@ -103,6 +158,7 @@ Status ClusterEngine::CrashNode(NodeId n) {
   }
   node_up_[static_cast<size_t>(n)] = 0;
   ++fault_epoch_;
+  const int64_t failovers_before = failover_moves_;
 
   // Failover: redistribute the dead node's buckets (rows included —
   // replica recovery) round-robin over the surviving live partitions.
@@ -128,6 +184,17 @@ Status ClusterEngine::CrashNode(NodeId n) {
       ++failover_moves_;
     }
   }
+  if (m_live_nodes_ != nullptr) {
+    m_live_nodes_->Set(live_nodes());
+    m_failovers_->Add(failover_moves_ - failovers_before);
+  }
+  if (telemetry_.events != nullptr) {
+    telemetry_.events->Record(
+        sim_->Now(), "cluster",
+        "node " + std::to_string(n) + " crashed, " +
+            std::to_string(failover_moves_ - failovers_before) +
+            " buckets failed over");
+  }
   return Status::OK();
 }
 
@@ -139,6 +206,11 @@ Status ClusterEngine::RestartNode(NodeId n) {
   }
   node_up_[static_cast<size_t>(n)] = 1;
   ++fault_epoch_;
+  if (m_live_nodes_ != nullptr) m_live_nodes_->Set(live_nodes());
+  if (telemetry_.events != nullptr) {
+    telemetry_.events->Record(sim_->Now(), "cluster",
+                              "node " + std::to_string(n) + " restarted");
+  }
   return Status::OK();
 }
 
@@ -193,6 +265,7 @@ void ClusterEngine::RecordCompletion(SimTime arrival, SimTime finished) {
   const int64_t latency_us = finished - arrival;
   latencies_.Record(finished, latency_us);
   latency_histogram_.Record(latency_us);
+  if (m_latency_us_ != nullptr) m_latency_us_->Record(latency_us);
   const size_t window =
       static_cast<size_t>(finished / config_.throughput_window);
   if (throughput_.size() <= window) throughput_.resize(window + 1, 0);
@@ -215,10 +288,12 @@ void ClusterEngine::RouteAndRun(std::shared_ptr<PendingTxn> pending) {
   const SimDuration service = DrawServiceTime(def.service_weight);
   executors_[static_cast<size_t>(p)]->Enqueue(
       service,
-      [this, pending = std::move(pending), p](SimTime, SimTime finished) {
+      [this, pending = std::move(pending), p](SimTime started,
+                                              SimTime finished) {
         // If the bucket moved while we were queued, forward.
         const PartitionId owner = map_.PartitionOfKey(pending->req.key);
         if (owner != p) {
+          if (m_forwarded_ != nullptr) m_forwarded_->Increment();
           RouteAndRun(pending);
           return;
         }
@@ -230,8 +305,14 @@ void ClusterEngine::RouteAndRun(std::shared_ptr<PendingTxn> pending) {
             KeyToBucket(pending->req.key, config_.num_buckets))];
         if (result.status.ok()) {
           ++txns_committed_;
+          if (m_committed_ != nullptr) m_committed_->Increment();
         } else {
           ++txns_aborted_;
+          if (m_aborted_ != nullptr) m_aborted_->Increment();
+        }
+        if (m_queue_delay_us_ != nullptr) {
+          m_queue_delay_us_->Record(started - pending->arrival);
+          m_node_txns_[static_cast<size_t>(NodeOfPartition(p))]->Increment();
         }
         RecordCompletion(pending->arrival, finished);
         if (pending->on_done) pending->on_done(result);

@@ -9,6 +9,7 @@
 #include "common/histogram.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "obs/telemetry.h"
 #include "sim/simulator.h"
 #include "storage/fragment.h"
 #include "storage/partition_map.h"
@@ -175,6 +176,12 @@ class ClusterEngine {
 
   // --- Metrics ---------------------------------------------------------
 
+  /// Attaches observability sinks ("cluster.*" metrics: per-node txn
+  /// counts, latency/queue-delay histograms, abort counts, node
+  /// lifecycle gauges). Counter handles are cached here, so the hot
+  /// path performs no name lookups. Call before submitting load.
+  void set_telemetry(const obs::Telemetry& telemetry);
+
   const WindowedPercentiles& latencies() const { return latencies_; }
   WindowedPercentiles& mutable_latencies() { return latencies_; }
   const Histogram& latency_histogram() const { return latency_histogram_; }
@@ -240,6 +247,18 @@ class ClusterEngine {
   std::vector<uint8_t> node_up_;  ///< Indexed by NodeId, 1 = serving.
   int64_t fault_epoch_ = 0;
   int64_t failover_moves_ = 0;
+
+  obs::Telemetry telemetry_;
+  // Cached metric handles (null until set_telemetry).
+  obs::Counter* m_committed_ = nullptr;
+  obs::Counter* m_aborted_ = nullptr;
+  obs::Counter* m_forwarded_ = nullptr;
+  obs::Counter* m_failovers_ = nullptr;
+  obs::Gauge* m_active_nodes_ = nullptr;
+  obs::Gauge* m_live_nodes_ = nullptr;
+  obs::HistogramMetric* m_latency_us_ = nullptr;
+  obs::HistogramMetric* m_queue_delay_us_ = nullptr;
+  std::vector<obs::Counter*> m_node_txns_;  ///< Indexed by NodeId.
 
   Rng rng_;
   WindowedPercentiles latencies_;

@@ -4,8 +4,20 @@
 #include <string>
 
 /// \file logging.h
-/// Minimal leveled logging. Disabled below the global threshold, so hot
-/// paths may log freely; tests default to WARN to stay quiet.
+/// Minimal leveled logging. The level threshold is consulted *before*
+/// the stream operands are evaluated, so hot paths may log freely:
+/// `PSTORE_LOG(Debug) << Expensive()` never calls Expensive() while the
+/// debug level is disabled. Tests default to WARN to stay quiet.
+///
+/// Two guards are applied, cheapest first:
+///   1. compile-time: levels below PSTORE_LOG_COMPILED_MIN_LEVEL are
+///      dead code the optimizer removes entirely (set e.g.
+///      -DPSTORE_LOG_COMPILED_MIN_LEVEL=2 to strip Debug/Info from a
+///      release binary);
+///   2. runtime: the global threshold set by SetLogLevel().
+/// PSTORE_VLOG(level) is the verbose variant that is compiled out
+/// unless PSTORE_VERBOSE_LOGS is defined — free to sprinkle on the
+/// hottest paths.
 
 namespace pstore {
 
@@ -36,7 +48,7 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
-/// Discards everything; used when a level is compiled out or disabled.
+/// Discards everything; used when a level is compiled out.
 class NullLog {
  public:
   template <typename T>
@@ -45,13 +57,47 @@ class NullLog {
   }
 };
 
+/// Swallows a finished log stream so the conditional operator below can
+/// yield void on both arms (the glog idiom: `&` binds looser than `<<`,
+/// tighter than `?:`, so the whole stream chain is one operand).
+class Voidify {
+ public:
+  template <typename T>
+  void operator&(T&&) {}
+};
+
+/// True when `level` passes the runtime threshold.
+inline bool LevelEnabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(GetLogLevel());
+}
+
 }  // namespace internal
 
-#define PSTORE_LOG(level)                                              \
-  if (static_cast<int>(::pstore::LogLevel::k##level) <                 \
-      static_cast<int>(::pstore::GetLogLevel())) {                     \
-  } else                                                               \
-    ::pstore::internal::LogMessage(::pstore::LogLevel::k##level,       \
-                                   __FILE__, __LINE__)
+/// Levels below this compile to nothing (0 = keep everything).
+#ifndef PSTORE_LOG_COMPILED_MIN_LEVEL
+#define PSTORE_LOG_COMPILED_MIN_LEVEL 0
+#endif
+
+/// `PSTORE_LOG(Warn) << ...` — a single expression (no dangling-else
+/// hazard); operands after `<<` are evaluated only when the line is
+/// actually emitted.
+#define PSTORE_LOG(level)                                                \
+  (static_cast<int>(::pstore::LogLevel::k##level) <                      \
+       PSTORE_LOG_COMPILED_MIN_LEVEL ||                                  \
+   !::pstore::internal::LevelEnabled(::pstore::LogLevel::k##level))      \
+      ? (void)0                                                          \
+      : ::pstore::internal::Voidify() &                                  \
+            ::pstore::internal::LogMessage(::pstore::LogLevel::k##level, \
+                                           __FILE__, __LINE__)
+
+/// Verbose logging: compiled out (operands never evaluated, zero code
+/// generated) unless the translation unit is built with
+/// -DPSTORE_VERBOSE_LOGS.
+#ifdef PSTORE_VERBOSE_LOGS
+#define PSTORE_VLOG(level) PSTORE_LOG(level)
+#else
+#define PSTORE_VLOG(level) \
+  true ? (void)0 : ::pstore::internal::Voidify() & ::pstore::internal::NullLog()
+#endif
 
 }  // namespace pstore

@@ -153,10 +153,15 @@ Result<ExperimentResult> RunElasticityExperiment(
   engine_config.initial_nodes = initial_nodes;
 
   ClusterEngine engine(&sim, catalog, registry, engine_config);
+  if (config.telemetry.tracer != nullptr) {
+    config.telemetry.tracer->set_clock([&sim]() { return sim.Now(); });
+  }
+  engine.set_telemetry(config.telemetry);
   B2wClient client(&engine, *tables, *procs, *trace, client_config);
   PSTORE_RETURN_NOT_OK(client.PreloadData());
 
   MigrationExecutor migrator(&engine, config.migration);
+  migrator.set_telemetry(config.telemetry);
 
   // --- Controller ----------------------------------------------------------
   // One control slot is 5 trace minutes, compressed by the speedup.
@@ -225,6 +230,7 @@ Result<ExperimentResult> RunElasticityExperiment(
     }
     pstore = std::make_unique<PredictiveController>(
         &engine, &migrator, predictor.get(), controller_config);
+    pstore->set_telemetry(config.telemetry);
     // Seed with history so SPAR has its lags on the first tick (and so
     // the oracle's index aligns with the trace's control slots).
     pstore->SeedHistory(std::vector<double>(
@@ -235,7 +241,26 @@ Result<ExperimentResult> RunElasticityExperiment(
     ReactiveConfig reactive_config = config.reactive;
     reactive = std::make_unique<ReactiveController>(&engine, &migrator,
                                                     reactive_config);
+    reactive->set_telemetry(config.telemetry);
     reactive->Start();
+  }
+
+  // Periodic read-only telemetry sampling: the tick reads metric cells
+  // and reschedules itself, never touching engine state, so the
+  // simulated schedule is unchanged whether or not an exporter is set.
+  std::shared_ptr<std::function<void()>> sample_tick;
+  if (config.telemetry_exporter != nullptr &&
+      config.telemetry_sample_period > 0) {
+    obs::TimeseriesExporter* exporter = config.telemetry_exporter;
+    const SimDuration period = config.telemetry_sample_period;
+    sample_tick = std::make_shared<std::function<void()>>();
+    // Capture the function by raw pointer: sample_tick outlives the run,
+    // and a shared_ptr capture would keep the closure alive forever.
+    *sample_tick = [&sim, exporter, period, tick = sample_tick.get()]() {
+      exporter->Sample(sim.Now());
+      sim.Schedule(period, *tick);
+    };
+    sim.Schedule(0, *sample_tick);
   }
 
   // --- Run -----------------------------------------------------------------
@@ -249,6 +274,16 @@ Result<ExperimentResult> RunElasticityExperiment(
   if (reactive) reactive->Stop();
   sim.RunUntil(replay_duration + 30 * kSecond);
   engine.mutable_latencies().Flush(sim.Now());
+  // The tracer's clock closure captures the (stack-local) simulator:
+  // unbind it before returning so late Begin() calls cannot dangle. The
+  // engine's callback gauges capture the (equally stack-local) engine:
+  // freeze them to plain gauges so later dumps cannot call into it.
+  if (config.telemetry.tracer != nullptr) {
+    config.telemetry.tracer->set_clock(nullptr);
+  }
+  if (config.telemetry.metrics != nullptr) {
+    config.telemetry.metrics->FreezeCallbackGauges();
+  }
 
   // --- Collect -------------------------------------------------------------
   ExperimentResult result;

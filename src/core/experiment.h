@@ -9,6 +9,8 @@
 #include "core/predictive_controller.h"
 #include "core/reactive_controller.h"
 #include "migration/migration_executor.h"
+#include "obs/exporter.h"
+#include "obs/telemetry.h"
 #include "workload/b2w_client.h"
 #include "workload/b2w_trace.h"
 
@@ -66,6 +68,16 @@ struct ExperimentConfig {
   /// SPAR hyper-parameters for the controller's predictor.
   int32_t spar_periods = 7;   ///< n
   int32_t spar_recent = 6;    ///< m, in 5-trace-minute control slots.
+
+  /// Observability sinks attached to every subsystem of the run (engine,
+  /// migrator, controllers). Borrowed; all-null = uninstrumented. The
+  /// tracer's clock is bound to the run's simulator for its duration.
+  obs::Telemetry telemetry;
+  /// When set, sampled every `telemetry_sample_period` of virtual time
+  /// while the run progresses (a read-only event: it never perturbs the
+  /// simulated schedule). Borrowed.
+  obs::TimeseriesExporter* telemetry_exporter = nullptr;
+  SimDuration telemetry_sample_period = 10 * kSecond;
 
   Status Validate() const;
 };

@@ -51,6 +51,24 @@ void PredictiveController::SeedHistory(std::vector<double> history) {
   series_ = std::move(history);
 }
 
+void PredictiveController::set_telemetry(const obs::Telemetry& telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry_.metrics == nullptr) return;
+  obs::MetricsRegistry& m = *telemetry_.metrics;
+  m_ticks_ = m.GetCounter("controller.ticks");
+  m_plans_ = m.GetCounter("controller.plans");
+  m_plans_infeasible_ = m.GetCounter("controller.plans_infeasible");
+  m_moves_started_ = m.GetCounter("controller.moves_started");
+  m_safety_net_trips_ = m.GetCounter("controller.safety_net_trips");
+  m_refits_ = m.GetCounter("controller.refits");
+  m_dp_cells_ = m.GetCounter("planner.dp_cells_evaluated");
+  m_measured_rate_ = m.GetGauge("controller.measured_rate");
+  m_forecast_next_ = m.GetGauge("controller.forecast_next");
+  m_forecast_error_ = m.GetGauge("controller.forecast_error");
+  m_plan_cost_ = m.GetGauge("controller.plan_cost");
+  m_forecast_abs_error_ = m.GetHistogram("controller.forecast_abs_error");
+}
+
 void PredictiveController::Start() {
   running_ = true;
   last_submitted_ = engine_->txns_submitted();
@@ -90,14 +108,25 @@ bool PredictiveController::SafetyNet(double current_rate) {
   // sized for the observed load plus headroom, plus one extra machine
   // per dead node (dead nodes hold an allocation but serve nothing).
   ++safety_net_activations_;
+  if (m_safety_net_trips_ != nullptr) m_safety_net_trips_->Add(1);
   const int32_t target = std::min(
       engine_->max_nodes(),
       std::max(n + 1,
                planner_.NodesForLoad(current_rate * 1.15) + (n - live)));
+  if (telemetry_.events != nullptr) {
+    telemetry_.events->Record(
+        engine_->simulator()->Now(), "controller",
+        "safety net tripped at " + obs::FormatMetricValue(current_rate) +
+            " txn/s with " + std::to_string(live) + "/" + std::to_string(n) +
+            " nodes live, target " + std::to_string(target));
+  }
   if (target > n) {
     Status st = migrator_->StartMove(target, nullptr,
                                      config_.infeasible_rate_multiplier);
-    if (st.ok()) ++moves_started_;
+    if (st.ok()) {
+      ++moves_started_;
+      if (m_moves_started_ != nullptr) m_moves_started_->Add(1);
+    }
   }
   scale_in_streak_ = 0;
   return true;
@@ -105,6 +134,8 @@ bool PredictiveController::SafetyNet(double current_rate) {
 
 void PredictiveController::Tick() {
   if (!running_) return;
+  obs::ScopedSpan tick_span(telemetry_.tracer, "controller.tick");
+  if (m_ticks_ != nullptr) m_ticks_->Add(1);
   // A crash or restart since the last tick invalidates fault-sensitive
   // control state: a scale-in confirmed against the pre-fault topology
   // must be re-confirmed from scratch (Section 6's flapping guard).
@@ -120,6 +151,14 @@ void PredictiveController::Tick() {
       static_cast<double>(submitted - last_submitted_) / seconds;
   last_submitted_ = submitted;
   series_.push_back(rate);
+  if (m_measured_rate_ != nullptr) m_measured_rate_->Set(rate);
+  // Score the one-step-ahead forecast made on the previous tick against
+  // the rate just measured (the paper's MSE diagnostics, Section 5).
+  if (last_forecast_next_ >= 0 && m_forecast_error_ != nullptr) {
+    m_forecast_error_->Set(rate - last_forecast_next_);
+    m_forecast_abs_error_->Record(std::abs(rate - last_forecast_next_));
+  }
+  last_forecast_next_ = -1.0;
 
   // Active learning: refit the predictor periodically on everything
   // measured so far (the paper refits weekly).
@@ -129,6 +168,7 @@ void PredictiveController::Tick() {
     Status st = predictor_->Fit(series_, config_.horizon_intervals);
     if (st.ok()) {
       ++refits_;
+      if (m_refits_ != nullptr) m_refits_->Add(1);
     } else {
       PSTORE_LOG(Warn) << "online refit failed: " << st.ToString();
     }
@@ -145,12 +185,19 @@ void PredictiveController::Tick() {
 }
 
 void PredictiveController::PlanAndAct(double current_rate) {
+  obs::ScopedSpan plan_span(telemetry_.tracer, "controller.plan");
   const int64_t t = static_cast<int64_t>(series_.size()) - 1;
   auto forecast =
       predictor_->Forecast(series_, t, config_.horizon_intervals);
   if (!forecast.ok()) {
     PSTORE_LOG(Warn) << "forecast failed: " << forecast.status().ToString();
     return;
+  }
+  if (!forecast->empty()) {
+    last_forecast_next_ = std::max(0.0, (*forecast)[0]);
+    if (m_forecast_next_ != nullptr) {
+      m_forecast_next_->Set(last_forecast_next_);
+    }
   }
   std::vector<double> load;
   load.reserve(static_cast<size_t>(config_.horizon_intervals) + 1);
@@ -162,18 +209,33 @@ void PredictiveController::PlanAndAct(double current_rate) {
 
   const int32_t n0 = engine_->active_nodes();
   const Plan plan = planner_.BestMoves(load, n0);
+  if (m_plans_ != nullptr) {
+    m_plans_->Add(1);
+    m_dp_cells_->Add(plan.dp_cells_evaluated);
+    if (plan.feasible) m_plan_cost_->Set(plan.total_cost);
+  }
 
   if (!plan.feasible) {
     // No feasible plan: scale out toward the needed capacity right away,
     // at rate R (ride out the spike) or R x 8 (Section 4.3.1).
     ++infeasible_cycles_;
+    if (m_plans_infeasible_ != nullptr) m_plans_infeasible_->Add(1);
     const double peak = *std::max_element(load.begin(), load.end());
     const int32_t target =
         std::min(engine_->max_nodes(), planner_.NodesForLoad(peak));
+    if (telemetry_.events != nullptr) {
+      telemetry_.events->Record(
+          engine_->simulator()->Now(), "controller",
+          "no feasible plan (predicted peak " + obs::FormatMetricValue(peak) +
+              " txn/s); reactive fallback target " + std::to_string(target));
+    }
     if (target > n0) {
       Status st = migrator_->StartMove(target, nullptr,
                                        config_.infeasible_rate_multiplier);
-      if (st.ok()) ++moves_started_;
+      if (st.ok()) {
+        ++moves_started_;
+        if (m_moves_started_ != nullptr) m_moves_started_->Add(1);
+      }
     }
     scale_in_streak_ = 0;
     return;
@@ -202,6 +264,14 @@ void PredictiveController::PlanAndAct(double current_rate) {
   Status st = migrator_->StartMove(first->to_nodes, nullptr);
   if (st.ok()) {
     ++moves_started_;
+    if (m_moves_started_ != nullptr) m_moves_started_->Add(1);
+    if (telemetry_.events != nullptr) {
+      telemetry_.events->Record(
+          engine_->simulator()->Now(), "controller",
+          "plan " + plan.ToString() + "; executing first move " +
+              std::to_string(first->from_nodes) + " -> " +
+              std::to_string(first->to_nodes));
+    }
   } else {
     PSTORE_LOG(Warn) << "StartMove failed: " << st.ToString();
   }

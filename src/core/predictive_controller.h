@@ -7,6 +7,7 @@
 #include "cluster/engine.h"
 #include "common/status.h"
 #include "migration/migration_executor.h"
+#include "obs/telemetry.h"
 #include "planner/dp_planner.h"
 #include "prediction/predictor.h"
 
@@ -117,6 +118,12 @@ class PredictiveController {
   /// Times the predictor was refit online.
   int64_t refits() const { return refits_; }
 
+  /// Attaches observability sinks ("controller.*" and "planner.*"
+  /// metrics: measured rate, one-step forecast error, planning work and
+  /// cost, scale decisions and safety-net trips as events, per-tick and
+  /// per-plan spans). Call before Start().
+  void set_telemetry(const obs::Telemetry& telemetry);
+
   const ControllerConfig& config() const { return config_; }
 
  private:
@@ -133,6 +140,23 @@ class PredictiveController {
   ControllerConfig config_;
   DpPlanner planner_;
   SimDuration interval_;
+  obs::Telemetry telemetry_;
+  // Cached metric handles (null until set_telemetry).
+  obs::Counter* m_ticks_ = nullptr;
+  obs::Counter* m_plans_ = nullptr;
+  obs::Counter* m_plans_infeasible_ = nullptr;
+  obs::Counter* m_moves_started_ = nullptr;
+  obs::Counter* m_safety_net_trips_ = nullptr;
+  obs::Counter* m_refits_ = nullptr;
+  obs::Counter* m_dp_cells_ = nullptr;
+  obs::Gauge* m_measured_rate_ = nullptr;
+  obs::Gauge* m_forecast_next_ = nullptr;
+  obs::Gauge* m_forecast_error_ = nullptr;
+  obs::Gauge* m_plan_cost_ = nullptr;
+  obs::HistogramMetric* m_forecast_abs_error_ = nullptr;
+  /// One-step-ahead forecast made on the previous tick (uninflated),
+  /// compared against the rate measured this tick; < 0 = none pending.
+  double last_forecast_next_ = -1.0;
   bool running_ = false;
   std::vector<double> series_;
   std::vector<CapacityReservation> reservations_;

@@ -36,6 +36,16 @@ ReactiveController::ReactiveController(ClusterEngine* engine,
   assert(config_.Validate().ok());
 }
 
+void ReactiveController::set_telemetry(const obs::Telemetry& telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry_.metrics == nullptr) return;
+  obs::MetricsRegistry& m = *telemetry_.metrics;
+  m_ticks_ = m.GetCounter("reactive.ticks");
+  m_scale_outs_ = m.GetCounter("reactive.scale_outs");
+  m_scale_ins_ = m.GetCounter("reactive.scale_ins");
+  m_smoothed_rate_ = m.GetGauge("reactive.smoothed_rate");
+}
+
 void ReactiveController::Start() {
   running_ = true;
   last_submitted_ = engine_->txns_submitted();
@@ -52,6 +62,10 @@ void ReactiveController::Tick() {
   last_submitted_ = submitted;
   smoothed_rate_ = config_.smoothing * rate +
                    (1.0 - config_.smoothing) * smoothed_rate_;
+  if (m_ticks_ != nullptr) {
+    m_ticks_->Add(1);
+    m_smoothed_rate_->Set(smoothed_rate_);
+  }
 
   // A crash or restart invalidates the scale-in hold timer: capacity
   // changed under us, so "load has stayed low" must be re-established
@@ -84,7 +98,17 @@ void ReactiveController::Tick() {
         low_since_ = -1;
         Status st = migrator_->StartMove(target, nullptr,
                                          config_.rate_multiplier);
-        if (st.ok()) ++scale_outs_;
+        if (st.ok()) {
+          ++scale_outs_;
+          if (m_scale_outs_ != nullptr) m_scale_outs_->Add(1);
+          if (telemetry_.events != nullptr) {
+            telemetry_.events->Record(
+                engine_->simulator()->Now(), "reactive",
+                "overload at " + obs::FormatMetricValue(smoothed_rate_) +
+                    " txn/s; scale out " + std::to_string(n) + " -> " +
+                    std::to_string(target));
+          }
+        }
       }
     } else if (n > 1 && live > 1 &&
                smoothed_rate_ <
@@ -97,7 +121,18 @@ void ReactiveController::Tick() {
         const int32_t target = std::min(n - 1, size_for(smoothed_rate_));
         Status st = migrator_->StartMove(target, nullptr,
                                          config_.rate_multiplier);
-        if (st.ok()) ++scale_ins_;
+        if (st.ok()) {
+          ++scale_ins_;
+          if (m_scale_ins_ != nullptr) m_scale_ins_->Add(1);
+          if (telemetry_.events != nullptr) {
+            telemetry_.events->Record(
+                engine_->simulator()->Now(), "reactive",
+                "sustained low load at " +
+                    obs::FormatMetricValue(smoothed_rate_) +
+                    " txn/s; scale in " + std::to_string(n) + " -> " +
+                    std::to_string(target));
+          }
+        }
         low_since_ = -1;
       }
     } else {

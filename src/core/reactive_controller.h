@@ -5,6 +5,7 @@
 #include "cluster/engine.h"
 #include "common/status.h"
 #include "migration/migration_executor.h"
+#include "obs/telemetry.h"
 
 /// \file reactive_controller.h
 /// A purely reactive elasticity controller in the spirit of E-Store
@@ -61,12 +62,22 @@ class ReactiveController {
   int64_t scale_outs() const { return scale_outs_; }
   int64_t scale_ins() const { return scale_ins_; }
 
+  /// Attaches observability sinks ("reactive.*" metrics: tick count,
+  /// smoothed rate, scale decisions as events). Call before Start().
+  void set_telemetry(const obs::Telemetry& telemetry);
+
  private:
   void Tick();
 
   ClusterEngine* engine_;
   MigrationExecutor* migrator_;
   ReactiveConfig config_;
+  obs::Telemetry telemetry_;
+  // Cached metric handles (null until set_telemetry).
+  obs::Counter* m_ticks_ = nullptr;
+  obs::Counter* m_scale_outs_ = nullptr;
+  obs::Counter* m_scale_ins_ = nullptr;
+  obs::Gauge* m_smoothed_rate_ = nullptr;
   bool running_ = false;
   int64_t last_submitted_ = 0;
   int64_t last_fault_epoch_ = 0;

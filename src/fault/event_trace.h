@@ -1,40 +1,16 @@
 #pragma once
 
-#include <cstdint>
-#include <string>
-#include <vector>
-
-#include "common/sim_time.h"
+#include "obs/event_stream.h"
 
 /// \file event_trace.h
-/// Append-only, deterministic log of fault and recovery events. Every
-/// line is stamped with virtual time, so two chaos runs from the same
-/// seed must produce byte-identical traces; the golden determinism
-/// tests compare Fingerprint() across runs.
+/// The fault layer's deterministic event log. The implementation moved
+/// to the observability layer (obs/event_stream.h) so fault events,
+/// controller decisions and migration milestones share one virtual
+/// clock and one Fingerprint() determinism contract; this alias keeps
+/// the original fault-layer name.
 
 namespace pstore {
 
-/// \brief Ordered record of "what happened when" during a chaos run.
-class EventTrace {
- public:
-  /// Appends one line, stamped "[<virtual time>] <what>".
-  void Record(SimTime at, const std::string& what);
-
-  const std::vector<std::string>& lines() const { return lines_; }
-  size_t size() const { return lines_.size(); }
-  bool empty() const { return lines_.empty(); }
-
-  /// All lines joined with '\n' (trailing newline included when
-  /// non-empty) — what the golden tests and chaos example print.
-  std::string ToString() const;
-
-  /// Order-sensitive 64-bit digest of the whole trace.
-  uint64_t Fingerprint() const;
-
-  void Clear() { lines_.clear(); }
-
- private:
-  std::vector<std::string> lines_;
-};
+using EventTrace = obs::EventStream;
 
 }  // namespace pstore

@@ -65,6 +65,24 @@ MigrationExecutor::MigrationExecutor(ClusterEngine* engine,
 
 MigrationExecutor::~MigrationExecutor() = default;
 
+void MigrationExecutor::set_telemetry(const obs::Telemetry& telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry_.metrics == nullptr) return;
+  obs::MetricsRegistry& m = *telemetry_.metrics;
+  m_moves_started_ = m.GetCounter("migration.moves_started");
+  m_moves_completed_ = m.GetCounter("migration.moves_completed");
+  m_moves_aborted_ = m.GetCounter("migration.moves_aborted");
+  m_chunks_landed_ = m.GetCounter("migration.chunks_landed");
+  m_chunk_retries_ = m.GetCounter("migration.chunk_retries");
+  m_buckets_flipped_ = m.GetCounter("migration.buckets_flipped");
+  m_kb_moved_ = m.GetGauge("migration.kb_moved");
+  m_in_progress_ = m.GetGauge("migration.in_progress");
+  m_move_duration_ms_ = m.GetHistogram("migration.move_duration_ms");
+  m_round_duration_ms_ = m.GetHistogram("migration.round_duration_ms");
+  m_kb_moved_->Set(total_kb_moved_);
+  m_in_progress_->Set(in_progress_ ? 1 : 0);
+}
+
 Status MigrationExecutor::StartMove(int32_t target_nodes,
                                     std::function<void()> on_complete,
                                     double rate_multiplier_override) {
@@ -203,6 +221,21 @@ Status MigrationExecutor::StartMove(int32_t target_nodes,
   ++move_epoch_;
   on_complete_ = std::move(on_complete);
   history_.push_back(MoveRecord{engine_->simulator()->Now(), -1, b, a});
+  if (m_moves_started_ != nullptr) {
+    m_moves_started_->Add(1);
+    m_in_progress_->Set(1);
+  }
+  if (telemetry_.tracer != nullptr) {
+    move_span_ = telemetry_.tracer->Begin(
+        "migration.move " + std::to_string(b) + "->" + std::to_string(a));
+  }
+  if (telemetry_.events != nullptr) {
+    telemetry_.events->Record(
+        engine_->simulator()->Now(), "migration",
+        "move started " + std::to_string(b) + " -> " + std::to_string(a) +
+            " nodes (" + std::to_string(move_->round_streams.size()) +
+            " rounds)");
+  }
   StartRound();
   return Status::OK();
 }
@@ -218,10 +251,28 @@ void MigrationExecutor::Abort(const std::string& reason) {
   move_.reset();
   in_progress_ = false;
   on_complete_ = nullptr;  // aborted moves do not report completion
+  if (m_moves_aborted_ != nullptr) {
+    m_moves_aborted_->Add(1);
+    m_in_progress_->Set(0);
+    m_move_duration_ms_->Record(
+        static_cast<double>(history_.back().end - history_.back().start) /
+        1000.0);
+  }
+  if (telemetry_.tracer != nullptr) {
+    if (round_span_ != 0) telemetry_.tracer->End(round_span_);
+    if (move_span_ != 0) telemetry_.tracer->End(move_span_);
+    round_span_ = 0;
+    move_span_ = 0;
+  }
 }
 
 void MigrationExecutor::Emit(const std::string& what) {
   if (event_sink_) event_sink_(what);
+  // Telemetry mirrors the same notices under a "migration" category; the
+  // fault trace above stays byte-identical with telemetry detached.
+  if (telemetry_.events != nullptr) {
+    telemetry_.events->Record(engine_->simulator()->Now(), "migration", what);
+  }
 }
 
 bool MigrationExecutor::EndpointsUp(const Stream& stream) const {
@@ -240,6 +291,11 @@ void MigrationExecutor::StartRound() {
         move.nodes_needed_before[move.round_idx]);
     assert(st.ok());
     (void)st;
+  }
+  round_start_ = engine_->simulator()->Now();
+  if (telemetry_.tracer != nullptr) {
+    round_span_ = telemetry_.tracer->Begin(
+        "migration.round " + std::to_string(move.round_idx));
   }
   auto& streams = move.round_streams[move.round_idx];
   move.streams_remaining = static_cast<int32_t>(streams.size());
@@ -344,6 +400,10 @@ void MigrationExecutor::SendChunk(const std::shared_ptr<Stream>& stream,
     ++stream->gen;
     stream->attempts = 0;
     total_kb_moved_ += chunk_kb;
+    if (m_chunks_landed_ != nullptr) {
+      m_chunks_landed_->Add(1);
+      m_kb_moved_->Set(total_kb_moved_);
+    }
     stream->remaining_kb -= chunk_kb;
     if (stream->remaining_kb <= 1e-9) {
       // Bucket complete: flip ownership atomically. A concurrent
@@ -355,6 +415,8 @@ void MigrationExecutor::SendChunk(const std::shared_ptr<Stream>& stream,
       if (!st.ok()) {
         PSTORE_LOG(Info) << "bucket " << bucket
                          << " relocated concurrently: " << st.ToString();
+      } else if (m_buckets_flipped_ != nullptr) {
+        m_buckets_flipped_->Add(1);
       }
       ++stream->bucket_idx;
       if (stream->bucket_idx >= stream->buckets.size()) {
@@ -401,6 +463,7 @@ void MigrationExecutor::RetryChunk(const std::shared_ptr<Stream>& stream,
       std::pow(2.0, static_cast<double>(stream->attempts)));
   ++stream->attempts;
   ++chunk_retries_;
+  if (m_chunk_retries_ != nullptr) m_chunk_retries_->Add(1);
   Emit("retrying chunk on stream " + std::to_string(stream->src) + "->" +
        std::to_string(stream->dst) + " (attempt " +
        std::to_string(stream->attempts) + ")");
@@ -453,6 +516,15 @@ void MigrationExecutor::FinishRound() {
       PSTORE_LOG(Warn) << "node release failed: " << st.ToString();
     }
   }
+  if (m_round_duration_ms_ != nullptr) {
+    m_round_duration_ms_->Record(
+        static_cast<double>(engine_->simulator()->Now() - round_start_) /
+        1000.0);
+  }
+  if (telemetry_.tracer != nullptr && round_span_ != 0) {
+    telemetry_.tracer->End(round_span_);
+    round_span_ = 0;
+  }
   ++move.round_idx;
   StartRound();
 }
@@ -462,6 +534,23 @@ void MigrationExecutor::FinishMove() {
   ++move_epoch_;  // retire any stray events still scheduled for this move
   move_.reset();
   in_progress_ = false;
+  if (m_moves_completed_ != nullptr) {
+    m_moves_completed_->Add(1);
+    m_in_progress_->Set(0);
+    m_move_duration_ms_->Record(
+        static_cast<double>(history_.back().end - history_.back().start) /
+        1000.0);
+  }
+  if (telemetry_.tracer != nullptr && move_span_ != 0) {
+    telemetry_.tracer->End(move_span_);
+    move_span_ = 0;
+  }
+  if (telemetry_.events != nullptr) {
+    telemetry_.events->Record(
+        engine_->simulator()->Now(), "migration",
+        "move completed at " + std::to_string(engine_->active_nodes()) +
+            " nodes");
+  }
   if (on_complete_) {
     auto cb = std::move(on_complete_);
     on_complete_ = nullptr;

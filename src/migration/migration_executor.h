@@ -8,6 +8,7 @@
 #include "cluster/engine.h"
 #include "common/status.h"
 #include "migration/parallel_schedule.h"
+#include "obs/telemetry.h"
 #include "storage/partition_map.h"
 
 /// \file migration_executor.h
@@ -122,6 +123,11 @@ class MigrationExecutor {
     event_sink_ = std::move(sink);
   }
 
+  /// Attaches observability sinks ("migration.*" metrics, per-move and
+  /// per-round spans, move lifecycle events). Counter handles are
+  /// cached here; call before starting moves.
+  void set_telemetry(const obs::Telemetry& telemetry);
+
   const std::vector<MoveRecord>& history() const { return history_; }
 
   /// Total virtual kB shipped so far (all moves). Failed or stalled
@@ -155,6 +161,21 @@ class MigrationExecutor {
 
   ClusterEngine* engine_;
   MigrationOptions options_;
+  obs::Telemetry telemetry_;
+  // Cached metric handles (null until set_telemetry).
+  obs::Counter* m_moves_started_ = nullptr;
+  obs::Counter* m_moves_completed_ = nullptr;
+  obs::Counter* m_moves_aborted_ = nullptr;
+  obs::Counter* m_chunks_landed_ = nullptr;
+  obs::Counter* m_chunk_retries_ = nullptr;
+  obs::Counter* m_buckets_flipped_ = nullptr;
+  obs::Gauge* m_kb_moved_ = nullptr;
+  obs::Gauge* m_in_progress_ = nullptr;
+  obs::HistogramMetric* m_move_duration_ms_ = nullptr;
+  obs::HistogramMetric* m_round_duration_ms_ = nullptr;
+  obs::SpanTracer::SpanId move_span_ = 0;
+  obs::SpanTracer::SpanId round_span_ = 0;
+  SimTime round_start_ = 0;
   bool in_progress_ = false;
   std::unique_ptr<ActiveMove> move_;
   std::vector<MoveRecord> history_;

@@ -1,0 +1,118 @@
+#include "obs/exporter.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace pstore {
+namespace obs {
+
+namespace {
+
+/// Creates `path`'s parent directory if it has one; returns false on
+/// failure (logged by the caller with context).
+bool EnsureParentDir(const std::string& path) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (parent.empty()) return true;
+  std::error_code ec;
+  std::filesystem::create_directories(parent, ec);
+  return !ec;
+}
+
+}  // namespace
+
+void TimeseriesExporter::Sample(SimTime now) {
+  if (registry_ == nullptr || !registry_->armed()) return;
+  Sample_ sample;
+  sample.at = now;
+  sample.values = registry_->Snapshot();
+  // Snapshot() returns counters/gauges/callbacks each sorted; merge to
+  // one globally sorted list so CSV assembly can binary-search.
+  std::sort(sample.values.begin(), sample.values.end());
+  samples_.push_back(std::move(sample));
+}
+
+std::string TimeseriesExporter::ToCsv() const {
+  // Union of metric names across all samples (metrics register lazily,
+  // so late samples can carry more columns).
+  std::vector<std::string> names;
+  for (const Sample_& s : samples_) {
+    for (const auto& [name, value] : s.values) {
+      (void)value;
+      names.push_back(name);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+
+  std::string out = "time_s";
+  for (const std::string& name : names) out += "," + name;
+  out += '\n';
+  for (const Sample_& s : samples_) {
+    out += FormatMetricValue(DurationToSeconds(s.at));
+    for (const std::string& name : names) {
+      const auto it = std::lower_bound(
+          s.values.begin(), s.values.end(), name,
+          [](const auto& kv, const std::string& n) { return kv.first < n; });
+      const double v =
+          (it != s.values.end() && it->first == name) ? it->second : 0.0;
+      out += "," + FormatMetricValue(v);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+bool TimeseriesExporter::WriteCsv(const std::string& path) const {
+  return WriteStringToFile(path, ToCsv());
+}
+
+bool WriteColumnsCsv(const std::string& path,
+                     const std::vector<std::string>& names,
+                     const std::vector<std::vector<double>>& columns) {
+  // Default ostream double formatting, matching CsvSeriesWriter so CSVs
+  // written through either path are byte-identical.
+  std::ostringstream out;
+  const size_t cols = std::min(names.size(), columns.size());
+  size_t rows = 0;
+  for (size_t c = 0; c < cols; ++c) {
+    if (c > 0) out << ',';
+    out << names[c];
+    rows = std::max(rows, columns[c].size());
+  }
+  out << '\n';
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      if (c > 0) out << ',';
+      if (r < columns[c].size()) out << columns[c][r];
+    }
+    out << '\n';
+  }
+  return WriteStringToFile(path, out.str());
+}
+
+bool WriteStringToFile(const std::string& path, const std::string& contents) {
+  if (!EnsureParentDir(path)) {
+    PSTORE_LOG(Warn) << "cannot create directory for " << path;
+    return false;
+  }
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    PSTORE_LOG(Warn) << "cannot open " << path << " for writing";
+    return false;
+  }
+  file << contents;
+  file.close();
+  if (!file) {
+    PSTORE_LOG(Warn) << "write to " << path << " failed";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace obs
+}  // namespace pstore

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "obs/metrics.h"
+
+/// \file exporter.h
+/// Turns a MetricsRegistry into artifacts: periodic CSV snapshots of
+/// every counter/gauge (a time series per metric) and an end-of-run
+/// JSON dump. Also the one place that writes CSV files for the bench
+/// harness — parent directories are created and failures reported, so
+/// benches never silently drop their output.
+
+namespace pstore {
+namespace obs {
+
+/// \brief Periodic snapshots of a registry, rendered as one CSV.
+///
+/// The owner calls Sample(now) on whatever cadence it wants (benches
+/// schedule it on the simulator); ToCsv() renders `time_s` plus one
+/// column per metric, names sorted, across the union of all samples.
+/// Metrics that did not exist yet at a sample render 0.
+class TimeseriesExporter {
+ public:
+  /// \param registry sampled registry (not owned; may be null = no-op)
+  explicit TimeseriesExporter(MetricsRegistry* registry)
+      : registry_(registry) {}
+
+  /// Snapshots every counter and gauge at virtual time `now`.
+  void Sample(SimTime now);
+
+  size_t samples() const { return samples_.size(); }
+
+  /// Renders all samples: "time_s,<name1>,<name2>,...\n..." with names
+  /// sorted lexicographically. Deterministic for deterministic inputs.
+  std::string ToCsv() const;
+
+  /// Writes ToCsv() to `path`, creating parent directories; returns
+  /// false (and logs) on I/O failure.
+  bool WriteCsv(const std::string& path) const;
+
+  void Clear() { samples_.clear(); }
+
+ private:
+  struct Sample_ {
+    SimTime at = 0;
+    std::vector<std::pair<std::string, double>> values;  ///< Sorted.
+  };
+
+  MetricsRegistry* registry_;
+  std::vector<Sample_> samples_;
+};
+
+/// Writes named columns of doubles as CSV to `path`, creating parent
+/// directories first. Returns false and logs a warning on failure
+/// (missing-directory bugs used to make benches drop CSVs silently).
+bool WriteColumnsCsv(const std::string& path,
+                     const std::vector<std::string>& names,
+                     const std::vector<std::vector<double>>& columns);
+
+/// Writes `contents` to `path`, creating parent directories; returns
+/// false and logs on failure. Used for JSON/trace dumps.
+bool WriteStringToFile(const std::string& path, const std::string& contents);
+
+}  // namespace obs
+}  // namespace pstore

@@ -1,0 +1,161 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/murmur.h"
+
+namespace pstore {
+namespace obs {
+
+namespace {
+
+template <typename T>
+T* GetOrCreate(std::map<std::string, std::unique_ptr<T>>* metrics,
+               const std::string& name) {
+  auto it = metrics->find(name);
+  if (it == metrics->end()) {
+    it = metrics->emplace(name, std::make_unique<T>()).first;
+  }
+  return it->second.get();
+}
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string FormatMetricValue(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  if (!armed()) return &null_counter_;
+  return GetOrCreate(&counters_, name);
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  if (!armed()) return &null_gauge_;
+  return GetOrCreate(&gauges_, name);
+}
+
+HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name) {
+  if (!armed()) return &null_histogram_;
+  return GetOrCreate(&histograms_, name);
+}
+
+void MetricsRegistry::RegisterCallbackGauge(const std::string& name,
+                                            GaugeFn fn) {
+  if (!armed()) return;
+  callback_gauges_[name] = std::move(fn);
+}
+
+void MetricsRegistry::FreezeCallbackGauges() {
+  for (const auto& [name, fn] : callback_gauges_) {
+    GetOrCreate(&gauges_, name)->Set(fn());
+  }
+  callback_gauges_.clear();
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::Snapshot()
+    const {
+  std::vector<std::pair<std::string, double>> out;
+  if (!armed()) return out;
+  out.reserve(counters_.size() + gauges_.size() + callback_gauges_.size());
+  // std::map iteration is sorted; counters, then gauges, then callback
+  // gauges — names are namespaced, so cross-kind collisions don't arise.
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, static_cast<double>(counter->value()));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out.emplace_back(name, gauge->value());
+  }
+  for (const auto& [name, fn] : callback_gauges_) {
+    out.emplace_back(name, fn());
+  }
+  return out;
+}
+
+std::string MetricsRegistry::DumpJson() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  if (armed()) {
+    for (const auto& [name, counter] : counters_) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "    ";
+      AppendJsonString(name, &out);
+      out += ": " + std::to_string(counter->value());
+    }
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  if (armed()) {
+    for (const auto& [name, gauge] : gauges_) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "    ";
+      AppendJsonString(name, &out);
+      out += ": " + FormatMetricValue(gauge->value());
+    }
+    for (const auto& [name, fn] : callback_gauges_) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "    ";
+      AppendJsonString(name, &out);
+      out += ": " + FormatMetricValue(fn());
+    }
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  if (armed()) {
+    for (const auto& [name, metric] : histograms_) {
+      const Histogram& h = metric->histogram();
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "    ";
+      AppendJsonString(name, &out);
+      out += ": {\"count\": " + std::to_string(h.count()) +
+             ", \"sum\": " + std::to_string(h.sum()) +
+             ", \"min\": " + std::to_string(h.min()) +
+             ", \"max\": " + std::to_string(h.max()) +
+             ", \"p50\": " + std::to_string(h.Percentile(50)) +
+             ", \"p95\": " + std::to_string(h.Percentile(95)) +
+             ", \"p99\": " + std::to_string(h.Percentile(99)) + "}";
+    }
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+uint64_t MetricsRegistry::Fingerprint() const {
+  return MurmurHash64A(DumpJson(), 0);
+}
+
+void MetricsRegistry::Clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  callback_gauges_.clear();
+}
+
+}  // namespace obs
+}  // namespace pstore

@@ -1,0 +1,91 @@
+#include "obs/span_tracer.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/murmur.h"
+
+namespace pstore {
+namespace obs {
+
+SpanTracer::SpanId SpanTracer::Begin(const std::string& name) {
+  assert(clock_ && "SpanTracer::set_clock before clocked Begin()");
+  return BeginAt(name, clock_ ? clock_() : 0);
+}
+
+SpanTracer::SpanId SpanTracer::BeginAt(const std::string& name, SimTime at) {
+#if PSTORE_OBS_ENABLED
+  Span span;
+  span.name = name;
+  span.start = at;
+  span.depth = static_cast<int32_t>(stack_.size());
+  span.parent = stack_.empty() ? 0 : stack_.back();
+  spans_.push_back(std::move(span));
+  const SpanId id = static_cast<SpanId>(spans_.size());  // index + 1
+  stack_.push_back(id);
+  return id;
+#else
+  (void)name;
+  (void)at;
+  return 0;
+#endif
+}
+
+void SpanTracer::End(SpanId id) {
+  assert(clock_ && "SpanTracer::set_clock before clocked End()");
+  EndAt(id, clock_ ? clock_() : 0);
+}
+
+void SpanTracer::EndAt(SpanId id, SimTime at) {
+#if PSTORE_OBS_ENABLED
+  const auto it = std::find(stack_.begin(), stack_.end(), id);
+  if (it == stack_.end()) {
+    // Unknown, already closed, or never opened: record the violation.
+    ++mismatches_;
+    return;
+  }
+  // Force-close everything opened after `id` (each one a mismatch),
+  // then close `id` itself.
+  while (stack_.back() != id) {
+    Span* inner = Find(stack_.back());
+    inner->end = at;
+    stack_.pop_back();
+    ++mismatches_;
+  }
+  Find(id)->end = at;
+  stack_.pop_back();
+#else
+  (void)id;
+  (void)at;
+#endif
+}
+
+SpanTracer::Span* SpanTracer::Find(SpanId id) {
+  return &spans_[static_cast<size_t>(id - 1)];
+}
+
+std::string SpanTracer::ToString() const {
+  std::string out;
+  for (const Span& span : spans_) {
+    out += "[" + FormatSimTime(span.start) + " .. " +
+           (span.end >= 0 ? FormatSimTime(span.end) : std::string("..")) +
+           "] ";
+    out.append(static_cast<size_t>(span.depth) * 2, ' ');
+    out += span.name;
+    out += '\n';
+  }
+  return out;
+}
+
+uint64_t SpanTracer::Fingerprint() const {
+  return MurmurHash64A(ToString(), 0);
+}
+
+void SpanTracer::Clear() {
+  spans_.clear();
+  stack_.clear();
+  mismatches_ = 0;
+}
+
+}  // namespace obs
+}  // namespace pstore

@@ -1,0 +1,38 @@
+#pragma once
+
+#include "obs/event_stream.h"
+#include "obs/metrics.h"
+#include "obs/span_tracer.h"
+
+/// \file telemetry.h
+/// The non-owning bundle each subsystem accepts via set_telemetry():
+/// metrics registry, span tracer and event stream. Any pointer may be
+/// null — call sites guard on the pointer, so un-instrumented runs pay
+/// nothing. TelemetryBundle is the owning convenience for harnesses
+/// (benches, examples, tests) that want all three.
+
+namespace pstore {
+namespace obs {
+
+/// \brief Borrowed views of a run's telemetry sinks.
+struct Telemetry {
+  MetricsRegistry* metrics = nullptr;
+  SpanTracer* tracer = nullptr;
+  EventStream* events = nullptr;
+
+  bool any() const {
+    return metrics != nullptr || tracer != nullptr || events != nullptr;
+  }
+};
+
+/// \brief Owns one run's telemetry; view() is what gets handed around.
+struct TelemetryBundle {
+  MetricsRegistry metrics;
+  SpanTracer tracer;
+  EventStream events;
+
+  Telemetry view() { return Telemetry{&metrics, &tracer, &events}; }
+};
+
+}  // namespace obs
+}  // namespace pstore

@@ -145,6 +145,11 @@ Plan DpPlanner::BestMoves(const std::vector<double>& load, int32_t n0) const {
   // so reuse is sound and saves a factor of Z).
   std::vector<MemoEntry> memo(static_cast<size_t>(horizon + 1) *
                               static_cast<size_t>(z + 1));
+  const auto cells_evaluated = [&memo]() {
+    int64_t cells = 0;
+    for (const MemoEntry& e : memo) cells += e.exists ? 1 : 0;
+    return cells;
+  };
   for (int32_t final_nodes = 1; final_nodes <= z; ++final_nodes) {
     const double total =
         Cost(horizon, final_nodes, load, n0, z, &memo);
@@ -172,11 +177,13 @@ Plan DpPlanner::BestMoves(const std::vector<double>& load, int32_t n0) const {
     plan.moves = std::move(rev);
     plan.total_cost = total;
     plan.feasible = true;
+    plan.dp_cells_evaluated = cells_evaluated();
     return plan;
   }
 
   // No feasible solution: N0 is too low to scale out in time
   // (Section 4.3.1, Line 13).
+  plan.dp_cells_evaluated = cells_evaluated();
   return plan;
 }
 

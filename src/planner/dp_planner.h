@@ -40,6 +40,9 @@ struct Plan {
   std::vector<PlannedMove> moves;  ///< Contiguous, ordered by start.
   double total_cost = 0.0;
   bool feasible = false;
+  /// Distinct (time, machines) DP states evaluated while planning —
+  /// the work metric the observability layer reports per cycle.
+  int64_t dp_cells_evaluated = 0;
 
   /// Machines at the end of the horizon (N at time T); 0 if infeasible.
   int32_t final_nodes() const {

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Runs the chaos example twice with the same seed and verifies the
+# telemetry artifacts (metrics JSON/CSV, span trace, event stream, fault
+# trace) are byte-identical — the repo's same-seed determinism contract.
+#
+# Usage: [CHAOS_RUN=path/to/chaos_run] [SEED=N] [EVENTS=N] \
+#          tools/check_determinism.sh
+# Exits 0 on byte-identical runs, 1 otherwise.
+set -u
+
+CHAOS_RUN="${CHAOS_RUN:-build/examples/chaos_run}"
+SEED="${SEED:-42}"
+EVENTS="${EVENTS:-10}"
+
+if [ ! -x "$CHAOS_RUN" ]; then
+  echo "check_determinism: $CHAOS_RUN not found or not executable" >&2
+  echo "build first: cmake --build build" >&2
+  exit 1
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+status=0
+for run in a b; do
+  if ! "$CHAOS_RUN" --seed="$SEED" --events="$EVENTS" \
+       --out="$workdir/$run" > "$workdir/$run.stdout" 2>&1; then
+    echo "check_determinism: run $run FAILED; tail of output:" >&2
+    tail -20 "$workdir/$run.stdout" >&2
+    status=1
+  fi
+done
+[ "$status" -ne 0 ] && exit "$status"
+
+if diff -r "$workdir/a" "$workdir/b" > "$workdir/diff.out" 2>&1; then
+  files=$(ls "$workdir/a" | wc -l | tr -d ' ')
+  echo "check_determinism: OK — $files artifacts byte-identical" \
+       "(seed $SEED, $EVENTS events)"
+else
+  echo "check_determinism: MISMATCH between same-seed runs:" >&2
+  cat "$workdir/diff.out" >&2
+  status=1
+fi
+exit "$status"
