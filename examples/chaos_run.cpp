@@ -11,7 +11,16 @@
 /// and span dumps reproduce byte for byte. Pass --out=DIR to write
 /// metrics.json, metrics.csv, spans.txt and events.txt there.
 ///
+/// --spike switches to the overload scenario: slower service (so the
+/// cluster saturates at ~300 txn/s), a load generator that multiplies
+/// its rate by the injector's live load_scale(), kLoadSpike events in
+/// the chaos mix, bounded queues + deadline + priority shedding +
+/// per-node circuit breakers in the engine, breaker-aware reactive
+/// scaling, and a client retry budget with jittered backoff. The same
+/// determinism contract holds: one seed, two byte-identical runs.
+///
 ///   ./build/examples/chaos_run [--seed=42] [--events=10] [--out=DIR]
+///                              [--spike]
 
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +37,7 @@
 #include "migration/migration_executor.h"
 #include "obs/exporter.h"
 #include "obs/telemetry.h"
+#include "overload/retry_budget.h"
 #include "sim/simulator.h"
 #include "storage/schema.h"
 #include "txn/procedure.h"
@@ -50,6 +60,15 @@ struct RunResult {
   int64_t checks = 0;
   size_t violations = 0;
   int64_t events = 0;
+  // Overload-scenario extras (all 0 outside --spike).
+  int64_t shed = 0;
+  int64_t breaker_trips = 0;
+  int64_t evictions = 0;
+  int64_t load_spikes = 0;
+  int64_t chunks_backpressured = 0;
+  int64_t retries = 0;
+  int64_t sheds_seen = 0;
+  int64_t safety_scale_outs = 0;
   // Telemetry dumps + their determinism digests.
   std::string metrics_json;
   std::string metrics_csv;
@@ -59,7 +78,7 @@ struct RunResult {
   uint64_t span_fingerprint = 0;
 };
 
-RunResult RunOnce(uint64_t seed, int32_t num_events) {
+RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike) {
   // A tiny KV database: one table, one Get procedure.
   Catalog catalog;
   const TableId table = *catalog.AddTable(Schema(
@@ -87,6 +106,20 @@ RunResult RunOnce(uint64_t seed, int32_t num_events) {
   config.initial_nodes = 3;
   config.txn_service_us_mean = 1000.0;
   config.txn_service_cv = 0.0;
+  if (spike) {
+    // Slow the service down so the initial 3-node / 6-partition cluster
+    // saturates at ~300 txn/s: a 2x-8x load spike on the 100 txn/s base
+    // genuinely overloads it, exercising every shedding path.
+    config.txn_service_us_mean = 20000.0;
+    config.overload.enabled = true;
+    config.overload.max_queue_depth = 16;
+    config.overload.queue_deadline = 200 * kMillisecond;
+    config.overload.policy = overload::AdmissionPolicy::kPriorityShed;
+    config.overload.breaker.window = kSecond;
+    config.overload.breaker.shed_threshold = 0.2;
+    config.overload.breaker.min_samples = 20;
+    config.overload.breaker.cooldown = 3 * kSecond;
+  }
   ClusterEngine engine(&sim, catalog, registry, config);
   obs::TelemetryBundle telemetry;
   telemetry.tracer.set_clock([&sim]() { return sim.Now(); });
@@ -113,6 +146,7 @@ RunResult RunOnce(uint64_t seed, int32_t num_events) {
   reactive.scale_in_hold = 5 * kSecond;
   ReactiveController controller(&engine, &migrator, reactive);
   controller.set_telemetry(telemetry.view());
+  if (spike) controller.set_overload(engine.admission());
   controller.Start();
 
   // Sample the registry once per virtual second (read-only: the tick
@@ -134,6 +168,10 @@ RunResult RunOnce(uint64_t seed, int32_t num_events) {
   chaos.num_events = num_events;
   chaos.max_window = 15 * kSecond;
   chaos.max_stall = 2 * kSecond;
+  // kLoadSpike sits in a trailing zero-weight bucket, so giving it
+  // weight only changes which faults are drawn — never how many draws
+  // the plan Rng makes.
+  if (spike) chaos.load_spike_weight = 1.0;
   const FaultPlan plan = RandomFaultPlan(&plan_rng, chaos);
 
   FaultInjector injector(&engine, &migrator, seed);
@@ -143,14 +181,70 @@ RunResult RunOnce(uint64_t seed, int32_t num_events) {
   checker.set_expected_rows(rows);
   checker.StartPeriodic(kSecond);
 
-  // Steady 40 txn/s of reads for 120 virtual seconds.
-  const double rate = 40.0, seconds = 120.0;
-  for (int64_t i = 0; i < static_cast<int64_t>(rate * seconds); ++i) {
-    TxnRequest req;
-    req.proc = get;
-    req.key = (i * 48271) % rows;
-    sim.ScheduleAt(SecondsToDuration(i / rate),
-                   [&engine, req]() { engine.Submit(req); });
+  const double seconds = 120.0;
+  // Retry machinery for --spike (constructed unconditionally but only
+  // the spike generator consults it, so the plain path draws nothing).
+  overload::RetryPolicy retry_policy;
+  overload::RetryBudget retry_budget(retry_policy);
+  Rng retry_rng(seed ^ 0x94d049bb133111ebULL);
+  int64_t retries = 0, sheds_seen = 0;
+  auto resubmit =
+      std::make_shared<std::function<void(TxnRequest, int32_t)>>();
+  auto generate = std::make_shared<std::function<void(int64_t)>>();
+  if (!spike) {
+    // Steady 40 txn/s of reads for 120 virtual seconds.
+    const double rate = 40.0;
+    for (int64_t i = 0; i < static_cast<int64_t>(rate * seconds); ++i) {
+      TxnRequest req;
+      req.proc = get;
+      req.key = (i * 48271) % rows;
+      sim.ScheduleAt(SecondsToDuration(i / rate),
+                     [&engine, req]() { engine.Submit(req); });
+    }
+  } else {
+    // Submit-with-retry: shed transactions re-enter after a jittered
+    // backoff, spending the token budget (dedicated Rng stream).
+    *resubmit = [&engine, &sim, &retry_budget, &retry_rng, &retries,
+                 &sheds_seen, &retry_policy,
+                 self = resubmit.get()](TxnRequest req, int32_t attempt) {
+      if (attempt == 0) retry_budget.OnRequest();
+      TxnRequest copy = req;
+      engine.Submit(
+          std::move(req),
+          [&sim, &retry_budget, &retry_rng, &retries, &sheds_seen,
+           &retry_policy, self, copy = std::move(copy),
+           attempt](const TxnResult& result) mutable {
+            if (!result.shed) return;
+            ++sheds_seen;
+            if (attempt + 1 >= retry_policy.max_attempts) return;
+            if (!retry_budget.TrySpend()) return;
+            ++retries;
+            const SimDuration backoff =
+                retry_budget.Backoff(attempt + 1, &retry_rng);
+            sim.Schedule(backoff,
+                         [self, copy = std::move(copy), attempt]() mutable {
+                           (*self)(std::move(copy), attempt + 1);
+                         });
+          });
+    };
+    // Self-scheduling generator: 100 txn/s base, multiplied live by the
+    // injector's load_scale(), so kLoadSpike windows really raise the
+    // offered load (deterministically — the scale is plan state, not a
+    // per-arrival draw).
+    const double base_rate = 100.0;
+    *generate = [&sim, &injector, get, rows, base_rate, seconds,
+                 submit = resubmit.get(),
+                 self = generate.get()](int64_t i) {
+      if (sim.Now() >= SecondsToDuration(seconds)) return;
+      TxnRequest req;
+      req.proc = get;
+      req.key = (i * 48271) % rows;
+      (*submit)(std::move(req), 0);
+      const double rate = base_rate * injector.load_scale();
+      const auto gap = static_cast<SimDuration>(1e6 / rate);
+      sim.Schedule(gap < 1 ? 1 : gap, [self, i]() { (*self)(i + 1); });
+    };
+    sim.Schedule(0, [self = generate.get()]() { (*self)(0); });
   }
 
   sim.RunUntil(SecondsToDuration(seconds));
@@ -173,6 +267,16 @@ RunResult RunOnce(uint64_t seed, int32_t num_events) {
   out.checks = checker.checks_run();
   out.violations = checker.violations().size();
   out.events = sim.events_executed();
+  if (spike) {
+    out.shed = engine.txns_shed();
+    out.breaker_trips = engine.admission()->total_trips();
+    out.evictions = engine.admission()->evictions();
+    out.load_spikes = injector.load_spikes();
+    out.chunks_backpressured = migrator.chunks_backpressured();
+    out.retries = retries;
+    out.sheds_seen = sheds_seen;
+    out.safety_scale_outs = controller.scale_outs();
+  }
   out.metrics_json = telemetry.metrics.DumpJson();
   out.metrics_csv = exporter.ToCsv();
   out.spans = telemetry.tracer.ToString();
@@ -193,6 +297,7 @@ RunResult RunOnce(uint64_t seed, int32_t num_events) {
 int main(int argc, char** argv) {
   uint64_t seed = 42;
   int32_t num_events = 10;
+  bool spike = false;
   std::string out_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--seed=", 7) == 0) {
@@ -201,12 +306,15 @@ int main(int argc, char** argv) {
       num_events = std::atoi(argv[i] + 9);
     } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out_dir = argv[i] + 6;
+    } else if (std::strcmp(argv[i], "--spike") == 0) {
+      spike = true;
     }
   }
 
-  std::printf("chaos run, seed %llu, %d fault events\n",
-              static_cast<unsigned long long>(seed), num_events);
-  const RunResult first = RunOnce(seed, num_events);
+  std::printf("chaos run, seed %llu, %d fault events%s\n",
+              static_cast<unsigned long long>(seed), num_events,
+              spike ? ", overload scenario" : "");
+  const RunResult first = RunOnce(seed, num_events, spike);
   std::printf("\nfault plan:\n%s", first.plan.c_str());
   std::printf("\nevent trace:\n%s", first.trace.c_str());
   std::printf(
@@ -221,6 +329,20 @@ int main(int argc, char** argv) {
       static_cast<long long>(first.moves_aborted),
       static_cast<long long>(first.committed),
       static_cast<long long>(first.checks), first.violations);
+  if (spike) {
+    std::printf(
+        "overload: %lld load spikes, %lld txns shed, %lld evictions, "
+        "%lld breaker trips, %lld chunks backpressured, %lld sheds seen "
+        "by client, %lld retries, %lld scale-outs\n",
+        static_cast<long long>(first.load_spikes),
+        static_cast<long long>(first.shed),
+        static_cast<long long>(first.evictions),
+        static_cast<long long>(first.breaker_trips),
+        static_cast<long long>(first.chunks_backpressured),
+        static_cast<long long>(first.sheds_seen),
+        static_cast<long long>(first.retries),
+        static_cast<long long>(first.safety_scale_outs));
+  }
 
   if (!out_dir.empty()) {
     const bool wrote =
@@ -238,13 +360,15 @@ int main(int argc, char** argv) {
 
   // Replay: the same seed must reproduce the run exactly — the fault
   // trace, the metric dump and the span trace all fingerprint-equal.
-  const RunResult second = RunOnce(seed, num_events);
+  const RunResult second = RunOnce(seed, num_events, spike);
   const bool replay_ok =
       first.fingerprint == second.fingerprint &&
       first.events == second.events &&
       first.metrics_fingerprint == second.metrics_fingerprint &&
       first.span_fingerprint == second.span_fingerprint &&
-      first.metrics_csv == second.metrics_csv;
+      first.metrics_csv == second.metrics_csv &&
+      first.shed == second.shed && first.retries == second.retries &&
+      first.breaker_trips == second.breaker_trips;
   std::printf("\nreplay: trace fingerprints %016llx vs %016llx, "
               "metrics %016llx vs %016llx, spans %016llx vs %016llx -> %s\n",
               static_cast<unsigned long long>(first.fingerprint),

@@ -1,7 +1,11 @@
 #!/bin/sh
 # Runs every figure/table reproduction harness, mirroring the paper's
 # evaluation section. Outputs land on stdout and CSVs in ./bench_out/.
-set -e
+# A harness that exits non-zero aborts the sweep immediately, naming
+# the offender (set -e alone would hide which binary failed).
 for b in build/bench/*; do
-  "$b"
+  if ! "$b"; then
+    echo "run_all_benches: FAILED: $b exited non-zero" >&2
+    exit 1
+  fi
 done

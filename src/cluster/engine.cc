@@ -25,6 +25,7 @@ Status EngineConfig::Validate() const {
     return Status::InvalidArgument(
         "need at least one bucket per partition at max scale");
   }
+  if (overload.enabled) PSTORE_RETURN_NOT_OK(overload.Validate());
   return Status::OK();
 }
 
@@ -52,6 +53,14 @@ ClusterEngine::ClusterEngine(Simulator* sim, Catalog catalog,
   bucket_access_counts_.assign(static_cast<size_t>(config_.num_buckets), 0);
   node_up_.assign(static_cast<size_t>(config_.max_nodes), 1);
   allocation_timeline_.push_back(AllocationEvent{0, active_nodes_});
+  if (config_.overload.enabled) {
+    for (auto& ex : executors_) {
+      ex->set_queue_limit(
+          static_cast<size_t>(config_.overload.max_queue_depth));
+    }
+    admission_ = std::make_unique<overload::AdmissionController>(
+        config_.overload, config_.max_nodes);
+  }
 }
 
 void ClusterEngine::set_telemetry(const obs::Telemetry& telemetry) {
@@ -91,6 +100,45 @@ void ClusterEngine::set_telemetry(const obs::Telemetry& telemetry) {
     }
     return static_cast<double>(deepest);
   });
+  // Overload metrics are registered only when overload control is on, so
+  // pre-existing metric dumps stay byte-identical in the default build.
+  if (admission_ != nullptr) {
+    m_shed_ = metrics->GetCounter("cluster.txn_shed");
+    m_shed_deadline_ = metrics->GetCounter("cluster.txn_shed_deadline");
+    m_shed_evicted_ = metrics->GetCounter("cluster.txn_shed_evicted");
+    m_rejected_queue_full_ =
+        metrics->GetCounter("cluster.txn_rejected_queue_full");
+    m_rejected_breaker_ =
+        metrics->GetCounter("cluster.txn_rejected_breaker_open");
+    m_breaker_trips_ = metrics->GetCounter("cluster.breaker_trips");
+    metrics->RegisterCallbackGauge("cluster.shed_rate", [this]() {
+      return next_txn_seq_ == 0
+                 ? 0.0
+                 : static_cast<double>(txns_shed_) /
+                       static_cast<double>(next_txn_seq_);
+    });
+    metrics->RegisterCallbackGauge("cluster.breakers_open", [this]() {
+      return static_cast<double>(
+          admission_->OpenBreakerCount(sim_->Now()));
+    });
+    for (int32_t n = 0; n < config_.max_nodes; ++n) {
+      admission_->breaker(n)->set_on_state_change(
+          [this, n](SimTime at, overload::BreakerState from,
+                    overload::BreakerState to) {
+            if (to == overload::BreakerState::kOpen &&
+                m_breaker_trips_ != nullptr) {
+              m_breaker_trips_->Increment();
+            }
+            if (telemetry_.events != nullptr) {
+              telemetry_.events->Record(
+                  at, "overload",
+                  "node " + std::to_string(n) + " breaker " +
+                      overload::BreakerStateName(from) + " -> " +
+                      overload::BreakerStateName(to));
+            }
+          });
+    }
+  }
 }
 
 Status ClusterEngine::ActivateNodes(int32_t n) {
@@ -277,7 +325,32 @@ void ClusterEngine::Submit(TxnRequest req,
   auto pending = std::make_shared<PendingTxn>(
       PendingTxn{std::move(req), sim_->Now(), std::move(on_done)});
   pending->req.txn_id = ++next_txn_seq_;
+  // Negative request priority inherits the procedure's default.
+  pending->priority = pending->req.priority >= 0
+                          ? pending->req.priority
+                          : registry_.Get(pending->req.proc).priority;
+  if (config_.overload.enabled && config_.overload.queue_deadline > 0) {
+    pending->deadline = pending->arrival + config_.overload.queue_deadline;
+  }
+  ++txns_in_flight_;
   RouteAndRun(std::move(pending));
+}
+
+void ClusterEngine::FinishShed(const std::shared_ptr<PendingTxn>& pending,
+                               NodeId node, bool feed_breaker) {
+  ++txns_shed_;
+  --txns_in_flight_;
+  if (feed_breaker && admission_ != nullptr) {
+    admission_->RecordShed(node, sim_->Now());
+  }
+  if (m_shed_ != nullptr) m_shed_->Increment();
+  if (pending->on_done) {
+    TxnResult result;
+    result.status =
+        Status::Unavailable("transaction shed by overload control");
+    result.shed = true;
+    pending->on_done(result);
+  }
 }
 
 void ClusterEngine::RouteAndRun(std::shared_ptr<PendingTxn> pending) {
@@ -286,37 +359,83 @@ void ClusterEngine::RouteAndRun(std::shared_ptr<PendingTxn> pending) {
   const PartitionId p = map_.PartitionOfKey(pending->req.key);
   const ProcedureDef& def = registry_.Get(pending->req.proc);
   const SimDuration service = DrawServiceTime(def.service_weight);
-  executors_[static_cast<size_t>(p)]->Enqueue(
-      service,
-      [this, pending = std::move(pending), p](SimTime started,
-                                              SimTime finished) {
-        // If the bucket moved while we were queued, forward.
-        const PartitionId owner = map_.PartitionOfKey(pending->req.key);
-        if (owner != p) {
-          if (m_forwarded_ != nullptr) m_forwarded_->Increment();
-          RouteAndRun(pending);
-          return;
-        }
-        ExecutionContext ctx(fragments_[static_cast<size_t>(p)].get());
-        const ProcedureDef& proc = registry_.Get(pending->req.proc);
-        TxnResult result = proc.body(ctx, pending->req);
-        ++partition_access_counts_[static_cast<size_t>(p)];
-        ++bucket_access_counts_[static_cast<size_t>(
-            KeyToBucket(pending->req.key, config_.num_buckets))];
-        if (result.status.ok()) {
-          ++txns_committed_;
-          if (m_committed_ != nullptr) m_committed_->Increment();
-        } else {
-          ++txns_aborted_;
-          if (m_aborted_ != nullptr) m_aborted_->Increment();
-        }
-        if (m_queue_delay_us_ != nullptr) {
-          m_queue_delay_us_->Record(started - pending->arrival);
-          m_node_txns_[static_cast<size_t>(NodeOfPartition(p))]->Increment();
-        }
-        RecordCompletion(pending->arrival, finished);
-        if (pending->on_done) pending->on_done(result);
-      });
+  PartitionExecutor* ex = executors_[static_cast<size_t>(p)].get();
+  auto completion = [this, pending, p](SimTime started, SimTime finished) {
+    // If the bucket moved while we were queued, forward (the txn stays
+    // in flight through the hop).
+    const PartitionId owner = map_.PartitionOfKey(pending->req.key);
+    if (owner != p) {
+      if (m_forwarded_ != nullptr) m_forwarded_->Increment();
+      RouteAndRun(pending);
+      return;
+    }
+    ExecutionContext ctx(fragments_[static_cast<size_t>(p)].get());
+    const ProcedureDef& proc = registry_.Get(pending->req.proc);
+    TxnResult result = proc.body(ctx, pending->req);
+    ++partition_access_counts_[static_cast<size_t>(p)];
+    ++bucket_access_counts_[static_cast<size_t>(
+        KeyToBucket(pending->req.key, config_.num_buckets))];
+    if (result.status.ok()) {
+      ++txns_committed_;
+      if (m_committed_ != nullptr) m_committed_->Increment();
+    } else {
+      ++txns_aborted_;
+      if (m_aborted_ != nullptr) m_aborted_->Increment();
+    }
+    --txns_in_flight_;
+    if (m_queue_delay_us_ != nullptr) {
+      m_queue_delay_us_->Record(started - pending->arrival);
+      m_node_txns_[static_cast<size_t>(NodeOfPartition(p))]->Increment();
+    }
+    RecordCompletion(pending->arrival, finished);
+    if (pending->on_done) pending->on_done(result);
+  };
+  if (admission_ == nullptr) {
+    ex->Enqueue(service, std::move(completion));
+    return;
+  }
+  const NodeId node = NodeOfPartition(p);
+  const SimTime now = sim_->Now();
+  overload::QueueOps ops;
+  ops.queue_length = [ex]() { return ex->queue_length(); };
+  ops.evict_newest = [ex]() { return ex->EvictNewest(); };
+  ops.evict_lowest_below = [ex](int8_t pr) {
+    return ex->EvictLowestBelow(pr);
+  };
+  const overload::AdmissionDecision decision =
+      admission_->Admit(ops, node, pending->priority, now);
+  if (decision != overload::AdmissionDecision::kAdmit) {
+    if (decision == overload::AdmissionDecision::kRejectQueueFull) {
+      if (m_rejected_queue_full_ != nullptr) {
+        m_rejected_queue_full_->Increment();
+      }
+    } else if (m_rejected_breaker_ != nullptr) {
+      m_rejected_breaker_->Increment();
+    }
+    // Breaker-open rejections must not feed the breaker, or it would
+    // count its own rejections as sheds and never close again.
+    FinishShed(pending, node,
+               decision != overload::AdmissionDecision::kRejectBreakerOpen);
+    return;
+  }
+  PartitionExecutor::WorkItem item;
+  item.service = service;
+  item.done = std::move(completion);
+  item.deadline = pending->deadline;
+  item.priority = pending->priority;
+  item.on_shed = [this, pending, node](SimTime,
+                                       PartitionExecutor::ShedCause cause) {
+    if (cause == PartitionExecutor::ShedCause::kDeadline) {
+      if (m_shed_deadline_ != nullptr) m_shed_deadline_->Increment();
+    } else if (m_shed_evicted_ != nullptr) {
+      m_shed_evicted_->Increment();
+    }
+    FinishShed(pending, node, true);
+  };
+  const bool enqueued = ex->TryEnqueue(std::move(item));
+  assert(enqueued);  // Admit() made room or rejected.
+  (void)enqueued;
+  admission_->RecordAdmitted(node, now);
 }
 
 double ClusterEngine::AverageNodesAllocated() const {

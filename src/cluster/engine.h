@@ -10,6 +10,8 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "obs/telemetry.h"
+#include "overload/admission_controller.h"
+#include "overload/overload_config.h"
 #include "sim/simulator.h"
 #include "storage/fragment.h"
 #include "storage/partition_map.h"
@@ -56,6 +58,11 @@ struct EngineConfig {
   SimDuration throughput_window = 10 * kSecond;
 
   uint64_t seed = 42;
+
+  /// Overload control (bounded queues, admission, breakers). Disabled
+  /// by default; with `overload.enabled == false` the engine's event
+  /// sequence is byte-identical to the historical unbounded build.
+  overload::OverloadConfig overload;
 
   Status Validate() const;
 };
@@ -159,6 +166,9 @@ class ClusterEngine {
   PartitionExecutor* executor(PartitionId p) {
     return executors_[static_cast<size_t>(p)].get();
   }
+  const PartitionExecutor* executor(PartitionId p) const {
+    return executors_[static_cast<size_t>(p)].get();
+  }
 
   /// Total rows across all fragments (for conservation checks).
   int64_t TotalRowCount() const;
@@ -188,6 +198,20 @@ class ClusterEngine {
 
   int64_t txns_committed() const { return txns_committed_; }
   int64_t txns_aborted() const { return txns_aborted_; }
+
+  /// Transactions shed by overload control (queue-full rejections,
+  /// breaker rejections, evictions, and deadline expiries). Always 0
+  /// when overload control is disabled.
+  int64_t txns_shed() const { return txns_shed_; }
+
+  /// Transactions submitted but not yet committed, aborted, or shed.
+  /// Conservation invariant: submitted == committed + aborted + shed +
+  /// in_flight at every quiescent point.
+  int64_t txns_in_flight() const { return txns_in_flight_; }
+
+  /// The admission controller, or nullptr when overload control is
+  /// disabled. Controllers use it to read breaker state.
+  overload::AdmissionController* admission() { return admission_.get(); }
 
   /// Transactions submitted so far (the controller's load signal).
   int64_t txns_submitted() const { return next_txn_seq_; }
@@ -229,11 +253,19 @@ class ClusterEngine {
     TxnRequest req;
     SimTime arrival = 0;
     std::function<void(const TxnResult&)> on_done;
+    int8_t priority = kPriorityNormal;  ///< Resolved at Submit.
+    SimTime deadline = -1;  ///< Absolute service-start deadline; -1 = none.
   };
 
   SimDuration DrawServiceTime(double weight);
   void RecordCompletion(SimTime arrival, SimTime finished);
   void RouteAndRun(std::shared_ptr<PendingTxn> pending);
+  /// Completes `pending` as shed: bumps shed counters, feeds the node's
+  /// breaker (unless the shed was *caused by* the breaker being open,
+  /// which must not re-trigger it), and fires on_done with a retryable
+  /// kUnavailable result.
+  void FinishShed(const std::shared_ptr<PendingTxn>& pending, NodeId node,
+                  bool feed_breaker);
 
   Simulator* sim_;
   Catalog catalog_;
@@ -254,6 +286,12 @@ class ClusterEngine {
   obs::Counter* m_aborted_ = nullptr;
   obs::Counter* m_forwarded_ = nullptr;
   obs::Counter* m_failovers_ = nullptr;
+  obs::Counter* m_shed_ = nullptr;
+  obs::Counter* m_shed_deadline_ = nullptr;
+  obs::Counter* m_shed_evicted_ = nullptr;
+  obs::Counter* m_rejected_queue_full_ = nullptr;
+  obs::Counter* m_rejected_breaker_ = nullptr;
+  obs::Counter* m_breaker_trips_ = nullptr;
   obs::Gauge* m_active_nodes_ = nullptr;
   obs::Gauge* m_live_nodes_ = nullptr;
   obs::HistogramMetric* m_latency_us_ = nullptr;
@@ -269,7 +307,10 @@ class ClusterEngine {
   std::vector<AllocationEvent> allocation_timeline_;
   int64_t txns_committed_ = 0;
   int64_t txns_aborted_ = 0;
+  int64_t txns_shed_ = 0;
+  int64_t txns_in_flight_ = 0;
   int64_t next_txn_seq_ = 0;
+  std::unique_ptr<overload::AdmissionController> admission_;
 };
 
 }  // namespace pstore

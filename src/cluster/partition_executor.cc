@@ -1,5 +1,6 @@
 #include "cluster/partition_executor.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -7,17 +8,80 @@ namespace pstore {
 
 void PartitionExecutor::Enqueue(SimDuration service, Completion done) {
   assert(service >= 0);
-  queue_.push_back(Item{service, std::move(done)});
+  WorkItem item;
+  item.service = service;
+  item.done = std::move(done);
+  Push(std::move(item));
+}
+
+bool PartitionExecutor::TryEnqueue(WorkItem item) {
+  assert(item.service >= 0);
+  if (AtLimit()) return false;
+  Push(std::move(item));
+  return true;
+}
+
+void PartitionExecutor::Push(WorkItem item) {
+  queue_.push_back(std::move(item));
+  max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
   if (!busy_) StartNext();
 }
 
+void PartitionExecutor::ShedItem(WorkItem item, ShedCause cause) {
+  ++shed_;
+  if (cause == ShedCause::kDeadline) {
+    ++deadline_shed_;
+  } else {
+    ++evicted_;
+  }
+  if (item.on_shed) item.on_shed(sim_->Now(), cause);
+}
+
+bool PartitionExecutor::EvictNewest() {
+  if (queue_.empty()) return false;
+  WorkItem victim = std::move(queue_.back());
+  queue_.pop_back();
+  ShedItem(std::move(victim), ShedCause::kEvicted);
+  return true;
+}
+
+bool PartitionExecutor::EvictLowestBelow(int8_t priority) {
+  // Lowest priority wins; among ties the newest goes (<= keeps updating
+  // as the scan moves toward the tail), so older work keeps its place.
+  size_t best = queue_.size();
+  for (size_t i = 0; i < queue_.size(); ++i) {
+    if (queue_[i].priority >= priority) continue;
+    if (best == queue_.size() ||
+        queue_[i].priority <= queue_[best].priority) {
+      best = i;
+    }
+  }
+  if (best == queue_.size()) return false;
+  WorkItem victim = std::move(queue_[best]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(best));
+  ShedItem(std::move(victim), ShedCause::kEvicted);
+  return true;
+}
+
 void PartitionExecutor::StartNext() {
+  // Claim the station first: a shed callback below may synchronously
+  // enqueue follow-up work, which must queue rather than re-enter here.
+  busy_ = true;
+  const SimTime now = sim_->Now();
+  // Shed expired work instead of serving it — a response after the
+  // deadline is worthless, and serving it would delay live work behind
+  // it (dequeue-time deadline check).
+  while (!queue_.empty() && queue_.front().deadline >= 0 &&
+         now > queue_.front().deadline) {
+    WorkItem expired = std::move(queue_.front());
+    queue_.pop_front();
+    ShedItem(std::move(expired), ShedCause::kDeadline);
+  }
   if (queue_.empty()) {
     busy_ = false;
     return;
   }
-  busy_ = true;
-  Item item = std::move(queue_.front());
+  WorkItem item = std::move(queue_.front());
   queue_.pop_front();
   const SimTime started = sim_->Now();
   const SimDuration service = item.service;

@@ -101,7 +101,14 @@ bool PredictiveController::SafetyNet(double current_rate) {
   // allocation count is unchanged (graceful degradation — the net fires
   // on the capacity that actually exists).
   const int32_t live = engine_->live_nodes();
-  if (current_rate <= config_.safety_net_watermark * config_.q_hat * live) {
+  // An open breaker means offered load exceeds what the cluster admits;
+  // the shed portion never appears in the measured rate, so the breaker
+  // is overload evidence in its own right.
+  const bool breaker_overload =
+      admission_ != nullptr &&
+      admission_->AnyBreakerOpen(engine_->simulator()->Now());
+  if (!breaker_overload &&
+      current_rate <= config_.safety_net_watermark * config_.q_hat * live) {
     return false;
   }
   // Measured overload the plan did not prevent: scale out right now,
@@ -248,6 +255,19 @@ void PredictiveController::PlanAndAct(double current_rate) {
   }
 
   if (first->to_nodes < n0) {
+    // Never shrink a cluster that is actively shedding: an open breaker
+    // says the forecast underestimates the offered load, so the planned
+    // scale-in is deferred (non-urgent moves wait out the overload).
+    if (admission_ != nullptr &&
+        admission_->AnyBreakerOpen(engine_->simulator()->Now())) {
+      scale_in_streak_ = 0;
+      if (telemetry_.events != nullptr) {
+        telemetry_.events->Record(
+            engine_->simulator()->Now(), "controller",
+            "scale-in deferred: circuit breaker open");
+      }
+      return;
+    }
     // Scale-in must be confirmed by N consecutive cycles to avoid
     // spurious latency-inducing flapping (Section 6).
     ++scale_in_streak_;

@@ -91,7 +91,15 @@ void ReactiveController::Tick() {
           1, engine_->max_nodes());
     };
 
-    if (smoothed_rate_ > config_.high_watermark * cap_hat) {
+    // An open breaker is direct overload evidence even when the admitted
+    // rate looks fine: shed load never shows up in txns_submitted-based
+    // rates, so the breaker is the only signal that offered > admitted.
+    const bool breaker_overload =
+        admission_ != nullptr &&
+        admission_->AnyBreakerOpen(engine_->simulator()->Now());
+
+    if (smoothed_rate_ > config_.high_watermark * cap_hat ||
+        breaker_overload) {
       // Overload detected: scale out to fit the observed load.
       const int32_t target = std::max(n + 1, size_for(smoothed_rate_));
       if (target > n) {
@@ -104,7 +112,9 @@ void ReactiveController::Tick() {
           if (telemetry_.events != nullptr) {
             telemetry_.events->Record(
                 engine_->simulator()->Now(), "reactive",
-                "overload at " + obs::FormatMetricValue(smoothed_rate_) +
+                std::string(breaker_overload ? "breaker-open overload at "
+                                             : "overload at ") +
+                    obs::FormatMetricValue(smoothed_rate_) +
                     " txn/s; scale out " + std::to_string(n) + " -> " +
                     std::to_string(target));
           }

@@ -111,6 +111,14 @@ void FaultInjector::ApplyEvent(const FaultEvent& event) {
                              FormatSimTime(event.duration) + " (scale=" +
                              std::to_string(event.forecast_scale) + ")");
       return;
+    case FaultType::kLoadSpike:
+      spike_until_ = now + event.duration;
+      spike_scale_ = event.load_scale;
+      ++load_spikes_;
+      trace_.Record(now, "load-spike window open for " +
+                             FormatSimTime(event.duration) + " (xload=" +
+                             std::to_string(event.load_scale) + ")");
+      return;
   }
 }
 
@@ -138,6 +146,10 @@ double FaultInjector::forecast_scale() const {
   return engine_->simulator()->Now() < misforecast_until_
              ? misforecast_scale_
              : 1.0;
+}
+
+double FaultInjector::load_scale() const {
+  return engine_->simulator()->Now() < spike_until_ ? spike_scale_ : 1.0;
 }
 
 Result<std::vector<double>> MisforecastPredictor::Forecast(

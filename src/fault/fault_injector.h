@@ -46,6 +46,10 @@ class FaultInjector {
   /// windows). MisforecastPredictor consults this on every forecast.
   double forecast_scale() const;
 
+  /// Offered-load multiplier currently in force (1.0 outside load-spike
+  /// windows). Workload drivers consult this when pacing submissions.
+  double load_scale() const;
+
   const EventTrace& trace() const { return trace_; }
   EventTrace* mutable_trace() { return &trace_; }
 
@@ -53,6 +57,8 @@ class FaultInjector {
   int64_t restarts() const { return restarts_; }
   /// Chunk attempts this injector failed or stalled.
   int64_t chunk_faults() const { return chunk_faults_; }
+  /// Load-spike windows opened.
+  int64_t load_spikes() const { return load_spikes_; }
 
   /// Digest of the injector's Rng state — equal across two runs iff the
   /// runs made identical random draws (determinism golden tests).
@@ -80,10 +86,13 @@ class FaultInjector {
   double chunk_fail_p_ = 0;
   SimTime misforecast_until_ = -1;
   double misforecast_scale_ = 1.0;
+  SimTime spike_until_ = -1;
+  double spike_scale_ = 1.0;
 
   int64_t crashes_ = 0;
   int64_t restarts_ = 0;
   int64_t chunk_faults_ = 0;
+  int64_t load_spikes_ = 0;
 };
 
 /// \brief Decorator that scales another predictor's forecasts by the

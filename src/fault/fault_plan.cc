@@ -16,6 +16,8 @@ const char* FaultTypeName(FaultType type) {
       return "chunk-failure";
     case FaultType::kMisforecast:
       return "misforecast";
+    case FaultType::kLoadSpike:
+      return "load-spike";
   }
   return "unknown";
 }
@@ -41,6 +43,10 @@ std::string FaultEvent::ToString() const {
       out += " window=" + FormatSimTime(duration) +
              " scale=" + std::to_string(forecast_scale);
       break;
+    case FaultType::kLoadSpike:
+      out += " window=" + FormatSimTime(duration) +
+             " xload=" + std::to_string(load_scale);
+      break;
   }
   return out;
 }
@@ -55,6 +61,9 @@ Status FaultPlan::Validate() const {
     }
     if (e.forecast_scale <= 0) {
       return Status::InvalidArgument("forecast_scale <= 0");
+    }
+    if (e.load_scale <= 0) {
+      return Status::InvalidArgument("load_scale <= 0");
     }
   }
   return Status::OK();
@@ -73,11 +82,12 @@ Status ChaosConfig::Validate() const {
   if (horizon <= 0) return Status::InvalidArgument("horizon <= 0");
   if (num_events < 0) return Status::InvalidArgument("num_events < 0");
   if (crash_weight < 0 || restart_weight < 0 || stall_weight < 0 ||
-      chunk_failure_weight < 0 || misforecast_weight < 0) {
+      chunk_failure_weight < 0 || misforecast_weight < 0 ||
+      load_spike_weight < 0) {
     return Status::InvalidArgument("fault weights must be >= 0");
   }
   if (crash_weight + restart_weight + stall_weight + chunk_failure_weight +
-          misforecast_weight <=
+          misforecast_weight + load_spike_weight <=
       0) {
     return Status::InvalidArgument("at least one weight must be > 0");
   }
@@ -88,9 +98,13 @@ Status ChaosConfig::Validate() const {
 
 FaultPlan RandomFaultPlan(Rng* rng, const ChaosConfig& config) {
   FaultPlan plan;
+  // load_spike_weight sits in the trailing bucket: with the default 0 it
+  // is unreachable and the cumulative vector's reachable prefix matches
+  // the historical five-type draw exactly (same seed, same plan).
   const std::vector<double> cumulative = CumulativeWeights(
       {config.crash_weight, config.restart_weight, config.stall_weight,
-       config.chunk_failure_weight, config.misforecast_weight});
+       config.chunk_failure_weight, config.misforecast_weight,
+       config.load_spike_weight});
   for (int32_t i = 0; i < config.num_events; ++i) {
     FaultEvent e;
     e.at = static_cast<SimTime>(
@@ -119,6 +133,13 @@ FaultPlan RandomFaultPlan(Rng* rng, const ChaosConfig& config) {
         e.forecast_scale =
             rng->NextBernoulli(0.5) ? 0.1 + 0.4 * rng->NextDouble()
                                     : 1.5 + 2.0 * rng->NextDouble();
+        break;
+      case FaultType::kLoadSpike:
+        e.duration = 1 + static_cast<SimDuration>(rng->NextBounded(
+                             static_cast<uint64_t>(config.max_window)));
+        // 2x to 8x the offered load — enough to saturate any fixed
+        // capacity and exercise shedding.
+        e.load_scale = 2.0 + 6.0 * rng->NextDouble();
         break;
     }
     plan.events.push_back(e);

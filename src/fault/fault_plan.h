@@ -28,6 +28,7 @@ enum class FaultType {
   kMigrationStall,  ///< Open a window in which chunk streams hang.
   kChunkFailure,    ///< Open a window of probabilistic chunk failures.
   kMisforecast,     ///< Open a window scaling the predictor's forecasts.
+  kLoadSpike,       ///< Open a window multiplying the offered load.
 };
 
 const char* FaultTypeName(FaultType type);
@@ -36,9 +37,11 @@ const char* FaultTypeName(FaultType type);
 /// `node` for crash/restart (-1 lets the injector pick a target
 /// deterministically), `duration` is the window length for the three
 /// window faults, `stall` the per-chunk hang inside a stall window,
-/// `probability` the per-chunk failure odds inside a failure window, and
+/// `probability` the per-chunk failure odds inside a failure window,
 /// `forecast_scale` the multiplier inside a misforecast window (e.g.
-/// 0.2 = the predictor misses 80% of the load).
+/// 0.2 = the predictor misses 80% of the load), and `load_scale` the
+/// offered-load multiplier inside a load-spike window (workload drivers
+/// poll FaultInjector::load_scale()).
 struct FaultEvent {
   SimTime at = 0;
   FaultType type = FaultType::kNodeCrash;
@@ -47,6 +50,7 @@ struct FaultEvent {
   SimDuration stall = 0;
   double probability = 1.0;
   double forecast_scale = 1.0;
+  double load_scale = 1.0;
 
   std::string ToString() const;
 };
@@ -73,6 +77,11 @@ struct ChaosConfig {
   double stall_weight = 1.0;
   double chunk_failure_weight = 1.0;
   double misforecast_weight = 1.0;
+  /// Weight of kLoadSpike events. Defaults to 0 so plans drawn by
+  /// pre-existing seeds are unchanged (the weight occupies the trailing
+  /// bucket of the discrete draw, which a zero weight makes unreachable
+  /// without consuming extra Rng draws).
+  double load_spike_weight = 0.0;
   SimDuration max_window = kMinute;     ///< Max window fault duration.
   SimDuration max_stall = 10 * kSecond; ///< Max per-chunk stall.
 

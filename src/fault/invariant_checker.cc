@@ -109,7 +109,43 @@ Status InvariantChecker::Check() {
               std::to_string(sim->events_scheduled()) + ")");
   }
 
-  // 6. Migration accounting: moved bytes are conserved (monotone, never
+  // 6. Overload accounting: every submitted transaction sits in exactly
+  //    one of {in flight, committed, aborted, shed} — load shedding must
+  //    never lose or double-count work — and bounded partition queues
+  //    never exceed their configured depth (not even transiently, which
+  //    max_queue_depth() would expose).
+  const int64_t in_flight = engine_->txns_in_flight();
+  if (in_flight < 0) {
+    Violation("txns_in_flight negative: " + std::to_string(in_flight));
+  }
+  const int64_t accounted = engine_->txns_committed() +
+                            engine_->txns_aborted() + engine_->txns_shed() +
+                            in_flight;
+  if (accounted != engine_->txns_submitted()) {
+    Violation("txn conservation broken: committed+aborted+shed+in_flight=" +
+              std::to_string(accounted) + " != submitted " +
+              std::to_string(engine_->txns_submitted()));
+  }
+  const auto& overload = engine_->config().overload;
+  if (overload.enabled && overload.max_queue_depth > 0) {
+    const auto limit = static_cast<size_t>(overload.max_queue_depth);
+    for (PartitionId p = 0; p < engine_->total_partitions(); ++p) {
+      const PartitionExecutor* ex = engine_->executor(p);
+      if (ex->queue_length() > limit) {
+        Violation("partition " + std::to_string(p) + " queue length " +
+                  std::to_string(ex->queue_length()) +
+                  " exceeds bound " + std::to_string(limit));
+      }
+      if (ex->max_queue_depth() > limit) {
+        Violation("partition " + std::to_string(p) +
+                  " high-water queue depth " +
+                  std::to_string(ex->max_queue_depth()) +
+                  " exceeds bound " + std::to_string(limit));
+      }
+    }
+  }
+
+  // 7. Migration accounting: moved bytes are conserved (monotone, never
   //    un-moved) and every finished move has a sane time range.
   if (migrator_ != nullptr) {
     if (migrator_->total_kb_moved() < last_kb_moved_) {

@@ -14,8 +14,11 @@
 /// audits engine + migrator state against the safety properties the
 /// fault model must preserve: single live ownership of every bucket, no
 /// lost or duplicated rows, consistent transaction accounting, monotone
-/// virtual time, and conservation of migrated bytes. Run it standalone
-/// via Check() or on a cadence via StartPeriodic().
+/// virtual time, conservation of migrated bytes, and — under overload
+/// control — exhaustive shed accounting (submitted = committed + aborted
+/// + shed + in flight) with partition queues never exceeding their
+/// bound. Run it standalone via Check() or on a cadence via
+/// StartPeriodic().
 
 namespace pstore {
 

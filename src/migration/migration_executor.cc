@@ -81,6 +81,11 @@ void MigrationExecutor::set_telemetry(const obs::Telemetry& telemetry) {
   m_round_duration_ms_ = m.GetHistogram("migration.round_duration_ms");
   m_kb_moved_->Set(total_kb_moved_);
   m_in_progress_->Set(in_progress_ ? 1 : 0);
+  // Registered only when the engine runs overload control, so default
+  // builds' metric dumps stay byte-identical.
+  if (engine_->config().overload.enabled) {
+    m_chunk_backpressure_ = m.GetCounter("migration.chunk_backpressure");
+  }
 }
 
 Status MigrationExecutor::StartMove(int32_t target_nodes,
@@ -344,6 +349,14 @@ void MigrationExecutor::NextChunk(const std::shared_ptr<Stream>& stream) {
             std::to_string(stream->dst) + " endpoint node is down");
       return;
     }
+    // Migration yields to foreground load: a full queue on either side
+    // defers the chunk by one pacing period instead of deepening it.
+    if (engine_->config().overload.enabled &&
+        (engine_->executor(stream->src)->AtLimit() ||
+         engine_->executor(stream->dst)->AtLimit())) {
+      BackpressureChunk(stream, period, epoch, "partition queue at limit");
+      return;
+    }
     if (fault_hook_) {
       const ChunkFault fault = fault_hook_(stream->src, stream->dst,
                                            sim->Now());
@@ -371,8 +384,13 @@ void MigrationExecutor::NextChunk(const std::shared_ptr<Stream>& stream) {
         return;
       }
     }
+    const int64_t gen_before = stream->gen;
     SendChunk(stream, busy, period, chunk_kb, epoch);
-    if (fault_hook_) ArmChunkTimeout(stream, busy, period, epoch);
+    // SendChunk may have superseded the attempt via backpressure; a
+    // timeout armed for the superseded generation would misfire later.
+    if (fault_hook_ && stream->gen == gen_before) {
+      ArmChunkTimeout(stream, busy, period, epoch);
+    }
   });
 }
 
@@ -428,8 +446,52 @@ void MigrationExecutor::SendChunk(const std::shared_ptr<Stream>& stream,
     }
     NextChunk(stream);
   };
-  engine_->executor(stream->src)->Enqueue(busy, on_side_done);
-  engine_->executor(stream->dst)->Enqueue(busy, on_side_done);
+  if (!engine_->config().overload.enabled) {
+    engine_->executor(stream->src)->Enqueue(busy, on_side_done);
+    engine_->executor(stream->dst)->Enqueue(busy, on_side_done);
+    return;
+  }
+  // Bounded-queue path: chunk work rides at background priority, so the
+  // priority-shed policy evicts it first when foreground load arrives.
+  auto shed_handler = [this, stream, period, epoch,
+                       gen](SimTime, PartitionExecutor::ShedCause) {
+    if (epoch != move_epoch_ || gen != stream->gen) return;  // stale
+    BackpressureChunk(stream, period, epoch, "chunk work evicted");
+  };
+  auto make_item = [&]() {
+    PartitionExecutor::WorkItem item;
+    item.service = busy;
+    item.done = on_side_done;
+    item.priority = kPriorityBackground;
+    item.on_shed = shed_handler;
+    return item;
+  };
+  if (!engine_->executor(stream->src)->TryEnqueue(make_item())) {
+    BackpressureChunk(stream, period, epoch, "source queue full");
+    return;
+  }
+  if (!engine_->executor(stream->dst)->TryEnqueue(make_item())) {
+    // The source-side item stays queued as wasted work; the generation
+    // bump inside BackpressureChunk makes its completion a no-op.
+    BackpressureChunk(stream, period, epoch, "destination queue full");
+    return;
+  }
+}
+
+void MigrationExecutor::BackpressureChunk(
+    const std::shared_ptr<Stream>& stream, SimDuration period, int64_t epoch,
+    const char* why) {
+  ++stream->gen;  // supersede this attempt and any armed timeout
+  ++chunks_backpressured_;
+  if (m_chunk_backpressure_ != nullptr) m_chunk_backpressure_->Increment();
+  Emit("chunk backpressured on stream " + std::to_string(stream->src) +
+       "->" + std::to_string(stream->dst) + ": " + why);
+  Simulator* sim = engine_->simulator();
+  stream->earliest_next = sim->Now() + period;
+  sim->Schedule(period, [this, stream, epoch]() {
+    if (epoch != move_epoch_) return;
+    NextChunk(stream);
+  });
 }
 
 void MigrationExecutor::ArmChunkTimeout(const std::shared_ptr<Stream>& stream,

@@ -137,6 +137,13 @@ class MigrationExecutor {
   /// Chunk attempts that were retried (failure or stall timeout).
   int64_t chunk_retries() const { return chunk_retries_; }
 
+  /// Chunk attempts deferred by overload backpressure: the source or
+  /// destination partition queue was at its limit (or the queued chunk
+  /// work was evicted in favour of foreground transactions), so the
+  /// chunk was rescheduled one pacing period later. Always 0 when the
+  /// engine's overload control is disabled.
+  int64_t chunks_backpressured() const { return chunks_backpressured_; }
+
   /// Moves that ended in Abort().
   int64_t moves_aborted() const { return moves_aborted_; }
 
@@ -154,6 +161,11 @@ class MigrationExecutor {
   void ArmChunkTimeout(const std::shared_ptr<Stream>& stream,
                        SimDuration busy, SimDuration period, int64_t epoch);
   void RetryChunk(const std::shared_ptr<Stream>& stream, const char* why);
+  /// Supersedes the current chunk attempt and re-runs NextChunk one
+  /// pacing period later (migration yields to foreground load).
+  void BackpressureChunk(const std::shared_ptr<Stream>& stream,
+                         SimDuration period, int64_t epoch,
+                         const char* why);
   bool EndpointsUp(const Stream& stream) const;
   void FinishRound();
   void FinishMove();
@@ -168,6 +180,7 @@ class MigrationExecutor {
   obs::Counter* m_moves_aborted_ = nullptr;
   obs::Counter* m_chunks_landed_ = nullptr;
   obs::Counter* m_chunk_retries_ = nullptr;
+  obs::Counter* m_chunk_backpressure_ = nullptr;
   obs::Counter* m_buckets_flipped_ = nullptr;
   obs::Gauge* m_kb_moved_ = nullptr;
   obs::Gauge* m_in_progress_ = nullptr;
@@ -181,6 +194,7 @@ class MigrationExecutor {
   std::vector<MoveRecord> history_;
   double total_kb_moved_ = 0;
   int64_t chunk_retries_ = 0;
+  int64_t chunks_backpressured_ = 0;
   int64_t moves_aborted_ = 0;
   /// Bumped on every move start/finish/abort; scheduled events capture
   /// it and become no-ops if the move they belong to is gone.

@@ -22,18 +22,39 @@ namespace pstore {
 
 using ProcedureId = int32_t;
 
+/// Priority classes consulted by the overload-control layer when a
+/// partition queue is full or a circuit breaker is open. Higher values
+/// outrank lower ones: under the priority-shed admission policy an
+/// arriving transaction may evict queued work of strictly lower
+/// priority, and only kPriorityCritical work is admitted past an open
+/// breaker. Migration chunk (de)serialization runs at
+/// kPriorityBackground, so foreground transactions always outrank it.
+enum TxnPriority : int8_t {
+  kPriorityBackground = 0,  ///< Migration chunk work; first to shed.
+  kPriorityLow = 1,         ///< Browse/read-only traffic (cart reads).
+  kPriorityNormal = 2,      ///< Default transaction priority.
+  kPriorityCritical = 3,    ///< Revenue path (checkouts); never deferred.
+};
+
 /// \brief One transaction request submitted by a client.
 struct TxnRequest {
   ProcedureId proc = -1;      ///< Which stored procedure to run.
   int64_t key = 0;            ///< Partitioning key the txn accesses.
   std::vector<Value> args;    ///< Procedure-specific arguments.
   int64_t txn_id = 0;         ///< Client-assigned id (for bookkeeping).
+  /// Overload priority; negative (default) inherits the registered
+  /// procedure's priority.
+  int8_t priority = -1;
 };
 
 /// \brief Outcome of a transaction.
 struct TxnResult {
   Status status;            ///< OK on commit; error status on user abort.
   std::vector<Row> rows;    ///< Rows returned by the procedure, if any.
+  /// True when the transaction never executed because overload control
+  /// shed it (queue full, deadline expired, or breaker open). The
+  /// status is kUnavailable; clients with a retry budget may resubmit.
+  bool shed = false;
 };
 
 /// \brief Storage operations a procedure may perform, bound to the
@@ -79,6 +100,9 @@ struct ProcedureDef {
   /// this, letting heavier procedures (e.g. ReserveCart touching many
   /// lines) cost more than a point read.
   double service_weight = 1.0;
+  /// Default overload priority of transactions invoking this procedure
+  /// (a TxnRequest may override per call).
+  int8_t priority = kPriorityNormal;
 };
 
 /// \brief Name -> id registry of the procedures a database exposes.

@@ -54,9 +54,12 @@ Result<B2wProcedures> RegisterB2wProcedures(ProcedureRegistry* registry,
                                             const B2wTables& tables) {
   B2wProcedures procs;
 
-  auto reg = [&](const std::string& name, double weight,
-                 ProcedureFn fn) -> Result<ProcedureId> {
-    return registry->Register(ProcedureDef{name, std::move(fn), weight});
+  // Priorities drive overload shedding: the checkout path (revenue) is
+  // critical and survives breakers; browse reads are first to go.
+  auto reg = [&](const std::string& name, double weight, ProcedureFn fn,
+                 int8_t priority = kPriorityNormal) -> Result<ProcedureId> {
+    return registry->Register(
+        ProcedureDef{name, std::move(fn), weight, priority});
   };
 
   // --- Cart -------------------------------------------------------------
@@ -130,7 +133,8 @@ Result<B2wProcedures> RegisterB2wProcedures(ProcedureRegistry* registry,
           auto row = ctx.Get(tables.cart, req.key);
           if (!row.ok()) return Fail(row.status());
           return OkWith(std::move(row).MoveValueUnsafe());
-        });
+        },
+        kPriorityLow);
     if (!id.ok()) return id.status();
     procs.get_cart = *id;
   }
@@ -181,7 +185,8 @@ Result<B2wProcedures> RegisterB2wProcedures(ProcedureRegistry* registry,
           result.rows.push_back(
               Row({Value(req.key), row->at(kStockAvailable)}));
           return result;
-        });
+        },
+        kPriorityLow);
     if (!id.ok()) return id.status();
     procs.get_stock_quantity = *id;
   }
@@ -203,7 +208,8 @@ Result<B2wProcedures> RegisterB2wProcedures(ProcedureRegistry* registry,
                      Value(row->at(kStockReserved).as_int64() + qty));
             return Status::OK();
           });
-        });
+        },
+        kPriorityCritical);
     if (!id.ok()) return id.status();
     procs.reserve_stock = *id;
   }
@@ -315,7 +321,8 @@ Result<B2wProcedures> RegisterB2wProcedures(ProcedureRegistry* registry,
           Status st = ctx.Insert(tables.checkout, row);
           if (!st.ok()) return Fail(std::move(st));
           return OkWith(std::move(row));
-        });
+        },
+        kPriorityCritical);
     if (!id.ok()) return id.status();
     procs.create_checkout = *id;
   }
@@ -332,7 +339,8 @@ Result<B2wProcedures> RegisterB2wProcedures(ProcedureRegistry* registry,
             row->Set(kCheckoutStatus, Value("PAYMENT"));
             return Status::OK();
           });
-        });
+        },
+        kPriorityCritical);
     if (!id.ok()) return id.status();
     procs.create_checkout_payment = *id;
   }
@@ -355,7 +363,8 @@ Result<B2wProcedures> RegisterB2wProcedures(ProcedureRegistry* registry,
             row->Set(kCheckoutAmountDue, Value(LinesTotal(items)));
             return Status::OK();
           });
-        });
+        },
+        kPriorityCritical);
     if (!id.ok()) return id.status();
     procs.add_line_to_checkout = *id;
   }
@@ -405,7 +414,8 @@ Result<B2wProcedures> RegisterB2wProcedures(ProcedureRegistry* registry,
           Status st = ctx.Delete(tables.checkout, req.key);
           if (!st.ok()) return Fail(std::move(st));
           return OkEmpty();
-        });
+        },
+        kPriorityCritical);
     if (!id.ok()) return id.status();
     procs.delete_checkout = *id;
   }

@@ -90,5 +90,125 @@ TEST(PartitionExecutorTest, ZeroServiceTimeCompletesImmediately) {
   EXPECT_EQ(f, 0);
 }
 
+PartitionExecutor::WorkItem Item(SimDuration service, SimTime deadline = -1,
+                                 int8_t priority = 2,
+                                 PartitionExecutor::ShedFn on_shed = nullptr) {
+  PartitionExecutor::WorkItem item;
+  item.service = service;
+  item.deadline = deadline;
+  item.priority = priority;
+  item.on_shed = std::move(on_shed);
+  return item;
+}
+
+TEST(PartitionExecutorTest, TryEnqueueRespectsLimit) {
+  Simulator sim;
+  PartitionExecutor exec(&sim);
+  exec.set_queue_limit(2);
+  exec.Enqueue(100, nullptr);  // in service; waiting queue empty
+  EXPECT_TRUE(exec.TryEnqueue(Item(10)));
+  EXPECT_TRUE(exec.TryEnqueue(Item(10)));
+  EXPECT_TRUE(exec.AtLimit());
+  EXPECT_FALSE(exec.TryEnqueue(Item(10)));
+  sim.RunAll();
+  EXPECT_EQ(exec.completed(), 3);
+  EXPECT_EQ(exec.shed(), 0);
+}
+
+TEST(PartitionExecutorTest, LegacyEnqueueBypassesLimit) {
+  Simulator sim;
+  PartitionExecutor exec(&sim);
+  exec.set_queue_limit(1);
+  for (int i = 0; i < 5; ++i) exec.Enqueue(10, nullptr);
+  sim.RunAll();
+  EXPECT_EQ(exec.completed(), 5);
+  EXPECT_EQ(exec.shed(), 0);
+}
+
+TEST(PartitionExecutorTest, DeadlineExpiryShedsAtDequeue) {
+  Simulator sim;
+  PartitionExecutor exec(&sim);
+  exec.Enqueue(100, nullptr);  // serves until t=100
+  SimTime shed_at = -1;
+  PartitionExecutor::ShedCause cause = PartitionExecutor::ShedCause::kEvicted;
+  ASSERT_TRUE(exec.TryEnqueue(
+      Item(10, /*deadline=*/50, 2, [&](SimTime at,
+                                       PartitionExecutor::ShedCause c) {
+        shed_at = at;
+        cause = c;
+      })));
+  sim.RunAll();
+  EXPECT_EQ(exec.completed(), 1);
+  EXPECT_EQ(exec.deadline_shed(), 1);
+  EXPECT_EQ(exec.shed(), 1);
+  EXPECT_EQ(shed_at, 100);  // shed when it would have started
+  EXPECT_EQ(cause, PartitionExecutor::ShedCause::kDeadline);
+}
+
+TEST(PartitionExecutorTest, DeadlineStillAheadRuns) {
+  Simulator sim;
+  PartitionExecutor exec(&sim);
+  exec.Enqueue(100, nullptr);
+  SimTime finished = -1;
+  auto item = Item(10, /*deadline=*/100);
+  item.done = [&](SimTime, SimTime f) { finished = f; };
+  ASSERT_TRUE(exec.TryEnqueue(std::move(item)));
+  sim.RunAll();
+  // Starts exactly at its deadline: not late, so it runs.
+  EXPECT_EQ(finished, 110);
+  EXPECT_EQ(exec.deadline_shed(), 0);
+}
+
+TEST(PartitionExecutorTest, EvictNewestDropsTail) {
+  Simulator sim;
+  PartitionExecutor exec(&sim);
+  exec.Enqueue(100, nullptr);
+  int shed_id = -1;
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(exec.TryEnqueue(
+        Item(10, -1, 2,
+             [&, i](SimTime, PartitionExecutor::ShedCause) { shed_id = i; })));
+  }
+  EXPECT_TRUE(exec.EvictNewest());
+  EXPECT_EQ(shed_id, 1);  // newest goes first
+  EXPECT_EQ(exec.evicted(), 1);
+  EXPECT_EQ(exec.queue_length(), 1u);
+  sim.RunAll();
+  EXPECT_EQ(exec.completed(), 2);
+}
+
+TEST(PartitionExecutorTest, EvictLowestBelowPicksLowestThenNewest) {
+  Simulator sim;
+  PartitionExecutor exec(&sim);
+  exec.Enqueue(100, nullptr);
+  std::vector<int> shed_order;
+  auto track = [&](int id) {
+    return [&shed_order, id](SimTime, PartitionExecutor::ShedCause) {
+      shed_order.push_back(id);
+    };
+  };
+  ASSERT_TRUE(exec.TryEnqueue(Item(10, -1, 1, track(0))));  // low
+  ASSERT_TRUE(exec.TryEnqueue(Item(10, -1, 0, track(1))));  // background
+  ASSERT_TRUE(exec.TryEnqueue(Item(10, -1, 0, track(2))));  // background
+  // Lowest priority below 2 is 0; newest among the tie is item 2.
+  EXPECT_TRUE(exec.EvictLowestBelow(2));
+  EXPECT_TRUE(exec.EvictLowestBelow(1));
+  EXPECT_EQ(shed_order, (std::vector<int>{2, 1}));
+  // Only the priority-1 item remains, which is not strictly below 1.
+  EXPECT_FALSE(exec.EvictLowestBelow(1));
+  EXPECT_EQ(exec.evicted(), 2);
+}
+
+TEST(PartitionExecutorTest, MaxQueueDepthIsHighWater) {
+  Simulator sim;
+  PartitionExecutor exec(&sim);
+  exec.Enqueue(10, nullptr);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(exec.TryEnqueue(Item(10)));
+  EXPECT_EQ(exec.max_queue_depth(), 3u);
+  sim.RunAll();
+  EXPECT_EQ(exec.queue_length(), 0u);
+  EXPECT_EQ(exec.max_queue_depth(), 3u);  // high-water survives the drain
+}
+
 }  // namespace
 }  // namespace pstore

@@ -1,0 +1,136 @@
+#include "overload/admission_controller.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pstore {
+namespace overload {
+namespace {
+
+/// In-memory stand-in for a partition's waiting queue: just the
+/// priorities, in arrival order, with the executor's eviction rules.
+struct FakeQueue {
+  std::vector<int8_t> priorities;
+
+  QueueOps ops() {
+    QueueOps o;
+    o.queue_length = [this] { return priorities.size(); };
+    o.evict_newest = [this] {
+      if (priorities.empty()) return false;
+      priorities.pop_back();
+      return true;
+    };
+    o.evict_lowest_below = [this](int8_t priority) {
+      int best = -1;
+      for (size_t i = 0; i < priorities.size(); ++i) {
+        if (priorities[i] >= priority) continue;
+        if (best < 0 || priorities[i] <= priorities[best]) {
+          best = static_cast<int>(i);  // <=: newest among ties
+        }
+      }
+      if (best < 0) return false;
+      priorities.erase(priorities.begin() + best);
+      return true;
+    };
+    return o;
+  }
+};
+
+OverloadConfig TestConfig(AdmissionPolicy policy) {
+  OverloadConfig config;
+  config.enabled = true;
+  config.max_queue_depth = 3;
+  config.policy = policy;
+  return config;
+}
+
+TEST(AdmissionControllerTest, AdmitsBelowLimit) {
+  AdmissionController admission(TestConfig(AdmissionPolicy::kRejectNew), 1);
+  FakeQueue queue;
+  queue.priorities = {2, 2};
+  EXPECT_EQ(admission.Admit(queue.ops(), 0, 2, 0),
+            AdmissionDecision::kAdmit);
+  EXPECT_EQ(admission.evictions(), 0);
+}
+
+TEST(AdmissionControllerTest, RejectNewShedsArrival) {
+  AdmissionController admission(TestConfig(AdmissionPolicy::kRejectNew), 1);
+  FakeQueue queue;
+  queue.priorities = {2, 2, 2};
+  EXPECT_EQ(admission.Admit(queue.ops(), 0, 3, 0),
+            AdmissionDecision::kRejectQueueFull);
+  EXPECT_EQ(queue.priorities.size(), 3u);  // queue untouched
+}
+
+TEST(AdmissionControllerTest, DropTailEvictsNewest) {
+  AdmissionController admission(TestConfig(AdmissionPolicy::kDropTail), 1);
+  FakeQueue queue;
+  queue.priorities = {2, 2, 2};
+  EXPECT_EQ(admission.Admit(queue.ops(), 0, 2, 0),
+            AdmissionDecision::kAdmit);
+  EXPECT_EQ(queue.priorities.size(), 2u);
+  EXPECT_EQ(admission.evictions(), 1);
+}
+
+TEST(AdmissionControllerTest, PriorityShedEvictsStrictlyLower) {
+  AdmissionController admission(TestConfig(AdmissionPolicy::kPriorityShed),
+                                1);
+  FakeQueue queue;
+  queue.priorities = {2, 0, 1};
+  // Arrival at priority 2 may displace the priority-0 item.
+  EXPECT_EQ(admission.Admit(queue.ops(), 0, 2, 0),
+            AdmissionDecision::kAdmit);
+  EXPECT_EQ(queue.priorities, (std::vector<int8_t>{2, 1}));
+  // Queue refills with equal-priority work: no strictly-lower victim.
+  queue.priorities = {2, 2, 2};
+  EXPECT_EQ(admission.Admit(queue.ops(), 0, 2, 0),
+            AdmissionDecision::kRejectQueueFull);
+  EXPECT_EQ(admission.evictions(), 1);
+}
+
+TEST(AdmissionControllerTest, UnboundedDepthAlwaysAdmits) {
+  OverloadConfig config = TestConfig(AdmissionPolicy::kRejectNew);
+  config.max_queue_depth = 0;
+  AdmissionController admission(config, 1);
+  FakeQueue queue;
+  queue.priorities.assign(1000, 2);
+  EXPECT_EQ(admission.Admit(queue.ops(), 0, 0, 0),
+            AdmissionDecision::kAdmit);
+}
+
+TEST(AdmissionControllerTest, OpenBreakerRejectsAllButCritical) {
+  OverloadConfig config = TestConfig(AdmissionPolicy::kRejectNew);
+  config.breaker.window = 1000;
+  config.breaker.shed_threshold = 0.5;
+  config.breaker.min_samples = 10;
+  config.breaker.cooldown = 5000;
+  AdmissionController admission(config, 2);
+  for (int i = 0; i < 20; ++i) admission.RecordShed(0, 100);
+  ASSERT_TRUE(admission.AnyBreakerOpen(1000));
+  EXPECT_EQ(admission.OpenBreakerCount(1000), 1);
+  EXPECT_EQ(admission.total_trips(), 1);
+
+  FakeQueue queue;  // plenty of room: the breaker alone rejects
+  EXPECT_EQ(admission.Admit(queue.ops(), 0, 2, 1500),
+            AdmissionDecision::kRejectBreakerOpen);
+  // Critical work (checkout path) passes an open breaker.
+  EXPECT_EQ(admission.Admit(queue.ops(), 0, 3, 1500),
+            AdmissionDecision::kAdmit);
+  // Other nodes' breakers are independent.
+  EXPECT_EQ(admission.Admit(queue.ops(), 1, 2, 1500),
+            AdmissionDecision::kAdmit);
+}
+
+TEST(AdmissionControllerTest, DecisionNames) {
+  EXPECT_STREQ(AdmissionDecisionName(AdmissionDecision::kAdmit), "admit");
+  EXPECT_STREQ(AdmissionDecisionName(AdmissionDecision::kRejectQueueFull),
+               "reject-queue-full");
+  EXPECT_STREQ(AdmissionDecisionName(AdmissionDecision::kRejectBreakerOpen),
+               "reject-breaker-open");
+}
+
+}  // namespace
+}  // namespace overload
+}  // namespace pstore

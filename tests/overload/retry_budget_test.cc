@@ -1,0 +1,112 @@
+#include "overload/retry_budget.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace pstore {
+namespace overload {
+namespace {
+
+TEST(RetryBudgetTest, StartsAtCapacityAndSpendsDown) {
+  RetryPolicy policy;
+  policy.token_cap = 2.0;
+  policy.tokens_per_request = 0.1;
+  RetryBudget budget(policy);
+  EXPECT_DOUBLE_EQ(budget.tokens(), 2.0);
+  EXPECT_TRUE(budget.TrySpend());
+  EXPECT_TRUE(budget.TrySpend());
+  EXPECT_FALSE(budget.TrySpend());  // empty
+  EXPECT_EQ(budget.retries_granted(), 2);
+  EXPECT_EQ(budget.retries_denied(), 1);
+}
+
+TEST(RetryBudgetTest, RequestsRefillUpToCap) {
+  RetryPolicy policy;
+  policy.token_cap = 1.0;
+  policy.tokens_per_request = 0.5;
+  RetryBudget budget(policy);
+  ASSERT_TRUE(budget.TrySpend());
+  EXPECT_FALSE(budget.TrySpend());
+  budget.OnRequest();
+  EXPECT_FALSE(budget.TrySpend());  // 0.5 tokens: not yet a whole retry
+  budget.OnRequest();
+  EXPECT_TRUE(budget.TrySpend());
+  // The bucket clamps at the cap: a long healthy streak cannot bank an
+  // unbounded retry burst.
+  for (int i = 0; i < 100; ++i) budget.OnRequest();
+  EXPECT_DOUBLE_EQ(budget.tokens(), 1.0);
+}
+
+TEST(RetryBudgetTest, BackoffIsExponentialAndCapped) {
+  RetryPolicy policy;
+  policy.base_backoff = 1000;
+  policy.max_backoff = 6000;
+  policy.jitter = 0.0;  // exact values
+  RetryBudget budget(policy);
+  Rng rng(1);
+  EXPECT_EQ(budget.Backoff(1, &rng), 1000);
+  EXPECT_EQ(budget.Backoff(2, &rng), 2000);
+  EXPECT_EQ(budget.Backoff(3, &rng), 4000);
+  EXPECT_EQ(budget.Backoff(4, &rng), 6000);  // clamped
+  EXPECT_EQ(budget.Backoff(10, &rng), 6000);
+}
+
+TEST(RetryBudgetTest, JitterStaysInRangeAndNeverZero) {
+  RetryPolicy policy;
+  policy.base_backoff = 1000;
+  policy.max_backoff = 1000000;
+  policy.jitter = 0.5;
+  RetryBudget budget(policy);
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const SimDuration b = budget.Backoff(2, &rng);  // nominal 2000
+    EXPECT_GE(b, 1000);
+    EXPECT_LE(b, 2000);
+  }
+  // Tiny base with full-range jitter still yields >= 1 microsecond.
+  policy.base_backoff = 1;
+  policy.jitter = 0.99;
+  RetryBudget tiny(policy);
+  for (int i = 0; i < 50; ++i) EXPECT_GE(tiny.Backoff(1, &rng), 1);
+}
+
+TEST(RetryBudgetTest, BackoffIsDeterministicPerSeed) {
+  RetryPolicy policy;
+  RetryBudget budget(policy);
+  Rng a(123), b(123), c(124);
+  std::vector<SimDuration> seq_a, seq_b, seq_c;
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    seq_a.push_back(budget.Backoff(attempt, &a));
+    seq_b.push_back(budget.Backoff(attempt, &b));
+    seq_c.push_back(budget.Backoff(attempt, &c));
+  }
+  EXPECT_EQ(seq_a, seq_b);  // same seed, same schedule
+  EXPECT_NE(seq_a, seq_c);  // different seed diverges
+}
+
+TEST(RetryBudgetTest, PolicyValidation) {
+  RetryPolicy policy;
+  EXPECT_TRUE(policy.Validate().ok());
+  policy.max_attempts = 0;
+  EXPECT_FALSE(policy.Validate().ok());
+  policy = RetryPolicy();
+  policy.jitter = 1.5;
+  EXPECT_FALSE(policy.Validate().ok());
+  policy = RetryPolicy();
+  policy.base_backoff = 0;
+  EXPECT_FALSE(policy.Validate().ok());
+  policy = RetryPolicy();
+  policy.max_backoff = 5;
+  policy.base_backoff = 10;
+  EXPECT_FALSE(policy.Validate().ok());
+  policy = RetryPolicy();
+  policy.tokens_per_request = -0.1;
+  EXPECT_FALSE(policy.Validate().ok());
+}
+
+}  // namespace
+}  // namespace overload
+}  // namespace pstore

@@ -2,6 +2,8 @@
 # Runs the chaos example twice with the same seed and verifies the
 # telemetry artifacts (metrics JSON/CSV, span trace, event stream, fault
 # trace) are byte-identical — the repo's same-seed determinism contract.
+# A second pair of runs repeats the check under --spike (overload
+# control: load spikes, shedding, breakers, retries).
 #
 # Usage: [CHAOS_RUN=path/to/chaos_run] [SEED=N] [EVENTS=N] \
 #          tools/check_determinism.sh
@@ -22,8 +24,10 @@ workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
 
 status=0
-for run in a b; do
-  if ! "$CHAOS_RUN" --seed="$SEED" --events="$EVENTS" \
+for run in a b c d; do
+  flags=""
+  [ "$run" = c ] || [ "$run" = d ] && flags="--spike"
+  if ! "$CHAOS_RUN" --seed="$SEED" --events="$EVENTS" $flags \
        --out="$workdir/$run" > "$workdir/$run.stdout" 2>&1; then
     echo "check_determinism: run $run FAILED; tail of output:" >&2
     tail -20 "$workdir/$run.stdout" >&2
@@ -32,13 +36,16 @@ for run in a b; do
 done
 [ "$status" -ne 0 ] && exit "$status"
 
-if diff -r "$workdir/a" "$workdir/b" > "$workdir/diff.out" 2>&1; then
-  files=$(ls "$workdir/a" | wc -l | tr -d ' ')
-  echo "check_determinism: OK — $files artifacts byte-identical" \
-       "(seed $SEED, $EVENTS events)"
-else
-  echo "check_determinism: MISMATCH between same-seed runs:" >&2
-  cat "$workdir/diff.out" >&2
-  status=1
-fi
+for pair in "a b plain" "c d spike"; do
+  set -- $pair
+  if diff -r "$workdir/$1" "$workdir/$2" > "$workdir/diff.out" 2>&1; then
+    files=$(ls "$workdir/$1" | wc -l | tr -d ' ')
+    echo "check_determinism: OK — $files artifacts byte-identical" \
+         "(seed $SEED, $EVENTS events, $3)"
+  else
+    echo "check_determinism: MISMATCH between same-seed $3 runs:" >&2
+    cat "$workdir/diff.out" >&2
+    status=1
+  fi
+done
 exit "$status"
