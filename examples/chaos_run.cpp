@@ -19,8 +19,16 @@
 /// scaling, and a client retry budget with jittered backoff. The same
 /// determinism contract holds: one seed, two byte-identical runs.
 ///
+/// --recovery switches to the replication scenario: k=1 backups with
+/// synchronous apply, a read/write workload, and a SCRIPTED fault plan
+/// (a scale-out racing a primary-heavy crash, a replica-lag window, the
+/// crashed node restarting through checkpoint + log replay, then a
+/// backup-heavy crash). Promotion failover must lose zero committed
+/// rows, k-safety must be restored by re-replication, and — as always —
+/// two same-seed runs must match byte for byte.
+///
 ///   ./build/examples/chaos_run [--seed=42] [--events=10] [--out=DIR]
-///                              [--spike]
+///                              [--spike | --recovery]
 
 #include <cstdio>
 #include <cstdlib>
@@ -69,6 +77,14 @@ struct RunResult {
   int64_t retries = 0;
   int64_t sheds_seen = 0;
   int64_t safety_scale_outs = 0;
+  // Recovery-scenario extras (all 0 outside --recovery).
+  int64_t promotions = 0;
+  int64_t rebuilds = 0;
+  int64_t backup_applies = 0;
+  int64_t replica_lags = 0;
+  int64_t recoveries = 0;
+  int64_t rows_lost = 0;
+  int64_t degraded_at_end = 0;
   // Telemetry dumps + their determinism digests.
   std::string metrics_json;
   std::string metrics_csv;
@@ -78,8 +94,11 @@ struct RunResult {
   uint64_t span_fingerprint = 0;
 };
 
-RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike) {
-  // A tiny KV database: one table, one Get procedure.
+RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike,
+                  bool recovery) {
+  // A tiny KV database: one table, Get and Put procedures. (Put is
+  // registered in every mode but only the recovery workload issues it,
+  // so the plain and spike scenarios are untouched.)
   Catalog catalog;
   const TableId table = *catalog.AddTable(Schema(
       "KV", {{"k", ColumnType::kInt64}, {"v", ColumnType::kInt64}}, 0));
@@ -94,6 +113,17 @@ RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike) {
         } else {
           r.rows.push_back(std::move(row).MoveValueUnsafe());
         }
+        return r;
+      },
+      1.0});
+  const ProcedureId put = *registry.Register(ProcedureDef{
+      "Put",
+      [table](ExecutionContext& ctx, const TxnRequest& req) {
+        TxnResult r;
+        r.status = ctx.Upsert(
+            table, Row({Value(req.key), req.args.empty()
+                                            ? Value(int64_t{0})
+                                            : req.args[0]}));
         return r;
       },
       1.0});
@@ -119,6 +149,17 @@ RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike) {
     config.overload.breaker.shed_threshold = 0.2;
     config.overload.breaker.min_samples = 20;
     config.overload.breaker.cooldown = 3 * kSecond;
+  }
+  if (recovery) {
+    // k=1 backups, synchronous apply, chunked re-replication, and
+    // checkpoint + command-log replay on restart.
+    config.replication.enabled = true;
+    config.replication.k = 1;
+    config.replication.db_size_mb = 10.0;
+    config.replication.rebuild_chunk_kb = 100.0;
+    config.replication.rebuild_rate_kbps = 10000.0;
+    config.replication.wire_kbps = 100000.0;
+    config.replication.checkpoint_period = 5 * kSecond;
   }
   ClusterEngine engine(&sim, catalog, registry, config);
   obs::TelemetryBundle telemetry;
@@ -161,18 +202,44 @@ RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike) {
   };
   sim.Schedule(0, *sample);
 
-  // The fault plan itself is drawn from the seed.
+  // The fault plan: drawn from the seed, except in --recovery, which
+  // scripts a fixed crash/lag/restart/crash sequence so the assertions
+  // (promotion, zero loss, one full replay) hold for every seed.
   Rng plan_rng(seed ^ 0x9e3779b97f4a7c15ULL);
-  ChaosConfig chaos;
-  chaos.horizon = 90 * kSecond;
-  chaos.num_events = num_events;
-  chaos.max_window = 15 * kSecond;
-  chaos.max_stall = 2 * kSecond;
-  // kLoadSpike sits in a trailing zero-weight bucket, so giving it
-  // weight only changes which faults are drawn — never how many draws
-  // the plan Rng makes.
-  if (spike) chaos.load_spike_weight = 1.0;
-  const FaultPlan plan = RandomFaultPlan(&plan_rng, chaos);
+  FaultPlan plan;
+  if (recovery) {
+    FaultEvent crash1;
+    crash1.at = 3 * kSecond;  // Races the 2 s scale-out's chunk streams.
+    crash1.type = FaultType::kNodeCrash;
+    crash1.scope = CrashScope::kPrimaryHeavy;
+    FaultEvent lag;
+    lag.at = 6 * kSecond;  // Overlaps re-replication of the crash.
+    lag.type = FaultType::kReplicaLag;
+    lag.duration = 10 * kSecond;
+    lag.stall = 2 * kMillisecond;
+    FaultEvent restart1;
+    restart1.at = 20 * kSecond;  // Checkpoint + log replay, then rejoin.
+    restart1.type = FaultType::kNodeRestart;
+    FaultEvent crash2;
+    crash2.at = 40 * kSecond;  // k already restored: still zero loss.
+    crash2.type = FaultType::kNodeCrash;
+    crash2.scope = CrashScope::kBackupHeavy;
+    FaultEvent restart2;
+    restart2.at = 55 * kSecond;
+    restart2.type = FaultType::kNodeRestart;
+    plan.events = {crash1, lag, restart1, crash2, restart2};
+  } else {
+    ChaosConfig chaos;
+    chaos.horizon = 90 * kSecond;
+    chaos.num_events = num_events;
+    chaos.max_window = 15 * kSecond;
+    chaos.max_stall = 2 * kSecond;
+    // kLoadSpike sits in a trailing zero-weight bucket, so giving it
+    // weight only changes which faults are drawn — never how many draws
+    // the plan Rng makes.
+    if (spike) chaos.load_spike_weight = 1.0;
+    plan = RandomFaultPlan(&plan_rng, chaos);
+  }
 
   FaultInjector injector(&engine, &migrator, seed);
   if (!injector.Arm(plan).ok()) abort();
@@ -192,14 +259,27 @@ RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike) {
       std::make_shared<std::function<void(TxnRequest, int32_t)>>();
   auto generate = std::make_shared<std::function<void(int64_t)>>();
   if (!spike) {
-    // Steady 40 txn/s of reads for 120 virtual seconds.
+    // Steady 40 txn/s for 120 virtual seconds: pure reads, except that
+    // the recovery scenario writes one in four so the command log and
+    // the synchronous backup applies carry real traffic.
     const double rate = 40.0;
     for (int64_t i = 0; i < static_cast<int64_t>(rate * seconds); ++i) {
       TxnRequest req;
-      req.proc = get;
       req.key = (i * 48271) % rows;
+      if (recovery && i % 4 == 0) {
+        req.proc = put;
+        req.args.push_back(Value(i));
+      } else {
+        req.proc = get;
+      }
       sim.ScheduleAt(SecondsToDuration(i / rate),
                      [&engine, req]() { engine.Submit(req); });
+    }
+    if (recovery) {
+      // A scale-out racing the 3 s crash: the executor must abort or
+      // finish the move cleanly and keep replica placement legal.
+      sim.ScheduleAt(2 * kSecond,
+                     [&migrator]() { (void)migrator.StartMove(5, nullptr); });
     }
   } else {
     // Submit-with-retry: shed transactions re-enter after a jittered
@@ -277,6 +357,15 @@ RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike) {
     out.sheds_seen = sheds_seen;
     out.safety_scale_outs = controller.scale_outs();
   }
+  if (recovery) {
+    out.promotions = engine.replication()->promotions();
+    out.rebuilds = engine.replication()->rebuilds_completed();
+    out.backup_applies = engine.replication()->applies();
+    out.replica_lags = injector.replica_lags();
+    out.recoveries = engine.recoveries();
+    out.rows_lost = engine.rows_lost();
+    out.degraded_at_end = engine.replication()->degraded_buckets();
+  }
   out.metrics_json = telemetry.metrics.DumpJson();
   out.metrics_csv = exporter.ToCsv();
   out.spans = telemetry.tracer.ToString();
@@ -298,6 +387,7 @@ int main(int argc, char** argv) {
   uint64_t seed = 42;
   int32_t num_events = 10;
   bool spike = false;
+  bool recovery = false;
   std::string out_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--seed=", 7) == 0) {
@@ -308,13 +398,20 @@ int main(int argc, char** argv) {
       out_dir = argv[i] + 6;
     } else if (std::strcmp(argv[i], "--spike") == 0) {
       spike = true;
+    } else if (std::strcmp(argv[i], "--recovery") == 0) {
+      recovery = true;
     }
+  }
+  if (spike && recovery) {
+    std::fprintf(stderr, "--spike and --recovery are exclusive\n");
+    return 2;
   }
 
   std::printf("chaos run, seed %llu, %d fault events%s\n",
               static_cast<unsigned long long>(seed), num_events,
-              spike ? ", overload scenario" : "");
-  const RunResult first = RunOnce(seed, num_events, spike);
+              spike ? ", overload scenario"
+                    : recovery ? ", recovery scenario (scripted plan)" : "");
+  const RunResult first = RunOnce(seed, num_events, spike, recovery);
   std::printf("\nfault plan:\n%s", first.plan.c_str());
   std::printf("\nevent trace:\n%s", first.trace.c_str());
   std::printf(
@@ -343,6 +440,19 @@ int main(int argc, char** argv) {
         static_cast<long long>(first.retries),
         static_cast<long long>(first.safety_scale_outs));
   }
+  if (recovery) {
+    std::printf(
+        "recovery: %lld promotions, %lld rebuilds, %lld backup applies, "
+        "%lld lag windows, %lld node recoveries, %lld rows lost, "
+        "%lld buckets degraded at end\n",
+        static_cast<long long>(first.promotions),
+        static_cast<long long>(first.rebuilds),
+        static_cast<long long>(first.backup_applies),
+        static_cast<long long>(first.replica_lags),
+        static_cast<long long>(first.recoveries),
+        static_cast<long long>(first.rows_lost),
+        static_cast<long long>(first.degraded_at_end));
+  }
 
   if (!out_dir.empty()) {
     const bool wrote =
@@ -360,7 +470,7 @@ int main(int argc, char** argv) {
 
   // Replay: the same seed must reproduce the run exactly — the fault
   // trace, the metric dump and the span trace all fingerprint-equal.
-  const RunResult second = RunOnce(seed, num_events, spike);
+  const RunResult second = RunOnce(seed, num_events, spike, recovery);
   const bool replay_ok =
       first.fingerprint == second.fingerprint &&
       first.events == second.events &&
@@ -368,7 +478,10 @@ int main(int argc, char** argv) {
       first.span_fingerprint == second.span_fingerprint &&
       first.metrics_csv == second.metrics_csv &&
       first.shed == second.shed && first.retries == second.retries &&
-      first.breaker_trips == second.breaker_trips;
+      first.breaker_trips == second.breaker_trips &&
+      first.promotions == second.promotions &&
+      first.backup_applies == second.backup_applies &&
+      first.recoveries == second.recoveries;
   std::printf("\nreplay: trace fingerprints %016llx vs %016llx, "
               "metrics %016llx vs %016llx, spans %016llx vs %016llx -> %s\n",
               static_cast<unsigned long long>(first.fingerprint),
@@ -379,8 +492,17 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(second.span_fingerprint),
               replay_ok ? "IDENTICAL" : "MISMATCH");
 
-  const bool ok =
-      first.violations == 0 && second.violations == 0 && replay_ok;
+  // Recovery acceptance: the crash promoted (not teleported), every
+  // committed row survived, the restarted node replayed exactly twice,
+  // and re-replication restored full k before the end of the run.
+  const bool recovery_ok =
+      !recovery ||
+      (first.promotions > 0 && first.rebuilds > 0 &&
+       first.backup_applies > 0 && first.replica_lags == 1 &&
+       first.recoveries == 2 && first.rows_lost == 0 &&
+       first.degraded_at_end == 0);
+  const bool ok = first.violations == 0 && second.violations == 0 &&
+                  replay_ok && recovery_ok;
   std::printf("%s\n", ok ? "chaos run PASSED" : "chaos run FAILED");
   return ok ? 0 : 1;
 }

@@ -3,9 +3,24 @@
 # evaluation section. Outputs land on stdout and CSVs in ./bench_out/.
 # A harness that exits non-zero aborts the sweep immediately, naming
 # the offender (set -e alone would hide which binary failed).
+#
+# An optional substring argument filters the sweep:
+#   ./run_all_benches.sh            # everything
+#   ./run_all_benches.sh recovery   # only build/bench/*recovery*
+filter="${1:-}"
+ran=0
 for b in build/bench/*; do
+  case "$(basename "$b")" in
+    *"$filter"*) ;;
+    *) continue ;;
+  esac
+  ran=$((ran + 1))
   if ! "$b"; then
     echo "run_all_benches: FAILED: $b exited non-zero" >&2
     exit 1
   fi
 done
+if [ "$ran" -eq 0 ]; then
+  echo "run_all_benches: no bench matches filter '$filter'" >&2
+  exit 1
+fi

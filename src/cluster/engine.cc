@@ -26,6 +26,7 @@ Status EngineConfig::Validate() const {
         "need at least one bucket per partition at max scale");
   }
   if (overload.enabled) PSTORE_RETURN_NOT_OK(overload.Validate());
+  if (replication.enabled) PSTORE_RETURN_NOT_OK(replication.Validate());
   return Status::OK();
 }
 
@@ -60,6 +61,16 @@ ClusterEngine::ClusterEngine(Simulator* sim, Catalog catalog,
     }
     admission_ = std::make_unique<overload::AdmissionController>(
         config_.overload, config_.max_nodes);
+  }
+  if (config_.replication.enabled) {
+    node_recovering_.assign(static_cast<size_t>(config_.max_nodes), 0);
+    recovery_gen_.assign(static_cast<size_t>(config_.max_nodes), 0);
+    recovery_start_.assign(static_cast<size_t>(config_.max_nodes), 0);
+    replication_ = std::make_unique<replication::ReplicaManager>(
+        &catalog_, config_.replication, config_.num_buckets, total,
+        config_.partitions_per_node);
+    InitialReplicaPlacement();
+    ScheduleCheckpoint();
   }
 }
 
@@ -139,6 +150,25 @@ void ClusterEngine::set_telemetry(const obs::Telemetry& telemetry) {
           });
     }
   }
+  // Replication metrics exist only when k-safety is on, keeping the
+  // default build's metric dumps byte-identical.
+  if (replication_ != nullptr) {
+    m_promotions_ = metrics->GetCounter("replication.promotions");
+    m_applies_ = metrics->GetCounter("replication.applies");
+    m_rebuild_chunks_ = metrics->GetCounter("replication.rebuild_chunks");
+    m_rebuilds_ = metrics->GetCounter("replication.rebuilds_completed");
+    m_recoveries_ = metrics->GetCounter("replication.recoveries");
+    m_rows_lost_ = metrics->GetCounter("replication.rows_lost");
+    metrics->RegisterCallbackGauge("replication.lag", [this]() {
+      return static_cast<double>(replication_->outstanding_applies());
+    });
+    metrics->RegisterCallbackGauge("replication.degraded_buckets", [this]() {
+      return static_cast<double>(replication_->degraded_buckets());
+    });
+    metrics->RegisterCallbackGauge("replication.backup_rows", [this]() {
+      return static_cast<double>(replication_->TotalBackupRowCount());
+    });
+  }
 }
 
 Status ClusterEngine::ActivateNodes(int32_t n) {
@@ -150,6 +180,13 @@ Status ClusterEngine::ActivateNodes(int32_t n) {
   // the same index crashed before being released earlier.
   for (int32_t i = active_nodes_; i < n; ++i) {
     node_up_[static_cast<size_t>(i)] = 1;
+    if (replication_ != nullptr) {
+      // A node index released mid-recovery must not resume that stale
+      // recovery when reprovisioned.
+      node_recovering_[static_cast<size_t>(i)] = 0;
+      ++recovery_gen_[static_cast<size_t>(i)];
+      replication_->ResetNode(i);
+    }
   }
   active_nodes_ = n;
   allocation_timeline_.push_back(AllocationEvent{sim_->Now(), active_nodes_});
@@ -161,6 +198,8 @@ Status ClusterEngine::ActivateNodes(int32_t n) {
     telemetry_.events->Record(sim_->Now(), "cluster",
                               "scaled to " + std::to_string(n) + " nodes");
   }
+  // New capacity may unblock re-replication of degraded buckets.
+  KickRebuilds();
   return Status::OK();
 }
 
@@ -175,6 +214,17 @@ Status ClusterEngine::DeactivateNodes(int32_t n) {
           "partition " + std::to_string(p) + " still holds data");
     }
   }
+  if (replication_ != nullptr) {
+    // Released nodes take their backup replicas with them; degraded
+    // buckets re-replicate onto the surviving topology below.
+    for (NodeId m = n; m < active_nodes_; ++m) {
+      replication_->DropReplicasOnNode(m);
+      replication_->CancelRebuildsTargeting(m);
+      node_recovering_[static_cast<size_t>(m)] = 0;
+      ++recovery_gen_[static_cast<size_t>(m)];
+      replication_->ResetNode(m);
+    }
+  }
   active_nodes_ = n;
   allocation_timeline_.push_back(AllocationEvent{sim_->Now(), active_nodes_});
   if (m_active_nodes_ != nullptr) {
@@ -185,6 +235,7 @@ Status ClusterEngine::DeactivateNodes(int32_t n) {
     telemetry_.events->Record(sim_->Now(), "cluster",
                               "scaled to " + std::to_string(n) + " nodes");
   }
+  KickRebuilds();
   return Status::OK();
 }
 
@@ -206,6 +257,84 @@ Status ClusterEngine::CrashNode(NodeId n) {
   }
   node_up_[static_cast<size_t>(n)] = 0;
   ++fault_epoch_;
+  if (replication_ != nullptr) {
+    // k-safety failover: promote each dead bucket's backup. The dead
+    // node's primary rows are discarded (fail-stop); the promoted
+    // backup already holds every committed write, so no bulk data
+    // moves. Iteration is ascending everywhere for determinism.
+    obs::SpanTracer::SpanId span = 0;
+    if (telemetry_.tracer != nullptr) {
+      span = telemetry_.tracer->BeginAt("failover node " + std::to_string(n),
+                                        sim_->Now());
+    }
+    // Drop the dead node's own replicas first so promotion can never
+    // pick a backup hosted on the node that just died.
+    const int64_t dropped = replication_->DropReplicasOnNode(n);
+    replication_->CancelRebuildsTargeting(n);
+    // Parking owner for buckets with no surviving replica: the first
+    // live partition (the bucket rejoins the map empty; its rows are
+    // honestly lost and counted).
+    PartitionId parking = -1;
+    for (int32_t m = 0; m < active_nodes_ && parking < 0; ++m) {
+      if (node_up_[static_cast<size_t>(m)] != 0) {
+        parking = m * config_.partitions_per_node;
+      }
+    }
+    int64_t promoted = 0;
+    const int64_t lost_before = rows_lost_;
+    for (int32_t k = 0; k < config_.partitions_per_node; ++k) {
+      const PartitionId dead = n * config_.partitions_per_node + k;
+      for (BucketId bucket : map_.BucketsOfPartition(dead)) {
+        auto dead_rows =
+            fragments_[static_cast<size_t>(dead)]->ExtractBucket(bucket);
+        const PartitionId q = replication_->Promote(bucket);
+        if (q >= 0) {
+          auto data = replication_->backup_fragment(q)->ExtractBucket(bucket);
+          Status st = fragments_[static_cast<size_t>(q)]->InstallBucket(
+              bucket, std::move(data));
+          if (!st.ok()) {
+            PSTORE_LOG(Warn) << "promotion install of bucket " << bucket
+                             << " failed: " << st.ToString();
+          }
+          map_.Assign(bucket, q);
+          ++promoted;
+        } else {
+          for (const auto& tr : dead_rows) {
+            rows_lost_ += static_cast<int64_t>(tr.second.size());
+          }
+          map_.Assign(bucket, parking);
+        }
+        // A rebuild targeting the new primary's node would create a
+        // replica co-located with the primary; restart it elsewhere.
+        if (replication_->rebuild_in_flight(bucket) &&
+            replication_->node_of(replication_->rebuild_target(bucket)) ==
+                NodeOfPartition(map_.PartitionOfBucket(bucket))) {
+          replication_->CancelRebuild(bucket);
+        }
+      }
+    }
+    map_.set_version(map_.version() + 1);
+    KickRebuilds();
+    if (m_live_nodes_ != nullptr) m_live_nodes_->Set(live_nodes());
+    if (m_promotions_ != nullptr) m_promotions_->Add(promoted);
+    if (m_rows_lost_ != nullptr && rows_lost_ > lost_before) {
+      m_rows_lost_->Add(rows_lost_ - lost_before);
+    }
+    if (telemetry_.events != nullptr) {
+      std::string msg = "node " + std::to_string(n) + " crashed: " +
+                        std::to_string(promoted) + " buckets promoted, " +
+                        std::to_string(dropped) + " replicas dropped";
+      if (rows_lost_ > lost_before) {
+        msg += ", " + std::to_string(rows_lost_ - lost_before) +
+               " rows lost";
+      }
+      telemetry_.events->Record(sim_->Now(), "replication", msg);
+    }
+    if (telemetry_.tracer != nullptr) {
+      telemetry_.tracer->EndAt(span, sim_->Now());
+    }
+    return Status::OK();
+  }
   const int64_t failovers_before = failover_moves_;
 
   // Failover: redistribute the dead node's buckets (rows included —
@@ -252,6 +381,28 @@ Status ClusterEngine::RestartNode(NodeId n) {
     return Status::FailedPrecondition(
         "node " + std::to_string(n) + " is not a crashed, active node");
   }
+  if (replication_ != nullptr) {
+    if (node_recovering_[static_cast<size_t>(n)] != 0) {
+      return Status::FailedPrecondition(
+          "node " + std::to_string(n) + " is already recovering");
+    }
+    // Recovery replays checkpoint + command log on the virtual clock;
+    // the node stays down until FinishRecovery. The fault epoch bumps
+    // there, when the topology actually changes.
+    node_recovering_[static_cast<size_t>(n)] = 1;
+    recovery_start_[static_cast<size_t>(n)] = sim_->Now();
+    const SimDuration replay = replication_->RecoveryDuration(n);
+    const int64_t gen = ++recovery_gen_[static_cast<size_t>(n)];
+    sim_->Schedule(replay, [this, n, gen]() { FinishRecovery(n, gen); });
+    if (telemetry_.events != nullptr) {
+      telemetry_.events->Record(
+          sim_->Now(), "replication",
+          "node " + std::to_string(n) +
+              " restarting: checkpoint+log replay scheduled (" +
+              std::to_string(replay) + " us)");
+    }
+    return Status::OK();
+  }
   node_up_[static_cast<size_t>(n)] = 1;
   ++fault_epoch_;
   if (m_live_nodes_ != nullptr) m_live_nodes_->Set(live_nodes());
@@ -267,7 +418,15 @@ Status ClusterEngine::LoadRow(TableId table, const Row& row) {
   PSTORE_RETURN_NOT_OK(schema.Validate(row));
   const int64_t key = schema.PartitionKey(row);
   const PartitionId p = map_.PartitionOfKey(key);
-  return fragments_[static_cast<size_t>(p)]->Insert(table, row);
+  PSTORE_RETURN_NOT_OK(fragments_[static_cast<size_t>(p)]->Insert(table, row));
+  if (replication_ != nullptr) {
+    const BucketId b = KeyToBucket(key, config_.num_buckets);
+    for (PartitionId q : replication_->replicas(b)) {
+      PSTORE_RETURN_NOT_OK(
+          replication_->backup_fragment(q)->Insert(table, row));
+    }
+  }
+  return Status::OK();
 }
 
 Status ClusterEngine::ApplyBucketMove(const BucketMove& move) {
@@ -282,12 +441,22 @@ Status ClusterEngine::ApplyBucketMove(const BucketMove& move) {
       move.bucket, std::move(data)));
   map_.Assign(move.bucket, move.to);
   map_.set_version(map_.version() + 1);
+  if (replication_ != nullptr) OnBucketReassigned(move.bucket, move.to);
   return Status::OK();
 }
 
 void ClusterEngine::SetPartitionMap(PartitionMap map) {
   assert(map.num_buckets() == config_.num_buckets);
   map_ = std::move(map);
+  if (replication_ != nullptr) {
+    // Re-seed placement against the new ownership: replicas colliding
+    // with their bucket's new primary node relocate (rows preserved) or
+    // drop, and any resulting deficit re-replicates.
+    for (BucketId b = 0; b < config_.num_buckets; ++b) {
+      OnBucketReassigned(b, map_.PartitionOfBucket(b));
+    }
+    KickRebuilds();
+  }
 }
 
 int64_t ClusterEngine::TotalRowCount() const {
@@ -360,7 +529,8 @@ void ClusterEngine::RouteAndRun(std::shared_ptr<PendingTxn> pending) {
   const ProcedureDef& def = registry_.Get(pending->req.proc);
   const SimDuration service = DrawServiceTime(def.service_weight);
   PartitionExecutor* ex = executors_[static_cast<size_t>(p)].get();
-  auto completion = [this, pending, p](SimTime started, SimTime finished) {
+  auto completion = [this, pending, p,
+                     service](SimTime started, SimTime finished) {
     // If the bucket moved while we were queued, forward (the txn stays
     // in flight through the hop).
     const PartitionId owner = map_.PartitionOfKey(pending->req.key);
@@ -381,6 +551,12 @@ void ClusterEngine::RouteAndRun(std::shared_ptr<PendingTxn> pending) {
     } else {
       ++txns_aborted_;
       if (m_aborted_ != nullptr) m_aborted_->Increment();
+    }
+    // Any execution that mutated the primary is mirrored on the backups
+    // (the engine has no rollback, so aborted-but-mutating procedures
+    // replicate too — backups must match the primary exactly).
+    if (replication_ != nullptr && ctx.mutations() > 0) {
+      ReplicateWrite(p, *pending, service);
     }
     --txns_in_flight_;
     if (m_queue_delay_us_ != nullptr) {
@@ -436,6 +612,256 @@ void ClusterEngine::RouteAndRun(std::shared_ptr<PendingTxn> pending) {
   assert(enqueued);  // Admit() made room or rejected.
   (void)enqueued;
   admission_->RecordAdmitted(node, now);
+}
+
+int32_t ClusterEngine::nodes_recovering() const {
+  if (replication_ == nullptr) return 0;
+  int32_t recovering = 0;
+  for (int32_t n = 0; n < active_nodes_; ++n) {
+    if (node_recovering_[static_cast<size_t>(n)] != 0) ++recovering;
+  }
+  return recovering;
+}
+
+bool ClusterEngine::RecoveryInProgress() const {
+  if (replication_ == nullptr) return false;
+  return nodes_recovering() > 0 || replication_->degraded_buckets() > 0;
+}
+
+PartitionId ClusterEngine::ChooseBackupPartition(BucketId b) const {
+  const PartitionId primary = map_.PartitionOfBucket(b);
+  const NodeId primary_node = NodeOfPartition(primary);
+  const auto& reps = replication_->replicas(b);
+  const PartitionId pending_target = replication_->rebuild_target(b);
+  const NodeId pending_node =
+      pending_target >= 0 ? NodeOfPartition(pending_target) : -1;
+  PartitionId best = -1;
+  int64_t best_load = 0;
+  for (PartitionId q = 0; q < active_partitions(); ++q) {
+    const NodeId qn = NodeOfPartition(q);
+    if (qn == primary_node || qn == pending_node || !IsNodeUp(qn)) continue;
+    bool node_has_replica = false;
+    for (PartitionId r : reps) {
+      if (NodeOfPartition(r) == qn) {
+        node_has_replica = true;
+        break;
+      }
+    }
+    if (node_has_replica) continue;
+    const int64_t load = replication_->backup_buckets_on_partition(q);
+    if (best < 0 || load < best_load) {  // Ties keep the lowest id.
+      best = q;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+void ClusterEngine::InitialReplicaPlacement() {
+  for (BucketId b = 0; b < config_.num_buckets; ++b) {
+    while (replication_->healthy_replicas(b) < config_.replication.k) {
+      const PartitionId target = ChooseBackupPartition(b);
+      if (target < 0) break;  // Too few nodes for full k; rebuilt later.
+      const PartitionId primary = map_.PartitionOfBucket(b);
+      Status s = replication_->InstallReplica(
+          b, target, *fragments_[static_cast<size_t>(primary)]);
+      if (!s.ok()) {
+        PSTORE_LOG(Warn) << "initial replica of bucket " << b
+                         << " failed: " << s.ToString();
+        break;
+      }
+    }
+  }
+}
+
+void ClusterEngine::ReplicateWrite(PartitionId primary,
+                                   const PendingTxn& pending,
+                                   SimDuration service) {
+  replication_->RecordWrite(NodeOfPartition(primary));
+  const BucketId b = KeyToBucket(pending.req.key, config_.num_buckets);
+  const ProcedureDef& proc = registry_.Get(pending.req.proc);
+  const SimDuration lag =
+      replica_lag_hook_ ? replica_lag_hook_(sim_->Now()) : 0;
+  for (PartitionId q : replication_->replicas(b)) {
+    // Synchronous apply: the backup's state reflects the write at commit
+    // time (deterministic re-execution of the same procedure body), and
+    // the apply *work* occupies the backup's executor — the write
+    // amplification the capacity model charges for.
+    ExecutionContext rctx(replication_->backup_fragment(q));
+    proc.body(rctx, pending.req);
+    replication_->OnApplyStarted();
+    if (m_applies_ != nullptr) m_applies_->Increment();
+    const SimDuration apply = std::max<SimDuration>(
+        1, static_cast<SimDuration>(static_cast<double>(service) *
+                                    config_.replication.apply_weight) +
+               lag);
+    executors_[static_cast<size_t>(q)]->Enqueue(
+        apply,
+        [this](SimTime, SimTime) { replication_->OnApplyFinished(); });
+  }
+}
+
+void ClusterEngine::OnBucketReassigned(BucketId bucket, PartitionId to) {
+  const NodeId primary_node = NodeOfPartition(to);
+  PartitionId colliding = -1;
+  for (PartitionId r : replication_->replicas(bucket)) {
+    if (NodeOfPartition(r) == primary_node) {
+      colliding = r;
+      break;
+    }
+  }
+  bool degraded = false;
+  if (colliding >= 0) {
+    const PartitionId fallback = ChooseBackupPartition(bucket);
+    if (fallback >= 0) {
+      Status s = replication_->MoveReplica(bucket, colliding, fallback);
+      if (!s.ok()) {
+        PSTORE_LOG(Warn) << "replica relocation of bucket " << bucket
+                         << " failed: " << s.ToString();
+      }
+    } else {
+      replication_->RemoveReplica(bucket, colliding);
+      degraded = true;
+    }
+  }
+  if (replication_->rebuild_in_flight(bucket) &&
+      replication_->node_of(replication_->rebuild_target(bucket)) ==
+          primary_node) {
+    replication_->CancelRebuild(bucket);
+    degraded = true;
+  }
+  if (degraded) KickRebuilds();
+}
+
+void ClusterEngine::KickRebuilds() {
+  if (replication_ == nullptr) return;
+  for (BucketId b = 0; b < config_.num_buckets; ++b) {
+    if (!replication_->IsDegraded(b) || replication_->rebuild_in_flight(b)) {
+      continue;
+    }
+    const PartitionId target = ChooseBackupPartition(b);
+    if (target < 0) continue;  // Retried on the next topology change.
+    const int64_t gen = replication_->BeginRebuild(b, target);
+    ScheduleRebuildChunk(b, 0, gen);
+  }
+}
+
+void ClusterEngine::ScheduleRebuildChunk(BucketId bucket,
+                                         int32_t chunk_index, int64_t gen) {
+  // Pacing: each chunk takes chunk_kb / rate to stream (Squall-style
+  // throttling), then occupies donor and target executors for the wire
+  // time. The generation guard voids chunks of cancelled rebuilds.
+  const double period_us = config_.replication.rebuild_chunk_kb /
+                           config_.replication.rebuild_rate_kbps * 1e6;
+  sim_->Schedule(
+      std::max<SimDuration>(1, static_cast<SimDuration>(period_us)),
+      [this, bucket, chunk_index, gen]() {
+        if (replication_ == nullptr ||
+            replication_->rebuild_gen(bucket) != gen) {
+          return;  // Cancelled or superseded while queued.
+        }
+        replication_->OnRebuildChunk();
+        if (m_rebuild_chunks_ != nullptr) m_rebuild_chunks_->Increment();
+        const PartitionId src = map_.PartitionOfBucket(bucket);
+        const PartitionId dst = replication_->rebuild_target(bucket);
+        const SimDuration busy = std::max<SimDuration>(
+            1, static_cast<SimDuration>(config_.replication.rebuild_chunk_kb /
+                                        config_.replication.wire_kbps * 1e6));
+        const bool last =
+            chunk_index + 1 >= replication_->chunks_per_rebuild();
+        executors_[static_cast<size_t>(src)]->Enqueue(busy,
+                                                      [](SimTime, SimTime) {});
+        executors_[static_cast<size_t>(dst)]->Enqueue(
+            busy, [this, bucket, gen, last](SimTime, SimTime) {
+              if (last) FinishRebuild(bucket, gen);
+            });
+        if (!last) ScheduleRebuildChunk(bucket, chunk_index + 1, gen);
+      });
+}
+
+void ClusterEngine::FinishRebuild(BucketId bucket, int64_t gen) {
+  if (replication_ == nullptr || replication_->rebuild_gen(bucket) != gen) {
+    return;
+  }
+  const PartitionId dst = replication_->rebuild_target(bucket);
+  if (dst < 0) return;
+  const PartitionId src = map_.PartitionOfBucket(bucket);
+  // The target may have become illegal while chunks were in flight: its
+  // node died or was released, or the bucket's primary moved onto it
+  // (promotion or migration). Installing anyway would colocate the
+  // replica with its primary, so restart the rebuild elsewhere.
+  if (!IsNodeUp(replication_->node_of(dst)) || dst >= active_partitions() ||
+      replication_->node_of(dst) == NodeOfPartition(src)) {
+    replication_->CancelRebuild(bucket);
+    KickRebuilds();
+    return;
+  }
+  Status s = replication_->FinishRebuild(
+      bucket, *fragments_[static_cast<size_t>(src)]);
+  if (!s.ok()) {
+    PSTORE_LOG(Warn) << "re-replication of bucket " << bucket
+                     << " failed: " << s.ToString();
+    return;
+  }
+  if (m_rebuilds_ != nullptr) m_rebuilds_->Increment();
+  if (telemetry_.events != nullptr &&
+      replication_->degraded_buckets() == 0) {
+    telemetry_.events->Record(sim_->Now(), "replication",
+                              "k-safety restored (k=" +
+                                  std::to_string(config_.replication.k) +
+                                  ")");
+  }
+  KickRebuilds();
+}
+
+void ClusterEngine::FinishRecovery(NodeId n, int64_t gen) {
+  if (replication_ == nullptr || n >= active_nodes_ ||
+      gen != recovery_gen_[static_cast<size_t>(n)] ||
+      node_recovering_[static_cast<size_t>(n)] == 0) {
+    return;  // Node released or reprovisioned while replaying.
+  }
+  node_recovering_[static_cast<size_t>(n)] = 0;
+  node_up_[static_cast<size_t>(n)] = 1;
+  ++fault_epoch_;
+  ++recoveries_;
+  const SimTime now = sim_->Now();
+  const SimTime started = recovery_start_[static_cast<size_t>(n)];
+  total_recovery_time_ += now - started;
+  replication_->ResetNode(n);
+  if (m_recoveries_ != nullptr) m_recoveries_->Increment();
+  if (m_live_nodes_ != nullptr) m_live_nodes_->Set(live_nodes());
+  if (telemetry_.tracer != nullptr) {
+    const obs::SpanTracer::SpanId span = telemetry_.tracer->BeginAt(
+        "recovery node " + std::to_string(n), started);
+    telemetry_.tracer->EndAt(span, now);
+  }
+  if (telemetry_.events != nullptr) {
+    telemetry_.events->Record(now, "replication",
+                              "node " + std::to_string(n) +
+                                  " recovered in " +
+                                  std::to_string(now - started) + " us");
+  }
+  KickRebuilds();
+}
+
+void ClusterEngine::ScheduleCheckpoint() {
+  sim_->Schedule(config_.replication.checkpoint_period, [this]() {
+    // Fuzzy checkpoint: every live node snapshots its hosted data size
+    // and truncates its command log; a later restart replays from here.
+    const std::vector<int32_t> counts = map_.BucketCounts();
+    const double kb = replication_->kb_per_bucket();
+    for (NodeId n = 0; n < active_nodes_; ++n) {
+      if (node_up_[static_cast<size_t>(n)] == 0) continue;
+      int64_t buckets = 0;
+      for (int32_t i = 0; i < config_.partitions_per_node; ++i) {
+        const size_t p =
+            static_cast<size_t>(n * config_.partitions_per_node + i);
+        if (p < counts.size()) buckets += counts[p];
+      }
+      replication_->TakeCheckpoint(n, kb * static_cast<double>(buckets));
+    }
+    ScheduleCheckpoint();
+  });
 }
 
 double ClusterEngine::AverageNodesAllocated() const {

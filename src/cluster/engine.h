@@ -12,6 +12,8 @@
 #include "obs/telemetry.h"
 #include "overload/admission_controller.h"
 #include "overload/overload_config.h"
+#include "replication/replica_manager.h"
+#include "replication/replication_config.h"
 #include "sim/simulator.h"
 #include "storage/fragment.h"
 #include "storage/partition_map.h"
@@ -64,6 +66,12 @@ struct EngineConfig {
   /// sequence is byte-identical to the historical unbounded build.
   overload::OverloadConfig overload;
 
+  /// k-safety (backup replicas, promotion failover, checkpoint+replay
+  /// recovery). Disabled by default; with `replication.enabled == false`
+  /// the engine keeps the legacy instant round-robin failover and its
+  /// event sequence stays byte-identical to the historical build.
+  replication::ReplicationConfig replication;
+
   Status Validate() const;
 };
 
@@ -86,6 +94,14 @@ class ClusterEngine {
 
   int32_t active_nodes() const { return active_nodes_; }
   int32_t max_nodes() const { return config_.max_nodes; }
+  /// Smallest active-node count that can still satisfy the configured
+  /// replication factor (each bucket's primary plus k backups live on
+  /// distinct nodes); 1 when replication is off. Controllers must not
+  /// scale in below this — doing so silently strands every bucket at
+  /// degraded k with no eligible rebuild target.
+  int32_t min_active_nodes() const {
+    return replication_ != nullptr ? config_.replication.k + 1 : 1;
+  }
   int32_t partitions_per_node() const { return config_.partitions_per_node; }
   int32_t total_partitions() const {
     return config_.max_nodes * config_.partitions_per_node;
@@ -109,12 +125,23 @@ class ClusterEngine {
 
   // --- Fault model -----------------------------------------------------
   //
-  // A node can *crash* (fail-stop) and later *restart*. Crash recovery is
-  // modeled as instantaneous failover from replicas: the dead node's
-  // buckets — rows included — redistribute round-robin over the surviving
-  // live partitions, so committed data is never lost and bucket ownership
-  // stays a partition of the bucket universe over live nodes. A restarted
-  // node rejoins empty; the elasticity controllers repopulate it.
+  // A node can *crash* (fail-stop) and later *restart*. Two recovery
+  // models exist:
+  //
+  // Legacy (replication.enabled == false): failover is instantaneous and
+  // abstract — the dead node's buckets, rows included, redistribute
+  // round-robin over the surviving live partitions, and a restarted node
+  // rejoins empty for free. Committed data is never lost by fiat.
+  //
+  // k-safety (replication.enabled == true): every bucket has k backup
+  // replicas kept in sync by re-executing committed writes. A crash
+  // *promotes* each dead bucket's lowest-id healthy backup to primary
+  // (no bulk teleport; a bucket with no surviving replica honestly
+  // loses its rows — see rows_lost()), drops the dead node's replicas,
+  // and schedules chunked re-replication to restore k. A restarted node
+  // replays checkpoint + command log on the virtual clock before it is
+  // marked up (IsNodeRecovering), so recovery takes simulated time and
+  // consumes capacity.
 
   /// True if `n` is an active node that has not crashed.
   bool IsNodeUp(NodeId n) const {
@@ -138,8 +165,59 @@ class ClusterEngine {
   Status CrashNode(NodeId n);
 
   /// Restarts a crashed node; it rejoins empty. Fails with
-  /// FailedPrecondition if `n` is not a crashed, active node.
+  /// FailedPrecondition if `n` is not a crashed, active node (or, with
+  /// replication on, if it is already recovering). With replication on
+  /// the node stays down (IsNodeUp false, IsNodeRecovering true) until
+  /// checkpoint load + command-log replay completes on the virtual
+  /// clock; the fault epoch bumps at completion, not at this call.
   Status RestartNode(NodeId n);
+
+  // --- Replication / recovery ------------------------------------------
+
+  /// The replica manager, or nullptr when replication is disabled.
+  replication::ReplicaManager* replication() { return replication_.get(); }
+  const replication::ReplicaManager* replication() const {
+    return replication_.get();
+  }
+
+  /// True while node `n` is replaying checkpoint + log after a restart.
+  bool IsNodeRecovering(NodeId n) const {
+    return replication_ != nullptr && n >= 0 && n < active_nodes_ &&
+           node_recovering_[static_cast<size_t>(n)] != 0;
+  }
+
+  /// Active nodes currently replaying recovery.
+  int32_t nodes_recovering() const;
+
+  /// Rows of committed data lost to crashes that found no surviving
+  /// replica (always 0 with replication disabled, where failover
+  /// teleports rows, and 0 with k >= 1 under single failures).
+  int64_t rows_lost() const { return rows_lost_; }
+
+  /// Completed restart recoveries.
+  int64_t recoveries() const { return recoveries_; }
+
+  /// Virtual time spent in completed restart recoveries.
+  SimDuration total_recovery_time() const { return total_recovery_time_; }
+
+  /// True while the cluster is below full strength: a node is replaying
+  /// recovery or any bucket is below its replication factor. Controllers
+  /// treat this as overload evidence and defer scale-ins. Always false
+  /// when replication is disabled.
+  bool RecoveryInProgress() const;
+
+  /// Least-loaded eligible partition to host a new replica of `b`
+  /// (skips the primary's node, nodes already holding a replica, down
+  /// or recovering nodes, and the node of an in-flight rebuild target).
+  /// Returns -1 if no candidate exists. Exposed for the invariant
+  /// checker's rebuild-liveness check.
+  PartitionId ChooseBackupPartition(BucketId b) const;
+
+  /// Installs a hook adding network lag to backup apply work (the
+  /// kReplicaLag fault); called with the current virtual time.
+  void set_replica_lag_hook(std::function<SimDuration(SimTime)> hook) {
+    replica_lag_hook_ = std::move(hook);
+  }
 
   // --- Data ------------------------------------------------------------
 
@@ -267,6 +345,28 @@ class ClusterEngine {
   void FinishShed(const std::shared_ptr<PendingTxn>& pending, NodeId node,
                   bool feed_breaker);
 
+  // Replication internals (all no-ops when replication_ is null).
+  /// Seeds k replicas per bucket over the initial topology.
+  void InitialReplicaPlacement();
+  /// Synchronously applies a committed write to every healthy replica
+  /// and charges apply work to their executors.
+  void ReplicateWrite(PartitionId primary, const PendingTxn& pending,
+                      SimDuration service);
+  /// Reconciles replica placement after `bucket` became owned by `to`
+  /// (replica colliding with the new primary's node relocates or drops).
+  void OnBucketReassigned(BucketId bucket, PartitionId to);
+  /// Starts rebuilds for every degraded bucket with an eligible target.
+  void KickRebuilds();
+  /// Paces one re-replication chunk; `gen` guards against staleness.
+  void ScheduleRebuildChunk(BucketId bucket, int32_t chunk_index,
+                            int64_t gen);
+  /// Last chunk landed: snapshot rows, record the replica, continue.
+  void FinishRebuild(BucketId bucket, int64_t gen);
+  /// Recovery replay done: node rejoins, fault epoch bumps.
+  void FinishRecovery(NodeId n, int64_t gen);
+  /// Recurring cluster-wide fuzzy checkpoint.
+  void ScheduleCheckpoint();
+
   Simulator* sim_;
   Catalog catalog_;
   ProcedureRegistry registry_;
@@ -280,6 +380,15 @@ class ClusterEngine {
   int64_t fault_epoch_ = 0;
   int64_t failover_moves_ = 0;
 
+  std::unique_ptr<replication::ReplicaManager> replication_;
+  std::vector<uint8_t> node_recovering_;  ///< Indexed by NodeId.
+  std::vector<int64_t> recovery_gen_;     ///< Stale-recovery guard.
+  std::vector<SimTime> recovery_start_;   ///< For the recovery span.
+  int64_t rows_lost_ = 0;
+  int64_t recoveries_ = 0;
+  SimDuration total_recovery_time_ = 0;
+  std::function<SimDuration(SimTime)> replica_lag_hook_;
+
   obs::Telemetry telemetry_;
   // Cached metric handles (null until set_telemetry).
   obs::Counter* m_committed_ = nullptr;
@@ -292,6 +401,12 @@ class ClusterEngine {
   obs::Counter* m_rejected_queue_full_ = nullptr;
   obs::Counter* m_rejected_breaker_ = nullptr;
   obs::Counter* m_breaker_trips_ = nullptr;
+  obs::Counter* m_promotions_ = nullptr;
+  obs::Counter* m_applies_ = nullptr;
+  obs::Counter* m_rebuild_chunks_ = nullptr;
+  obs::Counter* m_rebuilds_ = nullptr;
+  obs::Counter* m_recoveries_ = nullptr;
+  obs::Counter* m_rows_lost_ = nullptr;
   obs::Gauge* m_active_nodes_ = nullptr;
   obs::Gauge* m_live_nodes_ = nullptr;
   obs::HistogramMetric* m_latency_us_ = nullptr;

@@ -107,8 +107,15 @@ bool PredictiveController::SafetyNet(double current_rate) {
   const bool breaker_overload =
       admission_ != nullptr &&
       admission_->AnyBreakerOpen(engine_->simulator()->Now());
+  // Recovery replay / re-replication consumes capacity the measured
+  // rate cannot see, so a cluster below full k-safety trips the net at
+  // a correspondingly lower measured watermark (one node's worth of
+  // slack is reserved for the catch-up work).
+  const int32_t capacity_nodes =
+      engine_->RecoveryInProgress() ? std::max(1, live - 1) : live;
   if (!breaker_overload &&
-      current_rate <= config_.safety_net_watermark * config_.q_hat * live) {
+      current_rate <=
+          config_.safety_net_watermark * config_.q_hat * capacity_nodes) {
     return false;
   }
   // Measured overload the plan did not prevent: scale out right now,
@@ -268,6 +275,19 @@ void PredictiveController::PlanAndAct(double current_rate) {
       }
       return;
     }
+    // Likewise never shrink while a node is replaying recovery or any
+    // bucket is below its replication factor: replay and re-replication
+    // consume effective capacity, and removing machines would stretch
+    // the window in which another failure loses data.
+    if (engine_->RecoveryInProgress()) {
+      scale_in_streak_ = 0;
+      if (telemetry_.events != nullptr) {
+        telemetry_.events->Record(
+            engine_->simulator()->Now(), "controller",
+            "scale-in deferred: recovery in progress / degraded k-safety");
+      }
+      return;
+    }
     // Scale-in must be confirmed by N consecutive cycles to avoid
     // spurious latency-inducing flapping (Section 6).
     ++scale_in_streak_;
@@ -281,7 +301,13 @@ void PredictiveController::PlanAndAct(double current_rate) {
   // planned start has arrived (the planner delays scale-outs as long as
   // possible; re-planning next tick keeps the start time honest).
   if (first->start_interval > 0) return;
-  Status st = migrator_->StartMove(first->to_nodes, nullptr);
+  // Clamp planned shrinks to the k-aware floor: executing a plan below
+  // min_active_nodes() would strand every bucket at degraded k with no
+  // node left to rebuild onto.
+  const int32_t to_nodes =
+      std::max(first->to_nodes, engine_->min_active_nodes());
+  if (to_nodes == engine_->active_nodes()) return;
+  Status st = migrator_->StartMove(to_nodes, nullptr);
   if (st.ok()) {
     ++moves_started_;
     if (m_moves_started_ != nullptr) m_moves_started_->Add(1);
@@ -290,7 +316,7 @@ void PredictiveController::PlanAndAct(double current_rate) {
           engine_->simulator()->Now(), "controller",
           "plan " + plan.ToString() + "; executing first move " +
               std::to_string(first->from_nodes) + " -> " +
-              std::to_string(first->to_nodes));
+              std::to_string(to_nodes));
     }
   } else {
     PSTORE_LOG(Warn) << "StartMove failed: " << st.ToString();

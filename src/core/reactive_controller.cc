@@ -98,37 +98,58 @@ void ReactiveController::Tick() {
         admission_ != nullptr &&
         admission_->AnyBreakerOpen(engine_->simulator()->Now());
 
-    if (smoothed_rate_ > config_.high_watermark * cap_hat ||
-        breaker_overload) {
+    // Degraded k-safety or an in-flight restart recovery also counts as
+    // overload evidence: replay and re-replication consume effective
+    // capacity (Eq. 7 applied to failures). One extra node per fault
+    // epoch absorbs the catch-up work without ratcheting to max_nodes,
+    // and the scale-in branch below is suppressed until full strength.
+    const bool recovering = engine_->RecoveryInProgress();
+    const bool rate_overload =
+        smoothed_rate_ > config_.high_watermark * cap_hat;
+    const bool recovery_overload =
+        recovering && recovery_scale_epoch_ != epoch;
+
+    if (rate_overload || breaker_overload || recovery_overload) {
       // Overload detected: scale out to fit the observed load.
-      const int32_t target = std::max(n + 1, size_for(smoothed_rate_));
+      const int32_t target =
+          rate_overload || breaker_overload
+              ? std::max(n + 1, size_for(smoothed_rate_))
+              : std::min(n + 1, engine_->max_nodes());
       if (target > n) {
         low_since_ = -1;
         Status st = migrator_->StartMove(target, nullptr,
                                          config_.rate_multiplier);
         if (st.ok()) {
+          if (recovery_overload) recovery_scale_epoch_ = epoch;
           ++scale_outs_;
           if (m_scale_outs_ != nullptr) m_scale_outs_->Add(1);
           if (telemetry_.events != nullptr) {
+            const char* cause =
+                breaker_overload
+                    ? "breaker-open overload at "
+                    : rate_overload ? "overload at "
+                                    : "degraded-k/recovery overload at ";
             telemetry_.events->Record(
                 engine_->simulator()->Now(), "reactive",
-                std::string(breaker_overload ? "breaker-open overload at "
-                                             : "overload at ") +
-                    obs::FormatMetricValue(smoothed_rate_) +
+                cause + obs::FormatMetricValue(smoothed_rate_) +
                     " txn/s; scale out " + std::to_string(n) + " -> " +
                     std::to_string(target));
           }
         }
       }
-    } else if (n > 1 && live > 1 &&
+    } else if (n > engine_->min_active_nodes() && live > 1 && !recovering &&
                smoothed_rate_ <
                    config_.low_watermark * config_.q * (live - 1)) {
       // Load would comfortably fit on a smaller cluster; require it to
-      // stay that way for the hold period before scaling in.
+      // stay that way for the hold period before scaling in. The floor
+      // is k-aware: shrinking below min_active_nodes() would drop every
+      // backup with no node left to rebuild onto.
       const SimTime now = engine_->simulator()->Now();
       if (low_since_ < 0) low_since_ = now;
       if (now - low_since_ >= config_.scale_in_hold) {
-        const int32_t target = std::min(n - 1, size_for(smoothed_rate_));
+        const int32_t target =
+            std::max(std::min(n - 1, size_for(smoothed_rate_)),
+                     engine_->min_active_nodes());
         Status st = migrator_->StartMove(target, nullptr,
                                          config_.rate_multiplier);
         if (st.ok()) {

@@ -90,6 +90,9 @@ class ReactiveController {
   bool running_ = false;
   int64_t last_submitted_ = 0;
   int64_t last_fault_epoch_ = 0;
+  /// Fault epoch whose recovery already triggered a scale-out (one
+  /// extra node per crash/restart, not one per tick).
+  int64_t recovery_scale_epoch_ = -1;
   double smoothed_rate_ = 0;
   SimTime low_since_ = -1;
   int64_t scale_outs_ = 0;

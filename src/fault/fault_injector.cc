@@ -25,6 +25,14 @@ Status FaultInjector::Arm(const FaultPlan& plan) {
       trace_.Record(engine_->simulator()->Now(), what);
     });
   }
+  if (engine_->replication() != nullptr) {
+    // Replica-lag windows stretch backup apply work; the hook costs
+    // nothing outside a window and is only installed when the engine
+    // actually replicates.
+    engine_->set_replica_lag_hook([this](SimTime now) {
+      return now < lag_until_ ? lag_len_ : SimDuration{0};
+    });
+  }
   for (const FaultEvent& event : plan.events) {
     sim->ScheduleAt(event.at, [this, event]() { ApplyEvent(event); });
   }
@@ -34,18 +42,48 @@ Status FaultInjector::Arm(const FaultPlan& plan) {
   return Status::OK();
 }
 
-NodeId FaultInjector::PickCrashTarget() const {
-  // Highest live node, never node 0: keeps the cluster alive and makes
-  // the choice a pure function of topology (deterministic).
-  for (NodeId n = engine_->active_nodes() - 1; n >= 1; --n) {
-    if (engine_->IsNodeUp(n)) return n;
+NodeId FaultInjector::PickCrashTarget(CrashScope scope) const {
+  if (scope == CrashScope::kBackupHeavy &&
+      engine_->replication() == nullptr) {
+    scope = CrashScope::kAny;  // No backups to aim at.
   }
-  return -1;
+  if (scope == CrashScope::kAny) {
+    // Highest live node, never node 0: keeps the cluster alive and makes
+    // the choice a pure function of topology (deterministic).
+    for (NodeId n = engine_->active_nodes() - 1; n >= 1; --n) {
+      if (engine_->IsNodeUp(n)) return n;
+    }
+    return -1;
+  }
+  // Scoped: the live node (never 0) with the most primary buckets
+  // (kPrimaryHeavy) or backup replicas (kBackupHeavy); >= keeps ties on
+  // the higher index, matching the kAny rule's preference.
+  const std::vector<int32_t> counts = engine_->partition_map().BucketCounts();
+  NodeId best = -1;
+  int64_t best_weight = -1;
+  for (NodeId n = engine_->active_nodes() - 1; n >= 1; --n) {
+    if (!engine_->IsNodeUp(n)) continue;
+    int64_t weight = 0;
+    if (scope == CrashScope::kPrimaryHeavy) {
+      for (int32_t i = 0; i < engine_->partitions_per_node(); ++i) {
+        const size_t p =
+            static_cast<size_t>(n * engine_->partitions_per_node() + i);
+        if (p < counts.size()) weight += counts[p];
+      }
+    } else {
+      weight = engine_->replication()->BackupBucketsOnNode(n);
+    }
+    if (weight > best_weight) {
+      best = n;
+      best_weight = weight;
+    }
+  }
+  return best;
 }
 
 NodeId FaultInjector::PickRestartTarget() const {
   for (NodeId n = 0; n < engine_->active_nodes(); ++n) {
-    if (!engine_->IsNodeUp(n)) return n;
+    if (!engine_->IsNodeUp(n) && !engine_->IsNodeRecovering(n)) return n;
   }
   return -1;
 }
@@ -54,7 +92,8 @@ void FaultInjector::ApplyEvent(const FaultEvent& event) {
   const SimTime now = engine_->simulator()->Now();
   switch (event.type) {
     case FaultType::kNodeCrash: {
-      const NodeId target = event.node >= 0 ? event.node : PickCrashTarget();
+      const NodeId target =
+          event.node >= 0 ? event.node : PickCrashTarget(event.scope);
       if (target < 0) {
         trace_.Record(now, "crash skipped: no crashable node");
         return;
@@ -118,6 +157,14 @@ void FaultInjector::ApplyEvent(const FaultEvent& event) {
       trace_.Record(now, "load-spike window open for " +
                              FormatSimTime(event.duration) + " (xload=" +
                              std::to_string(event.load_scale) + ")");
+      return;
+    case FaultType::kReplicaLag:
+      lag_until_ = now + event.duration;
+      lag_len_ = event.stall;
+      ++replica_lags_;
+      trace_.Record(now, "replica-lag window open for " +
+                             FormatSimTime(event.duration) + " (lag " +
+                             FormatSimTime(event.stall) + ")");
       return;
   }
 }

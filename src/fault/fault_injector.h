@@ -59,6 +59,8 @@ class FaultInjector {
   int64_t chunk_faults() const { return chunk_faults_; }
   /// Load-spike windows opened.
   int64_t load_spikes() const { return load_spikes_; }
+  /// Replica-lag windows opened.
+  int64_t replica_lags() const { return replica_lags_; }
 
   /// Digest of the injector's Rng state — equal across two runs iff the
   /// runs made identical random draws (determinism golden tests).
@@ -66,10 +68,15 @@ class FaultInjector {
 
  private:
   void ApplyEvent(const FaultEvent& event);
-  /// Highest-indexed live node, never node 0 (keeps the cluster alive
-  /// and the choice deterministic). -1 if no crashable node exists.
-  NodeId PickCrashTarget() const;
-  /// Lowest-indexed crashed active node; -1 if none.
+  /// Picks an auto crash victim, never node 0 (keeps the cluster alive
+  /// and the choice deterministic). kAny takes the highest-indexed live
+  /// node; kPrimaryHeavy the live node owning the most primary buckets;
+  /// kBackupHeavy the live node hosting the most backup replicas
+  /// (requires the engine's replication layer — falls back to kAny).
+  /// Ties break toward the higher index. -1 if no crashable node exists.
+  NodeId PickCrashTarget(CrashScope scope) const;
+  /// Lowest-indexed crashed active node that is not already replaying
+  /// recovery; -1 if none.
   NodeId PickRestartTarget() const;
   ChunkFault OnChunk(PartitionId src, PartitionId dst, SimTime now);
 
@@ -88,11 +95,14 @@ class FaultInjector {
   double misforecast_scale_ = 1.0;
   SimTime spike_until_ = -1;
   double spike_scale_ = 1.0;
+  SimTime lag_until_ = -1;
+  SimDuration lag_len_ = 0;
 
   int64_t crashes_ = 0;
   int64_t restarts_ = 0;
   int64_t chunk_faults_ = 0;
   int64_t load_spikes_ = 0;
+  int64_t replica_lags_ = 0;
 };
 
 /// \brief Decorator that scales another predictor's forecasts by the

@@ -18,6 +18,8 @@ const char* FaultTypeName(FaultType type) {
       return "misforecast";
     case FaultType::kLoadSpike:
       return "load-spike";
+    case FaultType::kReplicaLag:
+      return "replica-lag";
   }
   return "unknown";
 }
@@ -30,6 +32,9 @@ std::string FaultEvent::ToString() const {
     case FaultType::kNodeRestart:
       out += " node=" + (node < 0 ? std::string("auto")
                                   : std::to_string(node));
+      // kAny prints nothing, so pre-existing golden plans are unchanged.
+      if (scope == CrashScope::kPrimaryHeavy) out += " scope=primary";
+      if (scope == CrashScope::kBackupHeavy) out += " scope=backup";
       break;
     case FaultType::kMigrationStall:
       out += " window=" + FormatSimTime(duration) +
@@ -46,6 +51,10 @@ std::string FaultEvent::ToString() const {
     case FaultType::kLoadSpike:
       out += " window=" + FormatSimTime(duration) +
              " xload=" + std::to_string(load_scale);
+      break;
+    case FaultType::kReplicaLag:
+      out += " window=" + FormatSimTime(duration) +
+             " lag=" + FormatSimTime(stall);
       break;
   }
   return out;
@@ -83,11 +92,11 @@ Status ChaosConfig::Validate() const {
   if (num_events < 0) return Status::InvalidArgument("num_events < 0");
   if (crash_weight < 0 || restart_weight < 0 || stall_weight < 0 ||
       chunk_failure_weight < 0 || misforecast_weight < 0 ||
-      load_spike_weight < 0) {
+      load_spike_weight < 0 || replica_lag_weight < 0) {
     return Status::InvalidArgument("fault weights must be >= 0");
   }
   if (crash_weight + restart_weight + stall_weight + chunk_failure_weight +
-          misforecast_weight + load_spike_weight <=
+          misforecast_weight + load_spike_weight + replica_lag_weight <=
       0) {
     return Status::InvalidArgument("at least one weight must be > 0");
   }
@@ -98,13 +107,14 @@ Status ChaosConfig::Validate() const {
 
 FaultPlan RandomFaultPlan(Rng* rng, const ChaosConfig& config) {
   FaultPlan plan;
-  // load_spike_weight sits in the trailing bucket: with the default 0 it
-  // is unreachable and the cumulative vector's reachable prefix matches
-  // the historical five-type draw exactly (same seed, same plan).
+  // load_spike_weight and replica_lag_weight sit in the trailing
+  // buckets: with the default 0 they are unreachable and the cumulative
+  // vector's reachable prefix matches the historical draw exactly (same
+  // seed, same plan).
   const std::vector<double> cumulative = CumulativeWeights(
       {config.crash_weight, config.restart_weight, config.stall_weight,
        config.chunk_failure_weight, config.misforecast_weight,
-       config.load_spike_weight});
+       config.load_spike_weight, config.replica_lag_weight});
   for (int32_t i = 0; i < config.num_events; ++i) {
     FaultEvent e;
     e.at = static_cast<SimTime>(
@@ -140,6 +150,12 @@ FaultPlan RandomFaultPlan(Rng* rng, const ChaosConfig& config) {
         // 2x to 8x the offered load — enough to saturate any fixed
         // capacity and exercise shedding.
         e.load_scale = 2.0 + 6.0 * rng->NextDouble();
+        break;
+      case FaultType::kReplicaLag:
+        e.duration = 1 + static_cast<SimDuration>(rng->NextBounded(
+                             static_cast<uint64_t>(config.max_window)));
+        e.stall = 1 + static_cast<SimDuration>(rng->NextBounded(
+                          static_cast<uint64_t>(config.max_stall)));
         break;
     }
     plan.events.push_back(e);

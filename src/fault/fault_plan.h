@@ -29,9 +29,22 @@ enum class FaultType {
   kChunkFailure,    ///< Open a window of probabilistic chunk failures.
   kMisforecast,     ///< Open a window scaling the predictor's forecasts.
   kLoadSpike,       ///< Open a window multiplying the offered load.
+  kReplicaLag,      ///< Open a window delaying backup apply work.
 };
 
 const char* FaultTypeName(FaultType type);
+
+/// How a node = -1 crash picks its victim. kAny is the historical
+/// highest-live-node rule; the scoped variants target the node hosting
+/// the most primary (respectively backup) buckets, so chaos runs can
+/// aim at crash-of-primary vs crash-of-backup interleavings. Backup
+/// scoping needs the engine's replication layer; without it the
+/// injector falls back to kAny.
+enum class CrashScope {
+  kAny,
+  kPrimaryHeavy,
+  kBackupHeavy,
+};
 
 /// One scheduled fault. Fields beyond `at`/`type` apply per type:
 /// `node` for crash/restart (-1 lets the injector pick a target
@@ -41,7 +54,9 @@ const char* FaultTypeName(FaultType type);
 /// `forecast_scale` the multiplier inside a misforecast window (e.g.
 /// 0.2 = the predictor misses 80% of the load), and `load_scale` the
 /// offered-load multiplier inside a load-spike window (workload drivers
-/// poll FaultInjector::load_scale()).
+/// poll FaultInjector::load_scale()). kReplicaLag reuses `duration` for
+/// its window and `stall` for the extra delay added to each backup
+/// apply; `scope` refines auto-targeted crashes.
 struct FaultEvent {
   SimTime at = 0;
   FaultType type = FaultType::kNodeCrash;
@@ -51,6 +66,7 @@ struct FaultEvent {
   double probability = 1.0;
   double forecast_scale = 1.0;
   double load_scale = 1.0;
+  CrashScope scope = CrashScope::kAny;
 
   std::string ToString() const;
 };
@@ -82,6 +98,10 @@ struct ChaosConfig {
   /// bucket of the discrete draw, which a zero weight makes unreachable
   /// without consuming extra Rng draws).
   double load_spike_weight = 0.0;
+  /// Weight of kReplicaLag events. Defaults to 0 for the same trailing-
+  /// bucket reason as load_spike_weight: pre-existing seeds draw
+  /// identical plans.
+  double replica_lag_weight = 0.0;
   SimDuration max_window = kMinute;     ///< Max window fault duration.
   SimDuration max_stall = 10 * kSecond; ///< Max per-chunk stall.
 

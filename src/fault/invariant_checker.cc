@@ -55,13 +55,17 @@ Status InvariantChecker::Check() {
   }
 
   // 3. Row conservation: crashes and migrations move rows, never create
-  //    or destroy them.
+  //    or destroy them. The engine accounts rows it could not save (a
+  //    crash with no surviving replica) in rows_lost(); everything else
+  //    must still be present, including across crash+restart cycles.
   if (expected_rows_ >= 0) {
     const int64_t total = engine_->TotalRowCount();
-    if (total != expected_rows_) {
+    const int64_t expected = expected_rows_ - engine_->rows_lost();
+    if (total != expected) {
       Violation("row conservation broken: " + std::to_string(total) +
-                " rows present, expected " +
-                std::to_string(expected_rows_));
+                " rows present, expected " + std::to_string(expected) +
+                " (" + std::to_string(expected_rows_) + " loaded - " +
+                std::to_string(engine_->rows_lost()) + " lost)");
     }
   }
 
@@ -157,6 +161,82 @@ Status InvariantChecker::Check() {
       if (rec.end >= 0 && rec.end < rec.start) {
         Violation("move record " + std::to_string(i) +
                   " ends before it starts");
+      }
+    }
+  }
+
+  // 8. Replication: backup placement is sane (active partition, live
+  //    node, never colocated with the primary), every backup mirrors its
+  //    primary's rows exactly (synchronous apply leaves no divergence
+  //    window at quiescence), and no bucket sits degraded while a legal
+  //    rebuild target exists (k-safety restoration liveness).
+  if (const replication::ReplicaManager* rep = engine_->replication()) {
+    const int32_t k = rep->config().k;
+    for (BucketId b = 0; b < map.num_buckets(); ++b) {
+      const PartitionId owner = map.PartitionOfBucket(b);
+      const NodeId owner_node = engine_->NodeOfPartition(owner);
+      const auto& replicas = rep->replicas(b);
+      if (static_cast<int32_t>(replicas.size()) > k) {
+        Violation("bucket " + std::to_string(b) + " has " +
+                  std::to_string(replicas.size()) +
+                  " replicas, more than k=" + std::to_string(k));
+      }
+      for (PartitionId q : replicas) {
+        if (q < 0 || q >= engine_->active_partitions()) {
+          Violation("bucket " + std::to_string(b) +
+                    " replica on inactive partition " + std::to_string(q));
+          continue;
+        }
+        const NodeId qn = engine_->NodeOfPartition(q);
+        if (!engine_->IsNodeUp(qn)) {
+          Violation("bucket " + std::to_string(b) +
+                    " replica on partition " + std::to_string(q) +
+                    " on dead node " + std::to_string(qn));
+        }
+        if (qn == owner_node) {
+          Violation("bucket " + std::to_string(b) + " replica on node " +
+                    std::to_string(qn) + " colocated with its primary");
+        }
+        // Row-set equality, per table: same keys, same row contents.
+        const StorageFragment* primary = engine_->fragment(owner);
+        const StorageFragment* backup = rep->backup_fragment(q);
+        const auto num_tables =
+            static_cast<TableId>(engine_->catalog().num_tables());
+        for (TableId t = 0; t < num_tables; ++t) {
+          const std::vector<int64_t> pk = primary->BucketKeys(t, b);
+          const std::vector<int64_t> bk = backup->BucketKeys(t, b);
+          if (pk.size() != bk.size()) {
+            Violation("bucket " + std::to_string(b) + " table " +
+                      std::to_string(t) + " backup on partition " +
+                      std::to_string(q) + " holds " +
+                      std::to_string(bk.size()) + " rows, primary holds " +
+                      std::to_string(pk.size()));
+            continue;
+          }
+          for (int64_t key : pk) {
+            Result<Row> pr = primary->Get(t, key);
+            Result<Row> br = backup->Get(t, key);
+            if (!br.ok()) {
+              Violation("bucket " + std::to_string(b) + " table " +
+                        std::to_string(t) + " key " + std::to_string(key) +
+                        " missing from backup on partition " +
+                        std::to_string(q));
+            } else if (!pr.ok() || !(*pr == *br)) {
+              Violation("bucket " + std::to_string(b) + " table " +
+                        std::to_string(t) + " key " + std::to_string(key) +
+                        " diverges between primary and backup partition " +
+                        std::to_string(q));
+            }
+          }
+        }
+      }
+      // Liveness: degraded + no rebuild in flight + a legal target
+      // exists means KickRebuilds failed to do its job.
+      if (rep->IsDegraded(b) && !rep->rebuild_in_flight(b) &&
+          engine_->ChooseBackupPartition(b) >= 0) {
+        Violation("bucket " + std::to_string(b) +
+                  " degraded with a legal rebuild target but no rebuild "
+                  "in flight");
       }
     }
   }

@@ -17,8 +17,9 @@
 /// virtual time, conservation of migrated bytes, and — under overload
 /// control — exhaustive shed accounting (submitted = committed + aborted
 /// + shed + in flight) with partition queues never exceeding their
-/// bound. Run it standalone via Check() or on a cadence via
-/// StartPeriodic().
+/// bound — and, when replication is enabled, sane backup placement,
+/// primary/backup row-set equality, and k-safety restoration liveness.
+/// Run it standalone via Check() or on a cadence via StartPeriodic().
 
 namespace pstore {
 
@@ -46,7 +47,8 @@ class InvariantChecker {
   /// Expected total row count for the conservation check. Set once after
   /// loading; negative (default) disables the check. Crash failover and
   /// migration move rows but never create or destroy them, so the total
-  /// must stay fixed for read-only workloads.
+  /// must stay fixed for read-only workloads (minus rows the engine
+  /// explicitly accounts as lost when a crash finds no replica).
   void set_expected_rows(int64_t rows) { expected_rows_ = rows; }
 
   /// Runs every invariant once. Returns OK iff no new violation was

@@ -15,6 +15,9 @@ Status MoveModelConfig::Validate() const {
   if (interval_minutes <= 0) {
     return Status::InvalidArgument("interval_minutes must be > 0");
   }
+  if (replication_overhead < 0 || replication_overhead >= 1) {
+    return Status::InvalidArgument("replication_overhead out of [0, 1)");
+  }
   return Status::OK();
 }
 
@@ -87,7 +90,12 @@ double MoveModel::MoveCost(int32_t b, int32_t a) const {
          AvgMachinesAllocated(b, a);
 }
 
-double MoveModel::Capacity(int32_t n) const { return config_.q * n; }
+double MoveModel::Capacity(int32_t n) const {
+  // Overhead 0 (the default) must not perturb existing results, so skip
+  // the multiply entirely rather than trusting "* 1.0" to be exact.
+  if (config_.replication_overhead == 0) return config_.q * n;
+  return config_.q * n * (1.0 - config_.replication_overhead);
+}
 
 double MoveModel::EffectiveCapacity(int32_t b, int32_t a, double f) const {
   assert(b >= 1 && a >= 1);

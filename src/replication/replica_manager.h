@@ -1,0 +1,224 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "replication/replication_config.h"
+#include "storage/fragment.h"
+#include "storage/partition_map.h"
+#include "storage/schema.h"
+
+/// \file replica_manager.h
+/// Replica placement and recovery bookkeeping for k-safety. The manager
+/// owns one *backup* StorageFragment per partition — physically separate
+/// from the engine's primary fragments, so primary row counts, orphan
+/// checks and migration accounting never see replica rows — plus the
+/// per-bucket replica lists, rebuild state, and per-node checkpoint /
+/// command-log counters that restart recovery replays.
+///
+/// The manager is pure state: it never touches the simulator or the
+/// partition executors. The ClusterEngine drives all timing (apply work
+/// items, rebuild chunk pacing, recovery timers) and calls down into
+/// these deterministic state transitions, mirroring how the overload
+/// layer splits policy (AdmissionController) from mechanism (engine).
+
+namespace pstore {
+namespace replication {
+
+using NodeId = int32_t;
+
+/// \brief Placement, rebuild, and recovery state for k-safety.
+class ReplicaManager {
+ public:
+  /// \param catalog shared table registry (not owned; must outlive this)
+  /// \param config validated replication knobs
+  /// \param num_buckets bucket universe (matches the PartitionMap)
+  /// \param total_partitions max_nodes * partitions_per_node
+  /// \param partitions_per_node node width, for partition -> node math
+  ReplicaManager(const Catalog* catalog, ReplicationConfig config,
+                 int32_t num_buckets, int32_t total_partitions,
+                 int32_t partitions_per_node);
+
+  const ReplicationConfig& config() const { return config_; }
+  int32_t num_buckets() const { return num_buckets_; }
+  NodeId node_of(PartitionId p) const { return p / partitions_per_node_; }
+
+  // --- Placement -------------------------------------------------------
+
+  /// Healthy replica partitions of a bucket, ascending (deterministic).
+  const std::vector<PartitionId>& replicas(BucketId b) const {
+    return replicas_[static_cast<size_t>(b)];
+  }
+  int32_t healthy_replicas(BucketId b) const {
+    return static_cast<int32_t>(replicas_[static_cast<size_t>(b)].size());
+  }
+  bool IsDegraded(BucketId b) const {
+    return healthy_replicas(b) < config_.k;
+  }
+  /// Buckets currently below their replication factor.
+  int64_t degraded_buckets() const;
+  /// Buckets with a replica hosted on partition `q`.
+  int64_t backup_buckets_on_partition(PartitionId q) const {
+    return backup_count_[static_cast<size_t>(q)];
+  }
+  /// Buckets with a replica hosted on any partition of node `n`.
+  int64_t BackupBucketsOnNode(NodeId n) const;
+  bool HasReplicaOn(BucketId b, PartitionId q) const;
+
+  /// Records a new healthy replica (bookkeeping only; the caller has
+  /// already populated the backup fragment).
+  void AddReplica(BucketId b, PartitionId q);
+
+  /// Copies the primary's current rows for `b` into `target`'s backup
+  /// fragment and records the replica (initial placement; failure
+  /// repairs go through BeginRebuild/FinishRebuild instead).
+  Status InstallReplica(BucketId b, PartitionId target,
+                        const StorageFragment& primary);
+
+  /// Drops one replica: removes the bookkeeping and discards the backup
+  /// fragment's rows for the bucket. False if `q` held no replica.
+  bool RemoveReplica(BucketId b, PartitionId q);
+
+  /// Picks the promotion survivor for a bucket whose primary died: the
+  /// lowest-id healthy replica, removed from the replica list. The
+  /// caller moves the backup fragment's rows into its engine fragment.
+  /// Returns -1 if no healthy replica exists (the bucket's data is
+  /// honestly lost).
+  PartitionId Promote(BucketId b);
+
+  /// Relocates a replica's rows and bookkeeping between partitions
+  /// (used when a migrated primary lands on its backup's node).
+  Status MoveReplica(BucketId b, PartitionId from, PartitionId to);
+
+  /// Drops every replica hosted on node `n` (crash or release). Returns
+  /// the number of replicas dropped.
+  int64_t DropReplicasOnNode(NodeId n);
+
+  StorageFragment* backup_fragment(PartitionId q) {
+    return backups_[static_cast<size_t>(q)].get();
+  }
+  const StorageFragment* backup_fragment(PartitionId q) const {
+    return backups_[static_cast<size_t>(q)].get();
+  }
+
+  /// Total rows across all backup fragments (replica accounting).
+  int64_t TotalBackupRowCount() const;
+
+  // --- Re-replication bookkeeping --------------------------------------
+  //
+  // The engine paces rebuild chunks on the simulator; the manager holds
+  // the per-bucket in-flight target and a generation counter that stale
+  // chunk events check, exactly like MigrationExecutor's move_epoch_.
+  // One rebuild per bucket runs at a time; k > 1 deficits are filled
+  // sequentially by the engine's next KickRebuilds pass.
+
+  /// Virtual kB per bucket (db_size_mb spread over the universe).
+  double kb_per_bucket() const;
+  /// Chunks one bucket rebuild ships (>= 1).
+  int32_t chunks_per_rebuild() const;
+
+  PartitionId rebuild_target(BucketId b) const {
+    return rebuild_target_[static_cast<size_t>(b)];
+  }
+  bool rebuild_in_flight(BucketId b) const {
+    return rebuild_target_[static_cast<size_t>(b)] >= 0;
+  }
+  int64_t rebuild_gen(BucketId b) const {
+    return rebuild_gen_[static_cast<size_t>(b)];
+  }
+  int64_t rebuilds_in_flight() const { return rebuilds_in_flight_; }
+
+  /// Starts a rebuild of `b` toward `target`; returns the generation
+  /// that chunk events must carry. Precondition: none in flight for `b`.
+  int64_t BeginRebuild(BucketId b, PartitionId target);
+
+  /// Invalidates the in-flight rebuild of `b`, if any (pending chunk
+  /// events see a stale generation and become no-ops).
+  void CancelRebuild(BucketId b);
+
+  /// Cancels every in-flight rebuild targeting node `n`; returns count.
+  int64_t CancelRebuildsTargeting(NodeId n);
+
+  /// Completes a rebuild: snapshots the primary fragment's rows for the
+  /// bucket into the target's backup fragment and records the replica.
+  Status FinishRebuild(BucketId b, const StorageFragment& primary);
+
+  /// One rebuild chunk landed (metrics pull this counter).
+  void OnRebuildChunk() { ++rebuild_chunks_landed_; }
+
+  // --- Synchronous apply bookkeeping -----------------------------------
+
+  void OnApplyStarted() { ++applies_; ++outstanding_applies_; }
+  void OnApplyFinished() { --outstanding_applies_; }
+  int64_t applies() const { return applies_; }
+  /// Backup apply work items enqueued but not yet executed — the
+  /// replication-lag gauge.
+  int64_t outstanding_applies() const { return outstanding_applies_; }
+
+  // --- Checkpoint + command log (restart recovery) ---------------------
+
+  /// Logs one committed write on the primary's node.
+  void RecordWrite(NodeId n) { ++log_entries_[static_cast<size_t>(n)]; }
+
+  /// Fuzzy checkpoint of node `n`: snapshots its hosted kB and
+  /// truncates its command log.
+  void TakeCheckpoint(NodeId n, double hosted_kb);
+
+  /// Clears node `n`'s recovery state (a recovered or newly provisioned
+  /// node rejoins empty, with nothing to replay).
+  void ResetNode(NodeId n);
+
+  /// Virtual time node `n` needs to load its last checkpoint and replay
+  /// its command log. Always >= 1 us: even an empty node pays a floor
+  /// cost, so recovery is never instantaneous.
+  SimDuration RecoveryDuration(NodeId n) const;
+
+  int64_t checkpoints() const { return checkpoints_; }
+  int64_t log_entries(NodeId n) const {
+    return log_entries_[static_cast<size_t>(n)];
+  }
+  double checkpoint_kb(NodeId n) const {
+    return checkpoint_kb_[static_cast<size_t>(n)];
+  }
+
+  // --- Counters --------------------------------------------------------
+
+  int64_t promotions() const { return promotions_; }
+  int64_t replicas_dropped() const { return replicas_dropped_; }
+  int64_t replica_relocations() const { return replica_relocations_; }
+  int64_t rebuilds_started() const { return rebuilds_started_; }
+  int64_t rebuilds_completed() const { return rebuilds_completed_; }
+  int64_t rebuild_chunks_landed() const { return rebuild_chunks_landed_; }
+
+ private:
+  const Catalog* catalog_;
+  ReplicationConfig config_;
+  int32_t num_buckets_;
+  int32_t partitions_per_node_;
+
+  std::vector<std::unique_ptr<StorageFragment>> backups_;  ///< Per partition.
+  std::vector<std::vector<PartitionId>> replicas_;  ///< Per bucket, sorted.
+  std::vector<int64_t> backup_count_;               ///< Per partition.
+  std::vector<PartitionId> rebuild_target_;  ///< Per bucket; -1 = none.
+  std::vector<int64_t> rebuild_gen_;         ///< Per bucket.
+  int64_t rebuilds_in_flight_ = 0;
+
+  std::vector<double> checkpoint_kb_;   ///< Per node.
+  std::vector<int64_t> log_entries_;    ///< Per node, since checkpoint.
+
+  int64_t applies_ = 0;
+  int64_t outstanding_applies_ = 0;
+  int64_t promotions_ = 0;
+  int64_t replicas_dropped_ = 0;
+  int64_t replica_relocations_ = 0;
+  int64_t rebuilds_started_ = 0;
+  int64_t rebuilds_completed_ = 0;
+  int64_t rebuild_chunks_landed_ = 0;
+  int64_t checkpoints_ = 0;
+};
+
+}  // namespace replication
+}  // namespace pstore

@@ -1,0 +1,32 @@
+#include "replication/replication_config.h"
+
+namespace pstore {
+namespace replication {
+
+Status ReplicationConfig::Validate() const {
+  if (k < 1) return Status::InvalidArgument("replication k < 1");
+  if (apply_weight < 0) {
+    return Status::InvalidArgument("apply_weight < 0");
+  }
+  if (db_size_mb <= 0) return Status::InvalidArgument("db_size_mb <= 0");
+  if (rebuild_chunk_kb <= 0) {
+    return Status::InvalidArgument("rebuild_chunk_kb <= 0");
+  }
+  if (rebuild_rate_kbps <= 0) {
+    return Status::InvalidArgument("rebuild_rate_kbps <= 0");
+  }
+  if (wire_kbps <= 0) return Status::InvalidArgument("wire_kbps <= 0");
+  if (checkpoint_period <= 0) {
+    return Status::InvalidArgument("checkpoint_period <= 0");
+  }
+  if (checkpoint_load_kbps <= 0) {
+    return Status::InvalidArgument("checkpoint_load_kbps <= 0");
+  }
+  if (replay_us_per_entry < 0) {
+    return Status::InvalidArgument("replay_us_per_entry < 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace replication
+}  // namespace pstore

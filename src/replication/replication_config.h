@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/sim_time.h"
+#include "common/status.h"
+
+/// \file replication_config.h
+/// Configuration for the k-safety subsystem: per-bucket primary/backup
+/// placement, synchronous apply of committed writes to backups, crash
+/// failover by *promotion* (the backup becomes the primary — no bulk
+/// data teleport), chunked re-replication to restore k after a failure,
+/// and restart recovery via deterministic checkpoint + command-log
+/// replay on the simulator clock. Strictly opt-in: with
+/// `enabled = false` (the default) the engine behaves exactly as the
+/// historical build — no extra Rng draws, metrics, events, or scheduled
+/// work — so pre-existing traces stay byte-identical.
+///
+/// Sizing mirrors the migration executor: a *virtual* database size
+/// determines per-bucket kB, and rebuild/checkpoint work takes virtual
+/// time derived from configured rates, so recovery consumes effective
+/// capacity (Eq. 7's spirit applied to failures instead of moves) even
+/// though test databases hold few physical rows. See DESIGN.md §10.
+
+namespace pstore {
+namespace replication {
+
+/// Replication/recovery knobs (engine-wide; placement is per bucket).
+struct ReplicationConfig {
+  /// Master switch. Everything below is inert while false.
+  bool enabled = false;
+
+  /// k: backups maintained per bucket (k-safety). With k = 1 every
+  /// committed row survives any single node failure.
+  int32_t k = 1;
+
+  /// Backup apply cost as a fraction of the primary's drawn service
+  /// time. Applying a deterministic command on a replica skips client
+  /// handling and result marshalling, so it is cheaper than the
+  /// original execution — but not free: apply work occupies the backup
+  /// partition's executor (the write amplification Eq. 5/7 must model).
+  double apply_weight = 0.5;
+
+  /// Virtual database size used to size rebuild and checkpoint work
+  /// (matches MigrationOptions::db_size_mb semantics; 1106 MB in §8.1).
+  double db_size_mb = 1106.0;
+
+  /// Upper bound on one re-replication chunk.
+  double rebuild_chunk_kb = 1000.0;
+
+  /// Sustained per-bucket rebuild rate (R-like pacing; rebuilds are
+  /// throttled exactly like Squall streams so they do not saturate the
+  /// donor partition).
+  double rebuild_rate_kbps = 244.0;
+
+  /// Burst rate while a rebuild chunk is in flight; the chunk occupies
+  /// both the donor and the target executor for chunk_kb / wire_kbps.
+  double wire_kbps = 10240.0;
+
+  /// Period of the cluster-wide fuzzy checkpoint. Each checkpoint
+  /// snapshots every live node's hosted data size and truncates its
+  /// command log; restart recovery replays checkpoint + log.
+  SimDuration checkpoint_period = 60 * kSecond;
+
+  /// Rate at which a restarting node loads its last checkpoint.
+  double checkpoint_load_kbps = 102400.0;
+
+  /// Replay cost per logged command during restart recovery.
+  double replay_us_per_entry = 100.0;
+
+  /// Rejects non-positive sizes/rates/periods and k < 1.
+  Status Validate() const;
+};
+
+}  // namespace replication
+}  // namespace pstore

@@ -75,17 +75,30 @@ class ExecutionContext {
     return fragment_->Contains(table, key);
   }
   Status Insert(TableId table, const Row& row) {
-    return fragment_->Insert(table, row);
+    Status s = fragment_->Insert(table, row);
+    if (s.ok()) ++mutations_;
+    return s;
   }
   Status Upsert(TableId table, const Row& row) {
-    return fragment_->Upsert(table, row);
+    Status s = fragment_->Upsert(table, row);
+    if (s.ok()) ++mutations_;
+    return s;
   }
   Status Delete(TableId table, int64_t key) {
-    return fragment_->Delete(table, key);
+    Status s = fragment_->Delete(table, key);
+    if (s.ok()) ++mutations_;
+    return s;
   }
+
+  /// Successful writes performed through this context. The replication
+  /// layer re-executes procedure bodies whose primary execution mutated
+  /// state; read-only transactions (mutations() == 0) are never shipped
+  /// to backups.
+  int64_t mutations() const { return mutations_; }
 
  private:
   StorageFragment* fragment_;
+  int64_t mutations_ = 0;
 };
 
 /// Body of a stored procedure.

@@ -98,6 +98,36 @@ TEST_F(ReactiveControllerTest, ScalesInAfterSustainedLowLoad) {
   EXPECT_LT(engine_->active_nodes(), 4);
 }
 
+TEST_F(ReactiveControllerTest, ScaleInRespectsReplicationFloor) {
+  // With k=1 replication the cluster must never shrink below k+1 = 2
+  // nodes: dropping to 1 would strand every bucket at degraded k with
+  // no node left to rebuild onto.
+  EngineConfig config = testing_util::SmallEngineConfig();
+  config.initial_nodes = 4;
+  config.replication.enabled = true;
+  config.replication.k = 1;
+  config.replication.db_size_mb = 10.0;
+  config.replication.rebuild_chunk_kb = 100.0;
+  config.replication.rebuild_rate_kbps = 10000.0;
+  config.replication.wire_kbps = 100000.0;
+  engine_ = std::make_unique<ClusterEngine>(&sim_, db_.catalog, db_.registry,
+                                            config);
+  EXPECT_EQ(engine_->min_active_nodes(), 2);
+  MigrationOptions migration;
+  migration.chunk_kb = 200;
+  migration.rate_kbps = 5000;
+  migration.wire_kbps = 50000;
+  migration.db_size_mb = 10;
+  migrator_ = std::make_unique<MigrationExecutor>(engine_.get(), migration);
+  ReactiveController controller(engine_.get(), migrator_.get(), Config());
+  controller.Start();
+  OfferLoad(20.0, 60.0);  // would fit on one node if not for the floor
+  sim_.RunUntil(SecondsToDuration(90.0));
+  EXPECT_GT(controller.scale_ins(), 0);
+  EXPECT_EQ(engine_->active_nodes(), 2);
+  EXPECT_EQ(engine_->replication()->degraded_buckets(), 0);
+}
+
 TEST_F(ReactiveControllerTest, ScaleInWaitsForHoldPeriod) {
   Build(2);
   ReactiveConfig config = Config();

@@ -94,6 +94,58 @@ TEST(FaultPlanTest, WeightsSteerEventMix) {
   }
 }
 
+TEST(FaultPlanTest, ReplicaLagWeightValidatesAndSteersMix) {
+  ChaosConfig config;
+  config.replica_lag_weight = -1;
+  EXPECT_TRUE(config.Validate().IsInvalidArgument());
+
+  config = ChaosConfig{};
+  config.num_events = 30;
+  config.crash_weight = 0.0;
+  config.restart_weight = 0.0;
+  config.stall_weight = 0.0;
+  config.chunk_failure_weight = 0.0;
+  config.misforecast_weight = 0.0;
+  config.replica_lag_weight = 1.0;
+  EXPECT_TRUE(config.Validate().ok());
+  Rng rng(11);
+  const FaultPlan plan = RandomFaultPlan(&rng, config);
+  for (const FaultEvent& e : plan.events) {
+    EXPECT_EQ(e.type, FaultType::kReplicaLag);
+    EXPECT_GT(e.duration, 0);  // Lag window length.
+    EXPECT_GT(e.stall, 0);     // Per-apply lag.
+  }
+  EXPECT_NE(plan.ToString().find("replica-lag"), std::string::npos);
+  EXPECT_NE(plan.ToString().find("lag="), std::string::npos);
+}
+
+TEST(FaultPlanTest, DefaultWeightsNeverDrawReplicaLag) {
+  // replica_lag_weight defaults to 0 in the trailing weight bucket, so
+  // pre-existing seeded plans keep drawing exactly what they always did.
+  ChaosConfig config;
+  config.num_events = 200;
+  Rng rng(5);
+  const FaultPlan plan = RandomFaultPlan(&rng, config);
+  for (const FaultEvent& e : plan.events) {
+    EXPECT_NE(e.type, FaultType::kReplicaLag);
+    EXPECT_EQ(e.scope, CrashScope::kAny);
+  }
+  EXPECT_EQ(plan.ToString().find("replica-lag"), std::string::npos);
+  EXPECT_EQ(plan.ToString().find("scope="), std::string::npos);
+}
+
+TEST(FaultPlanTest, CrashScopePrintsOnlyWhenScoped) {
+  FaultEvent e;
+  e.type = FaultType::kNodeCrash;
+  e.node = -1;
+  // kAny prints the historical string exactly.
+  EXPECT_EQ(e.ToString().find("scope="), std::string::npos);
+  e.scope = CrashScope::kPrimaryHeavy;
+  EXPECT_NE(e.ToString().find("scope=primary"), std::string::npos);
+  e.scope = CrashScope::kBackupHeavy;
+  EXPECT_NE(e.ToString().find("scope=backup"), std::string::npos);
+}
+
 TEST(EventTraceTest, FingerprintIsOrderSensitive) {
   EventTrace a, b;
   a.Record(0, "x");

@@ -3,7 +3,9 @@
 # telemetry artifacts (metrics JSON/CSV, span trace, event stream, fault
 # trace) are byte-identical — the repo's same-seed determinism contract.
 # A second pair of runs repeats the check under --spike (overload
-# control: load spikes, shedding, breakers, retries).
+# control: load spikes, shedding, breakers, retries), and a third under
+# --recovery (replication: promotion failover, replica lag, checkpoint +
+# log-replay restarts, re-replication).
 #
 # Usage: [CHAOS_RUN=path/to/chaos_run] [SEED=N] [EVENTS=N] \
 #          tools/check_determinism.sh
@@ -24,9 +26,10 @@ workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
 
 status=0
-for run in a b c d; do
+for run in a b c d e f; do
   flags=""
-  [ "$run" = c ] || [ "$run" = d ] && flags="--spike"
+  { [ "$run" = c ] || [ "$run" = d ]; } && flags="--spike"
+  { [ "$run" = e ] || [ "$run" = f ]; } && flags="--recovery"
   if ! "$CHAOS_RUN" --seed="$SEED" --events="$EVENTS" $flags \
        --out="$workdir/$run" > "$workdir/$run.stdout" 2>&1; then
     echo "check_determinism: run $run FAILED; tail of output:" >&2
@@ -36,7 +39,7 @@ for run in a b c d; do
 done
 [ "$status" -ne 0 ] && exit "$status"
 
-for pair in "a b plain" "c d spike"; do
+for pair in "a b plain" "c d spike" "e f recovery"; do
   set -- $pair
   if diff -r "$workdir/$1" "$workdir/$2" > "$workdir/diff.out" 2>&1; then
     files=$(ls "$workdir/$1" | wc -l | tr -d ' ')
