@@ -27,8 +27,18 @@
 /// rows, k-safety must be restored by re-replication, and — as always —
 /// two same-seed runs must match byte for byte.
 ///
+/// --partition switches to the network scenario: k=1 replication plus
+/// the simulated message substrate (net.enabled), and a SCRIPTED fault
+/// plan — a scale-out racing a net partition that outlives the failover
+/// timeout (suspicion -> lease expiry -> fenced failover), a message
+/// loss/duplication window over the chunk protocol, an extra-latency
+/// window, and a second partition, all healed before the end. A fenced
+/// primary must never commit, no chunk may apply twice, rows are
+/// conserved, k-safety is restored after heal — and two same-seed runs
+/// must match byte for byte.
+///
 ///   ./build/examples/chaos_run [--seed=42] [--events=10] [--out=DIR]
-///                              [--spike | --recovery]
+///                              [--spike | --recovery | --partition]
 
 #include <cstdio>
 #include <cstdlib>
@@ -85,6 +95,17 @@ struct RunResult {
   int64_t recoveries = 0;
   int64_t rows_lost = 0;
   int64_t degraded_at_end = 0;
+  // Partition-scenario extras (all 0 outside --partition).
+  int64_t net_partitions = 0;
+  int64_t suspicions = 0;
+  int64_t fenced_failovers = 0;
+  int64_t fenced_rejections = 0;
+  int64_t fenced_commits = 0;
+  int64_t msgs_sent = 0;
+  int64_t msgs_dropped = 0;
+  int64_t net_retransmits = 0;
+  int64_t net_duplicate_data = 0;
+  int64_t net_double_applies = 0;
   // Telemetry dumps + their determinism digests.
   std::string metrics_json;
   std::string metrics_csv;
@@ -95,7 +116,7 @@ struct RunResult {
 };
 
 RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike,
-                  bool recovery) {
+                  bool recovery, bool partition) {
   // A tiny KV database: one table, Get and Put procedures. (Put is
   // registered in every mode but only the recovery workload issues it,
   // so the plain and spike scenarios are untouched.)
@@ -150,7 +171,7 @@ RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike,
     config.overload.breaker.min_samples = 20;
     config.overload.breaker.cooldown = 3 * kSecond;
   }
-  if (recovery) {
+  if (recovery || partition) {
     // k=1 backups, synchronous apply, chunked re-replication, and
     // checkpoint + command-log replay on restart.
     config.replication.enabled = true;
@@ -160,6 +181,13 @@ RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike,
     config.replication.rebuild_rate_kbps = 10000.0;
     config.replication.wire_kbps = 100000.0;
     config.replication.checkpoint_period = 5 * kSecond;
+  }
+  if (partition) {
+    // The simulated message substrate with the default timer chain:
+    // 250 ms heartbeats, 1 s suspicion, 2 s lease, 4 s failover — so a
+    // partition longer than 4 s fences the isolated node and fails its
+    // buckets over, and a shorter one only suspends scale-ins.
+    config.net.enabled = true;
   }
   ClusterEngine engine(&sim, catalog, registry, config);
   obs::TelemetryBundle telemetry;
@@ -228,6 +256,29 @@ RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike,
     restart2.at = 55 * kSecond;
     restart2.type = FaultType::kNodeRestart;
     plan.events = {crash1, lag, restart1, crash2, restart2};
+  } else if (partition) {
+    // Scripted so the assertions (a fenced failover happened, nothing
+    // dual-committed, nothing applied twice) hold for every seed.
+    FaultEvent part1;
+    part1.at = 3 * kSecond;  // Races the 2 s scale-out's chunk streams.
+    part1.type = FaultType::kNetPartition;
+    part1.duration = 8 * kSecond;  // > failover_timeout: fences + fails over.
+    FaultEvent loss;
+    loss.at = 15 * kSecond;  // Over re-replication + retransmit traffic.
+    loss.type = FaultType::kNetLoss;
+    loss.duration = 10 * kSecond;
+    loss.probability = 0.2;
+    loss.dup_probability = 0.1;
+    FaultEvent delay;
+    delay.at = 30 * kSecond;
+    delay.type = FaultType::kNetDelay;
+    delay.duration = 10 * kSecond;
+    delay.stall = 5 * kMillisecond;
+    FaultEvent part2;
+    part2.at = 45 * kSecond;  // Second fence/heal cycle on a full-k map.
+    part2.type = FaultType::kNetPartition;
+    part2.duration = 6 * kSecond;
+    plan.events = {part1, loss, delay, part2};
   } else {
     ChaosConfig chaos;
     chaos.horizon = 90 * kSecond;
@@ -260,13 +311,14 @@ RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike,
   auto generate = std::make_shared<std::function<void(int64_t)>>();
   if (!spike) {
     // Steady 40 txn/s for 120 virtual seconds: pure reads, except that
-    // the recovery scenario writes one in four so the command log and
-    // the synchronous backup applies carry real traffic.
+    // the recovery and partition scenarios write one in four so the
+    // command log and the synchronous backup applies carry real traffic
+    // (and, under --partition, so the commit gate has writes to fence).
     const double rate = 40.0;
     for (int64_t i = 0; i < static_cast<int64_t>(rate * seconds); ++i) {
       TxnRequest req;
       req.key = (i * 48271) % rows;
-      if (recovery && i % 4 == 0) {
+      if ((recovery || partition) && i % 4 == 0) {
         req.proc = put;
         req.args.push_back(Value(i));
       } else {
@@ -275,9 +327,10 @@ RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike,
       sim.ScheduleAt(SecondsToDuration(i / rate),
                      [&engine, req]() { engine.Submit(req); });
     }
-    if (recovery) {
-      // A scale-out racing the 3 s crash: the executor must abort or
-      // finish the move cleanly and keep replica placement legal.
+    if (recovery || partition) {
+      // A scale-out racing the 3 s crash (or partition): the executor
+      // must abort or finish the move cleanly — retransmitting through
+      // the fault under --partition — and keep replica placement legal.
       sim.ScheduleAt(2 * kSecond,
                      [&migrator]() { (void)migrator.StartMove(5, nullptr); });
     }
@@ -357,7 +410,7 @@ RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike,
     out.sheds_seen = sheds_seen;
     out.safety_scale_outs = controller.scale_outs();
   }
-  if (recovery) {
+  if (recovery || partition) {
     out.promotions = engine.replication()->promotions();
     out.rebuilds = engine.replication()->rebuilds_completed();
     out.backup_applies = engine.replication()->applies();
@@ -365,6 +418,19 @@ RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike,
     out.recoveries = engine.recoveries();
     out.rows_lost = engine.rows_lost();
     out.degraded_at_end = engine.replication()->degraded_buckets();
+  }
+  if (partition) {
+    out.net_partitions = injector.net_partitions();
+    out.suspicions = engine.suspicions();
+    out.fenced_failovers = engine.fenced_failovers();
+    out.fenced_rejections = engine.fenced_rejections();
+    out.fenced_commits = engine.fenced_commits();
+    out.msgs_sent = engine.net()->messages_sent();
+    out.msgs_dropped = engine.net()->messages_dropped_partition() +
+                       engine.net()->messages_dropped_loss();
+    out.net_retransmits = migrator.net_retransmits();
+    out.net_duplicate_data = migrator.net_duplicate_data();
+    out.net_double_applies = migrator.net_double_applies();
   }
   out.metrics_json = telemetry.metrics.DumpJson();
   out.metrics_csv = exporter.ToCsv();
@@ -388,6 +454,7 @@ int main(int argc, char** argv) {
   int32_t num_events = 10;
   bool spike = false;
   bool recovery = false;
+  bool partition = false;
   std::string out_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--seed=", 7) == 0) {
@@ -400,18 +467,25 @@ int main(int argc, char** argv) {
       spike = true;
     } else if (std::strcmp(argv[i], "--recovery") == 0) {
       recovery = true;
+    } else if (std::strcmp(argv[i], "--partition") == 0) {
+      partition = true;
     }
   }
-  if (spike && recovery) {
-    std::fprintf(stderr, "--spike and --recovery are exclusive\n");
+  if (spike + recovery + partition > 1) {
+    std::fprintf(stderr,
+                 "--spike, --recovery and --partition are exclusive\n");
     return 2;
   }
 
-  std::printf("chaos run, seed %llu, %d fault events%s\n",
-              static_cast<unsigned long long>(seed), num_events,
-              spike ? ", overload scenario"
-                    : recovery ? ", recovery scenario (scripted plan)" : "");
-  const RunResult first = RunOnce(seed, num_events, spike, recovery);
+  std::printf(
+      "chaos run, seed %llu, %d fault events%s\n",
+      static_cast<unsigned long long>(seed), num_events,
+      spike ? ", overload scenario"
+            : recovery ? ", recovery scenario (scripted plan)"
+                       : partition ? ", partition scenario (scripted plan)"
+                                   : "");
+  const RunResult first = RunOnce(seed, num_events, spike, recovery,
+                                  partition);
   std::printf("\nfault plan:\n%s", first.plan.c_str());
   std::printf("\nevent trace:\n%s", first.trace.c_str());
   std::printf(
@@ -439,6 +513,25 @@ int main(int argc, char** argv) {
         static_cast<long long>(first.sheds_seen),
         static_cast<long long>(first.retries),
         static_cast<long long>(first.safety_scale_outs));
+  }
+  if (partition) {
+    std::printf(
+        "partition: %lld partitions, %lld suspicions, %lld fenced "
+        "failovers, %lld rejections, %lld fenced commits, %lld msgs sent "
+        "(%lld dropped), %lld retransmits, %lld dup chunks, "
+        "%lld double applies, %lld rows lost, %lld degraded at end\n",
+        static_cast<long long>(first.net_partitions),
+        static_cast<long long>(first.suspicions),
+        static_cast<long long>(first.fenced_failovers),
+        static_cast<long long>(first.fenced_rejections),
+        static_cast<long long>(first.fenced_commits),
+        static_cast<long long>(first.msgs_sent),
+        static_cast<long long>(first.msgs_dropped),
+        static_cast<long long>(first.net_retransmits),
+        static_cast<long long>(first.net_duplicate_data),
+        static_cast<long long>(first.net_double_applies),
+        static_cast<long long>(first.rows_lost),
+        static_cast<long long>(first.degraded_at_end));
   }
   if (recovery) {
     std::printf(
@@ -470,7 +563,8 @@ int main(int argc, char** argv) {
 
   // Replay: the same seed must reproduce the run exactly — the fault
   // trace, the metric dump and the span trace all fingerprint-equal.
-  const RunResult second = RunOnce(seed, num_events, spike, recovery);
+  const RunResult second = RunOnce(seed, num_events, spike, recovery,
+                                   partition);
   const bool replay_ok =
       first.fingerprint == second.fingerprint &&
       first.events == second.events &&
@@ -481,7 +575,11 @@ int main(int argc, char** argv) {
       first.breaker_trips == second.breaker_trips &&
       first.promotions == second.promotions &&
       first.backup_applies == second.backup_applies &&
-      first.recoveries == second.recoveries;
+      first.recoveries == second.recoveries &&
+      first.msgs_sent == second.msgs_sent &&
+      first.msgs_dropped == second.msgs_dropped &&
+      first.net_retransmits == second.net_retransmits &&
+      first.suspicions == second.suspicions;
   std::printf("\nreplay: trace fingerprints %016llx vs %016llx, "
               "metrics %016llx vs %016llx, spans %016llx vs %016llx -> %s\n",
               static_cast<unsigned long long>(first.fingerprint),
@@ -501,8 +599,19 @@ int main(int argc, char** argv) {
        first.backup_applies > 0 && first.replica_lags == 1 &&
        first.recoveries == 2 && first.rows_lost == 0 &&
        first.degraded_at_end == 0);
+  // Partition acceptance: both fence/heal cycles opened, suspicion and
+  // at least one fenced failover fired, retransmission carried the move
+  // through the fault windows — and the safety tripwires stayed at zero
+  // (no dual-commit, no double apply, no rows lost, full k at the end).
+  const bool partition_ok =
+      !partition ||
+      (first.net_partitions == 2 && first.suspicions > 0 &&
+       first.fenced_failovers > 0 && first.msgs_dropped > 0 &&
+       first.net_retransmits > 0 && first.fenced_commits == 0 &&
+       first.net_double_applies == 0 && first.rows_lost == 0 &&
+       first.degraded_at_end == 0);
   const bool ok = first.violations == 0 && second.violations == 0 &&
-                  replay_ok && recovery_ok;
+                  replay_ok && recovery_ok && partition_ok;
   std::printf("%s\n", ok ? "chaos run PASSED" : "chaos run FAILED");
   return ok ? 0 : 1;
 }

@@ -27,6 +27,14 @@ Status EngineConfig::Validate() const {
   }
   if (overload.enabled) PSTORE_RETURN_NOT_OK(overload.Validate());
   if (replication.enabled) PSTORE_RETURN_NOT_OK(replication.Validate());
+  if (net.enabled) {
+    PSTORE_RETURN_NOT_OK(net.Validate());
+    if (!replication.enabled) {
+      return Status::InvalidArgument(
+          "net.enabled requires replication.enabled (fenced failover "
+          "promotes backup replicas)");
+    }
+  }
   return Status::OK();
 }
 
@@ -71,6 +79,22 @@ ClusterEngine::ClusterEngine(Simulator* sim, Catalog catalog,
         config_.partitions_per_node);
     InitialReplicaPlacement();
     ScheduleCheckpoint();
+  }
+  if (config_.net.enabled) {
+    // A dedicated Rng stream: the substrate's draws (latency, loss)
+    // never perturb the engine's service-time stream, so toggling net
+    // off keeps every other subsystem's sequence byte-identical.
+    net_ = std::make_unique<net::NetworkModel>(
+        sim_, config_.net, config_.seed ^ 0xd1b54a32d192ed03ULL);
+    const size_t mn = static_cast<size_t>(config_.max_nodes);
+    last_hb_from_.assign(mn, 0);
+    // Every node starts with a grace lease; the first heartbeat round
+    // renews it before it can expire (heartbeat_period < lease_timeout).
+    lease_until_.assign(mn, config_.net.lease_timeout);
+    node_suspected_.assign(mn, 0);
+    node_fenced_.assign(mn, 0);
+    for (NodeId n = 0; n < config_.max_nodes; ++n) HeartbeatLoop(n);
+    MonitorLoop();
   }
 }
 
@@ -169,6 +193,31 @@ void ClusterEngine::set_telemetry(const obs::Telemetry& telemetry) {
       return static_cast<double>(replication_->TotalBackupRowCount());
     });
   }
+  // Net metrics exist only when the simulated substrate is on, keeping
+  // the default build's metric dumps byte-identical.
+  if (net_ != nullptr) {
+    m_suspicions_ = metrics->GetCounter("net.suspicions");
+    m_fenced_failovers_ = metrics->GetCounter("net.fenced_failovers");
+    m_fenced_rejections_ = metrics->GetCounter("net.fenced_rejections");
+    metrics->RegisterCallbackGauge("net.messages_sent", [this]() {
+      return static_cast<double>(net_->messages_sent());
+    });
+    metrics->RegisterCallbackGauge("net.messages_delivered", [this]() {
+      return static_cast<double>(net_->messages_delivered());
+    });
+    metrics->RegisterCallbackGauge("net.dropped_partition", [this]() {
+      return static_cast<double>(net_->messages_dropped_partition());
+    });
+    metrics->RegisterCallbackGauge("net.dropped_loss", [this]() {
+      return static_cast<double>(net_->messages_dropped_loss());
+    });
+    metrics->RegisterCallbackGauge("net.duplicated", [this]() {
+      return static_cast<double>(net_->messages_duplicated());
+    });
+    metrics->RegisterCallbackGauge("net.nodes_suspected", [this]() {
+      return static_cast<double>(nodes_suspected());
+    });
+  }
 }
 
 Status ClusterEngine::ActivateNodes(int32_t n) {
@@ -187,6 +236,7 @@ Status ClusterEngine::ActivateNodes(int32_t n) {
       ++recovery_gen_[static_cast<size_t>(i)];
       replication_->ResetNode(i);
     }
+    if (net_ != nullptr) ResetLease(i);
   }
   active_nodes_ = n;
   allocation_timeline_.push_back(AllocationEvent{sim_->Now(), active_nodes_});
@@ -223,6 +273,7 @@ Status ClusterEngine::DeactivateNodes(int32_t n) {
       node_recovering_[static_cast<size_t>(m)] = 0;
       ++recovery_gen_[static_cast<size_t>(m)];
       replication_->ResetNode(m);
+      if (net_ != nullptr) ResetLease(m);
     }
   }
   active_nodes_ = n;
@@ -257,6 +308,12 @@ Status ClusterEngine::CrashNode(NodeId n) {
   }
   node_up_[static_cast<size_t>(n)] = 0;
   ++fault_epoch_;
+  if (net_ != nullptr) {
+    // Fail-stop is authoritative: the node is dead, not suspected, and
+    // any fence against it is moot (this failover supersedes it).
+    node_suspected_[static_cast<size_t>(n)] = 0;
+    node_fenced_[static_cast<size_t>(n)] = 0;
+  }
   if (replication_ != nullptr) {
     // k-safety failover: promote each dead bucket's backup. The dead
     // node's primary rows are discarded (fail-stop); the promoted
@@ -287,7 +344,20 @@ Status ClusterEngine::CrashNode(NodeId n) {
       for (BucketId bucket : map_.BucketsOfPartition(dead)) {
         auto dead_rows =
             fragments_[static_cast<size_t>(dead)]->ExtractBucket(bucket);
-        const PartitionId q = replication_->Promote(bucket);
+        // With the substrate on, prefer a backup the controller can
+        // reach; if the partition has cut off every replica, still
+        // promote one (data beats reachability — the minority-side new
+        // primary is fenced until heal, never dual-committing).
+        PartitionId q = -1;
+        if (net_ != nullptr) {
+          q = replication_->Promote(bucket, [this](PartitionId r) {
+            const NodeId rn = NodeOfPartition(r);
+            return IsNodeUp(rn) && !IsNodeRecovering(rn) &&
+                   node_fenced_[static_cast<size_t>(rn)] == 0 &&
+                   net_->Reachable(net::NetworkModel::kController, rn);
+          });
+        }
+        if (q < 0) q = replication_->Promote(bucket);
         if (q >= 0) {
           auto data = replication_->backup_fragment(q)->ExtractBucket(bucket);
           Status st = fragments_[static_cast<size_t>(q)]->InstallBucket(
@@ -539,15 +609,44 @@ void ClusterEngine::RouteAndRun(std::shared_ptr<PendingTxn> pending) {
       RouteAndRun(pending);
       return;
     }
-    ExecutionContext ctx(fragments_[static_cast<size_t>(p)].get());
+    if (net_ != nullptr &&
+        !NetAdmit(p, KeyToBucket(pending->req.key, config_.num_buckets))) {
+      // Fenced: the node has no valid lease (or cannot guarantee its
+      // backups will see the write). Rejecting *before* execution is
+      // what makes a concurrent promotion safe.
+      ++fenced_rejections_;
+      if (m_fenced_rejections_ != nullptr) m_fenced_rejections_->Increment();
+      ++txns_aborted_;
+      if (m_aborted_ != nullptr) m_aborted_->Increment();
+      --txns_in_flight_;
+      RecordCompletion(pending->arrival, finished);
+      if (pending->on_done) {
+        TxnResult result;
+        result.status = Status::Unavailable(
+            "rejected: node fenced or replicas unreachable");
+        pending->on_done(result);
+      }
+      return;
+    }
+    StorageFragment* frag = fragments_[static_cast<size_t>(p)].get();
+    ExecutionContext ctx(frag);
     const ProcedureDef& proc = registry_.Get(pending->req.proc);
+    // Procedures can create rows (an upsert of a key lost in a crash)
+    // or delete them; the conservation invariant needs the net delta.
+    const int64_t frag_rows_before = frag->TotalRowCount();
     TxnResult result = proc.body(ctx, pending->req);
+    rows_net_created_ += frag->TotalRowCount() - frag_rows_before;
     ++partition_access_counts_[static_cast<size_t>(p)];
     ++bucket_access_counts_[static_cast<size_t>(
         KeyToBucket(pending->req.key, config_.num_buckets))];
     if (result.status.ok()) {
       ++txns_committed_;
       if (m_committed_ != nullptr) m_committed_->Increment();
+      // Tripwire (audited by the invariant checker): the gate above
+      // ran at this same virtual instant, so this can never fire.
+      if (net_ != nullptr && !NodeHasLease(NodeOfPartition(p))) {
+        ++fenced_commits_;
+      }
     } else {
       ++txns_aborted_;
       if (m_aborted_ != nullptr) m_aborted_->Increment();
@@ -640,6 +739,14 @@ PartitionId ClusterEngine::ChooseBackupPartition(BucketId b) const {
   for (PartitionId q = 0; q < active_partitions(); ++q) {
     const NodeId qn = NodeOfPartition(q);
     if (qn == primary_node || qn == pending_node || !IsNodeUp(qn)) continue;
+    // Suspected, fenced, or unreachable nodes are not rebuild targets:
+    // chunks could not be delivered, and the node may be about to fail.
+    if (net_ != nullptr &&
+        (node_suspected_[static_cast<size_t>(qn)] != 0 ||
+         node_fenced_[static_cast<size_t>(qn)] != 0 ||
+         !net_->Reachable(net::NetworkModel::kController, qn))) {
+      continue;
+    }
     bool node_has_replica = false;
     for (PartitionId r : reps) {
       if (NodeOfPartition(r) == qn) {
@@ -695,9 +802,24 @@ void ClusterEngine::ReplicateWrite(PartitionId primary,
         1, static_cast<SimDuration>(static_cast<double>(service) *
                                     config_.replication.apply_weight) +
                lag);
-    executors_[static_cast<size_t>(q)]->Enqueue(
-        apply,
-        [this](SimTime, SimTime) { replication_->OnApplyFinished(); });
+    if (net_ != nullptr) {
+      // The commit gate just verified this backup was reachable, so the
+      // apply rides the substrate as reliable traffic: it pays per-link
+      // latency but is never dropped (a drop here would silently
+      // diverge the backup from the state mirrored above).
+      net_->Send(NodeOfPartition(primary), NodeOfPartition(q),
+                 net::MessageKind::kReplApply, /*reliable=*/true,
+                 [this, q, apply]() {
+                   executors_[static_cast<size_t>(q)]->Enqueue(
+                       apply, [this](SimTime, SimTime) {
+                         replication_->OnApplyFinished();
+                       });
+                 });
+    } else {
+      executors_[static_cast<size_t>(q)]->Enqueue(
+          apply,
+          [this](SimTime, SimTime) { replication_->OnApplyFinished(); });
+    }
   }
 }
 
@@ -760,21 +882,37 @@ void ClusterEngine::ScheduleRebuildChunk(BucketId bucket,
             replication_->rebuild_gen(bucket) != gen) {
           return;  // Cancelled or superseded while queued.
         }
-        replication_->OnRebuildChunk();
-        if (m_rebuild_chunks_ != nullptr) m_rebuild_chunks_->Increment();
         const PartitionId src = map_.PartitionOfBucket(bucket);
         const PartitionId dst = replication_->rebuild_target(bucket);
+        if (net_ != nullptr &&
+            !net_->Reachable(NodeOfPartition(src), NodeOfPartition(dst))) {
+          // Partitioned: retry this chunk after another pacing period
+          // instead of aborting the rebuild; it resumes after heal.
+          ScheduleRebuildChunk(bucket, chunk_index, gen);
+          return;
+        }
+        replication_->OnRebuildChunk();
+        if (m_rebuild_chunks_ != nullptr) m_rebuild_chunks_->Increment();
         const SimDuration busy = std::max<SimDuration>(
             1, static_cast<SimDuration>(config_.replication.rebuild_chunk_kb /
                                         config_.replication.wire_kbps * 1e6));
         const bool last =
             chunk_index + 1 >= replication_->chunks_per_rebuild();
-        executors_[static_cast<size_t>(src)]->Enqueue(busy,
-                                                      [](SimTime, SimTime) {});
-        executors_[static_cast<size_t>(dst)]->Enqueue(
-            busy, [this, bucket, gen, last](SimTime, SimTime) {
-              if (last) FinishRebuild(bucket, gen);
-            });
+        auto land = [this, src, dst, busy, bucket, gen, last]() {
+          executors_[static_cast<size_t>(src)]->Enqueue(
+              busy, [](SimTime, SimTime) {});
+          executors_[static_cast<size_t>(dst)]->Enqueue(
+              busy, [this, bucket, gen, last](SimTime, SimTime) {
+                if (last) FinishRebuild(bucket, gen);
+              });
+        };
+        if (net_ != nullptr) {
+          net_->Send(NodeOfPartition(src), NodeOfPartition(dst),
+                     net::MessageKind::kRebuildChunk, /*reliable=*/true,
+                     std::move(land));
+        } else {
+          land();
+        }
         if (!last) ScheduleRebuildChunk(bucket, chunk_index + 1, gen);
       });
 }
@@ -828,6 +966,7 @@ void ClusterEngine::FinishRecovery(NodeId n, int64_t gen) {
   const SimTime started = recovery_start_[static_cast<size_t>(n)];
   total_recovery_time_ += now - started;
   replication_->ResetNode(n);
+  if (net_ != nullptr) ResetLease(n);
   if (m_recoveries_ != nullptr) m_recoveries_->Increment();
   if (m_live_nodes_ != nullptr) m_live_nodes_->Set(live_nodes());
   if (telemetry_.tracer != nullptr) {
@@ -862,6 +1001,204 @@ void ClusterEngine::ScheduleCheckpoint() {
     }
     ScheduleCheckpoint();
   });
+}
+
+int32_t ClusterEngine::nodes_suspected() const {
+  if (net_ == nullptr) return 0;
+  int32_t count = 0;
+  for (int32_t n = 0; n < active_nodes_; ++n) {
+    if (node_suspected_[static_cast<size_t>(n)] != 0 ||
+        node_fenced_[static_cast<size_t>(n)] != 0) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+void ClusterEngine::ResetLease(NodeId n) {
+  const size_t i = static_cast<size_t>(n);
+  last_hb_from_[i] = sim_->Now();
+  lease_until_[i] = sim_->Now() + config_.net.lease_timeout;
+  node_suspected_[i] = 0;
+  node_fenced_[i] = 0;
+}
+
+void ClusterEngine::HeartbeatLoop(NodeId n) {
+  sim_->Schedule(config_.net.heartbeat_period, [this, n]() {
+    if (n < active_nodes_ && IsNodeUp(n) && !IsNodeRecovering(n)) {
+      net_->Send(n, net::NetworkModel::kController,
+                 net::MessageKind::kHeartbeat, /*reliable=*/false,
+                 [this, n]() { OnHeartbeatReceived(n); });
+    }
+    HeartbeatLoop(n);
+  });
+}
+
+void ClusterEngine::OnHeartbeatReceived(NodeId n) {
+  // A beat can be in flight when its sender crashes or is released; a
+  // stale arrival must not refresh a dead node's liveness.
+  if (n >= active_nodes_ || !IsNodeUp(n)) return;
+  const size_t i = static_cast<size_t>(n);
+  last_hb_from_[i] = sim_->Now();
+  if (node_suspected_[i] != 0) {
+    node_suspected_[i] = 0;
+    if (telemetry_.events != nullptr) {
+      telemetry_.events->Record(
+          sim_->Now(), "net",
+          "node " + std::to_string(n) + " heartbeat resumed: unsuspected");
+    }
+  }
+  if (node_fenced_[i] != 0) {
+    // Partition healed: the fenced node rejoins at the current epoch.
+    // Its deferred buckets (still owned by it in the map) serve again;
+    // buckets promoted away stay with their new primaries.
+    node_fenced_[i] = 0;
+    ++fault_epoch_;
+    if (telemetry_.events != nullptr) {
+      telemetry_.events->Record(
+          sim_->Now(), "net",
+          "node " + std::to_string(n) + " unfenced after heal (epoch " +
+              std::to_string(fault_epoch_) + ")");
+    }
+    KickRebuilds();
+  }
+  net_->Send(net::NetworkModel::kController, n,
+             net::MessageKind::kHeartbeatAck, /*reliable=*/false,
+             [this, n]() {
+               if (n >= active_nodes_ || !IsNodeUp(n)) return;
+               const SimTime renewed =
+                   sim_->Now() + config_.net.lease_timeout;
+               lease_until_[static_cast<size_t>(n)] = std::max(
+                   lease_until_[static_cast<size_t>(n)], renewed);
+             });
+}
+
+void ClusterEngine::MonitorLoop() {
+  sim_->Schedule(config_.net.heartbeat_period, [this]() {
+    const SimTime now = sim_->Now();
+    for (NodeId n = 0; n < active_nodes_; ++n) {
+      if (!IsNodeUp(n) || IsNodeRecovering(n)) continue;
+      const size_t i = static_cast<size_t>(n);
+      if (node_fenced_[i] != 0) continue;  // Already failed over.
+      const SimTime age = now - last_hb_from_[i];
+      if (age > config_.net.failover_timeout) {
+        FenceAndFailover(n);
+      } else if (age > config_.net.suspicion_timeout &&
+                 node_suspected_[i] == 0) {
+        node_suspected_[i] = 1;
+        ++suspicions_;
+        if (m_suspicions_ != nullptr) m_suspicions_->Increment();
+        if (telemetry_.events != nullptr) {
+          telemetry_.events->Record(
+              now, "net",
+              "node " + std::to_string(n) + " suspected (silent " +
+                  std::to_string(age) + " us)");
+        }
+      }
+    }
+    // Rebuild liveness: a degraded bucket can have no legal target at
+    // eviction time (every candidate suspected or unreachable) and no
+    // later event re-kicks when the window merely closes — healing a
+    // suspicion is not a fence removal and schedules nothing. Sweeping
+    // here is a no-op unless a rebuild can actually start.
+    KickRebuilds();
+    MonitorLoop();
+  });
+}
+
+void ClusterEngine::FenceAndFailover(NodeId n) {
+  // The timer chain guarantees the node self-fenced first: its lease
+  // expired at most lease_timeout after its last delivered ack, and
+  // failover_timeout > lease_timeout measures from the same silence.
+  // So promoting a bucket here can never race a commit on `n`.
+  const size_t i = static_cast<size_t>(n);
+  node_fenced_[i] = 1;
+  node_suspected_[i] = 0;  // Escalated past suspicion.
+  ++fenced_failovers_;
+  ++fault_epoch_;  // The fencing epoch: all promotions below carry it.
+  if (m_fenced_failovers_ != nullptr) m_fenced_failovers_->Increment();
+  obs::SpanTracer::SpanId span = 0;
+  if (telemetry_.tracer != nullptr) {
+    span = telemetry_.tracer->BeginAt(
+        "fenced failover node " + std::to_string(n), sim_->Now());
+  }
+  auto eligible = [this](PartitionId r) {
+    const NodeId rn = NodeOfPartition(r);
+    return IsNodeUp(rn) && !IsNodeRecovering(rn) &&
+           node_fenced_[static_cast<size_t>(rn)] == 0 &&
+           net_->Reachable(net::NetworkModel::kController, rn);
+  };
+  int64_t promoted = 0;
+  int64_t deferred = 0;
+  for (int32_t k = 0; k < config_.partitions_per_node; ++k) {
+    const PartitionId fenced = n * config_.partitions_per_node + k;
+    for (BucketId bucket : map_.BucketsOfPartition(fenced)) {
+      const PartitionId q = replication_->Promote(bucket, eligible);
+      if (q < 0) {
+        // No reachable replica: defer. The bucket stays with the fenced
+        // node — unavailable but intact — and serves again after heal.
+        ++deferred;
+        continue;
+      }
+      // The fenced node's copy is superseded (every commit it accepted
+      // was replicated before its lease expired); discard it so rows
+      // are never double-counted.
+      fragments_[static_cast<size_t>(fenced)]->ExtractBucket(bucket);
+      auto data = replication_->backup_fragment(q)->ExtractBucket(bucket);
+      Status st = fragments_[static_cast<size_t>(q)]->InstallBucket(
+          bucket, std::move(data));
+      if (!st.ok()) {
+        PSTORE_LOG(Warn) << "fenced promotion install of bucket " << bucket
+                         << " failed: " << st.ToString();
+      }
+      map_.Assign(bucket, q);
+      ++promoted;
+      if (replication_->rebuild_in_flight(bucket) &&
+          replication_->node_of(replication_->rebuild_target(bucket)) ==
+              NodeOfPartition(map_.PartitionOfBucket(bucket))) {
+        replication_->CancelRebuild(bucket);
+      }
+    }
+  }
+  buckets_deferred_ += deferred;
+  map_.set_version(map_.version() + 1);
+  KickRebuilds();
+  if (m_promotions_ != nullptr) m_promotions_->Add(promoted);
+  if (telemetry_.events != nullptr) {
+    telemetry_.events->Record(
+        sim_->Now(), "net",
+        "node " + std::to_string(n) + " fenced (epoch " +
+            std::to_string(fault_epoch_) + "): " + std::to_string(promoted) +
+            " buckets promoted, " + std::to_string(deferred) + " deferred");
+  }
+  if (telemetry_.tracer != nullptr) {
+    telemetry_.tracer->EndAt(span, sim_->Now());
+  }
+}
+
+bool ClusterEngine::NetAdmit(PartitionId p, BucketId bucket) {
+  const NodeId node = NodeOfPartition(p);
+  if (!NodeHasLease(node)) return false;
+  // Commit gate: a transaction may only run when every backup will see
+  // its apply. An unreachable backup is evicted (and rebuilt elsewhere)
+  // only when the controller is reachable to authorize it; otherwise
+  // the node cannot distinguish "backup died" from "I am the one
+  // partitioned" and must reject.
+  bool evicted = false;
+  const auto& reps = replication_->replicas(bucket);
+  for (size_t i = 0; i < reps.size();) {
+    const PartitionId r = reps[i];
+    if (net_->Reachable(node, NodeOfPartition(r))) {
+      ++i;
+      continue;
+    }
+    if (!net_->Reachable(node, net::NetworkModel::kController)) return false;
+    replication_->RemoveReplica(bucket, r);  // List shrinks in place.
+    ++replicas_evicted_unreachable_;
+    evicted = true;
+  }
+  if (evicted) KickRebuilds();
+  return true;
 }
 
 double ClusterEngine::AverageNodesAllocated() const {

@@ -9,6 +9,8 @@
 #include "common/histogram.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "net/net_config.h"
+#include "net/network_model.h"
 #include "obs/telemetry.h"
 #include "overload/admission_controller.h"
 #include "overload/overload_config.h"
@@ -71,6 +73,14 @@ struct EngineConfig {
   /// the engine keeps the legacy instant round-robin failover and its
   /// event sequence stays byte-identical to the historical build.
   replication::ReplicationConfig replication;
+
+  /// Simulated network substrate (per-link latency, partitions, message
+  /// faults) plus heartbeat/lease fencing. Disabled by default; with
+  /// `net.enabled == false` no NetworkModel exists, no extra Rng stream
+  /// is created, and the engine's event sequence stays byte-identical to
+  /// the historical build. Requires `replication.enabled` (fenced
+  /// failover promotes backups).
+  net::NetConfig net;
 
   Status Validate() const;
 };
@@ -194,6 +204,11 @@ class ClusterEngine {
   /// teleports rows, and 0 with k >= 1 under single failures).
   int64_t rows_lost() const { return rows_lost_; }
 
+  /// Net rows created by executed procedures since construction: upserts
+  /// that inserted (e.g. re-creating a key lost in a crash) minus
+  /// deletes. Row conservation holds as loaded - lost + this.
+  int64_t rows_net_created() const { return rows_net_created_; }
+
   /// Completed restart recoveries.
   int64_t recoveries() const { return recoveries_; }
 
@@ -217,6 +232,82 @@ class ClusterEngine {
   /// kReplicaLag fault); called with the current virtual time.
   void set_replica_lag_hook(std::function<SimDuration(SimTime)> hook) {
     replica_lag_hook_ = std::move(hook);
+  }
+
+  // --- Network substrate / lease fencing --------------------------------
+  //
+  // With net.enabled, all cross-node traffic (heartbeats, replication
+  // applies, rebuild chunks, migration chunk DATA/ACKs) flows through
+  // the NetworkModel, and liveness becomes a *protocol* instead of an
+  // oracle: nodes heartbeat the controller, the controller grants
+  // leases, and a node whose lease expires self-fences (rejects every
+  // transaction pre-execution) strictly before the controller's
+  // failover timer fires. Fenced failover bumps the fault epoch and
+  // promotes each bucket to a *reachable* backup; a bucket with no
+  // reachable replica is deferred — it stays with the fenced node,
+  // unavailable but intact, and serves again after the partition heals.
+  // Controllers treat suspected (silent but not yet fenced) nodes as
+  // alive for capacity purposes and must defer scale-ins.
+
+  /// The network substrate, or nullptr when net is disabled.
+  net::NetworkModel* net() { return net_.get(); }
+  const net::NetworkModel* net() const { return net_.get(); }
+
+  /// True when node `n`'s heartbeats have been silent longer than the
+  /// suspicion timeout but the failover timer has not yet fired (the
+  /// controller treats it as suspected, not dead). Always false when
+  /// net is disabled.
+  bool IsNodeSuspected(NodeId n) const {
+    return net_ != nullptr && n >= 0 && n < active_nodes_ &&
+           node_suspected_[static_cast<size_t>(n)] != 0;
+  }
+
+  /// Active nodes currently suspected or fenced. Controllers defer
+  /// scale-ins while this is non-zero.
+  int32_t nodes_suspected() const;
+
+  /// True when node `n` holds an unexpired lease (always true when net
+  /// is disabled). A node without a lease self-fences: it rejects every
+  /// transaction before execution, so it can never commit a write that
+  /// a concurrently promoted backup misses.
+  bool NodeHasLease(NodeId n) const {
+    return net_ == nullptr ||
+           (n >= 0 && n < static_cast<int32_t>(lease_until_.size()) &&
+            sim_->Now() < lease_until_[static_cast<size_t>(n)]);
+  }
+
+  /// True when node `n` has been fenced by the controller (failover ran
+  /// against it while unreachable) and has not yet resumed heartbeats.
+  bool IsNodeFenced(NodeId n) const {
+    return net_ != nullptr && n >= 0 && n < active_nodes_ &&
+           node_fenced_[static_cast<size_t>(n)] != 0;
+  }
+
+  /// Transactions rejected pre-execution because the executing node had
+  /// no valid lease or could not reach its replicas or the controller.
+  int64_t fenced_rejections() const { return fenced_rejections_; }
+
+  /// Tripwire: commits executed on a node without a valid lease. The
+  /// pre-execution gate makes this impossible; the invariant checker
+  /// audits it stays 0 (a non-zero value is a dual-commit bug).
+  int64_t fenced_commits() const { return fenced_commits_; }
+
+  /// Suspicion transitions (node went silent past the suspicion
+  /// timeout) so far.
+  int64_t suspicions() const { return suspicions_; }
+
+  /// Fenced failovers run (lease-expired nodes whose buckets were
+  /// promoted away or deferred).
+  int64_t fenced_failovers() const { return fenced_failovers_; }
+
+  /// Buckets deferred by fenced failovers (no reachable replica; left
+  /// with the fenced node, unavailable until heal).
+  int64_t buckets_deferred() const { return buckets_deferred_; }
+
+  /// Backup replicas evicted by the commit gate because they were
+  /// unreachable from the primary while the controller was reachable.
+  int64_t replicas_evicted_unreachable() const {
+    return replicas_evicted_unreachable_;
   }
 
   // --- Data ------------------------------------------------------------
@@ -367,6 +458,27 @@ class ClusterEngine {
   /// Recurring cluster-wide fuzzy checkpoint.
   void ScheduleCheckpoint();
 
+  // Network substrate internals (all no-ops when net_ is null).
+  /// Recurring per-node heartbeat send loop (runs on the virtual clock
+  /// forever; crashed/recovering nodes simply skip their beat).
+  void HeartbeatLoop(NodeId n);
+  /// Controller side: heartbeat from `n` arrived; renew suspicion state
+  /// and send the lease grant back.
+  void OnHeartbeatReceived(NodeId n);
+  /// Recurring controller monitor: ages heartbeats into suspicion and,
+  /// past the failover timeout, fenced failover.
+  void MonitorLoop();
+  /// Epoch-fenced failover of an unreachable node: promote each of its
+  /// buckets to a reachable backup; defer buckets with none.
+  void FenceAndFailover(NodeId n);
+  /// Resets node `n`'s heartbeat/lease state (activation, recovery).
+  void ResetLease(NodeId n);
+  /// Pre-execution gate: true when the transaction may run on `p`'s
+  /// node (valid lease, and every replica of `bucket` reachable — or
+  /// the controller reachable, in which case unreachable replicas are
+  /// evicted and the write proceeds).
+  bool NetAdmit(PartitionId p, BucketId bucket);
+
   Simulator* sim_;
   Catalog catalog_;
   ProcedureRegistry registry_;
@@ -385,9 +497,22 @@ class ClusterEngine {
   std::vector<int64_t> recovery_gen_;     ///< Stale-recovery guard.
   std::vector<SimTime> recovery_start_;   ///< For the recovery span.
   int64_t rows_lost_ = 0;
+  int64_t rows_net_created_ = 0;
   int64_t recoveries_ = 0;
   SimDuration total_recovery_time_ = 0;
   std::function<SimDuration(SimTime)> replica_lag_hook_;
+
+  std::unique_ptr<net::NetworkModel> net_;
+  std::vector<SimTime> last_hb_from_;      ///< Controller: last beat seen.
+  std::vector<SimTime> lease_until_;       ///< Node: lease expiry.
+  std::vector<uint8_t> node_suspected_;    ///< Controller suspicion flag.
+  std::vector<uint8_t> node_fenced_;       ///< Fenced-failover-ran flag.
+  int64_t fenced_rejections_ = 0;
+  int64_t fenced_commits_ = 0;
+  int64_t suspicions_ = 0;
+  int64_t fenced_failovers_ = 0;
+  int64_t buckets_deferred_ = 0;
+  int64_t replicas_evicted_unreachable_ = 0;
 
   obs::Telemetry telemetry_;
   // Cached metric handles (null until set_telemetry).
@@ -407,6 +532,9 @@ class ClusterEngine {
   obs::Counter* m_rebuilds_ = nullptr;
   obs::Counter* m_recoveries_ = nullptr;
   obs::Counter* m_rows_lost_ = nullptr;
+  obs::Counter* m_suspicions_ = nullptr;
+  obs::Counter* m_fenced_failovers_ = nullptr;
+  obs::Counter* m_fenced_rejections_ = nullptr;
   obs::Gauge* m_active_nodes_ = nullptr;
   obs::Gauge* m_live_nodes_ = nullptr;
   obs::HistogramMetric* m_latency_us_ = nullptr;

@@ -288,6 +288,24 @@ void PredictiveController::PlanAndAct(double current_rate) {
       }
       return;
     }
+    // And never shrink while any node is suspected unreachable: the
+    // node holds buckets that may be about to fail over, and its load
+    // is invisible to the forecast while heartbeats are not arriving.
+    // Either the partition heals (suspicion clears next heartbeat) or
+    // the lease expires and failover re-establishes true capacity —
+    // both resolve within the failover timeout, so the deferral is
+    // short and bounded.
+    if (engine_->nodes_suspected() > 0) {
+      scale_in_streak_ = 0;
+      if (telemetry_.events != nullptr) {
+        telemetry_.events->Record(
+            engine_->simulator()->Now(), "controller",
+            "scale-in deferred: " +
+                std::to_string(engine_->nodes_suspected()) +
+                " node(s) suspected unreachable");
+      }
+      return;
+    }
     // Scale-in must be confirmed by N consecutive cycles to avoid
     // spurious latency-inducing flapping (Section 6).
     ++scale_in_streak_;

@@ -138,12 +138,16 @@ void ReactiveController::Tick() {
         }
       }
     } else if (n > engine_->min_active_nodes() && live > 1 && !recovering &&
+               engine_->nodes_suspected() == 0 &&
                smoothed_rate_ <
                    config_.low_watermark * config_.q * (live - 1)) {
       // Load would comfortably fit on a smaller cluster; require it to
       // stay that way for the hold period before scaling in. The floor
       // is k-aware: shrinking below min_active_nodes() would drop every
-      // backup with no node left to rebuild onto.
+      // backup with no node left to rebuild onto. A suspected
+      // (unreachable but not yet fenced) node vetoes the branch: its
+      // load is invisible to the rate estimate and shrinking mid-
+      // partition could strand buckets that are about to fail over.
       const SimTime now = engine_->simulator()->Now();
       if (low_since_ < 0) low_since_ = now;
       if (now - low_since_ >= config_.scale_in_hold) {

@@ -166,6 +166,53 @@ void FaultInjector::ApplyEvent(const FaultEvent& event) {
                              FormatSimTime(event.duration) + " (lag " +
                              FormatSimTime(event.stall) + ")");
       return;
+    // The net faults are recorded but inert when the engine's substrate
+    // is off, and they draw nothing from the injector's Rng either way —
+    // so toggling net.enabled leaves every other fault's draw sequence
+    // byte-identical.
+    case FaultType::kNetPartition: {
+      if (engine_->net() == nullptr) {
+        trace_.Record(now, "net-partition skipped: substrate disabled");
+        return;
+      }
+      const NodeId target =
+          event.node >= 0 ? event.node : PickCrashTarget(CrashScope::kAny);
+      if (target < 0) {
+        trace_.Record(now, "net-partition skipped: no isolatable node");
+        return;
+      }
+      engine_->net()->OpenPartition({target}, event.duration);
+      ++net_partitions_;
+      trace_.Record(now, "net-partition window open for " +
+                             FormatSimTime(event.duration) +
+                             " (isolating node " + std::to_string(target) +
+                             ")");
+      return;
+    }
+    case FaultType::kNetLoss:
+      if (engine_->net() == nullptr) {
+        trace_.Record(now, "net-loss skipped: substrate disabled");
+        return;
+      }
+      engine_->net()->OpenLoss(event.probability, event.dup_probability,
+                               event.duration);
+      ++net_losses_;
+      trace_.Record(now, "net-loss window open for " +
+                             FormatSimTime(event.duration) + " (drop=" +
+                             std::to_string(event.probability) + " dup=" +
+                             std::to_string(event.dup_probability) + ")");
+      return;
+    case FaultType::kNetDelay:
+      if (engine_->net() == nullptr) {
+        trace_.Record(now, "net-delay skipped: substrate disabled");
+        return;
+      }
+      engine_->net()->OpenDelay(event.stall, event.duration);
+      ++net_delays_;
+      trace_.Record(now, "net-delay window open for " +
+                             FormatSimTime(event.duration) + " (delay " +
+                             FormatSimTime(event.stall) + ")");
+      return;
   }
 }
 

@@ -61,6 +61,13 @@ class FaultInjector {
   int64_t load_spikes() const { return load_spikes_; }
   /// Replica-lag windows opened.
   int64_t replica_lags() const { return replica_lags_; }
+  /// Net-partition windows opened (0 when the substrate is off — the
+  /// events are recorded in the trace but inert).
+  int64_t net_partitions() const { return net_partitions_; }
+  /// Net-loss windows opened.
+  int64_t net_losses() const { return net_losses_; }
+  /// Net-delay windows opened.
+  int64_t net_delays() const { return net_delays_; }
 
   /// Digest of the injector's Rng state — equal across two runs iff the
   /// runs made identical random draws (determinism golden tests).
@@ -103,6 +110,9 @@ class FaultInjector {
   int64_t chunk_faults_ = 0;
   int64_t load_spikes_ = 0;
   int64_t replica_lags_ = 0;
+  int64_t net_partitions_ = 0;
+  int64_t net_losses_ = 0;
+  int64_t net_delays_ = 0;
 };
 
 /// \brief Decorator that scales another predictor's forecasts by the

@@ -20,6 +20,12 @@ const char* FaultTypeName(FaultType type) {
       return "load-spike";
     case FaultType::kReplicaLag:
       return "replica-lag";
+    case FaultType::kNetPartition:
+      return "net-partition";
+    case FaultType::kNetLoss:
+      return "net-loss";
+    case FaultType::kNetDelay:
+      return "net-delay";
   }
   return "unknown";
 }
@@ -56,6 +62,20 @@ std::string FaultEvent::ToString() const {
       out += " window=" + FormatSimTime(duration) +
              " lag=" + FormatSimTime(stall);
       break;
+    case FaultType::kNetPartition:
+      out += " node=" +
+             (node < 0 ? std::string("auto") : std::to_string(node)) +
+             " window=" + FormatSimTime(duration);
+      break;
+    case FaultType::kNetLoss:
+      out += " window=" + FormatSimTime(duration) +
+             " drop=" + std::to_string(probability) +
+             " dup=" + std::to_string(dup_probability);
+      break;
+    case FaultType::kNetDelay:
+      out += " window=" + FormatSimTime(duration) +
+             " delay=" + FormatSimTime(stall);
+      break;
   }
   return out;
 }
@@ -67,6 +87,9 @@ Status FaultPlan::Validate() const {
     if (e.stall < 0) return Status::InvalidArgument("stall < 0");
     if (e.probability < 0 || e.probability > 1) {
       return Status::InvalidArgument("probability outside [0, 1]");
+    }
+    if (e.dup_probability < 0 || e.dup_probability > 1) {
+      return Status::InvalidArgument("dup_probability outside [0, 1]");
     }
     if (e.forecast_scale <= 0) {
       return Status::InvalidArgument("forecast_scale <= 0");
@@ -92,11 +115,14 @@ Status ChaosConfig::Validate() const {
   if (num_events < 0) return Status::InvalidArgument("num_events < 0");
   if (crash_weight < 0 || restart_weight < 0 || stall_weight < 0 ||
       chunk_failure_weight < 0 || misforecast_weight < 0 ||
-      load_spike_weight < 0 || replica_lag_weight < 0) {
+      load_spike_weight < 0 || replica_lag_weight < 0 ||
+      net_partition_weight < 0 || net_loss_weight < 0 ||
+      net_delay_weight < 0) {
     return Status::InvalidArgument("fault weights must be >= 0");
   }
   if (crash_weight + restart_weight + stall_weight + chunk_failure_weight +
-          misforecast_weight + load_spike_weight + replica_lag_weight <=
+          misforecast_weight + load_spike_weight + replica_lag_weight +
+          net_partition_weight + net_loss_weight + net_delay_weight <=
       0) {
     return Status::InvalidArgument("at least one weight must be > 0");
   }
@@ -114,7 +140,9 @@ FaultPlan RandomFaultPlan(Rng* rng, const ChaosConfig& config) {
   const std::vector<double> cumulative = CumulativeWeights(
       {config.crash_weight, config.restart_weight, config.stall_weight,
        config.chunk_failure_weight, config.misforecast_weight,
-       config.load_spike_weight, config.replica_lag_weight});
+       config.load_spike_weight, config.replica_lag_weight,
+       config.net_partition_weight, config.net_loss_weight,
+       config.net_delay_weight});
   for (int32_t i = 0; i < config.num_events; ++i) {
     FaultEvent e;
     e.at = static_cast<SimTime>(
@@ -152,6 +180,24 @@ FaultPlan RandomFaultPlan(Rng* rng, const ChaosConfig& config) {
         e.load_scale = 2.0 + 6.0 * rng->NextDouble();
         break;
       case FaultType::kReplicaLag:
+        e.duration = 1 + static_cast<SimDuration>(rng->NextBounded(
+                             static_cast<uint64_t>(config.max_window)));
+        e.stall = 1 + static_cast<SimDuration>(rng->NextBounded(
+                          static_cast<uint64_t>(config.max_stall)));
+        break;
+      case FaultType::kNetPartition:
+        e.node = -1;  // injector isolates a live node at fire time
+        e.duration = 1 + static_cast<SimDuration>(rng->NextBounded(
+                             static_cast<uint64_t>(config.max_window)));
+        break;
+      case FaultType::kNetLoss:
+        e.duration = 1 + static_cast<SimDuration>(rng->NextBounded(
+                             static_cast<uint64_t>(config.max_window)));
+        // Light-to-moderate loss; heavy loss is a partition's job.
+        e.probability = 0.05 + 0.25 * rng->NextDouble();
+        e.dup_probability = 0.05 + 0.15 * rng->NextDouble();
+        break;
+      case FaultType::kNetDelay:
         e.duration = 1 + static_cast<SimDuration>(rng->NextBounded(
                              static_cast<uint64_t>(config.max_window)));
         e.stall = 1 + static_cast<SimDuration>(rng->NextBounded(

@@ -30,6 +30,9 @@ enum class FaultType {
   kMisforecast,     ///< Open a window scaling the predictor's forecasts.
   kLoadSpike,       ///< Open a window multiplying the offered load.
   kReplicaLag,      ///< Open a window delaying backup apply work.
+  kNetPartition,    ///< Open a window isolating a node from the rest.
+  kNetLoss,         ///< Open a window of message drop/duplication.
+  kNetDelay,        ///< Open a window of extra per-message latency.
 };
 
 const char* FaultTypeName(FaultType type);
@@ -56,7 +59,11 @@ enum class CrashScope {
 /// offered-load multiplier inside a load-spike window (workload drivers
 /// poll FaultInjector::load_scale()). kReplicaLag reuses `duration` for
 /// its window and `stall` for the extra delay added to each backup
-/// apply; `scope` refines auto-targeted crashes.
+/// apply; `scope` refines auto-targeted crashes. The net faults (inert
+/// when the engine's substrate is off) reuse `node` (-1 = auto) and
+/// `duration` for kNetPartition, `probability` (drop) plus
+/// `dup_probability` for kNetLoss, and `stall` (extra latency) for
+/// kNetDelay.
 struct FaultEvent {
   SimTime at = 0;
   FaultType type = FaultType::kNodeCrash;
@@ -64,6 +71,7 @@ struct FaultEvent {
   SimDuration duration = 0;
   SimDuration stall = 0;
   double probability = 1.0;
+  double dup_probability = 0.0;  ///< Message duplication odds (kNetLoss).
   double forecast_scale = 1.0;
   double load_scale = 1.0;
   CrashScope scope = CrashScope::kAny;
@@ -102,6 +110,13 @@ struct ChaosConfig {
   /// bucket reason as load_spike_weight: pre-existing seeds draw
   /// identical plans.
   double replica_lag_weight = 0.0;
+  /// Weights of the net faults (kNetPartition / kNetLoss / kNetDelay).
+  /// Default 0 for the same trailing-bucket reason: pre-existing seeds
+  /// draw identical plans, and the events are inert anyway when the
+  /// engine's substrate is off.
+  double net_partition_weight = 0.0;
+  double net_loss_weight = 0.0;
+  double net_delay_weight = 0.0;
   SimDuration max_window = kMinute;     ///< Max window fault duration.
   SimDuration max_stall = 10 * kSecond; ///< Max per-chunk stall.
 

@@ -60,25 +60,36 @@ Status InvariantChecker::Check() {
   //    must still be present, including across crash+restart cycles.
   if (expected_rows_ >= 0) {
     const int64_t total = engine_->TotalRowCount();
-    const int64_t expected = expected_rows_ - engine_->rows_lost();
+    // Workload procedures may legitimately change the population: an
+    // upsert of a key whose row died with a crash re-creates it, and
+    // deletes remove rows. rows_net_created() folds both in.
+    const int64_t expected = expected_rows_ - engine_->rows_lost() +
+                             engine_->rows_net_created();
     if (total != expected) {
       Violation("row conservation broken: " + std::to_string(total) +
                 " rows present, expected " + std::to_string(expected) +
                 " (" + std::to_string(expected_rows_) + " loaded - " +
-                std::to_string(engine_->rows_lost()) + " lost)");
+                std::to_string(engine_->rows_lost()) + " lost + " +
+                std::to_string(engine_->rows_net_created()) + " created)");
     }
   }
 
   // 4. Transaction accounting: per-partition completions sum to the
-  //    committed count, committed+aborted never exceeds submitted, and
+  //    executed count, committed+aborted never exceeds submitted, and
   //    committed never goes backwards (no lost or duplicated commits).
+  //    Executed = committed + aborted-after-execution; fenced
+  //    rejections abort *before* the procedure body runs, so they are
+  //    the one abort class absent from the per-partition counts.
   const auto& per_partition = engine_->partition_access_counts();
   const int64_t per_partition_sum = std::accumulate(
       per_partition.begin(), per_partition.end(), static_cast<int64_t>(0));
-  if (per_partition_sum != engine_->txns_committed()) {
-    Violation("committed txns " +
-              std::to_string(engine_->txns_committed()) +
-              " != per-partition completion sum " +
+  const int64_t executed = engine_->txns_committed() +
+                           engine_->txns_aborted() -
+                           engine_->fenced_rejections();
+  if (per_partition_sum != executed) {
+    Violation("executed txns " + std::to_string(executed) +
+              " (committed " + std::to_string(engine_->txns_committed()) +
+              " + post-execution aborts) != per-partition completion sum " +
               std::to_string(per_partition_sum));
   }
   const int64_t finished =
@@ -231,14 +242,61 @@ Status InvariantChecker::Check() {
         }
       }
       // Liveness: degraded + no rebuild in flight + a legal target
-      // exists means KickRebuilds failed to do its job.
-      if (rep->IsDegraded(b) && !rep->rebuild_in_flight(b) &&
-          engine_->ChooseBackupPartition(b) >= 0) {
+      // exists means KickRebuilds failed to do its job. Two-strike: a
+      // target can become legal at the same virtual instant this check
+      // runs (a fault window closing on the tick boundary), before the
+      // engine's monitor sweep has had its turn — only a bucket still
+      // stalled on the NEXT tick proves the rebuild never starts.
+      if (rebuild_stalled_.size() != static_cast<size_t>(map.num_buckets())) {
+        rebuild_stalled_.assign(static_cast<size_t>(map.num_buckets()), 0);
+      }
+      const bool stalled = rep->IsDegraded(b) &&
+                           !rep->rebuild_in_flight(b) &&
+                           engine_->ChooseBackupPartition(b) >= 0;
+      if (stalled && rebuild_stalled_[static_cast<size_t>(b)] != 0) {
         Violation("bucket " + std::to_string(b) +
                   " degraded with a legal rebuild target but no rebuild "
                   "in flight");
       }
+      rebuild_stalled_[static_cast<size_t>(b)] = stalled ? 1 : 0;
     }
+  }
+
+  // 9. Network substrate: the partition map being a function already
+  //    makes single-primary-per-bucket structural, so the epoch-fencing
+  //    claim reduces to two tripwires — a fenced (lease-expired) node
+  //    never commits a transaction (no dual-commit window), and no chunk
+  //    sequence number is ever applied twice (at-most-once delivery
+  //    under retransmission). Both counters are write-once evidence of a
+  //    protocol hole, so any nonzero value is a violation. Message
+  //    accounting must also balance: every send is delivered, dropped by
+  //    a partition, dropped by a loss window, or still in flight —
+  //    duplicates add to the send side of the ledger.
+  if (const net::NetworkModel* net = engine_->net()) {
+    if (engine_->fenced_commits() > 0) {
+      Violation("fenced node committed " +
+                std::to_string(engine_->fenced_commits()) +
+                " transaction(s) without a valid lease (dual-commit)");
+    }
+    if (migrator_ != nullptr && migrator_->net_double_applies() > 0) {
+      Violation("chunk applied twice " +
+                std::to_string(migrator_->net_double_applies()) +
+                " time(s) despite sequence-number dedup");
+    }
+    const int64_t accounted_msgs =
+        net->messages_delivered() + net->messages_dropped_partition() +
+        net->messages_dropped_loss() + net->messages_in_flight();
+    const int64_t offered_msgs =
+        net->messages_sent() + net->messages_duplicated();
+    if (accounted_msgs != offered_msgs) {
+      Violation("message conservation broken: delivered+dropped+in_flight=" +
+                std::to_string(accounted_msgs) + " != sent+duplicated " +
+                std::to_string(offered_msgs));
+    }
+    if (net->messages_delivered() < last_net_delivered_) {
+      Violation("messages_delivered moved backwards");
+    }
+    last_net_delivered_ = net->messages_delivered();
   }
 
   if (violations_.size() != before) {

@@ -19,6 +19,10 @@
 /// + shed + in flight) with partition queues never exceeding their
 /// bound — and, when replication is enabled, sane backup placement,
 /// primary/backup row-set equality, and k-safety restoration liveness.
+/// When the simulated network substrate is enabled, it additionally
+/// audits the fencing tripwires (no commit without a valid lease, no
+/// chunk sequence applied twice) and message conservation (sent +
+/// duplicated = delivered + dropped + in flight).
 /// Run it standalone via Check() or on a cadence via StartPeriodic().
 
 namespace pstore {
@@ -83,6 +87,13 @@ class InvariantChecker {
   int64_t last_events_executed_ = -1;
   int64_t last_committed_ = -1;
   double last_kb_moved_ = -1.0;
+  int64_t last_net_delivered_ = -1;
+
+  // Two-strike memory for the rebuild-liveness check: a bucket is only
+  // reported stalled when it was already stalled on the previous tick
+  // (a rebuild may legally start later within the same virtual instant
+  // the first time the condition is observed).
+  std::vector<uint8_t> rebuild_stalled_;
 };
 
 }  // namespace pstore

@@ -5,6 +5,8 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "net/channel.h"
+#include "net/network_model.h"
 
 namespace pstore {
 
@@ -40,6 +42,11 @@ struct MigrationExecutor::Stream {
   /// Attempt generation: bumped when a chunk lands or is retried, so a
   /// stale timeout or stalled transfer for a superseded attempt no-ops.
   int64_t gen = 0;
+  /// Net-path sequencing and dedup (idle when the substrate is off).
+  net::Channel channel;
+  /// Tripwire watermark, independent of `channel`: the highest sequence
+  /// number whose payload was applied.
+  int64_t last_applied_seq = 0;
 };
 
 struct MigrationExecutor::ActiveMove {
@@ -357,6 +364,14 @@ void MigrationExecutor::NextChunk(const std::shared_ptr<Stream>& stream) {
       BackpressureChunk(stream, period, epoch, "partition queue at limit");
       return;
     }
+    // A partitioned link cannot deliver DATA or ACKs; pause the stream
+    // (no retry budget consumed) and resume after heal.
+    if (engine_->net() != nullptr &&
+        !engine_->net()->Reachable(engine_->NodeOfPartition(stream->src),
+                                   engine_->NodeOfPartition(stream->dst))) {
+      DeferChunkNet(stream, period, epoch);
+      return;
+    }
     if (fault_hook_) {
       const ChunkFault fault = fault_hook_(stream->src, stream->dst,
                                            sim->Now());
@@ -373,16 +388,30 @@ void MigrationExecutor::NextChunk(const std::shared_ptr<Stream>& stream) {
         Emit("stream " + std::to_string(stream->src) + "->" +
              std::to_string(stream->dst) + " stalled");
         const int64_t gen = stream->gen;
-        sim->Schedule(fault.stall,
-                      [this, stream, busy, period, chunk_kb, epoch, gen]() {
-                        if (epoch != move_epoch_ || gen != stream->gen) {
-                          return;
-                        }
-                        SendChunk(stream, busy, period, chunk_kb, epoch);
-                      });
-        ArmChunkTimeout(stream, busy, period, epoch);
+        const bool via_net = engine_->net() != nullptr;
+        sim->Schedule(
+            fault.stall,
+            [this, stream, busy, period, chunk_kb, epoch, gen, via_net]() {
+              if (epoch != move_epoch_ || gen != stream->gen) {
+                return;
+              }
+              if (via_net) {
+                SendChunkNet(stream, busy, period, chunk_kb, epoch);
+              } else {
+                SendChunk(stream, busy, period, chunk_kb, epoch);
+              }
+            });
+        if (engine_->net() == nullptr) {
+          ArmChunkTimeout(stream, busy, period, epoch);
+        }
         return;
       }
+    }
+    if (engine_->net() != nullptr) {
+      // Seq-numbered DATA/ACK transfer with its own retransmit timer;
+      // the legacy chunk timeout is superseded by the ACK timeout.
+      SendChunkNet(stream, busy, period, chunk_kb, epoch);
+      return;
     }
     const int64_t gen_before = stream->gen;
     SendChunk(stream, busy, period, chunk_kb, epoch);
@@ -476,6 +505,177 @@ void MigrationExecutor::SendChunk(const std::shared_ptr<Stream>& stream,
     BackpressureChunk(stream, period, epoch, "destination queue full");
     return;
   }
+}
+
+void MigrationExecutor::SendChunkNet(const std::shared_ptr<Stream>& stream,
+                                     SimDuration busy, SimDuration period,
+                                     double chunk_kb, int64_t epoch) {
+  stream->earliest_next = engine_->simulator()->Now() + period;
+  const int64_t seq = stream->channel.NextSeq();
+  TransmitChunk(stream, busy, chunk_kb, epoch, seq);
+  ArmRetransmit(stream, busy, period, chunk_kb, epoch, seq);
+}
+
+void MigrationExecutor::TransmitChunk(const std::shared_ptr<Stream>& stream,
+                                      SimDuration busy, double chunk_kb,
+                                      int64_t epoch, int64_t seq) {
+  // The serialization burst occupies the sender for every transmission
+  // attempt — retransmits re-serialize and are charged again.
+  engine_->executor(stream->src)->Enqueue(busy, [](SimTime, SimTime) {});
+  engine_->net()->Send(
+      engine_->NodeOfPartition(stream->src),
+      engine_->NodeOfPartition(stream->dst), net::MessageKind::kChunkData,
+      /*reliable=*/false, [this, stream, busy, chunk_kb, epoch, seq]() {
+        OnChunkData(stream, busy, chunk_kb, epoch, seq);
+      });
+}
+
+void MigrationExecutor::ArmRetransmit(const std::shared_ptr<Stream>& stream,
+                                      SimDuration busy, SimDuration period,
+                                      double chunk_kb, int64_t epoch,
+                                      int64_t seq) {
+  // ACK timeout: burst + round trip, scaled by the configured factor.
+  // The pacing period is excluded — it gates the *next* chunk, not this
+  // one's acknowledgement.
+  const SimDuration rtt = static_cast<SimDuration>(
+      2.0 * engine_->config().net.mean_latency_us);
+  const SimDuration rto = std::max<SimDuration>(
+      1, static_cast<SimDuration>(
+             static_cast<double>(busy + rtt) *
+             engine_->config().net.retransmit_timeout_factor));
+  const int64_t gen = stream->gen;
+  engine_->simulator()->Schedule(
+      rto, [this, stream, busy, period, chunk_kb, epoch, seq, gen]() {
+        if (epoch != move_epoch_ || gen != stream->gen) return;  // Acked.
+        if (!EndpointsUp(*stream)) {
+          Abort("stream " + std::to_string(stream->src) + "->" +
+                std::to_string(stream->dst) +
+                " endpoint died awaiting chunk ack");
+          return;
+        }
+        if (!engine_->net()->Reachable(
+                engine_->NodeOfPartition(stream->src),
+                engine_->NodeOfPartition(stream->dst))) {
+          // Partitioned: re-arm without transmitting or consuming
+          // budget; the transfer resumes when the window closes.
+          ++net_chunks_deferred_;
+          ArmRetransmit(stream, busy, period, chunk_kb, epoch, seq);
+          return;
+        }
+        if (stream->attempts >= options_.max_chunk_retries) {
+          Abort("chunk ack timeout on stream " +
+                std::to_string(stream->src) + "->" +
+                std::to_string(stream->dst) + ": retry budget (" +
+                std::to_string(options_.max_chunk_retries) + ") exhausted");
+          return;
+        }
+        ++stream->attempts;
+        ++chunk_retries_;
+        ++net_retransmits_;
+        if (m_chunk_retries_ != nullptr) m_chunk_retries_->Add(1);
+        Emit("retransmitting chunk seq " + std::to_string(seq) +
+             " on stream " + std::to_string(stream->src) + "->" +
+             std::to_string(stream->dst) + " (attempt " +
+             std::to_string(stream->attempts) + ")");
+        TransmitChunk(stream, busy, chunk_kb, epoch, seq);
+        ArmRetransmit(stream, busy, period, chunk_kb, epoch, seq);
+      });
+}
+
+void MigrationExecutor::OnChunkData(const std::shared_ptr<Stream>& stream,
+                                    SimDuration busy, double chunk_kb,
+                                    int64_t epoch, int64_t seq) {
+  if (epoch != move_epoch_) return;
+  if (!EndpointsUp(*stream)) return;  // Sender's timer handles it.
+  if (!stream->channel.Accept(seq)) {
+    // Retransmission or network duplication of an already-accepted
+    // chunk: suppress the payload. Re-ack only once the apply path has
+    // processed it — acking an accepted-but-unapplied duplicate would
+    // let the sender advance past stop-and-wait while the original
+    // copy's apply is still queued behind the deserialization burst.
+    ++net_duplicate_data_;
+    if (seq <= stream->last_applied_seq) SendAckNet(stream, epoch, seq);
+    return;
+  }
+  // Deserialization burst on the receiver, then exactly-once apply.
+  engine_->executor(stream->dst)->Enqueue(
+      busy, [this, stream, chunk_kb, epoch, seq](SimTime, SimTime) {
+        ApplyChunk(stream, chunk_kb, epoch, seq);
+      });
+}
+
+void MigrationExecutor::ApplyChunk(const std::shared_ptr<Stream>& stream,
+                                   double chunk_kb, int64_t epoch,
+                                   int64_t seq) {
+  if (epoch != move_epoch_) return;
+  if (seq <= stream->last_applied_seq) {
+    ++net_double_applies_;  // Tripwire; Accept() makes this unreachable.
+    return;
+  }
+  stream->last_applied_seq = seq;
+  total_kb_moved_ += chunk_kb;
+  if (m_chunks_landed_ != nullptr) {
+    m_chunks_landed_->Add(1);
+    m_kb_moved_->Set(total_kb_moved_);
+  }
+  stream->remaining_kb -= chunk_kb;
+  if (stream->remaining_kb <= 1e-9 &&
+      stream->bucket_idx < stream->buckets.size()) {
+    const BucketId bucket = stream->buckets[stream->bucket_idx];
+    Status st = engine_->ApplyBucketMove(
+        BucketMove{bucket, stream->src, stream->dst});
+    if (!st.ok()) {
+      PSTORE_LOG(Info) << "bucket " << bucket
+                       << " relocated concurrently: " << st.ToString();
+    } else if (m_buckets_flipped_ != nullptr) {
+      m_buckets_flipped_->Add(1);
+    }
+    ++stream->bucket_idx;
+    if (stream->bucket_idx < stream->buckets.size()) {
+      stream->remaining_kb = move_->kb_per_bucket;
+    }
+  }
+  SendAckNet(stream, epoch, seq);
+}
+
+void MigrationExecutor::SendAckNet(const std::shared_ptr<Stream>& stream,
+                                   int64_t epoch, int64_t seq) {
+  engine_->net()->Send(
+      engine_->NodeOfPartition(stream->dst),
+      engine_->NodeOfPartition(stream->src), net::MessageKind::kChunkAck,
+      /*reliable=*/false,
+      [this, stream, epoch, seq]() { OnChunkAck(stream, epoch, seq); });
+}
+
+void MigrationExecutor::OnChunkAck(const std::shared_ptr<Stream>& stream,
+                                   int64_t epoch, int64_t seq) {
+  if (epoch != move_epoch_) return;
+  if (!stream->channel.AckReceived(seq)) {
+    ++net_duplicate_acks_;  // Re-ack for a retransmitted DATA; ignore.
+    return;
+  }
+  ++stream->gen;  // Cancels this chunk's retransmit timer.
+  stream->attempts = 0;
+  if (stream->bucket_idx >= stream->buckets.size()) {
+    // Receiver applied the stream's last bucket; the ACK closes it.
+    if (--move_->streams_remaining == 0) FinishRound();
+    return;
+  }
+  NextChunk(stream);
+}
+
+void MigrationExecutor::DeferChunkNet(const std::shared_ptr<Stream>& stream,
+                                      SimDuration period, int64_t epoch) {
+  ++stream->gen;  // Supersede this attempt.
+  ++net_chunks_deferred_;
+  Emit("chunk deferred on stream " + std::to_string(stream->src) + "->" +
+       std::to_string(stream->dst) + ": link partitioned");
+  Simulator* sim = engine_->simulator();
+  stream->earliest_next = sim->Now() + period;
+  sim->Schedule(period, [this, stream, epoch]() {
+    if (epoch != move_epoch_) return;
+    NextChunk(stream);
+  });
 }
 
 void MigrationExecutor::BackpressureChunk(

@@ -147,6 +147,30 @@ class MigrationExecutor {
   /// Moves that ended in Abort().
   int64_t moves_aborted() const { return moves_aborted_; }
 
+  // --- Net chunk protocol counters (all 0 with net disabled) -----------
+  //
+  // With the engine's simulated network substrate on, chunks ship as
+  // sequence-numbered DATA messages over unreliable links and land only
+  // when the receiver's ACK returns. The receiver applies each sequence
+  // number at most once (a high-water mark; stop-and-wait delivers in
+  // order) and re-acks duplicates, so a lost ACK never re-applies a
+  // chunk and a duplicated DATA never double-counts bytes.
+
+  /// DATA retransmissions after an ACK timeout.
+  int64_t net_retransmits() const { return net_retransmits_; }
+  /// Duplicate DATA arrivals suppressed (and re-acked) by the receiver.
+  int64_t net_duplicate_data() const { return net_duplicate_data_; }
+  /// Duplicate ACK arrivals ignored by the sender.
+  int64_t net_duplicate_acks() const { return net_duplicate_acks_; }
+  /// Chunk attempts deferred because the stream's link was partitioned
+  /// (the transfer pauses and resumes after heal, consuming no retry
+  /// budget).
+  int64_t net_chunks_deferred() const { return net_chunks_deferred_; }
+  /// Tripwire: chunk applications that would have re-applied an already
+  /// applied sequence number. The dedup watermark makes this impossible;
+  /// the invariant checker audits it stays 0.
+  int64_t net_double_applies() const { return net_double_applies_; }
+
   const MigrationOptions& options() const { return options_; }
 
  private:
@@ -161,6 +185,34 @@ class MigrationExecutor {
   void ArmChunkTimeout(const std::shared_ptr<Stream>& stream,
                        SimDuration busy, SimDuration period, int64_t epoch);
   void RetryChunk(const std::shared_ptr<Stream>& stream, const char* why);
+  // Net chunk protocol (used only when the engine's substrate is on).
+  /// Allocates the next sequence number, transmits the DATA message and
+  /// arms the retransmit timer.
+  void SendChunkNet(const std::shared_ptr<Stream>& stream, SimDuration busy,
+                    SimDuration period, double chunk_kb, int64_t epoch);
+  /// One DATA transmission attempt (initial send or retransmit).
+  void TransmitChunk(const std::shared_ptr<Stream>& stream, SimDuration busy,
+                     double chunk_kb, int64_t epoch, int64_t seq);
+  /// ACK-timeout timer; retransmits the same sequence number, waiting
+  /// out partitions without consuming retry budget.
+  void ArmRetransmit(const std::shared_ptr<Stream>& stream, SimDuration busy,
+                     SimDuration period, double chunk_kb, int64_t epoch,
+                     int64_t seq);
+  /// Receiver: DATA arrived; dedup, deserialize, apply, ack.
+  void OnChunkData(const std::shared_ptr<Stream>& stream, SimDuration busy,
+                   double chunk_kb, int64_t epoch, int64_t seq);
+  /// Receiver: exactly-once chunk application (bytes, bucket flips).
+  void ApplyChunk(const std::shared_ptr<Stream>& stream, double chunk_kb,
+                  int64_t epoch, int64_t seq);
+  /// Receiver -> sender acknowledgement.
+  void SendAckNet(const std::shared_ptr<Stream>& stream, int64_t epoch,
+                  int64_t seq);
+  /// Sender: ACK arrived; dedup, cancel retransmit, advance the stream.
+  void OnChunkAck(const std::shared_ptr<Stream>& stream, int64_t epoch,
+                  int64_t seq);
+  /// Pauses the stream one pacing period (link partitioned).
+  void DeferChunkNet(const std::shared_ptr<Stream>& stream,
+                     SimDuration period, int64_t epoch);
   /// Supersedes the current chunk attempt and re-runs NextChunk one
   /// pacing period later (migration yields to foreground load).
   void BackpressureChunk(const std::shared_ptr<Stream>& stream,
@@ -196,6 +248,11 @@ class MigrationExecutor {
   int64_t chunk_retries_ = 0;
   int64_t chunks_backpressured_ = 0;
   int64_t moves_aborted_ = 0;
+  int64_t net_retransmits_ = 0;
+  int64_t net_duplicate_data_ = 0;
+  int64_t net_duplicate_acks_ = 0;
+  int64_t net_chunks_deferred_ = 0;
+  int64_t net_double_applies_ = 0;
   /// Bumped on every move start/finish/abort; scheduled events capture
   /// it and become no-ops if the move they belong to is gone.
   int64_t move_epoch_ = 0;

@@ -1,0 +1,34 @@
+#include "net/net_config.h"
+
+namespace pstore {
+namespace net {
+
+Status NetConfig::Validate() const {
+  if (min_latency_us < 0) {
+    return Status::InvalidArgument("min_latency_us < 0");
+  }
+  if (mean_latency_us < min_latency_us) {
+    return Status::InvalidArgument("mean_latency_us < min_latency_us");
+  }
+  if (heartbeat_period <= 0) {
+    return Status::InvalidArgument("heartbeat_period <= 0");
+  }
+  if (suspicion_timeout <= heartbeat_period) {
+    return Status::InvalidArgument(
+        "need heartbeat_period < suspicion_timeout");
+  }
+  if (lease_timeout <= suspicion_timeout) {
+    return Status::InvalidArgument(
+        "need suspicion_timeout < lease_timeout");
+  }
+  if (failover_timeout <= lease_timeout) {
+    return Status::InvalidArgument("need lease_timeout < failover_timeout");
+  }
+  if (retransmit_timeout_factor <= 1.0) {
+    return Status::InvalidArgument("retransmit_timeout_factor must be > 1");
+  }
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace pstore

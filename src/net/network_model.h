@@ -1,0 +1,157 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "net/net_config.h"
+#include "sim/simulator.h"
+
+/// \file network_model.h
+/// The deterministic simulated message substrate. All cross-node
+/// traffic — migration chunk DATA/ACKs, replication applies, heartbeats
+/// and lease acks — is a message submitted through Send(); the model
+/// decides its fate (deliver, drop, duplicate) and its latency at send
+/// time, entirely from the substrate's own pstore::Rng stream, so a run
+/// is byte-identical for a fixed seed.
+///
+/// Fault windows (opened by the FaultInjector for kNetPartition,
+/// kNetLoss and kNetDelay events) use the same absolute-end-time idiom
+/// as the injector's other windows:
+///   - partition: a set of isolated nodes; messages crossing the cut
+///     are dropped (best-effort traffic) — Reachable() exposes the cut
+///     to protocol code that gates on connectivity.
+///   - loss: best-effort messages are dropped with probability drop_p
+///     and duplicated with probability dup_p.
+///   - delay: a fixed extra latency is added to every delivery.
+/// Per-message latency is min + Exp(mean - min), so concurrent messages
+/// naturally reorder even outside fault windows.
+
+namespace pstore {
+namespace net {
+
+using NodeId = int32_t;
+
+/// What a message carries; used for counters and the test fault hook.
+enum class MessageKind {
+  kChunkData,      ///< Migration chunk payload (seq-numbered).
+  kChunkAck,       ///< Migration chunk acknowledgement.
+  kReplApply,      ///< Replication apply work for a backup.
+  kHeartbeat,      ///< Node -> controller liveness beacon.
+  kHeartbeatAck,   ///< Controller -> node lease grant.
+  kRebuildChunk,   ///< Re-replication chunk traffic.
+};
+
+const char* MessageKindName(MessageKind kind);
+
+/// Deterministic per-message override for tests: consulted before the
+/// fault windows, keyed by the running per-kind send index.
+struct MessageFault {
+  enum class Kind { kNone, kDrop, kDuplicate };
+  Kind kind = Kind::kNone;
+};
+using MessageFaultHook = std::function<MessageFault(
+    NodeId from, NodeId to, MessageKind kind, int64_t kind_index)>;
+
+/// \brief Routes messages between nodes on the virtual clock.
+class NetworkModel {
+ public:
+  /// The controller endpoint's pseudo node id (never isolated by the
+  /// injector's auto-targeted partitions).
+  static constexpr NodeId kController = -1;
+
+  /// \param sim virtual clock (not owned; must outlive the model)
+  /// \param config validated net configuration
+  /// \param seed seeds the substrate's private Rng stream
+  NetworkModel(Simulator* sim, NetConfig config, uint64_t seed);
+
+  /// True when a message from `a` can currently reach `b`: no partition
+  /// window is open, or both endpoints sit on the same side of the cut.
+  bool Reachable(NodeId a, NodeId b) const;
+
+  /// True while a partition window is open.
+  bool PartitionActive() const { return sim_->Now() < partition_until_; }
+
+  /// Submits a message. Best-effort (`reliable == false`) messages are
+  /// subject to partition drops and loss-window drop/duplication;
+  /// reliable ones (modeling a retrying transport whose sender already
+  /// verified reachability) only pay latency. `deliver` runs at the
+  /// delivery time; staleness checks (epochs, generations) are the
+  /// callback's job.
+  void Send(NodeId from, NodeId to, MessageKind kind, bool reliable,
+            std::function<void()> deliver);
+
+  /// Opens a partition window isolating `isolated` from every other
+  /// node (and from the controller) for `window` of virtual time. A new
+  /// window replaces the previous cut.
+  void OpenPartition(std::vector<NodeId> isolated, SimDuration window);
+
+  /// Heals an open partition immediately.
+  void HealPartition() { partition_until_ = -1; }
+
+  /// Opens a loss window: best-effort messages drop with `drop_p` and
+  /// duplicate with `dup_p`.
+  void OpenLoss(double drop_p, double dup_p, SimDuration window);
+
+  /// Opens a delay window adding `extra` latency to every delivery.
+  void OpenDelay(SimDuration extra, SimDuration window);
+
+  /// Installs (or clears) the deterministic test fault hook.
+  void set_message_fault_hook(MessageFaultHook hook) {
+    fault_hook_ = std::move(hook);
+  }
+
+  /// One latency draw (min + Exp(mean - min) + any open delay window).
+  SimDuration DrawLatency();
+
+  // Counters. Conservation invariant (audited by the InvariantChecker):
+  //   delivered + dropped_partition + dropped_loss + in_flight
+  //     == sent + duplicated.
+  int64_t messages_sent() const { return sent_; }
+  int64_t messages_delivered() const { return delivered_; }
+  int64_t messages_dropped_partition() const { return dropped_partition_; }
+  int64_t messages_dropped_loss() const { return dropped_loss_; }
+  int64_t messages_duplicated() const { return duplicated_; }
+  int64_t messages_in_flight() const { return in_flight_; }
+  /// Partition windows opened so far.
+  int64_t partitions_opened() const { return partitions_opened_; }
+
+  const NetConfig& config() const { return config_; }
+
+  /// Digest of the substrate's Rng state (determinism golden tests).
+  uint64_t rng_state_hash() const { return rng_.StateHash(); }
+
+ private:
+  bool Isolated(NodeId n) const;
+  void Deliver(std::function<void()> deliver);
+
+  Simulator* sim_;
+  NetConfig config_;
+  Rng rng_;
+  MessageFaultHook fault_hook_;
+
+  // Open fault windows (absolute virtual end times; -1 = closed).
+  SimTime partition_until_ = -1;
+  std::vector<NodeId> isolated_;
+  SimTime loss_until_ = -1;
+  double drop_p_ = 0;
+  double dup_p_ = 0;
+  SimTime delay_until_ = -1;
+  SimDuration delay_extra_ = 0;
+
+  // Per-kind send indices for the test fault hook.
+  std::vector<int64_t> kind_sends_;
+
+  int64_t sent_ = 0;
+  int64_t delivered_ = 0;
+  int64_t dropped_partition_ = 0;
+  int64_t dropped_loss_ = 0;
+  int64_t duplicated_ = 0;
+  int64_t in_flight_ = 0;
+  int64_t partitions_opened_ = 0;
+};
+
+}  // namespace net
+}  // namespace pstore

@@ -80,6 +80,20 @@ PartitionId ReplicaManager::Promote(BucketId b) {
   return q;
 }
 
+PartitionId ReplicaManager::Promote(
+    BucketId b, const std::function<bool(PartitionId)>& eligible) {
+  auto& list = replicas_[static_cast<size_t>(b)];
+  for (auto it = list.begin(); it != list.end(); ++it) {
+    if (!eligible(*it)) continue;
+    const PartitionId q = *it;  // Sorted: lowest eligible id wins.
+    list.erase(it);
+    --backup_count_[static_cast<size_t>(q)];
+    ++promotions_;
+    return q;
+  }
+  return -1;
+}
+
 Status ReplicaManager::MoveReplica(BucketId b, PartitionId from,
                                    PartitionId to) {
   auto& list = replicas_[static_cast<size_t>(b)];

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -88,6 +89,14 @@ class ReplicaManager {
   /// Returns -1 if no healthy replica exists (the bucket's data is
   /// honestly lost).
   PartitionId Promote(BucketId b);
+
+  /// As Promote(b), but considers only replicas `eligible` accepts (the
+  /// lowest-id eligible replica wins). Epoch-fenced failover uses this
+  /// to promote only replicas the controller can currently reach;
+  /// ineligible replicas are left in place. Returns -1 if no eligible
+  /// replica exists (the caller defers the bucket instead).
+  PartitionId Promote(BucketId b,
+                      const std::function<bool(PartitionId)>& eligible);
 
   /// Relocates a replica's rows and bookkeeping between partitions
   /// (used when a migrated primary lands on its backup's node).

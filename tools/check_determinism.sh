@@ -3,9 +3,11 @@
 # telemetry artifacts (metrics JSON/CSV, span trace, event stream, fault
 # trace) are byte-identical — the repo's same-seed determinism contract.
 # A second pair of runs repeats the check under --spike (overload
-# control: load spikes, shedding, breakers, retries), and a third under
+# control: load spikes, shedding, breakers, retries), a third under
 # --recovery (replication: promotion failover, replica lag, checkpoint +
-# log-replay restarts, re-replication).
+# log-replay restarts, re-replication), and a fourth under --partition
+# (simulated network: partitions, message loss/duplication/delay,
+# lease fencing, retransmission).
 #
 # Usage: [CHAOS_RUN=path/to/chaos_run] [SEED=N] [EVENTS=N] \
 #          tools/check_determinism.sh
@@ -26,10 +28,11 @@ workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
 
 status=0
-for run in a b c d e f; do
+for run in a b c d e f g h; do
   flags=""
   { [ "$run" = c ] || [ "$run" = d ]; } && flags="--spike"
   { [ "$run" = e ] || [ "$run" = f ]; } && flags="--recovery"
+  { [ "$run" = g ] || [ "$run" = h ]; } && flags="--partition"
   if ! "$CHAOS_RUN" --seed="$SEED" --events="$EVENTS" $flags \
        --out="$workdir/$run" > "$workdir/$run.stdout" 2>&1; then
     echo "check_determinism: run $run FAILED; tail of output:" >&2
@@ -39,7 +42,7 @@ for run in a b c d e f; do
 done
 [ "$status" -ne 0 ] && exit "$status"
 
-for pair in "a b plain" "c d spike" "e f recovery"; do
+for pair in "a b plain" "c d spike" "e f recovery" "g h partition"; do
   set -- $pair
   if diff -r "$workdir/$1" "$workdir/$2" > "$workdir/diff.out" 2>&1; then
     files=$(ls "$workdir/$1" | wc -l | tr -d ' ')
