@@ -1,14 +1,22 @@
 /// Micro-benchmarks (google-benchmark) for the hot components: the DP
-/// planner (runs every control interval online), SPAR prediction, the
-/// migration schedule generator, partition-map rebalancing, and the
-/// engine's transaction path on the virtual clock.
+/// planner (runs every control interval online), SPAR fit/predict/refit,
+/// the migration schedule generator, partition-map assignment and
+/// rebalancing, and the engine's transaction path on the virtual clock.
+///
+/// Unlike the figure harnesses, this binary measures *wall-clock* cost,
+/// so its output feeds the regression gate: a custom reporter collects
+/// every case into bench_out/BENCH_micro_perf.json (schema in
+/// bench_util.h) and tools/bench_compare diffs that against the
+/// committed baseline in bench/baselines/.
 
 #include <benchmark/benchmark.h>
 
 #include <cmath>
 #include <vector>
 
+#include "bench_util.h"
 #include "cluster/engine.h"
+#include "common/rng.h"
 #include "migration/parallel_schedule.h"
 #include "planner/dp_planner.h"
 #include "prediction/spar.h"
@@ -41,7 +49,7 @@ void BM_DpPlannerSineHorizon(benchmark::State& state) {
     benchmark::DoNotOptimize(planner.BestMoves(load, n0));
   }
 }
-BENCHMARK(BM_DpPlannerSineHorizon)->Arg(12)->Arg(24)->Arg(56);
+BENCHMARK(BM_DpPlannerSineHorizon)->Arg(12)->Arg(24)->Arg(56)->Arg(288);
 
 void BM_SparPredict(benchmark::State& state) {
   SparConfig config;
@@ -77,6 +85,29 @@ void BM_SparFit(benchmark::State& state) {
 }
 BENCHMARK(BM_SparFit);
 
+// One predictive-controller refit tick: the model was fitted up to slot
+// L, six new measurements arrived, Refit must absorb them. Starts each
+// iteration from a copy of the same fitted predictor so every tick does
+// identical work.
+void BM_SparRefitTick(benchmark::State& state) {
+  SparConfig config;
+  config.period = 288;
+  config.num_periods = 7;
+  config.num_recent = 6;
+  std::vector<double> series(288 * 28);
+  for (size_t t = 0; t < series.size(); ++t) {
+    series[t] = 100 + 50 * std::sin(2 * M_PI * (t % 288) / 288.0);
+  }
+  std::vector<double> prefix(series.begin(), series.end() - 6);
+  SparPredictor fitted(config);
+  if (!fitted.Fit(prefix, 4).ok()) state.SkipWithError("fit failed");
+  for (auto _ : state) {
+    SparPredictor predictor = fitted;
+    benchmark::DoNotOptimize(predictor.Refit(series, 4));
+  }
+}
+BENCHMARK(BM_SparRefitTick);
+
 void BM_BuildMoveSchedule(benchmark::State& state) {
   const int32_t a = static_cast<int32_t>(state.range(0));
   for (auto _ : state) {
@@ -93,43 +124,126 @@ void BM_PartitionMapRebalance(benchmark::State& state) {
 }
 BENCHMARK(BM_PartitionMapRebalance);
 
-void BM_EngineTxnPath(benchmark::State& state) {
-  Simulator sim;
-  Catalog catalog;
-  const TableId table = *catalog.AddTable(Schema(
-      "KV", {{"k", ColumnType::kInt64}, {"v", ColumnType::kInt64}}, 0));
-  ProcedureRegistry registry;
-  const ProcedureId put = *registry.Register(ProcedureDef{
-      "Put",
-      [table](ExecutionContext& ctx, const TxnRequest& req) {
-        TxnResult r;
-        r.status = ctx.Upsert(table,
-                              Row({Value(req.key), Value(int64_t{1})}));
-        return r;
-      },
-      1.0});
-  EngineConfig config;
-  config.num_buckets = 1024;
-  config.partitions_per_node = 6;
-  config.max_nodes = 4;
-  config.initial_nodes = 4;
-  config.txn_service_us_mean = 100.0;
-  config.txn_service_cv = 0.1;
-  ClusterEngine engine(&sim, catalog, registry, config);
+// Assignment churn: the per-bucket update path that crash failover and
+// migration hammer (a failover reassigns every bucket of a dead node).
+void BM_PartitionMapAssign(benchmark::State& state) {
+  constexpr int32_t kBuckets = 1024;
+  constexpr int32_t kPartitions = 84;
+  PartitionMap map(kBuckets, kPartitions);
+  Rng rng(7);
+  for (auto _ : state) {
+    for (int32_t i = 0; i < kBuckets; ++i) {
+      const BucketId b = static_cast<BucketId>(rng.NextBounded(kBuckets));
+      const PartitionId p =
+          static_cast<PartitionId>(rng.NextBounded(kPartitions));
+      map.Assign(b, p);
+    }
+    benchmark::DoNotOptimize(map.PartitionOfBucket(0));
+  }
+  state.SetItemsProcessed(state.iterations() * kBuckets);
+}
+BENCHMARK(BM_PartitionMapAssign);
 
+struct EngineFixture {
+  Simulator sim;
+  ProcedureId put{};
+  std::unique_ptr<ClusterEngine> engine;
+
+  EngineFixture() {
+    Catalog catalog;
+    const TableId table = *catalog.AddTable(Schema(
+        "KV", {{"k", ColumnType::kInt64}, {"v", ColumnType::kInt64}}, 0));
+    ProcedureRegistry registry;
+    put = *registry.Register(ProcedureDef{
+        "Put",
+        [table](ExecutionContext& ctx, const TxnRequest& req) {
+          TxnResult r;
+          r.status = ctx.Upsert(table,
+                                Row({Value(req.key), Value(int64_t{1})}));
+          return r;
+        },
+        1.0});
+    EngineConfig config;
+    config.num_buckets = 1024;
+    config.partitions_per_node = 6;
+    config.max_nodes = 4;
+    config.initial_nodes = 4;
+    config.txn_service_us_mean = 100.0;
+    config.txn_service_cv = 0.1;
+    engine = std::make_unique<ClusterEngine>(&sim, catalog, registry, config);
+  }
+};
+
+void BM_EngineTxnPath(benchmark::State& state) {
+  EngineFixture fx;
   int64_t key = 0;
   for (auto _ : state) {
     TxnRequest req;
-    req.proc = put;
+    req.proc = fx.put;
     req.key = ++key;
-    engine.Submit(std::move(req));
-    sim.RunUntil(sim.Now() + 200);
+    fx.engine->Submit(std::move(req));
+    fx.sim.RunUntil(fx.sim.Now() + 200);
   }
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_EngineTxnPath);
 
+// Group intake: 64 transactions arrive at the same instant and the
+// engine drains them — the shape the admission path sees at high load.
+void BM_EngineTxnPathBatch(benchmark::State& state) {
+  constexpr int64_t kBatch = 64;
+  EngineFixture fx;
+  int64_t key = 0;
+  for (auto _ : state) {
+    std::vector<TxnRequest> reqs(kBatch);
+    for (TxnRequest& req : reqs) {
+      req.proc = fx.put;
+      req.key = ++key;
+    }
+    fx.engine->SubmitBatch(std::move(reqs));
+    fx.sim.RunUntil(fx.sim.Now() + kBatch * 200);
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_EngineTxnPathBatch);
+
+/// Console output as usual, plus every per-iteration run collected as a
+/// BenchCaseResult for the JSON result file the regression gate reads.
+class JsonCollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      bench::BenchCaseResult result;
+      result.name = run.benchmark_name();
+      result.value = run.GetAdjustedRealTime();  // default unit: ns/op
+      result.unit = "ns/op";
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) result.items_per_s = it->second;
+      result.iterations = static_cast<int64_t>(run.iterations);
+      cases_.push_back(std::move(result));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<bench::BenchCaseResult>& cases() const { return cases_; }
+
+ private:
+  std::vector<bench::BenchCaseResult> cases_;
+};
+
 }  // namespace
 }  // namespace pstore
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  pstore::JsonCollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!pstore::bench::WriteBenchJson("micro_perf", "perf",
+                                     reporter.cases())) {
+    return 1;
+  }
+  return 0;
+}

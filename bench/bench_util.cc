@@ -1,18 +1,118 @@
 #include "bench_util.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <thread>
 
+#include "common/json.h"
 #include "common/table_writer.h"
 #include "obs/exporter.h"
 
 namespace pstore {
 namespace bench {
 
+namespace {
+
+/// Process-wide collector behind the PrintBanner/PrintSeries hooks:
+/// the first banner names the output file, series calls accumulate
+/// cases, and an atexit handler writes bench_out/BENCH_<slug>.json.
+struct BenchJsonCollector {
+  std::string slug;
+  std::vector<BenchCaseResult> cases;
+  bool atexit_registered = false;
+};
+
+BenchJsonCollector& Collector() {
+  static BenchJsonCollector collector;
+  return collector;
+}
+
+/// "Figure 9" -> "figure_9": lowercase, runs of non-alphanumerics
+/// collapse to one underscore, no leading/trailing underscore.
+std::string Slugify(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+    } else if (!out.empty() && out.back() != '_') {
+      out.push_back('_');
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out;
+}
+
+void FlushBenchJsonAtExit() {
+  BenchJsonCollector& c = Collector();
+  if (c.slug.empty()) return;
+  // Flush even with zero recorded cases: benches that report only via
+  // TableWriter/CSV still leave a schema-versioned attestation that
+  // they ran to a clean exit, which run_all_benches.sh enforces.
+  WriteBenchJson(c.slug, "metrics", c.cases);
+}
+
+}  // namespace
+
+bool WriteBenchJson(const std::string& bench, const std::string& kind,
+                    const std::vector<BenchCaseResult>& cases) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema_version",
+          JsonValue(static_cast<int64_t>(kBenchJsonSchemaVersion)));
+  doc.Set("bench", JsonValue(bench));
+  doc.Set("kind", JsonValue(kind));
+  JsonValue run = JsonValue::Object();
+#ifdef NDEBUG
+  run.Set("build_type", JsonValue("optimized"));
+#else
+  run.Set("build_type", JsonValue("debug"));
+#endif
+  run.Set("hardware_threads", JsonValue(static_cast<int64_t>(
+                                  std::thread::hardware_concurrency())));
+  doc.Set("run", std::move(run));
+  JsonValue case_array = JsonValue::Array();
+  for (const BenchCaseResult& c : cases) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("name", JsonValue(c.name));
+    entry.Set("value", JsonValue(c.value));
+    entry.Set("unit", JsonValue(c.unit));
+    if (c.items_per_s > 0.0) {
+      entry.Set("items_per_s", JsonValue(c.items_per_s));
+    }
+    if (c.iterations > 0) {
+      entry.Set("iterations", JsonValue(c.iterations));
+    }
+    case_array.Append(std::move(entry));
+  }
+  doc.Set("cases", std::move(case_array));
+  const std::string path = "bench_out/BENCH_" + bench + ".json";
+  if (!obs::WriteStringToFile(path, doc.Dump())) return false;
+  std::cout << "  [bench result written to " << path << "]\n";
+  return true;
+}
+
+void RecordBenchCase(const BenchCaseResult& result) {
+  BenchJsonCollector& c = Collector();
+  if (!c.atexit_registered) {
+    std::atexit(FlushBenchJsonAtExit);
+    c.atexit_registered = true;
+  }
+  c.cases.push_back(result);
+}
+
 void PrintBanner(const std::string& artifact, const std::string& title,
                  const std::string& paper_note) {
+  BenchJsonCollector& c = Collector();
+  if (c.slug.empty()) {
+    c.slug = Slugify(artifact);
+    if (!c.atexit_registered) {
+      std::atexit(FlushBenchJsonAtExit);
+      c.atexit_registered = true;
+    }
+  }
   std::cout << "\n==================================================="
                "=============================\n";
   std::cout << artifact << ": " << title << "\n";
@@ -33,9 +133,14 @@ void PrintSeries(const std::string& label, const std::vector<double>& values,
     hi = std::max(hi, v);
     sum += v;
   }
+  const double mean = sum / static_cast<double>(values.size());
   std::printf("%-28s min=%10.1f mean=%10.1f max=%10.1f\n", label.c_str(), lo,
-              sum / static_cast<double>(values.size()), hi);
+              mean, hi);
   std::cout << "  " << Sparkline(values, width) << "\n";
+  const std::string slug = Slugify(label);
+  RecordBenchCase({slug + "/min", lo, "", 0.0, 0});
+  RecordBenchCase({slug + "/mean", mean, "", 0.0, 0});
+  RecordBenchCase({slug + "/max", hi, "", 0.0, 0});
 }
 
 void WriteCsv(const std::string& file,
@@ -132,6 +237,15 @@ void PrintExperiment(const ExperimentResult& result) {
       static_cast<long long>(result.violations_p95),
       static_cast<long long>(result.violations_p99), result.avg_machines,
       result.moves.size());
+
+  const std::string slug = Slugify(result.strategy_name);
+  RecordBenchCase(
+      {slug + "/committed", static_cast<double>(result.committed), "", 0.0, 0});
+  RecordBenchCase(
+      {slug + "/aborted", static_cast<double>(result.aborted), "", 0.0, 0});
+  RecordBenchCase({slug + "/avg_machines", result.avg_machines, "", 0.0, 0});
+  RecordBenchCase({slug + "/reconfigurations",
+                   static_cast<double>(result.moves.size()), "", 0.0, 0});
 }
 
 }  // namespace bench

@@ -37,6 +37,36 @@ void WriteRunTelemetry(const std::string& prefix,
                        obs::TelemetryBundle* telemetry,
                        const obs::TimeseriesExporter* exporter = nullptr);
 
+// --- Bench result JSON (performance program, DESIGN.md §12) -----------
+
+/// Schema version stamped into every BENCH_*.json file. Bump when the
+/// layout changes; tools/bench_compare refuses mismatched versions.
+inline constexpr int kBenchJsonSchemaVersion = 1;
+
+/// One recorded case in a BENCH_*.json result file.
+struct BenchCaseResult {
+  std::string name;
+  double value = 0.0;        ///< ns/op for perf cases, metric value else.
+  std::string unit;          ///< "ns/op" for cases bench_compare gates.
+  double items_per_s = 0.0;  ///< 0 when the case reports no item rate.
+  int64_t iterations = 0;    ///< 0 for virtual-clock metric cases.
+};
+
+/// Writes a schema-versioned single-run result file to
+/// bench_out/BENCH_<bench>.json. `kind` is "perf" (wall-clock ns/op
+/// cases, gated by tools/bench_compare) or "metrics" (virtual-clock
+/// result summaries, tracked but not gated). Returns false (after
+/// printing a warning) when the file cannot be written.
+bool WriteBenchJson(const std::string& bench, const std::string& kind,
+                    const std::vector<BenchCaseResult>& cases);
+
+/// Banner/series calls feed an in-process collector so every figure
+/// harness emits bench_out/BENCH_<slug>.json at exit with zero
+/// per-bench changes: PrintBanner names the file (slug of the artifact)
+/// and PrintSeries contributes min/mean/max metric cases. Harnesses
+/// that want extra cases call RecordBenchCase directly.
+void RecordBenchCase(const BenchCaseResult& result);
+
 /// Parses "--key=value" integer flags (returns fallback when absent).
 int64_t IntFlag(int argc, char** argv, const std::string& key,
                 int64_t fallback);

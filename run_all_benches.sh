@@ -1,26 +1,40 @@
 #!/bin/sh
 # Runs every figure/table reproduction harness, mirroring the paper's
-# evaluation section. Outputs land on stdout and CSVs in ./bench_out/.
-# A harness that exits non-zero aborts the sweep immediately, naming
-# the offender (set -e alone would hide which binary failed).
+# evaluation section. Outputs land on stdout, CSVs and schema-versioned
+# BENCH_*.json result documents in ./bench_out/. A harness that exits
+# non-zero OR writes no JSON aborts the sweep immediately, naming the
+# offender (set -e alone would hide which binary failed, and a bench
+# that silently stops emitting results is as broken as one that
+# crashes).
 #
 # An optional substring argument filters the sweep:
 #   ./run_all_benches.sh            # everything
 #   ./run_all_benches.sh recovery   # only build/bench/*recovery*
 filter="${1:-}"
 ran=0
+mkdir -p bench_out
+stamp="bench_out/.run_all_benches.stamp"
 for b in build/bench/*; do
   case "$(basename "$b")" in
     *"$filter"*) ;;
     *) continue ;;
   esac
   ran=$((ran + 1))
+  touch "$stamp"
   if ! "$b"; then
     echo "run_all_benches: FAILED: $b exited non-zero" >&2
+    rm -f "$stamp"
+    exit 1
+  fi
+  if ! find bench_out -name 'BENCH_*.json' -newer "$stamp" | grep -q .; then
+    echo "run_all_benches: FAILED: $b wrote no BENCH_*.json" >&2
+    rm -f "$stamp"
     exit 1
   fi
 done
+rm -f "$stamp"
 if [ "$ran" -eq 0 ]; then
   echo "run_all_benches: no bench matches filter '$filter'" >&2
   exit 1
 fi
+echo "run_all_benches: $ran benches OK; JSON + CSV in bench_out/"

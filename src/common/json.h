@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file json.h
+/// A minimal JSON document model: build values programmatically, Dump()
+/// them, and Parse() them back. Just enough for the performance
+/// program's schema-versioned BENCH_*.json result files (bench_util
+/// writes them, tools/bench_compare reads them) — not a general-purpose
+/// library. Object keys keep insertion order on Dump so emitted files
+/// are stable and diffable.
+
+namespace pstore {
+
+/// \brief A JSON value: null, bool, number, string, array, or object.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  explicit JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit JsonValue(double d) : kind_(Kind::kNumber), number_(d) {}
+  explicit JsonValue(int64_t i)
+      : kind_(Kind::kNumber), number_(static_cast<double>(i)) {}
+  explicit JsonValue(std::string s)
+      : kind_(Kind::kString), string_(std::move(s)) {}
+  explicit JsonValue(const char* s) : kind_(Kind::kString), string_(s) {}
+
+  static JsonValue Array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+
+  /// Array access. Precondition: is_array().
+  size_t size() const { return items_.size(); }
+  const JsonValue& at(size_t i) const { return items_[i]; }
+  void Append(JsonValue v) { items_.push_back(std::move(v)); }
+
+  /// Object access. Precondition: is_object(). Get returns nullptr when
+  /// the key is absent; Set replaces an existing key in place (keeping
+  /// its position) or appends.
+  const JsonValue* Get(const std::string& key) const;
+  void Set(const std::string& key, JsonValue v);
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Convenience: the number stored at `key`, or `fallback` when the key
+  /// is absent or not a number. Precondition: is_object().
+  double GetNumberOr(const std::string& key, double fallback) const;
+
+  /// Convenience: the string at `key`, or `fallback`. See GetNumberOr.
+  std::string GetStringOr(const std::string& key,
+                          const std::string& fallback) const;
+
+  /// Serializes with 2-space indentation and a trailing newline at the
+  /// top level. Numbers that are integral print without a fraction.
+  std::string Dump() const;
+
+  /// Parses a JSON document. Returns InvalidArgument with a byte offset
+  /// on malformed input (including trailing garbage).
+  static Result<JsonValue> Parse(const std::string& text);
+
+ private:
+  void DumpTo(std::string* out, int indent) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members_;  // kObject
+};
+
+}  // namespace pstore

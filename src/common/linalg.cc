@@ -104,14 +104,25 @@ Result<std::vector<double>> LeastSquares(const Matrix& a,
   if (b.size() != a.rows()) {
     return Status::InvalidArgument("LeastSquares: rhs size mismatch");
   }
-  Matrix gram = a.Gram();
+  return SolveNormalEquations(a.Gram(), a.TransposeTimes(b), ridge);
+}
+
+Result<std::vector<double>> SolveNormalEquations(Matrix gram,
+                                                 std::vector<double> rhs,
+                                                 double ridge) {
+  if (gram.rows() == 0 || gram.rows() != gram.cols()) {
+    return Status::InvalidArgument("SolveNormalEquations: bad gram shape");
+  }
+  if (rhs.size() != gram.rows()) {
+    return Status::InvalidArgument("SolveNormalEquations: rhs size mismatch");
+  }
   // Scale the ridge by the mean diagonal so it is unit-free.
   double diag_mean = 0;
   for (size_t i = 0; i < gram.rows(); ++i) diag_mean += gram(i, i);
   diag_mean /= static_cast<double>(gram.rows());
   const double lambda = ridge * std::max(diag_mean, 1.0);
   for (size_t i = 0; i < gram.rows(); ++i) gram(i, i) += lambda;
-  return SolveLinearSystem(std::move(gram), a.TransposeTimes(b));
+  return SolveLinearSystem(std::move(gram), std::move(rhs));
 }
 
 double MeanRelativeError(const std::vector<double>& predicted,

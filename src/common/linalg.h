@@ -57,6 +57,16 @@ Result<std::vector<double>> LeastSquares(const Matrix& a,
                                          const std::vector<double>& b,
                                          double ridge = 1e-8);
 
+/// Solves (gram + ridge * scaled I) x = rhs, the tail of LeastSquares
+/// for callers that maintain A^T A and A^T b incrementally (e.g. SPAR's
+/// per-tick refit). `gram` must be the full symmetric Gram matrix;
+/// ridge scaling matches LeastSquares exactly, so a solution computed
+/// from incrementally accumulated normal equations is bit-identical to
+/// the full-design-matrix path.
+Result<std::vector<double>> SolveNormalEquations(Matrix gram,
+                                                 std::vector<double> rhs,
+                                                 double ridge = 1e-8);
+
 /// Mean relative error between predictions and actuals, as used for the
 /// paper's accuracy plots (Figures 5b and 6b):
 ///   MRE = mean_i |pred_i - actual_i| / actual_i

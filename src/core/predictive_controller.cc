@@ -179,7 +179,7 @@ void PredictiveController::Tick() {
   if (config_.refit_interval > 0 &&
       ++ticks_since_refit_ >= config_.refit_interval) {
     ticks_since_refit_ = 0;
-    Status st = predictor_->Fit(series_, config_.horizon_intervals);
+    Status st = predictor_->Refit(series_, config_.horizon_intervals);
     if (st.ok()) {
       ++refits_;
       if (m_refits_ != nullptr) m_refits_->Add(1);

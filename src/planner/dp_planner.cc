@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <memory>
 #include <sstream>
 
 namespace pstore {
@@ -51,16 +52,80 @@ int32_t DpPlanner::NodesForLoad(double load) const {
       1, static_cast<int32_t>(std::ceil(load / model_.config().q - 1e-9)));
 }
 
+struct DpPlanner::PlanTables {
+  int32_t z = 0;
+  /// duration/move_cost per (b, a), flattened b * (z + 1) + a, with the
+  /// Algorithm 3 convention already applied (b == a: duration 1,
+  /// cost b).
+  std::vector<int32_t> duration;
+  std::vector<double> move_cost;
+  /// effcap[b * (z+1) + a][i - 1] = EffectiveCapacity(b, a, i/duration).
+  std::vector<std::vector<double>> effcap;
+  /// amin[t] = smallest machine count a with load[t] <= Capacity(a),
+  /// or z + 1 when even z machines are overloaded. Capacity is
+  /// monotonic in a, so "load[t] > Capacity(a)" == "a < amin[t]".
+  std::vector<int32_t> amin;
+
+  PlanTables(const MoveModel& model, const std::vector<double>& load,
+             int32_t z_in)
+      : z(z_in) {
+    const size_t pairs = static_cast<size_t>(z + 1) *
+                         static_cast<size_t>(z + 1);
+    duration.assign(pairs, 0);
+    move_cost.assign(pairs, 0.0);
+    effcap.assign(pairs, {});
+    for (int32_t b = 1; b <= z; ++b) {
+      for (int32_t a = 1; a <= z; ++a) {
+        const size_t idx = static_cast<size_t>(b) *
+                               static_cast<size_t>(z + 1) +
+                           static_cast<size_t>(a);
+        int32_t d = model.MoveTimeIntervals(b, a);
+        double cost = model.MoveCost(b, a);
+        if (d == 0) {
+          d = 1;
+          cost = b;
+        }
+        duration[idx] = d;
+        move_cost[idx] = cost;
+        std::vector<double>& caps = effcap[idx];
+        caps.resize(static_cast<size_t>(d));
+        for (int32_t i = 1; i <= d; ++i) {
+          caps[static_cast<size_t>(i - 1)] =
+              model.EffectiveCapacity(b, a, static_cast<double>(i) / d);
+        }
+      }
+    }
+    amin.resize(load.size());
+    for (size_t t = 0; t < load.size(); ++t) {
+      int32_t a = 1;
+      while (a <= z && load[t] > model.Capacity(a)) ++a;
+      amin[t] = a;
+    }
+  }
+};
+
 double DpPlanner::SubCost(int32_t t, int32_t b, int32_t a,
                           const std::vector<double>& load, int32_t n0,
-                          int32_t z, std::vector<MemoEntry>* memo) const {
+                          int32_t z, const PlanTables* tables,
+                          std::vector<MemoEntry>* memo) const {
   // Algorithm 3. A move must last at least one time interval; the
   // do-nothing move (b == a) gets duration 1 and cost b.
-  int32_t duration = model_.MoveTimeIntervals(b, a);
-  double move_cost = model_.MoveCost(b, a);
-  if (duration == 0) {
-    duration = 1;
-    move_cost = b;
+  int32_t duration;
+  double move_cost;
+  const std::vector<double>* caps = nullptr;
+  if (tables != nullptr) {
+    const size_t idx = static_cast<size_t>(b) * static_cast<size_t>(z + 1) +
+                       static_cast<size_t>(a);
+    duration = tables->duration[idx];
+    move_cost = tables->move_cost[idx];
+    caps = &tables->effcap[idx];
+  } else {
+    duration = model_.MoveTimeIntervals(b, a);
+    move_cost = model_.MoveCost(b, a);
+    if (duration == 0) {
+      duration = 1;
+      move_cost = b;
+    }
   }
 
   const int32_t start_move = t - duration;
@@ -69,27 +134,43 @@ double DpPlanner::SubCost(int32_t t, int32_t b, int32_t a,
     return kInf;
   }
 
+  // Prune candidates whose predecessor state is overloaded outright:
+  // Cost(start_move, b) would return kInf from its capacity check
+  // before touching the memo, so skipping the recursion (and the
+  // effective-capacity scan below) changes nothing observable.
+  if (tables != nullptr &&
+      b < tables->amin[static_cast<size_t>(start_move)]) {
+    return kInf;
+  }
+
   // The predicted load must never exceed the effective capacity of the
   // system at any interval during the move.
   for (int32_t i = 1; i <= duration; ++i) {
     const double predicted = load[static_cast<size_t>(start_move + i)];
-    const double f = static_cast<double>(i) / duration;
-    if (predicted > model_.EffectiveCapacity(b, a, f)) {
+    const double cap =
+        caps != nullptr
+            ? (*caps)[static_cast<size_t>(i - 1)]
+            : model_.EffectiveCapacity(b, a,
+                                       static_cast<double>(i) / duration);
+    if (predicted > cap) {
       return kInf;
     }
   }
 
-  const double prior = Cost(start_move, b, load, n0, z, memo);
+  const double prior = Cost(start_move, b, load, n0, z, tables, memo);
   if (prior == kInf) return kInf;
   return prior + move_cost;
 }
 
 double DpPlanner::Cost(int32_t t, int32_t a, const std::vector<double>& load,
-                       int32_t n0, int32_t z,
+                       int32_t n0, int32_t z, const PlanTables* tables,
                        std::vector<MemoEntry>* memo) const {
   // Algorithm 2.
   if (t < 0 || (t == 0 && a != n0)) return kInf;
-  if (load[static_cast<size_t>(t)] > model_.Capacity(a)) return kInf;
+  if (tables != nullptr ? a < tables->amin[static_cast<size_t>(t)]
+                        : load[static_cast<size_t>(t)] > model_.Capacity(a)) {
+    return kInf;
+  }
 
   MemoEntry& entry = (*memo)[static_cast<size_t>(t) * (z + 1) +
                              static_cast<size_t>(a)];
@@ -109,7 +190,7 @@ double DpPlanner::Cost(int32_t t, int32_t a, const std::vector<double>& load,
   double best = kInf;
   int32_t best_b = -1;
   for (int32_t b = 1; b <= z; ++b) {
-    const double c = SubCost(t, b, a, load, n0, z, memo);
+    const double c = SubCost(t, b, a, load, n0, z, tables, memo);
     if (c < best) {
       best = c;
       best_b = b;
@@ -118,7 +199,12 @@ double DpPlanner::Cost(int32_t t, int32_t a, const std::vector<double>& load,
 
   entry.cost = best;
   if (best_b >= 0) {
-    int32_t duration = model_.MoveTimeIntervals(best_b, a);
+    int32_t duration =
+        tables != nullptr
+            ? tables->duration[static_cast<size_t>(best_b) *
+                                   static_cast<size_t>(z + 1) +
+                               static_cast<size_t>(a)]
+            : model_.MoveTimeIntervals(best_b, a);
     if (duration == 0) duration = 1;
     entry.prev_time = t - duration;
     entry.prev_nodes = best_b;
@@ -150,9 +236,13 @@ Plan DpPlanner::BestMoves(const std::vector<double>& load, int32_t n0) const {
     for (const MemoEntry& e : memo) cells += e.exists ? 1 : 0;
     return cells;
   };
+  std::unique_ptr<PlanTables> tables;
+  if (!exhaustive_) {
+    tables = std::make_unique<PlanTables>(model_, load, z);
+  }
   for (int32_t final_nodes = 1; final_nodes <= z; ++final_nodes) {
     const double total =
-        Cost(horizon, final_nodes, load, n0, z, &memo);
+        Cost(horizon, final_nodes, load, n0, z, tables.get(), &memo);
     if (total == kInf) continue;
 
     // Backtrack through the memo matrix to recover the move series.

@@ -79,6 +79,13 @@ class DpPlanner {
   /// `load` (ceil(load / Q)), at least 1.
   int32_t NodesForLoad(double load) const;
 
+  /// Forces the textbook recursion: no precomputed per-(b, a) move
+  /// tables, no capacity-threshold pruning. Plans and costs are
+  /// identical either way (the equivalence suite proves it); exhaustive
+  /// mode exists as that suite's reference and for debugging.
+  void set_exhaustive(bool exhaustive) { exhaustive_ = exhaustive; }
+  bool exhaustive() const { return exhaustive_; }
+
   const MoveModel& model() const { return model_; }
 
  private:
@@ -89,18 +96,30 @@ class DpPlanner {
     bool exists = false;
   };
 
+  /// Per-plan lookup tables (fast mode only): move durations, move
+  /// costs and effective-capacity profiles depend only on (b, a), and
+  /// the per-interval feasibility threshold amin[t] (the smallest
+  /// machine count whose steady capacity covers load[t]) turns the
+  /// load-vs-capacity check into one integer compare. All entries hold
+  /// exactly the values the exhaustive recursion would recompute, so
+  /// results are bit-identical.
+  struct PlanTables;
+
   // Algorithm 2: min cost of a feasible series ending with `a` nodes at
   // interval `t`.
   double Cost(int32_t t, int32_t a, const std::vector<double>& load,
-              int32_t n0, int32_t z, std::vector<MemoEntry>* memo) const;
+              int32_t n0, int32_t z, const PlanTables* tables,
+              std::vector<MemoEntry>* memo) const;
 
   // Algorithm 3: min cost ending at `t` with the last move being b -> a.
   double SubCost(int32_t t, int32_t b, int32_t a,
                  const std::vector<double>& load, int32_t n0, int32_t z,
+                 const PlanTables* tables,
                  std::vector<MemoEntry>* memo) const;
 
   MoveModel model_;
   int32_t max_nodes_;
+  bool exhaustive_ = false;
 };
 
 }  // namespace pstore

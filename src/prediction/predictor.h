@@ -31,6 +31,16 @@ class LoadPredictor {
   virtual Status Fit(const std::vector<double>& train,
                      int32_t max_horizon) = 0;
 
+  /// Refits after new slots were appended to the end of `train` (the
+  /// controller's per-tick path). `train` must extend the series from
+  /// the previous Fit/Refit with the same prefix. The default performs
+  /// a full Fit; models with sufficient statistics override this with
+  /// an incremental update that yields the same coefficients.
+  virtual Status Refit(const std::vector<double>& train,
+                       int32_t max_horizon) {
+    return Fit(train, max_horizon);
+  }
+
   /// Smallest index `t` for which Forecast(series, t, ...) is valid.
   virtual int64_t MinHistory() const = 0;
 
@@ -87,6 +97,10 @@ class InflatingPredictor : public LoadPredictor {
   }
   Status Fit(const std::vector<double>& train, int32_t max_horizon) override {
     return inner_->Fit(train, max_horizon);
+  }
+  Status Refit(const std::vector<double>& train,
+               int32_t max_horizon) override {
+    return inner_->Refit(train, max_horizon);
   }
   int64_t MinHistory() const override { return inner_->MinHistory(); }
   Result<std::vector<double>> Forecast(const std::vector<double>& series,

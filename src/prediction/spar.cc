@@ -1,5 +1,6 @@
 #include "prediction/spar.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -107,19 +108,109 @@ double SparModel::Predict(const std::vector<double>& series, int64_t t) const {
   return acc;
 }
 
+Result<SparModel> SparPredictor::SolveTau(const std::vector<double>& train,
+                                          int32_t tau) {
+  PSTORE_RETURN_NOT_OK(config_.Validate());
+  if (tau < 1 || tau >= config_.period) {
+    return Status::InvalidArgument(
+        "tau must be in [1, period); got " + std::to_string(tau));
+  }
+  const int32_t n = config_.num_periods;
+  const int32_t m = config_.num_recent;
+  const size_t dim = static_cast<size_t>(n + m);
+  const int64_t t_min = static_cast<int64_t>(n) * config_.period + m;
+  const int64_t t_max = static_cast<int64_t>(train.size()) - 1 - tau;
+  const int64_t rows = t_max - t_min + 1;
+  if (rows < n + m + 1) {
+    return Status::InvalidArgument(
+        "not enough training data: need > " +
+        std::to_string(t_min + tau + n + m) + " slots, have " +
+        std::to_string(train.size()));
+  }
+
+  TauStats& stats = stats_[static_cast<size_t>(tau - 1)];
+  // Accumulate the new rows exactly as Matrix::Gram / TransposeTimes
+  // would (upper triangle, zero-entry skips), so the running sums stay
+  // bit-identical to a from-scratch build over all rows.
+  std::vector<double> row(dim);
+  for (int64_t t = stats.next_t; t <= t_max; ++t) {
+    FillFeatures(train, t, tau, config_, row.data());
+    for (size_t i = 0; i < dim; ++i) {
+      const double ri = row[i];
+      if (ri == 0.0) continue;
+      for (size_t j = i; j < dim; ++j) {
+        stats.gram_upper(i, j) += ri * row[j];
+      }
+    }
+    const double y = train[static_cast<size_t>(t + tau)];
+    if (y != 0.0) {
+      for (size_t c = 0; c < dim; ++c) stats.xty[c] += row[c] * y;
+    }
+  }
+  stats.next_t = t_max + 1;
+
+  Matrix gram = stats.gram_upper;
+  for (size_t i = 0; i < dim; ++i) {
+    for (size_t j = 0; j < i; ++j) gram(i, j) = gram(j, i);
+  }
+  auto solved = SolveNormalEquations(std::move(gram), stats.xty,
+                                     config_.ridge);
+  if (!solved.ok()) return solved.status();
+  std::vector<double> coeffs = std::move(solved).MoveValueUnsafe();
+  std::vector<double> a(coeffs.begin(), coeffs.begin() + n);
+  std::vector<double> b(coeffs.begin() + n, coeffs.end());
+  return SparModel(config_, tau, std::move(a), std::move(b));
+}
+
 Status SparPredictor::Fit(const std::vector<double>& train,
                           int32_t max_horizon) {
   if (max_horizon < 1) {
     return Status::InvalidArgument("max_horizon must be >= 1");
   }
+  const int32_t n = config_.num_periods;
+  const int32_t m = config_.num_recent;
+  const size_t dim = static_cast<size_t>(std::max(n + m, 1));
+  const int64_t t_min = static_cast<int64_t>(n) * config_.period + m;
+  std::vector<TauStats> fresh(static_cast<size_t>(max_horizon));
+  for (TauStats& stats : fresh) {
+    stats.gram_upper = Matrix(dim, dim, 0.0);
+    stats.xty.assign(dim, 0.0);
+    stats.next_t = t_min;
+  }
+  stats_ = std::move(fresh);
   std::vector<SparModel> models;
   models.reserve(static_cast<size_t>(max_horizon));
   for (int32_t tau = 1; tau <= max_horizon; ++tau) {
-    auto model = SparModel::Fit(train, tau, config_);
+    auto model = SolveTau(train, tau);
+    if (!model.ok()) {
+      stats_.clear();
+      return model.status();
+    }
+    models.push_back(std::move(model).MoveValueUnsafe());
+  }
+  models_ = std::move(models);
+  fitted_len_ = static_cast<int64_t>(train.size());
+  return Status::OK();
+}
+
+Status SparPredictor::Refit(const std::vector<double>& train,
+                            int32_t max_horizon) {
+  // Incremental only when the previous fit exists for the same horizon
+  // and `train` extends it; anything else falls back to a full Fit.
+  if (stats_.empty() ||
+      static_cast<size_t>(max_horizon) != stats_.size() ||
+      static_cast<int64_t>(train.size()) < fitted_len_) {
+    return Fit(train, max_horizon);
+  }
+  std::vector<SparModel> models;
+  models.reserve(static_cast<size_t>(max_horizon));
+  for (int32_t tau = 1; tau <= max_horizon; ++tau) {
+    auto model = SolveTau(train, tau);
     if (!model.ok()) return model.status();
     models.push_back(std::move(model).MoveValueUnsafe());
   }
   models_ = std::move(models);
+  fitted_len_ = static_cast<int64_t>(train.size());
   return Status::OK();
 }
 

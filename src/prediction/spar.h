@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/linalg.h"
 #include "common/status.h"
 #include "prediction/predictor.h"
 
@@ -57,6 +58,8 @@ class SparModel {
   const std::vector<double>& recent_coefficients() const { return b_; }
 
  private:
+  friend class SparPredictor;  // builds models from incremental stats
+
   SparModel(SparConfig config, int32_t tau, std::vector<double> a,
             std::vector<double> b);
 
@@ -70,6 +73,14 @@ class SparModel {
 ///
 /// Fit() trains models for tau = 1..max_horizon; Forecast() evaluates
 /// each. This is the "Predictor" component of Section 6.
+///
+/// Fit maintains per-tau normal equations (A^T A and A^T b) as
+/// sufficient statistics, so Refit() after new slots were appended
+/// only accumulates the new design rows and re-solves the small
+/// (n+m)x(n+m) system — the per-tick controller path drops from a full
+/// O(len * (n+m)^2) re-fit to O(new_slots * (n+m)^2). Accumulation
+/// mirrors Matrix::Gram()'s summation order, so refitted coefficients
+/// are bit-identical to a full Fit on the extended series.
 class SparPredictor : public LoadPredictor {
  public:
   explicit SparPredictor(SparConfig config = SparConfig{})
@@ -77,6 +88,8 @@ class SparPredictor : public LoadPredictor {
 
   std::string name() const override { return "SPAR"; }
   Status Fit(const std::vector<double>& train, int32_t max_horizon) override;
+  Status Refit(const std::vector<double>& train,
+               int32_t max_horizon) override;
   int64_t MinHistory() const override;
   Result<std::vector<double>> Forecast(const std::vector<double>& series,
                                        int64_t t,
@@ -84,9 +97,29 @@ class SparPredictor : public LoadPredictor {
   Result<double> ForecastAt(const std::vector<double>& series, int64_t t,
                             int32_t tau) const override;
 
+  /// Fitted per-tau models (models()[i] forecasts tau = i + 1). Exposed
+  /// so the equivalence suite can compare Refit against a full Fit
+  /// coefficient by coefficient.
+  const std::vector<SparModel>& models() const { return models_; }
+
  private:
+  /// Per-tau accumulated normal equations. gram_upper holds only the
+  /// upper triangle (as Matrix::Gram accumulates); next_t is the first
+  /// design row not yet folded in.
+  struct TauStats {
+    Matrix gram_upper;
+    std::vector<double> xty;
+    int64_t next_t = 0;
+  };
+
+  /// Extends stats_[tau-1] with rows next_t..t_max of `train` and
+  /// re-solves for the tau's coefficients.
+  Result<SparModel> SolveTau(const std::vector<double>& train, int32_t tau);
+
   SparConfig config_;
   std::vector<SparModel> models_;  // models_[i] forecasts tau = i + 1
+  std::vector<TauStats> stats_;    // parallel to models_
+  int64_t fitted_len_ = 0;         // train.size() at the last (re)fit
 };
 
 }  // namespace pstore

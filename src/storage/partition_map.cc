@@ -15,6 +15,7 @@ PartitionMap::PartitionMap(int32_t num_buckets, int32_t num_partitions)
   for (int32_t b = 0; b < num_buckets; ++b) {
     assignment_[static_cast<size_t>(b)] = b % num_partitions;
   }
+  RebuildCounts();
 }
 
 std::vector<BucketId> PartitionMap::BucketsOfPartition(PartitionId p) const {
@@ -26,17 +27,42 @@ std::vector<BucketId> PartitionMap::BucketsOfPartition(PartitionId p) const {
 }
 
 std::vector<int32_t> PartitionMap::BucketCounts() const {
-  PartitionId max_p = 0;
-  for (PartitionId p : assignment_) max_p = std::max(max_p, p);
-  std::vector<int32_t> counts(static_cast<size_t>(max_p) + 1, 0);
-  for (PartitionId p : assignment_) ++counts[static_cast<size_t>(p)];
-  return counts;
+  return std::vector<int32_t>(
+      counts_.begin(), counts_.begin() + static_cast<size_t>(
+                                             max_partition_end_));
 }
 
-void PartitionMap::RecomputePartitionCount() {
+void PartitionMap::Assign(BucketId b, PartitionId p) {
+  assert(p >= 0);
+  PartitionId& slot = assignment_[static_cast<size_t>(b)];
+  const PartitionId old = slot;
+  slot = p;
+  if (p >= static_cast<int32_t>(counts_.size())) {
+    counts_.resize(static_cast<size_t>(p) + 1, 0);
+  }
+  --counts_[static_cast<size_t>(old)];
+  ++counts_[static_cast<size_t>(p)];
+  if (p + 1 > max_partition_end_) {
+    max_partition_end_ = p + 1;
+  } else if (old + 1 == max_partition_end_ &&
+             counts_[static_cast<size_t>(old)] == 0) {
+    while (max_partition_end_ > 1 &&
+           counts_[static_cast<size_t>(max_partition_end_) - 1] == 0) {
+      --max_partition_end_;
+    }
+  }
+  // Historical behavior: every Assign folds num_partitions_ to the
+  // highest assigned partition + 1 (construction/Rebalanced may have
+  // set it higher until the first Assign).
+  num_partitions_ = max_partition_end_;
+}
+
+void PartitionMap::RebuildCounts() {
   PartitionId max_p = 0;
   for (PartitionId p : assignment_) max_p = std::max(max_p, p);
-  num_partitions_ = max_p + 1;
+  max_partition_end_ = max_p + 1;
+  counts_.assign(static_cast<size_t>(max_partition_end_), 0);
+  for (PartitionId p : assignment_) ++counts_[static_cast<size_t>(p)];
 }
 
 PartitionMap PartitionMap::Rebalanced(int32_t target_partitions) const {
@@ -74,6 +100,14 @@ PartitionMap PartitionMap::Rebalanced(int32_t target_partitions) const {
     }
     out.assignment_[static_cast<size_t>(b)] = next;
     ++have[static_cast<size_t>(next)];
+  }
+  // `have` is exactly the per-partition count of the new assignment, so
+  // the incremental-count state comes for free (no bucket rescan).
+  out.counts_ = std::move(have);
+  out.max_partition_end_ = target_partitions;
+  while (out.max_partition_end_ > 1 &&
+         out.counts_[static_cast<size_t>(out.max_partition_end_) - 1] == 0) {
+    --out.max_partition_end_;
   }
   return out;
 }

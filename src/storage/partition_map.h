@@ -68,10 +68,9 @@ class PartitionMap {
   std::vector<int32_t> BucketCounts() const;
 
   /// Reassigns one bucket (used when applying a migration step).
-  void Assign(BucketId b, PartitionId p) {
-    assignment_[static_cast<size_t>(b)] = p;
-    RecomputePartitionCount();
-  }
+  /// O(1) amortized: per-partition counts are maintained incrementally,
+  /// so failover/migration churn never rescans the bucket universe.
+  void Assign(BucketId b, PartitionId p);
 
   /// \brief Produces the balanced target map over `target_partitions`
   /// partitions (ids 0..target-1) that moves as few buckets as possible
@@ -95,9 +94,15 @@ class PartitionMap {
   std::string ToString() const;
 
  private:
-  void RecomputePartitionCount();
+  /// Rebuilds counts_ / max_partition_end_ from assignment_ (O(buckets);
+  /// construction and Rebalanced only — never on the Assign path).
+  void RebuildCounts();
 
   std::vector<PartitionId> assignment_;
+  /// counts_[p] = buckets assigned to p; length >= max_partition_end_.
+  std::vector<int32_t> counts_;
+  /// max assigned partition id + 1 (what Assign folds num_partitions_ to).
+  int32_t max_partition_end_ = 0;
   int32_t num_partitions_ = 0;
   int64_t version_ = 0;
 };

@@ -79,21 +79,34 @@ uint64_t RunFailover(uint64_t seed, bool replicated, bool settle) {
   return FailoverFingerprint(engine);
 }
 
-TEST(FailoverDeterminismTest, FiftySeedsReplayIdenticallyWithReplication) {
-  for (uint64_t seed = 1; seed <= 50; ++seed) {
+// The 50-seed sweeps are sharded 5 seeds per ctest unit so `ctest -j`
+// runs shards concurrently (and a failure names a 5-seed range, not a
+// 50-seed monolith). The shard parameter is the first seed.
+constexpr uint64_t kSeedsPerShard = 5;
+
+class FailoverSeedShard : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FailoverSeedShard, ReplaysIdenticallyWithReplication) {
+  const uint64_t first = GetParam();
+  for (uint64_t seed = first; seed < first + kSeedsPerShard; ++seed) {
     const uint64_t a = RunFailover(seed, /*replicated=*/true, false);
     const uint64_t b = RunFailover(seed, /*replicated=*/true, false);
     EXPECT_EQ(a, b) << "promotion failover diverged for seed " << seed;
   }
 }
 
-TEST(FailoverDeterminismTest, FiftySeedsReplayIdenticallyLegacy) {
-  for (uint64_t seed = 1; seed <= 50; ++seed) {
+TEST_P(FailoverSeedShard, ReplaysIdenticallyLegacy) {
+  const uint64_t first = GetParam();
+  for (uint64_t seed = first; seed < first + kSeedsPerShard; ++seed) {
     const uint64_t a = RunFailover(seed, /*replicated=*/false, false);
     const uint64_t b = RunFailover(seed, /*replicated=*/false, false);
     EXPECT_EQ(a, b) << "legacy failover diverged for seed " << seed;
   }
 }
+
+INSTANTIATE_TEST_SUITE_P(FiftySeeds, FailoverSeedShard,
+                         ::testing::Range(uint64_t{1}, uint64_t{51},
+                                          kSeedsPerShard));
 
 TEST(FailoverDeterminismTest, RebuildSettlingIsDeterministicToo) {
   for (uint64_t seed = 1; seed <= 10; ++seed) {

@@ -1,0 +1,120 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pstore {
+namespace {
+
+TEST(JsonValueTest, BuildAndDumpObject) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema_version", JsonValue(static_cast<int64_t>(1)));
+  doc.Set("bench", JsonValue("micro_perf"));
+  doc.Set("ok", JsonValue(true));
+  JsonValue cases = JsonValue::Array();
+  JsonValue c = JsonValue::Object();
+  c.Set("name", JsonValue("BM_Foo"));
+  c.Set("value", JsonValue(123.5));
+  cases.Append(std::move(c));
+  doc.Set("cases", std::move(cases));
+
+  const std::string text = doc.Dump();
+  EXPECT_NE(text.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(text.find("\"bench\": \"micro_perf\""), std::string::npos);
+  EXPECT_NE(text.find("\"value\": 123.5"), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(JsonValueTest, DumpKeepsInsertionOrder) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("zebra", JsonValue(static_cast<int64_t>(1)));
+  doc.Set("alpha", JsonValue(static_cast<int64_t>(2)));
+  const std::string text = doc.Dump();
+  EXPECT_LT(text.find("zebra"), text.find("alpha"));
+}
+
+TEST(JsonValueTest, SetReplacesInPlace) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("a", JsonValue(static_cast<int64_t>(1)));
+  doc.Set("b", JsonValue(static_cast<int64_t>(2)));
+  doc.Set("a", JsonValue(static_cast<int64_t>(3)));
+  ASSERT_EQ(doc.members().size(), 2u);
+  EXPECT_EQ(doc.members()[0].first, "a");
+  EXPECT_EQ(doc.GetNumberOr("a", 0.0), 3.0);
+}
+
+TEST(JsonValueTest, ParseRoundTrip) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("name", JsonValue("a \"quoted\"\nstring"));
+  doc.Set("pi", JsonValue(3.25));
+  doc.Set("n", JsonValue(static_cast<int64_t>(-42)));
+  doc.Set("flag", JsonValue(false));
+  doc.Set("nothing", JsonValue());
+  JsonValue arr = JsonValue::Array();
+  arr.Append(JsonValue(static_cast<int64_t>(1)));
+  arr.Append(JsonValue("two"));
+  doc.Set("arr", std::move(arr));
+
+  auto parsed = JsonValue::Parse(doc.Dump());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& p = parsed.ValueOrDie();
+  EXPECT_EQ(p.GetStringOr("name", ""), "a \"quoted\"\nstring");
+  EXPECT_EQ(p.GetNumberOr("pi", 0.0), 3.25);
+  EXPECT_EQ(p.GetNumberOr("n", 0.0), -42.0);
+  ASSERT_NE(p.Get("flag"), nullptr);
+  EXPECT_FALSE(p.Get("flag")->AsBool());
+  ASSERT_NE(p.Get("nothing"), nullptr);
+  EXPECT_TRUE(p.Get("nothing")->is_null());
+  ASSERT_NE(p.Get("arr"), nullptr);
+  ASSERT_EQ(p.Get("arr")->size(), 2u);
+  EXPECT_EQ(p.Get("arr")->at(1).AsString(), "two");
+
+  // Dump(Parse(Dump(x))) == Dump(x): the serializer is a fixed point.
+  EXPECT_EQ(p.Dump(), doc.Dump());
+}
+
+TEST(JsonValueTest, ParseScientificNumbers) {
+  auto parsed = JsonValue::Parse("[1e3, -2.5E-2, 0.125]");
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue& arr = parsed.ValueOrDie();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_EQ(arr.at(0).AsNumber(), 1000.0);
+  EXPECT_EQ(arr.at(1).AsNumber(), -0.025);
+  EXPECT_EQ(arr.at(2).AsNumber(), 0.125);
+}
+
+TEST(JsonValueTest, NonFiniteNumbersDumpAsNull) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("nan", JsonValue(std::nan("")));
+  const std::string text = doc.Dump();
+  EXPECT_NE(text.find("\"nan\": null"), std::string::npos);
+}
+
+TEST(JsonValueTest, ParseErrorsCarryByteOffset) {
+  auto r1 = JsonValue::Parse("{\"a\": }");
+  ASSERT_FALSE(r1.ok());
+  EXPECT_NE(r1.status().ToString().find("byte"), std::string::npos);
+
+  auto r2 = JsonValue::Parse("{} trailing");
+  ASSERT_FALSE(r2.ok());
+
+  auto r3 = JsonValue::Parse("[1, 2");
+  ASSERT_FALSE(r3.ok());
+
+  auto r4 = JsonValue::Parse("\"unterminated");
+  ASSERT_FALSE(r4.ok());
+
+  auto r5 = JsonValue::Parse("truthy");
+  ASSERT_FALSE(r5.ok());
+}
+
+TEST(JsonValueTest, GetMissingKeyReturnsNullptr) {
+  JsonValue doc = JsonValue::Object();
+  EXPECT_EQ(doc.Get("missing"), nullptr);
+  EXPECT_EQ(doc.GetNumberOr("missing", 7.5), 7.5);
+  EXPECT_EQ(doc.GetStringOr("missing", "d"), "d");
+}
+
+}  // namespace
+}  // namespace pstore

@@ -174,11 +174,16 @@ NetChaosOutcome RunNetChaos(uint64_t seed) {
   return out;
 }
 
-TEST(NetChaosTest, FiftySeedsNoSplitBrainNoDoubleApply) {
-  int64_t total_partitions = 0, total_losses = 0, total_delays = 0;
-  int64_t total_suspicions = 0, total_failovers = 0, total_rejections = 0;
-  int64_t total_retransmits = 0, total_dropped = 0;
-  for (uint64_t seed = 1; seed <= 50; ++seed) {
+// The 50-seed sweep is sharded 5 seeds per ctest unit so `ctest -j`
+// runs shards concurrently (and a failure names a 5-seed range, not a
+// 50-seed monolith). The shard parameter is the first seed.
+constexpr uint64_t kSeedsPerShard = 5;
+
+class NetSeedShard : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NetSeedShard, NoSplitBrainNoDoubleApply) {
+  const uint64_t first = GetParam();
+  for (uint64_t seed = first; seed < first + kSeedsPerShard; ++seed) {
     const NetChaosOutcome out = RunNetChaos(seed);
     EXPECT_TRUE(out.violations.empty())
         << "seed " << seed << ": " << out.violations.size()
@@ -193,6 +198,23 @@ TEST(NetChaosTest, FiftySeedsNoSplitBrainNoDoubleApply) {
     EXPECT_EQ(out.rows_at_end, 200 - out.rows_lost + out.rows_net_created)
         << "seed " << seed;
     EXPECT_GT(out.committed, 0) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FiftySeeds, NetSeedShard,
+                         ::testing::Range(uint64_t{1}, uint64_t{51},
+                                          kSeedsPerShard));
+
+TEST(NetChaosTest, SweepExercisesNetworkMachinery) {
+  // Scaled-down aggregate over the first ten seeds: partitions open,
+  // messages drop, nodes get suspected and fenced, failovers run, the
+  // commit gate rejects, and the chunk protocol retransmits. (The
+  // per-seed invariants live in the shards.)
+  int64_t total_partitions = 0, total_losses = 0, total_delays = 0;
+  int64_t total_suspicions = 0, total_failovers = 0, total_rejections = 0;
+  int64_t total_retransmits = 0, total_dropped = 0;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const NetChaosOutcome out = RunNetChaos(seed);
     total_partitions += out.net_partitions;
     total_losses += out.net_losses;
     total_delays += out.net_delays;
@@ -202,17 +224,14 @@ TEST(NetChaosTest, FiftySeedsNoSplitBrainNoDoubleApply) {
     total_retransmits += out.net_retransmits;
     total_dropped += out.msgs_dropped;
   }
-  // The sweep must genuinely exercise the substrate: partitions open,
-  // messages drop, nodes get suspected and fenced, failovers run, the
-  // commit gate rejects, and the chunk protocol retransmits.
-  EXPECT_GT(total_partitions, 30);
-  EXPECT_GT(total_losses, 20);
-  EXPECT_GT(total_delays, 15);
-  EXPECT_GT(total_suspicions, 30);
-  EXPECT_GT(total_failovers, 10);
-  EXPECT_GT(total_rejections, 50);
-  EXPECT_GT(total_retransmits, 10);
-  EXPECT_GT(total_dropped, 1000);
+  EXPECT_GT(total_partitions, 6);
+  EXPECT_GT(total_losses, 4);
+  EXPECT_GT(total_delays, 3);
+  EXPECT_GT(total_suspicions, 6);
+  EXPECT_GT(total_failovers, 2);
+  EXPECT_GT(total_rejections, 10);
+  EXPECT_GT(total_retransmits, 2);
+  EXPECT_GT(total_dropped, 200);
 }
 
 TEST(NetChaosTest, SameSeedReplaysIdentically) {

@@ -166,10 +166,16 @@ OverloadOutcome RunOverloadChaos(uint64_t seed) {
   return out;
 }
 
-TEST(OverloadChaosTest, FiftySeedsZeroViolationsWithActiveOverload) {
-  int64_t total_trips = 0, total_spikes = 0, total_crashes = 0;
-  int64_t total_shed = 0, total_scale_outs = 0, total_retries = 0;
-  for (uint64_t seed = 1; seed <= 50; ++seed) {
+// The 50-seed sweep is sharded 5 seeds per ctest unit so `ctest -j`
+// runs shards concurrently (and a failure names a 5-seed range, not a
+// 50-seed monolith). The shard parameter is the first seed.
+constexpr uint64_t kSeedsPerShard = 5;
+
+class OverloadSeedShard : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OverloadSeedShard, ZeroViolationsWithActiveOverload) {
+  const uint64_t first = GetParam();
+  for (uint64_t seed = first; seed < first + kSeedsPerShard; ++seed) {
     const OverloadOutcome out = RunOverloadChaos(seed);
     EXPECT_TRUE(out.violations.empty())
         << "seed " << seed << ": " << out.violations.size()
@@ -177,6 +183,22 @@ TEST(OverloadChaosTest, FiftySeedsZeroViolationsWithActiveOverload) {
         << out.plan << "\ntrace:\n"
         << out.trace;
     EXPECT_GT(out.committed, 0) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FiftySeeds, OverloadSeedShard,
+                         ::testing::Range(uint64_t{1}, uint64_t{51},
+                                          kSeedsPerShard));
+
+TEST(OverloadChaosTest, SweepExercisesOverloadMachinery) {
+  // Scaled-down aggregate over the first ten seeds: spikes fire, queues
+  // shed, breakers trip, retries spend budget, and the breaker-aware
+  // controller scales out as its safety net. (The per-seed invariants
+  // live in the shards.)
+  int64_t total_trips = 0, total_spikes = 0, total_crashes = 0;
+  int64_t total_shed = 0, total_scale_outs = 0, total_retries = 0;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const OverloadOutcome out = RunOverloadChaos(seed);
     total_trips += out.breaker_trips;
     total_spikes += out.load_spikes;
     total_crashes += out.crashes;
@@ -184,15 +206,12 @@ TEST(OverloadChaosTest, FiftySeedsZeroViolationsWithActiveOverload) {
     total_scale_outs += out.scale_outs;
     total_retries += out.retries;
   }
-  // The sweep must genuinely exercise the overload machinery: spikes
-  // fire, queues shed, breakers trip, retries spend budget, and the
-  // breaker-aware controller scales out as its safety net.
-  EXPECT_GT(total_spikes, 20);
-  EXPECT_GT(total_crashes, 10);
-  EXPECT_GT(total_shed, 1000);
-  EXPECT_GT(total_trips, 10);
-  EXPECT_GT(total_retries, 100);
-  EXPECT_GT(total_scale_outs, 10);
+  EXPECT_GT(total_spikes, 4);
+  EXPECT_GT(total_crashes, 2);
+  EXPECT_GT(total_shed, 200);
+  EXPECT_GT(total_trips, 2);
+  EXPECT_GT(total_retries, 20);
+  EXPECT_GT(total_scale_outs, 2);
 }
 
 TEST(OverloadChaosTest, SameSeedReplaysIdentically) {

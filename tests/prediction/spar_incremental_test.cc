@@ -1,0 +1,151 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "prediction/spar.h"
+
+/// \file spar_incremental_test.cc
+/// Equivalence suite for the incremental SPAR refit: Refit() after
+/// appending slots must produce coefficients bit-identical to a full
+/// Fit() on the extended series (the accumulation mirrors
+/// Matrix::Gram()'s summation order, so this is exact equality, not
+/// just a tolerance).
+
+namespace pstore {
+namespace {
+
+constexpr int32_t kPeriod = 48;
+constexpr int32_t kHorizon = 4;
+
+SparConfig SmallConfig() {
+  SparConfig config;
+  config.period = kPeriod;
+  config.num_periods = 3;
+  config.num_recent = 6;
+  return config;
+}
+
+/// Periodic base + trend + seeded noise, the shape the controller sees.
+std::vector<double> NoisySeries(int64_t slots, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> y(static_cast<size_t>(slots));
+  for (int64_t t = 0; t < slots; ++t) {
+    y[static_cast<size_t>(t)] =
+        200.0 + 80.0 * std::sin(2 * M_PI * (t % kPeriod) / kPeriod) +
+        0.01 * static_cast<double>(t) + 5.0 * rng.NextGaussian();
+  }
+  return y;
+}
+
+/// Asserts every coefficient of every tau model matches exactly.
+void ExpectIdenticalModels(const SparPredictor& a, const SparPredictor& b) {
+  ASSERT_EQ(a.models().size(), b.models().size());
+  for (size_t i = 0; i < a.models().size(); ++i) {
+    const SparModel& ma = a.models()[i];
+    const SparModel& mb = b.models()[i];
+    ASSERT_EQ(ma.periodic_coefficients().size(),
+              mb.periodic_coefficients().size());
+    for (size_t k = 0; k < ma.periodic_coefficients().size(); ++k) {
+      EXPECT_EQ(ma.periodic_coefficients()[k], mb.periodic_coefficients()[k])
+          << "tau " << i + 1 << " a_" << k + 1;
+    }
+    ASSERT_EQ(ma.recent_coefficients().size(),
+              mb.recent_coefficients().size());
+    for (size_t j = 0; j < ma.recent_coefficients().size(); ++j) {
+      EXPECT_EQ(ma.recent_coefficients()[j], mb.recent_coefficients()[j])
+          << "tau " << i + 1 << " b_" << j + 1;
+    }
+  }
+}
+
+TEST(SparIncrementalTest, RefitMatchesFullFitAfterOneAppendedSlot) {
+  const std::vector<double> full = NoisySeries(kPeriod * 8, 1);
+  std::vector<double> prefix(full.begin(), full.end() - 1);
+
+  SparPredictor incremental(SmallConfig());
+  ASSERT_TRUE(incremental.Fit(prefix, kHorizon).ok());
+  ASSERT_TRUE(incremental.Refit(full, kHorizon).ok());
+
+  SparPredictor reference(SmallConfig());
+  ASSERT_TRUE(reference.Fit(full, kHorizon).ok());
+
+  ExpectIdenticalModels(incremental, reference);
+}
+
+TEST(SparIncrementalTest, RepeatedTickRefitsStayIdentical) {
+  // The controller's real cadence: one slot lands per tick, Refit runs
+  // each time. Drift would compound across ticks if accumulation ever
+  // diverged from the full solve.
+  const std::vector<double> full = NoisySeries(kPeriod * 8, 2);
+  const size_t start = full.size() - 12;
+
+  SparPredictor incremental(SmallConfig());
+  ASSERT_TRUE(
+      incremental
+          .Fit(std::vector<double>(full.begin(), full.begin() + start),
+               kHorizon)
+          .ok());
+  for (size_t len = start + 1; len <= full.size(); ++len) {
+    std::vector<double> series(full.begin(), full.begin() + len);
+    ASSERT_TRUE(incremental.Refit(series, kHorizon).ok());
+
+    SparPredictor reference(SmallConfig());
+    ASSERT_TRUE(reference.Fit(series, kHorizon).ok());
+    ExpectIdenticalModels(incremental, reference);
+  }
+}
+
+TEST(SparIncrementalTest, ForecastsMatchFullFit) {
+  const std::vector<double> full = NoisySeries(kPeriod * 8, 3);
+  std::vector<double> prefix(full.begin(), full.end() - 6);
+
+  SparPredictor incremental(SmallConfig());
+  ASSERT_TRUE(incremental.Fit(prefix, kHorizon).ok());
+  ASSERT_TRUE(incremental.Refit(full, kHorizon).ok());
+
+  SparPredictor reference(SmallConfig());
+  ASSERT_TRUE(reference.Fit(full, kHorizon).ok());
+
+  const int64_t t = static_cast<int64_t>(full.size()) - 1;
+  auto fa = incremental.Forecast(full, t, kHorizon);
+  auto fb = reference.Forecast(full, t, kHorizon);
+  ASSERT_TRUE(fa.ok());
+  ASSERT_TRUE(fb.ok());
+  ASSERT_EQ(fa->size(), fb->size());
+  for (size_t i = 0; i < fa->size(); ++i) {
+    EXPECT_EQ((*fa)[i], (*fb)[i]) << "tau " << i + 1;
+  }
+}
+
+TEST(SparIncrementalTest, HorizonChangeFallsBackToFullFit) {
+  const std::vector<double> series = NoisySeries(kPeriod * 8, 4);
+  SparPredictor incremental(SmallConfig());
+  ASSERT_TRUE(incremental.Fit(series, kHorizon).ok());
+  // A different horizon invalidates the per-tau statistics; Refit must
+  // still produce a correct (full) fit rather than failing.
+  ASSERT_TRUE(incremental.Refit(series, kHorizon + 2).ok());
+
+  SparPredictor reference(SmallConfig());
+  ASSERT_TRUE(reference.Fit(series, kHorizon + 2).ok());
+  ExpectIdenticalModels(incremental, reference);
+}
+
+TEST(SparIncrementalTest, ShrunkSeriesFallsBackToFullFit) {
+  const std::vector<double> full = NoisySeries(kPeriod * 8, 5);
+  std::vector<double> shorter(full.begin(), full.end() - 10);
+
+  SparPredictor incremental(SmallConfig());
+  ASSERT_TRUE(incremental.Fit(full, kHorizon).ok());
+  // A series shorter than the fitted length cannot extend the stats
+  // (history rewrote itself); Refit must fall back to a full fit.
+  ASSERT_TRUE(incremental.Refit(shorter, kHorizon).ok());
+
+  SparPredictor reference(SmallConfig());
+  ASSERT_TRUE(reference.Fit(shorter, kHorizon).ok());
+  ExpectIdenticalModels(incremental, reference);
+}
+
+}  // namespace
+}  // namespace pstore

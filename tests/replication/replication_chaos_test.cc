@@ -158,11 +158,16 @@ ReplicationOutcome RunReplicationChaos(uint64_t seed) {
   return out;
 }
 
-TEST(ReplicationChaosTest, FiftySeedsZeroViolationsWithActiveReplication) {
-  int64_t total_crashes = 0, total_restarts = 0, total_lags = 0;
-  int64_t total_promotions = 0, total_applies = 0, total_rebuilds = 0;
-  int64_t total_recoveries = 0, total_scale_outs = 0;
-  for (uint64_t seed = 1; seed <= 50; ++seed) {
+// The 50-seed sweep is sharded 5 seeds per ctest unit so `ctest -j`
+// runs shards concurrently (and a failure names a 5-seed range, not a
+// 50-seed monolith). The shard parameter is the first seed.
+constexpr uint64_t kSeedsPerShard = 5;
+
+class ReplicationSeedShard : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReplicationSeedShard, ZeroViolationsWithActiveReplication) {
+  const uint64_t first = GetParam();
+  for (uint64_t seed = first; seed < first + kSeedsPerShard; ++seed) {
     const ReplicationOutcome out = RunReplicationChaos(seed);
     EXPECT_TRUE(out.violations.empty())
         << "seed " << seed << ": " << out.violations.size()
@@ -170,6 +175,23 @@ TEST(ReplicationChaosTest, FiftySeedsZeroViolationsWithActiveReplication) {
         << out.plan << "\ntrace:\n"
         << out.trace;
     EXPECT_GT(out.committed, 0) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FiftySeeds, ReplicationSeedShard,
+                         ::testing::Range(uint64_t{1}, uint64_t{51},
+                                          kSeedsPerShard));
+
+TEST(ReplicationChaosTest, SweepExercisesReplicationMachinery) {
+  // Scaled-down aggregate over the first ten seeds: crashes promote
+  // backups, writes ship applies, lag windows open, rebuilds restore k,
+  // restarts replay recovery, and the recovery-aware controller scales
+  // out. (The per-seed invariants live in the shards.)
+  int64_t total_crashes = 0, total_restarts = 0, total_lags = 0;
+  int64_t total_promotions = 0, total_applies = 0, total_rebuilds = 0;
+  int64_t total_recoveries = 0, total_scale_outs = 0;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const ReplicationOutcome out = RunReplicationChaos(seed);
     total_crashes += out.crashes;
     total_restarts += out.restarts;
     total_lags += out.replica_lags;
@@ -179,18 +201,14 @@ TEST(ReplicationChaosTest, FiftySeedsZeroViolationsWithActiveReplication) {
     total_recoveries += out.recoveries;
     total_scale_outs += out.scale_outs;
   }
-  // The sweep must genuinely exercise the replication machinery: crashes
-  // promote backups, writes ship applies, lag windows open, rebuilds
-  // restore k, restarts replay recovery, and the recovery-aware
-  // controller scales out.
-  EXPECT_GT(total_crashes, 20);
-  EXPECT_GT(total_restarts, 10);
-  EXPECT_GT(total_lags, 10);
-  EXPECT_GT(total_promotions, 100);
-  EXPECT_GT(total_applies, 10000);
-  EXPECT_GT(total_rebuilds, 100);
-  EXPECT_GT(total_recoveries, 10);
-  EXPECT_GT(total_scale_outs, 10);
+  EXPECT_GT(total_crashes, 4);
+  EXPECT_GT(total_restarts, 2);
+  EXPECT_GT(total_lags, 2);
+  EXPECT_GT(total_promotions, 20);
+  EXPECT_GT(total_applies, 2000);
+  EXPECT_GT(total_rebuilds, 20);
+  EXPECT_GT(total_recoveries, 2);
+  EXPECT_GT(total_scale_outs, 2);
 }
 
 TEST(ReplicationChaosTest, SameSeedReplaysIdentically) {

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
+
 namespace pstore {
 namespace {
 
@@ -143,6 +145,98 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(3, 5), std::make_tuple(5, 3),
                       std::make_tuple(7, 8), std::make_tuple(10, 1),
                       std::make_tuple(6, 6), std::make_tuple(5, 60)));
+
+// --- Incremental-count equivalence ------------------------------------
+//
+// Assign maintains per-partition counts and num_partitions incrementally
+// (O(1) per call instead of an O(num_buckets) rescan). These tests pin
+// the incremental state to a brute-force recompute from the assignment
+// under randomized Assign/Rebalanced churn.
+
+/// Reference implementation: what BucketCounts/num_partitions meant
+/// before the incremental bookkeeping existed.
+std::vector<int32_t> ReferenceCounts(const PartitionMap& map) {
+  PartitionId max_p = 0;
+  for (BucketId b = 0; b < map.num_buckets(); ++b) {
+    max_p = std::max(max_p, map.PartitionOfBucket(b));
+  }
+  std::vector<int32_t> counts(static_cast<size_t>(max_p) + 1, 0);
+  for (BucketId b = 0; b < map.num_buckets(); ++b) {
+    ++counts[static_cast<size_t>(map.PartitionOfBucket(b))];
+  }
+  return counts;
+}
+
+void ExpectCountsMatchReference(const PartitionMap& map) {
+  const std::vector<int32_t> reference = ReferenceCounts(map);
+  EXPECT_EQ(map.BucketCounts(), reference);
+}
+
+TEST(PartitionMapEquivalenceTest, RandomAssignChurnMatchesReference) {
+  for (const uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL, 5ULL}) {
+    Rng rng(seed);
+    const int32_t buckets = 64 + static_cast<int32_t>(rng.NextBounded(192));
+    const int32_t partitions = 1 + static_cast<int32_t>(rng.NextBounded(12));
+    PartitionMap map(buckets, partitions);
+    ExpectCountsMatchReference(map);
+    for (int32_t step = 0; step < 500; ++step) {
+      const BucketId b =
+          static_cast<BucketId>(rng.NextBounded(static_cast<uint64_t>(
+              buckets)));
+      const PartitionId p = static_cast<PartitionId>(
+          rng.NextBounded(static_cast<uint64_t>(partitions + 4)));
+      map.Assign(b, p);
+      // num_partitions folds to max assigned partition + 1 on Assign.
+      PartitionId max_p = 0;
+      for (BucketId bb = 0; bb < map.num_buckets(); ++bb) {
+        max_p = std::max(max_p, map.PartitionOfBucket(bb));
+      }
+      ASSERT_EQ(map.num_partitions(), max_p + 1)
+          << "seed " << seed << " step " << step;
+      if (step % 25 == 0) ExpectCountsMatchReference(map);
+    }
+    ExpectCountsMatchReference(map);
+  }
+}
+
+TEST(PartitionMapEquivalenceTest, InterleavedRebalanceMatchesReference) {
+  for (const uint64_t seed : {7ULL, 8ULL, 9ULL}) {
+    Rng rng(seed);
+    PartitionMap map(256, 4);
+    for (int32_t round = 0; round < 20; ++round) {
+      // A few random reassignments (migration/failover churn)...
+      for (int32_t i = 0; i < 10; ++i) {
+        map.Assign(static_cast<BucketId>(rng.NextBounded(256)),
+                   static_cast<PartitionId>(rng.NextBounded(10)));
+      }
+      ExpectCountsMatchReference(map);
+      // ...then a rebalance to a random target size.
+      const int32_t target = 1 + static_cast<int32_t>(rng.NextBounded(12));
+      map = map.Rebalanced(target);
+      ExpectCountsMatchReference(map);
+      ASSERT_EQ(map.num_partitions(), target);
+      // The rebalanced counts must be the balanced quota split.
+      const std::vector<int32_t> counts = map.BucketCounts();
+      const int32_t base = 256 / target;
+      const int32_t extra = 256 % target;
+      for (int32_t p = 0; p < target; ++p) {
+        EXPECT_EQ(counts[static_cast<size_t>(p)], base + (p < extra ? 1 : 0))
+            << "seed " << seed << " round " << round << " partition " << p;
+      }
+    }
+  }
+}
+
+TEST(PartitionMapEquivalenceTest, AssignShrinksTrailingEmptyPartitions) {
+  PartitionMap map(16, 2);
+  map.Assign(0, 9);  // grow: partition 9 now exists
+  EXPECT_EQ(map.num_partitions(), 10);
+  ExpectCountsMatchReference(map);
+  map.Assign(0, 1);  // partition 9 empties; trailing zeros must fold
+  EXPECT_EQ(map.num_partitions(), 2);
+  EXPECT_EQ(map.BucketCounts().size(), 2u);
+  ExpectCountsMatchReference(map);
+}
 
 }  // namespace
 }  // namespace pstore

@@ -1,0 +1,44 @@
+#!/bin/sh
+# Perf regression gate (DESIGN.md §12): run the microbenchmark suite,
+# then diff its JSON output against the committed baseline trajectory.
+# Exits non-zero when any tracked case regresses past the threshold or
+# vanishes from the suite.
+#
+# Environment overrides (defaults assume running from the repo root
+# with the standard ./build tree):
+#   BENCH_MICRO_PERF  path to the bench_micro_perf binary
+#   BENCH_COMPARE     path to the bench_compare binary
+#   BASELINE          committed trajectory JSON
+#   CURRENT           where the bench writes its JSON
+#   THRESHOLD         tolerated normalized slowdown (default 0.5 = +50%)
+set -u
+
+BENCH_MICRO_PERF="${BENCH_MICRO_PERF:-build/bench/bench_micro_perf}"
+BENCH_COMPARE="${BENCH_COMPARE:-build/tools/bench_compare}"
+BASELINE="${BASELINE:-bench/baselines/BENCH_micro_perf.json}"
+CURRENT="${CURRENT:-bench_out/BENCH_micro_perf.json}"
+THRESHOLD="${THRESHOLD:-0.5}"
+
+for f in "$BENCH_MICRO_PERF" "$BENCH_COMPARE"; do
+  if [ ! -x "$f" ]; then
+    echo "perf_gate: missing binary $f (build first)" >&2
+    exit 2
+  fi
+done
+if [ ! -f "$BASELINE" ]; then
+  echo "perf_gate: missing baseline $BASELINE" >&2
+  exit 2
+fi
+
+rm -f "$CURRENT"
+if ! "$BENCH_MICRO_PERF" --benchmark_min_time=0.05; then
+  echo "perf_gate: bench_micro_perf exited non-zero" >&2
+  exit 1
+fi
+if [ ! -f "$CURRENT" ]; then
+  echo "perf_gate: bench_micro_perf wrote no JSON at $CURRENT" >&2
+  exit 1
+fi
+
+exec "$BENCH_COMPARE" --baseline="$BASELINE" --current="$CURRENT" \
+  --threshold="$THRESHOLD"
