@@ -17,7 +17,10 @@
 #include "bench_util.h"
 #include "cluster/engine.h"
 #include "common/rng.h"
+#include "core/reactive_controller.h"
+#include "migration/migration_executor.h"
 #include "migration/parallel_schedule.h"
+#include "obs/telemetry.h"
 #include "planner/dp_planner.h"
 #include "prediction/spar.h"
 #include "sim/simulator.h"
@@ -116,6 +119,21 @@ void BM_BuildMoveSchedule(benchmark::State& state) {
 }
 BENCHMARK(BM_BuildMoveSchedule)->Arg(14)->Arg(40);
 
+// Full (before, after) sweep of the schedule generator, covering both
+// scale-out and scale-in shapes at the sizes the controllers request.
+void BM_MigrationScheduleGeneration(benchmark::State& state) {
+  const int32_t b = static_cast<int32_t>(state.range(0));
+  const int32_t a = static_cast<int32_t>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildMoveSchedule(b, a));
+  }
+}
+BENCHMARK(BM_MigrationScheduleGeneration)
+    ->Args({3, 14})
+    ->Args({14, 3})
+    ->Args({6, 40})
+    ->Args({14, 84});
+
 void BM_PartitionMapRebalance(benchmark::State& state) {
   PartitionMap map(1024, 18);
   for (auto _ : state) {
@@ -206,6 +224,63 @@ void BM_EngineTxnPathBatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kBatch);
 }
 BENCHMARK(BM_EngineTxnPathBatch);
+
+// One reactive-controller monitor tick over a live engine: sample the
+// submitted-rate counters, smooth, compare against the watermarks. The
+// watermarks are pinned so no tick ever triggers a migration — this
+// isolates the recurring monitoring cost every elastic run pays.
+void BM_ControllerTick(benchmark::State& state) {
+  EngineFixture fx;
+  MigrationOptions migration;
+  migration.chunk_kb = 100;
+  migration.rate_kbps = 10000;
+  migration.wire_kbps = 100000;
+  migration.db_size_mb = 10;
+  MigrationExecutor migrator(fx.engine.get(), migration);
+  ReactiveConfig reactive;
+  reactive.q = 100.0;
+  reactive.q_hat = 125.0;
+  reactive.monitor_period = kSecond;
+  reactive.low_watermark = 0.0;  // Never scale in from the idle load.
+  ReactiveController controller(fx.engine.get(), &migrator, reactive);
+  controller.Start();
+  int64_t key = 0;
+  for (auto _ : state) {
+    TxnRequest req;
+    req.proc = fx.put;
+    req.key = ++key;
+    fx.engine->Submit(std::move(req));
+    fx.sim.RunUntil(fx.sim.Now() + reactive.monitor_period);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ControllerTick);
+
+// The engine txn path with a TxnTraceRecorder attached, at sampling
+// rate range(0)%. Rate 0 is the default-off configuration and must cost
+// the same as BM_EngineTxnPath (one cached-null pointer test); rate 100
+// bounds the worst-case per-txn tracing overhead. The record cap keeps
+// memory flat once the trace fills; later samples take the counted-drop
+// path, which is the steady state of a long traced run.
+void BM_ObsSamplingOverhead(benchmark::State& state) {
+  EngineFixture fx;
+  obs::TelemetryBundle telemetry;
+  obs::TxnTraceRecorder::Config tc;
+  tc.sample_rate = static_cast<double>(state.range(0)) / 100.0;
+  tc.max_records = 1 << 16;
+  telemetry.txn_traces.Configure(tc);
+  fx.engine->set_telemetry(telemetry.view());
+  int64_t key = 0;
+  for (auto _ : state) {
+    TxnRequest req;
+    req.proc = fx.put;
+    req.key = ++key;
+    fx.engine->Submit(std::move(req));
+    fx.sim.RunUntil(fx.sim.Now() + 200);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsSamplingOverhead)->Arg(0)->Arg(100);
 
 /// Console output as usual, plus every per-iteration run collected as a
 /// BenchCaseResult for the JSON result file the regression gate reads.

@@ -10,6 +10,7 @@
 #include "common/json.h"
 #include "common/table_writer.h"
 #include "obs/exporter.h"
+#include "obs/histogram.h"
 
 namespace pstore {
 namespace bench {
@@ -173,6 +174,18 @@ void WriteRunTelemetry(const std::string& prefix,
     std::cout << "  [telemetry written to " << base << "_metrics.json";
     if (exporter != nullptr) std::cout << " / _metrics.csv";
     std::cout << " / _events.txt]\n";
+  }
+  // Surface every populated latency histogram as percentile cases in the
+  // run's BENCH_*.json, so regressions in tail latency are diffable the
+  // same way as throughput numbers.
+  for (const auto& [name, hist] : telemetry->metrics.Histograms()) {
+    if (hist->count() == 0) continue;
+    const obs::Quantiles q = obs::ComputeQuantiles(*hist);
+    const std::string slug = Slugify(name);
+    RecordBenchCase({slug + "/p50", q.p50, "us", 0.0, 0});
+    RecordBenchCase({slug + "/p90", q.p90, "us", 0.0, 0});
+    RecordBenchCase({slug + "/p99", q.p99, "us", 0.0, 0});
+    RecordBenchCase({slug + "/p999", q.p999, "us", 0.0, 0});
   }
 }
 

@@ -37,7 +37,17 @@
 /// conserved, k-safety is restored after heal — and two same-seed runs
 /// must match byte for byte.
 ///
+/// --trace-sample=P (0 < P <= 1) turns on transaction lifecycle tracing:
+/// sampled transactions record every phase transition on the virtual
+/// clock, and the dump gains txn_traces.txt plus a Chrome/Perfetto
+/// trace.json (feed it to tools/trace_analyze or load it at
+/// https://ui.perfetto.dev). Sampling draws from a dedicated Rng stream,
+/// so the replay must also reproduce the trace fingerprint byte for
+/// byte; with the flag absent nothing is recorded and every pre-existing
+/// artifact stays byte-identical.
+///
 ///   ./build/examples/chaos_run [--seed=42] [--events=10] [--out=DIR]
+///                              [--trace-sample=P]
 ///                              [--spike | --recovery | --partition]
 
 #include <cstdio>
@@ -113,10 +123,15 @@ struct RunResult {
   std::string telemetry_events;
   uint64_t metrics_fingerprint = 0;
   uint64_t span_fingerprint = 0;
+  // Lifecycle tracing (all empty/0 unless --trace-sample > 0).
+  std::string txn_traces;
+  std::string trace_json;
+  uint64_t txn_trace_fingerprint = 0;
+  int64_t txns_sampled = 0;
 };
 
 RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike,
-                  bool recovery, bool partition) {
+                  bool recovery, bool partition, double trace_sample) {
   // A tiny KV database: one table, Get and Put procedures. (Put is
   // registered in every mode but only the recovery workload issues it,
   // so the plain and spike scenarios are untouched.)
@@ -192,6 +207,15 @@ RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike,
   ClusterEngine engine(&sim, catalog, registry, config);
   obs::TelemetryBundle telemetry;
   telemetry.tracer.set_clock([&sim]() { return sim.Now(); });
+  if (trace_sample > 0) {
+    // A dedicated sampling stream: with the flag absent the recorder
+    // stays disabled, draws nothing, and every artifact above is
+    // byte-identical to an untraced run.
+    obs::TxnTraceRecorder::Config tc;
+    tc.sample_rate = trace_sample;
+    tc.seed = seed ^ 0xa0761d6478bd642fULL;
+    telemetry.txn_traces.Configure(tc);
+  }
   engine.set_telemetry(telemetry.view());
   const int64_t rows = 500;
   for (int64_t k = 0; k < rows; ++k) {
@@ -438,6 +462,13 @@ RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike,
   out.telemetry_events = telemetry.events.ToString();
   out.metrics_fingerprint = telemetry.metrics.Fingerprint();
   out.span_fingerprint = telemetry.tracer.Fingerprint();
+  if (trace_sample > 0) {
+    out.txn_traces = telemetry.txn_traces.ToString();
+    out.trace_json =
+        obs::ToChromeTraceJson(&telemetry.tracer, &telemetry.txn_traces);
+    out.txn_trace_fingerprint = telemetry.txn_traces.Fingerprint();
+    out.txns_sampled = telemetry.txn_traces.sampled();
+  }
   if (!checker.violations().empty()) {
     std::printf("INVARIANT VIOLATIONS:\n");
     for (const auto& v : checker.violations()) {
@@ -455,6 +486,7 @@ int main(int argc, char** argv) {
   bool spike = false;
   bool recovery = false;
   bool partition = false;
+  double trace_sample = 0.0;
   std::string out_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--seed=", 7) == 0) {
@@ -463,6 +495,8 @@ int main(int argc, char** argv) {
       num_events = std::atoi(argv[i] + 9);
     } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out_dir = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--trace-sample=", 15) == 0) {
+      trace_sample = std::strtod(argv[i] + 15, nullptr);
     } else if (std::strcmp(argv[i], "--spike") == 0) {
       spike = true;
     } else if (std::strcmp(argv[i], "--recovery") == 0) {
@@ -485,7 +519,7 @@ int main(int argc, char** argv) {
                        : partition ? ", partition scenario (scripted plan)"
                                    : "");
   const RunResult first = RunOnce(seed, num_events, spike, recovery,
-                                  partition);
+                                  partition, trace_sample);
   std::printf("\nfault plan:\n%s", first.plan.c_str());
   std::printf("\nevent trace:\n%s", first.trace.c_str());
   std::printf(
@@ -533,6 +567,12 @@ int main(int argc, char** argv) {
         static_cast<long long>(first.rows_lost),
         static_cast<long long>(first.degraded_at_end));
   }
+  if (trace_sample > 0) {
+    std::printf("tracing: %lld txns sampled at rate %g, fingerprint "
+                "%016llx\n",
+                static_cast<long long>(first.txns_sampled), trace_sample,
+                static_cast<unsigned long long>(first.txn_trace_fingerprint));
+  }
   if (recovery) {
     std::printf(
         "recovery: %lld promotions, %lld rebuilds, %lld backup applies, "
@@ -556,20 +596,30 @@ int main(int argc, char** argv) {
         obs::WriteStringToFile(out_dir + "/events.txt",
                                first.telemetry_events) &&
         obs::WriteStringToFile(out_dir + "/fault_trace.txt", first.trace);
+    // Trace artifacts exist only when tracing is on, so untraced out
+    // dirs stay byte-identical to pre-tracing runs.
+    const bool wrote_traces =
+        trace_sample <= 0 ||
+        (obs::WriteStringToFile(out_dir + "/txn_traces.txt",
+                                first.txn_traces) &&
+         obs::WriteStringToFile(out_dir + "/trace.json", first.trace_json));
     std::printf("\ntelemetry %s to %s\n",
-                wrote ? "written" : "FAILED to write", out_dir.c_str());
-    if (!wrote) return 1;
+                wrote && wrote_traces ? "written" : "FAILED to write",
+                out_dir.c_str());
+    if (!wrote || !wrote_traces) return 1;
   }
 
   // Replay: the same seed must reproduce the run exactly — the fault
   // trace, the metric dump and the span trace all fingerprint-equal.
   const RunResult second = RunOnce(seed, num_events, spike, recovery,
-                                   partition);
+                                   partition, trace_sample);
   const bool replay_ok =
       first.fingerprint == second.fingerprint &&
       first.events == second.events &&
       first.metrics_fingerprint == second.metrics_fingerprint &&
       first.span_fingerprint == second.span_fingerprint &&
+      first.txn_trace_fingerprint == second.txn_trace_fingerprint &&
+      first.txns_sampled == second.txns_sampled &&
       first.metrics_csv == second.metrics_csv &&
       first.shed == second.shed && first.retries == second.retries &&
       first.breaker_trips == second.breaker_trips &&

@@ -1,7 +1,10 @@
 #!/bin/sh
 # Runs every figure/table reproduction harness, mirroring the paper's
 # evaluation section. Outputs land on stdout, CSVs and schema-versioned
-# BENCH_*.json result documents in ./bench_out/. A harness that exits
+# BENCH_*.json result documents in ./bench_out/. Instrumented harnesses
+# also surface their registry latency histograms as interpolated
+# <metric>/p50..p999 cases inside those JSONs (bench_util
+# WriteRunTelemetry; DESIGN.md §13). A harness that exits
 # non-zero OR writes no JSON aborts the sweep immediately, naming the
 # offender (set -e alone would hide which binary failed, and a bench
 # that silently stops emitting results is as broken as one that

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
 
 #include "common/logging.h"
 
@@ -100,6 +101,12 @@ ClusterEngine::ClusterEngine(Simulator* sim, Catalog catalog,
 
 void ClusterEngine::set_telemetry(const obs::Telemetry& telemetry) {
   telemetry_ = telemetry;
+  // Cache the recorder only when it can actually record, so the
+  // disabled path (the default) stays a null-pointer check.
+  traces_ = (telemetry_.txn_traces != nullptr &&
+             telemetry_.txn_traces->enabled())
+                ? telemetry_.txn_traces
+                : nullptr;
   obs::MetricsRegistry* metrics = telemetry_.metrics;
   if (metrics == nullptr) return;
   m_committed_ = metrics->GetCounter("cluster.txn_committed");
@@ -217,6 +224,25 @@ void ClusterEngine::set_telemetry(const obs::Telemetry& telemetry) {
     metrics->RegisterCallbackGauge("net.nodes_suspected", [this]() {
       return static_cast<double>(nodes_suspected());
     });
+  }
+  // Per-procedure / per-partition latency histograms exist only when
+  // lifecycle tracing is on, keeping the default build's metric dumps
+  // byte-identical.
+  if (traces_ != nullptr) {
+    m_proc_latency_.assign(registry_.size(), nullptr);
+    for (size_t id = 0; id < registry_.size(); ++id) {
+      m_proc_latency_[id] = metrics->GetHistogram(
+          "cluster.proc." + registry_.Get(static_cast<ProcedureId>(id)).name +
+          ".latency_us");
+    }
+    m_part_latency_.assign(static_cast<size_t>(total_partitions()), nullptr);
+    for (int32_t p = 0; p < total_partitions(); ++p) {
+      char label[16];
+      std::snprintf(label, sizeof(label), "p%03d", p);
+      m_part_latency_[static_cast<size_t>(p)] =
+          metrics->GetHistogram("cluster.partition." + std::string(label) +
+                                ".latency_us");
+    }
   }
 }
 
@@ -569,6 +595,11 @@ void ClusterEngine::InitPending(PendingTxn& pending) {
   if (config_.overload.enabled && config_.overload.queue_deadline > 0) {
     pending.deadline = pending.arrival + config_.overload.queue_deadline;
   }
+  if (traces_ != nullptr) {
+    pending.trace =
+        traces_->Sample(pending.req.txn_id, registry_.Get(pending.req.proc).name,
+                        pending.bucket, pending.arrival);
+  }
 }
 
 void ClusterEngine::Submit(TxnRequest req,
@@ -633,11 +664,18 @@ void ClusterEngine::RouteAndRun(std::shared_ptr<PendingTxn> pending) {
   PartitionExecutor* ex = executors_[static_cast<size_t>(p)].get();
   auto completion = [this, pending, p,
                      service](SimTime started, SimTime finished) {
+    if (traces_ != nullptr) {
+      traces_->Record(pending->trace, obs::TxnPhase::kExecuting, started, p);
+    }
     // If the bucket moved while we were queued, forward (the txn stays
     // in flight through the hop).
     const PartitionId owner = map_.PartitionOfBucket(pending->bucket);
     if (owner != p) {
       if (m_forwarded_ != nullptr) m_forwarded_->Increment();
+      if (traces_ != nullptr) {
+        traces_->Record(pending->trace, obs::TxnPhase::kForwarded, finished,
+                        owner);
+      }
       RouteAndRun(pending);
       return;
     }
@@ -651,6 +689,10 @@ void ClusterEngine::RouteAndRun(std::shared_ptr<PendingTxn> pending) {
       if (m_aborted_ != nullptr) m_aborted_->Increment();
       --txns_in_flight_;
       RecordCompletion(pending->arrival, finished);
+      if (traces_ != nullptr) {
+        traces_->Record(pending->trace, obs::TxnPhase::kFenced, finished);
+        traces_->Finalize(pending->trace, finished);
+      }
       if (pending->on_done) {
         TxnResult result;
         result.status = Status::Unavailable(
@@ -693,9 +735,27 @@ void ClusterEngine::RouteAndRun(std::shared_ptr<PendingTxn> pending) {
       m_node_txns_[static_cast<size_t>(NodeOfPartition(p))]->Increment();
     }
     RecordCompletion(pending->arrival, finished);
+    if (traces_ != nullptr) {
+      const int64_t latency_us = finished - pending->arrival;
+      // Registered only when a metrics registry was attached too.
+      if (!m_proc_latency_.empty()) {
+        m_proc_latency_[static_cast<size_t>(pending->req.proc)]->Record(
+            latency_us);
+        m_part_latency_[static_cast<size_t>(p)]->Record(latency_us);
+      }
+      traces_->Record(pending->trace,
+                      result.status.ok() ? obs::TxnPhase::kCommitted
+                                         : obs::TxnPhase::kAborted,
+                      finished);
+      traces_->Finalize(pending->trace, finished);
+    }
     if (pending->on_done) pending->on_done(result);
   };
   if (admission_ == nullptr) {
+    if (traces_ != nullptr) {
+      traces_->Record(pending->trace, obs::TxnPhase::kAdmitted, sim_->Now(),
+                      p);
+    }
     ex->Enqueue(service, std::move(completion));
     return;
   }
@@ -717,6 +777,13 @@ void ClusterEngine::RouteAndRun(std::shared_ptr<PendingTxn> pending) {
     } else if (m_rejected_breaker_ != nullptr) {
       m_rejected_breaker_->Increment();
     }
+    if (traces_ != nullptr) {
+      const bool breaker =
+          decision == overload::AdmissionDecision::kRejectBreakerOpen;
+      traces_->Record(pending->trace, obs::TxnPhase::kShed, now,
+                      breaker ? 1 : 0);
+      traces_->Finalize(pending->trace, now);
+    }
     // Breaker-open rejections must not feed the breaker, or it would
     // count its own rejections as sheds and never close again.
     FinishShed(pending, node,
@@ -728,15 +795,24 @@ void ClusterEngine::RouteAndRun(std::shared_ptr<PendingTxn> pending) {
   item.done = std::move(completion);
   item.deadline = pending->deadline;
   item.priority = pending->priority;
-  item.on_shed = [this, pending, node](SimTime,
+  item.on_shed = [this, pending, node](SimTime at,
                                        PartitionExecutor::ShedCause cause) {
-    if (cause == PartitionExecutor::ShedCause::kDeadline) {
+    const bool deadline = cause == PartitionExecutor::ShedCause::kDeadline;
+    if (deadline) {
       if (m_shed_deadline_ != nullptr) m_shed_deadline_->Increment();
     } else if (m_shed_evicted_ != nullptr) {
       m_shed_evicted_->Increment();
     }
+    if (traces_ != nullptr) {
+      traces_->Record(pending->trace, obs::TxnPhase::kShed, at,
+                      deadline ? 2 : 3);
+      traces_->Finalize(pending->trace, at);
+    }
     FinishShed(pending, node, true);
   };
+  if (traces_ != nullptr) {
+    traces_->Record(pending->trace, obs::TxnPhase::kAdmitted, now, p);
+  }
   const bool enqueued = ex->TryEnqueue(std::move(item));
   assert(enqueued);  // Admit() made room or rejected.
   (void)enqueued;
@@ -819,6 +895,7 @@ void ClusterEngine::ReplicateWrite(PartitionId primary,
   const ProcedureDef& proc = registry_.Get(pending.req.proc);
   const SimDuration lag =
       replica_lag_hook_ ? replica_lag_hook_(sim_->Now()) : 0;
+  int32_t replicas_applied = 0;
   for (PartitionId q : replication_->replicas(b)) {
     // Synchronous apply: the backup's state reflects the write at commit
     // time (deterministic re-execution of the same procedure body), and
@@ -850,6 +927,15 @@ void ClusterEngine::ReplicateWrite(PartitionId primary,
           apply,
           [this](SimTime, SimTime) { replication_->OnApplyFinished(); });
     }
+    ++replicas_applied;
+  }
+  if (traces_ != nullptr && pending.trace >= 0) {
+    // The state mirror above is synchronous, so replication is complete
+    // at the commit instant; the interval's weight lives in the detail
+    // (replica count) and the backup executors' apply work.
+    traces_->Record(pending.trace, obs::TxnPhase::kReplicated, sim_->Now(),
+                    replicas_applied);
+    if (net_ != nullptr) traces_->AddNetHops(pending.trace, replicas_applied);
   }
 }
 

@@ -436,6 +436,7 @@ class ClusterEngine {
     int8_t priority = kPriorityNormal;  ///< Resolved at Submit.
     SimTime deadline = -1;  ///< Absolute service-start deadline; -1 = none.
     BucketId bucket = 0;    ///< KeyToBucket(req.key), hashed once.
+    int64_t trace = -1;     ///< TxnTraceRecorder handle; -1 = unsampled.
   };
 
   /// Stamps the txn id, resolved priority, cached bucket, and deadline
@@ -556,6 +557,13 @@ class ClusterEngine {
   obs::HistogramMetric* m_latency_us_ = nullptr;
   obs::HistogramMetric* m_queue_delay_us_ = nullptr;
   std::vector<obs::Counter*> m_node_txns_;  ///< Indexed by NodeId.
+  /// Lifecycle tracing (null unless an *enabled* recorder was attached;
+  /// caching the enabled check keeps the disabled path branch-free).
+  obs::TxnTraceRecorder* traces_ = nullptr;
+  /// Per-procedure / per-partition latency histograms, registered only
+  /// when tracing is on so pre-existing metric dumps stay byte-identical.
+  std::vector<obs::HistogramMetric*> m_proc_latency_;   ///< By ProcedureId.
+  std::vector<obs::HistogramMetric*> m_part_latency_;   ///< By PartitionId.
 
   Rng rng_;
   WindowedPercentiles latencies_;

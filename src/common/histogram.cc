@@ -21,6 +21,18 @@ int Histogram::BucketIndex(int64_t value) {
   return idx > max_idx ? max_idx : idx;
 }
 
+int64_t Histogram::BucketLowerBound(int index) {
+  const int octave = index / kSubBuckets;
+  const int sub = index % kSubBuckets;
+  if (octave == 0) return sub;
+  return (static_cast<int64_t>(kSubBuckets + sub)) << (octave - 1);
+}
+
+int64_t Histogram::BucketWidth(int index) {
+  const int octave = index / kSubBuckets;
+  return octave == 0 ? 1 : (1LL << (octave - 1));
+}
+
 int64_t Histogram::BucketMidpoint(int index) {
   const int octave = index / kSubBuckets;
   const int sub = index % kSubBuckets;
@@ -74,6 +86,33 @@ int64_t Histogram::Percentile(double p) const {
     }
   }
   return max_;
+}
+
+double Histogram::PercentileInterpolated(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Continuous target rank in [0, count]; interpolating within the
+  // containing bucket makes the extremes exact after clamping.
+  const double rank = p / 100.0 * static_cast<double>(count_);
+  double seen = 0.0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const double in_bucket = static_cast<double>(buckets_[i]);
+    if (in_bucket <= 0.0) continue;
+    if (seen + in_bucket >= rank) {
+      const double frac =
+          in_bucket > 0.0 ? std::clamp((rank - seen) / in_bucket, 0.0, 1.0)
+                          : 0.0;
+      const double lo =
+          static_cast<double>(BucketLowerBound(static_cast<int>(i)));
+      const double width =
+          static_cast<double>(BucketWidth(static_cast<int>(i)));
+      const double v = lo + frac * width;
+      return std::clamp(v, static_cast<double>(min_),
+                        static_cast<double>(max_));
+    }
+    seen += in_bucket;
+  }
+  return static_cast<double>(max_);
 }
 
 void Histogram::Clear() {

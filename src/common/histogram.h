@@ -51,6 +51,21 @@ class Histogram {
   /// it carries the bucket's ~2% relative error.
   int64_t Percentile(double p) const;
 
+  /// Linearly interpolated percentile: the rank is located within its
+  /// bucket and the value interpolated across the bucket's [lower,
+  /// lower + width) range, then clamped to the exact [min, max]. The
+  /// extremes are exact: PercentileInterpolated(0) == min() and
+  /// PercentileInterpolated(100) == max(); 0 if empty.
+  double PercentileInterpolated(double p) const;
+
+  /// Bucket geometry, exposed for tests and readout tooling. Values
+  /// below kSubBuckets (32) land in exact unit-wide buckets; above
+  /// that, each power of two splits into 32 sub-buckets (~2% relative
+  /// error).
+  static int BucketIndexOf(int64_t value) { return BucketIndex(value); }
+  static int64_t BucketLowerBound(int index);
+  static int64_t BucketWidth(int index);
+
   /// Resets to empty.
   void Clear();
 

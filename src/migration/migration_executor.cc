@@ -241,6 +241,11 @@ Status MigrationExecutor::StartMove(int32_t target_nodes,
     move_span_ = telemetry_.tracer->Begin(
         "migration.move " + std::to_string(b) + "->" + std::to_string(a));
   }
+  if (telemetry_.txn_traces != nullptr) {
+    // Sampled transactions attribute the overlap of their lifetime with
+    // this window as migration interference.
+    telemetry_.txn_traces->OnMoveStarted(engine_->simulator()->Now());
+  }
   if (telemetry_.events != nullptr) {
     telemetry_.events->Record(
         engine_->simulator()->Now(), "migration",
@@ -275,6 +280,9 @@ void MigrationExecutor::Abort(const std::string& reason) {
     if (move_span_ != 0) telemetry_.tracer->End(move_span_);
     round_span_ = 0;
     move_span_ = 0;
+  }
+  if (telemetry_.txn_traces != nullptr) {
+    telemetry_.txn_traces->OnMoveEnded(engine_->simulator()->Now());
   }
 }
 
@@ -572,6 +580,9 @@ void MigrationExecutor::ArmRetransmit(const std::shared_ptr<Stream>& stream,
         ++stream->attempts;
         ++chunk_retries_;
         ++net_retransmits_;
+        if (telemetry_.txn_traces != nullptr) {
+          telemetry_.txn_traces->NoteRetransmit();
+        }
         if (m_chunk_retries_ != nullptr) m_chunk_retries_->Add(1);
         Emit("retransmitting chunk seq " + std::to_string(seq) +
              " on stream " + std::to_string(stream->src) + "->" +
@@ -806,6 +817,9 @@ void MigrationExecutor::FinishMove() {
   if (telemetry_.tracer != nullptr && move_span_ != 0) {
     telemetry_.tracer->End(move_span_);
     move_span_ = 0;
+  }
+  if (telemetry_.txn_traces != nullptr) {
+    telemetry_.txn_traces->OnMoveEnded(engine_->simulator()->Now());
   }
   if (telemetry_.events != nullptr) {
     telemetry_.events->Record(

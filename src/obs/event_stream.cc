@@ -7,6 +7,7 @@ namespace obs {
 
 void EventStream::Record(SimTime at, const std::string& what) {
   lines_.push_back("[" + FormatSimTime(at) + "] " + what);
+  Trim();
 }
 
 void EventStream::Record(SimTime at, const std::string& category,

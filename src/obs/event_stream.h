@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -31,9 +32,19 @@ class EventStream {
   void Record(SimTime at, const std::string& category,
               const std::string& what);
 
-  const std::vector<std::string>& lines() const { return lines_; }
+  const std::deque<std::string>& lines() const { return lines_; }
   size_t size() const { return lines_.size(); }
   bool empty() const { return lines_.empty(); }
+
+  /// Optional ring capacity: once more than `capacity` lines exist, the
+  /// oldest are evicted (and counted in dropped()). 0 (the default)
+  /// keeps the stream unbounded, so existing golden fingerprints are
+  /// unchanged.
+  void set_capacity(size_t capacity) { capacity_ = capacity; Trim(); }
+  size_t capacity() const { return capacity_; }
+
+  /// Lines evicted by the ring cap so far.
+  int64_t dropped() const { return dropped_; }
 
   /// All lines joined with '\n' (trailing newline included when
   /// non-empty) — what the golden tests and chaos example print.
@@ -42,10 +53,22 @@ class EventStream {
   /// Order-sensitive 64-bit digest of the whole stream.
   uint64_t Fingerprint() const;
 
-  void Clear() { lines_.clear(); }
+  void Clear() {
+    lines_.clear();
+    dropped_ = 0;
+  }
 
  private:
-  std::vector<std::string> lines_;
+  void Trim() {
+    while (capacity_ != 0 && lines_.size() > capacity_) {
+      lines_.pop_front();
+      ++dropped_;
+    }
+  }
+
+  std::deque<std::string> lines_;
+  size_t capacity_ = 0;  ///< 0 = unbounded.
+  int64_t dropped_ = 0;
 };
 
 }  // namespace obs

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/json.h"
 #include "common/logging.h"
 
 namespace pstore {
@@ -112,6 +113,80 @@ bool WriteStringToFile(const std::string& path, const std::string& contents) {
     return false;
   }
   return true;
+}
+
+std::string ToChromeTraceJson(const SpanTracer* spans,
+                              const TxnTraceRecorder* txns) {
+  // Build (ts, event) pairs; the final *stable* sort by ts yields
+  // monotone timestamps while preserving causal order at equal instants
+  // (a txn's E precedes the next interval's B at the boundary).
+  struct Entry {
+    SimTime ts = 0;
+    JsonValue event;
+  };
+  std::vector<Entry> entries;
+
+  if (spans != nullptr) {
+    for (const SpanTracer::Span& span : spans->spans()) {
+      if (span.end < 0) continue;  // open spans have no duration yet
+      JsonValue e = JsonValue::Object();
+      e.Set("name", JsonValue(span.name));
+      e.Set("ph", JsonValue("X"));
+      e.Set("ts", JsonValue(span.start));
+      e.Set("dur", JsonValue(span.end - span.start));
+      e.Set("pid", JsonValue(static_cast<int64_t>(0)));
+      e.Set("tid", JsonValue(static_cast<int64_t>(span.depth)));
+      entries.push_back(Entry{span.start, std::move(e)});
+    }
+  }
+
+  if (txns != nullptr) {
+    for (const TxnTraceRecord& record : txns->records()) {
+      const int64_t tid = record.txn_id;
+      for (const TxnPhaseInterval& interval : PhaseIntervals(record)) {
+        JsonValue b = JsonValue::Object();
+        b.Set("name", JsonValue(interval.phase));
+        b.Set("ph", JsonValue("B"));
+        b.Set("ts", JsonValue(interval.start));
+        b.Set("pid", JsonValue(static_cast<int64_t>(1)));
+        b.Set("tid", JsonValue(tid));
+        JsonValue args = JsonValue::Object();
+        args.Set("proc", JsonValue(record.proc));
+        args.Set("detail", JsonValue(static_cast<int64_t>(interval.detail)));
+        b.Set("args", std::move(args));
+        entries.push_back(Entry{interval.start, std::move(b)});
+
+        JsonValue e = JsonValue::Object();
+        e.Set("name", JsonValue(interval.phase));
+        e.Set("ph", JsonValue("E"));
+        e.Set("ts", JsonValue(interval.end));
+        e.Set("pid", JsonValue(static_cast<int64_t>(1)));
+        e.Set("tid", JsonValue(tid));
+        entries.push_back(Entry{interval.end, std::move(e)});
+      }
+      if (!record.events.empty() && record.done) {
+        const TxnTraceEvent& last = record.events.back();
+        JsonValue i = JsonValue::Object();
+        i.Set("name", JsonValue(TxnPhaseName(last.phase)));
+        i.Set("ph", JsonValue("i"));
+        i.Set("ts", JsonValue(last.at));
+        i.Set("pid", JsonValue(static_cast<int64_t>(1)));
+        i.Set("tid", JsonValue(tid));
+        i.Set("s", JsonValue("t"));  // thread-scoped instant
+        entries.push_back(Entry{last.at, std::move(i)});
+      }
+    }
+  }
+
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) { return a.ts < b.ts; });
+
+  JsonValue events = JsonValue::Array();
+  for (Entry& entry : entries) events.Append(std::move(entry.event));
+  JsonValue doc = JsonValue::Object();
+  doc.Set("displayTimeUnit", JsonValue("ms"));
+  doc.Set("traceEvents", std::move(events));
+  return doc.Dump();
 }
 
 }  // namespace obs

@@ -6,6 +6,8 @@
 
 #include "common/sim_time.h"
 #include "obs/metrics.h"
+#include "obs/span_tracer.h"
+#include "obs/txn_trace.h"
 
 /// \file exporter.h
 /// Turns a MetricsRegistry into artifacts: periodic CSV snapshots of
@@ -64,6 +66,19 @@ bool WriteColumnsCsv(const std::string& path,
 /// Writes `contents` to `path`, creating parent directories; returns
 /// false and logs on failure. Used for JSON/trace dumps.
 bool WriteStringToFile(const std::string& path, const std::string& contents);
+
+/// Renders spans and sampled transaction traces as a Chrome/Perfetto
+/// `trace_event` JSON document ({"displayTimeUnit":"ms","traceEvents":
+/// [...]}; ts/dur in microseconds = SimTime directly). Closed spans
+/// become complete ("X") events on pid 0 with tid = nesting depth
+/// (retroactive BeginAt/EndAt spans can cross-nest, which B/E pairs
+/// cannot represent); each transaction's phase intervals become matched
+/// B/E pairs on pid 1 with tid = txn id, and its terminal state an
+/// instant ("i") event. Events are stably sorted by ts, so timestamps
+/// are monotone. Either input may be null. Deterministic for
+/// deterministic inputs.
+std::string ToChromeTraceJson(const SpanTracer* spans,
+                              const TxnTraceRecorder* txns);
 
 }  // namespace obs
 }  // namespace pstore

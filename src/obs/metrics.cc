@@ -89,6 +89,17 @@ std::vector<std::pair<std::string, double>> MetricsRegistry::Snapshot()
   return out;
 }
 
+std::vector<std::pair<std::string, const Histogram*>>
+MetricsRegistry::Histograms() const {
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  if (!armed()) return out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, metric] : histograms_) {
+    out.emplace_back(name, &metric->histogram());
+  }
+  return out;
+}
+
 std::string MetricsRegistry::DumpJson() const {
   std::string out = "{\n  \"counters\": {";
   bool first = true;

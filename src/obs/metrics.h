@@ -125,6 +125,10 @@ class MetricsRegistry {
   /// included), as (name, value) pairs — the exporter's raw material.
   std::vector<std::pair<std::string, double>> Snapshot() const;
 
+  /// Sorted (name, histogram) views of every registered histogram —
+  /// percentile-readout tooling's raw material. Empty while disarmed.
+  std::vector<std::pair<std::string, const Histogram*>> Histograms() const;
+
   /// End-of-run JSON dump: {"counters":{...},"gauges":{...},
   /// "histograms":{...}} with every section sorted by name. Stable
   /// formatting, so same-seed runs produce byte-identical dumps.

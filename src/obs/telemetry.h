@@ -3,13 +3,15 @@
 #include "obs/event_stream.h"
 #include "obs/metrics.h"
 #include "obs/span_tracer.h"
+#include "obs/txn_trace.h"
 
 /// \file telemetry.h
 /// The non-owning bundle each subsystem accepts via set_telemetry():
-/// metrics registry, span tracer and event stream. Any pointer may be
-/// null — call sites guard on the pointer, so un-instrumented runs pay
-/// nothing. TelemetryBundle is the owning convenience for harnesses
-/// (benches, examples, tests) that want all three.
+/// metrics registry, span tracer, event stream, and txn-trace recorder.
+/// Any pointer may be null — call sites guard on the pointer, so
+/// un-instrumented runs pay nothing. TelemetryBundle is the owning
+/// convenience for harnesses (benches, examples, tests) that want all
+/// of them.
 
 namespace pstore {
 namespace obs {
@@ -19,9 +21,11 @@ struct Telemetry {
   MetricsRegistry* metrics = nullptr;
   SpanTracer* tracer = nullptr;
   EventStream* events = nullptr;
+  TxnTraceRecorder* txn_traces = nullptr;
 
   bool any() const {
-    return metrics != nullptr || tracer != nullptr || events != nullptr;
+    return metrics != nullptr || tracer != nullptr || events != nullptr ||
+           txn_traces != nullptr;
   }
 };
 
@@ -30,8 +34,11 @@ struct TelemetryBundle {
   MetricsRegistry metrics;
   SpanTracer tracer;
   EventStream events;
+  TxnTraceRecorder txn_traces;  ///< Disabled (sample_rate 0) by default.
 
-  Telemetry view() { return Telemetry{&metrics, &tracer, &events}; }
+  Telemetry view() {
+    return Telemetry{&metrics, &tracer, &events, &txn_traces};
+  }
 };
 
 }  // namespace obs

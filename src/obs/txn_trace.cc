@@ -1,0 +1,204 @@
+#include "obs/txn_trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/murmur.h"
+
+namespace pstore {
+namespace obs {
+
+const char* TxnPhaseName(TxnPhase phase) {
+  switch (phase) {
+    case TxnPhase::kSubmitted:
+      return "submitted";
+    case TxnPhase::kAdmitted:
+      return "admitted";
+    case TxnPhase::kExecuting:
+      return "executing";
+    case TxnPhase::kForwarded:
+      return "forwarded";
+    case TxnPhase::kReplicated:
+      return "replicated";
+    case TxnPhase::kCommitted:
+      return "committed";
+    case TxnPhase::kAborted:
+      return "aborted";
+    case TxnPhase::kShed:
+      return "shed";
+    case TxnPhase::kFenced:
+      return "fenced";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Attribution label for the interval that starts when `phase` is
+/// entered: kSubmitted opens the admission-decision interval, kAdmitted
+/// the queued interval, and so on. Terminal states open nothing.
+const char* IntervalLabel(TxnPhase phase) {
+  switch (phase) {
+    case TxnPhase::kSubmitted:
+      return "admission";
+    case TxnPhase::kAdmitted:
+      return "queued";
+    case TxnPhase::kExecuting:
+      return "executing";
+    case TxnPhase::kForwarded:
+      return "forwarding";
+    case TxnPhase::kReplicated:
+      return "replicating";
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace
+
+std::vector<TxnPhaseInterval> PhaseIntervals(const TxnTraceRecord& record) {
+  std::vector<TxnPhaseInterval> out;
+  for (size_t i = 0; i + 1 < record.events.size(); ++i) {
+    const char* label = IntervalLabel(record.events[i].phase);
+    if (label == nullptr) break;  // terminal state: nothing follows
+    TxnPhaseInterval interval;
+    interval.phase = label;
+    interval.start = record.events[i].at;
+    interval.end = record.events[i + 1].at;
+    interval.detail = record.events[i].detail;
+    out.push_back(interval);
+  }
+  return out;
+}
+
+int64_t TxnTraceRecorder::Sample(int64_t txn_id, const std::string& proc,
+                                 int32_t bucket, SimTime at) {
+  if (!enabled()) return -1;  // no Rng draw: disabled runs stay identical
+  if (!rng_.NextBernoulli(config_.sample_rate)) return -1;
+  ++sampled_;
+  if (config_.max_records != 0 && records_.size() >= config_.max_records) {
+    ++dropped_;
+    return -1;
+  }
+  TxnTraceRecord record;
+  record.txn_id = txn_id;
+  record.proc = proc;
+  record.bucket = bucket;
+  record.events.push_back(TxnTraceEvent{TxnPhase::kSubmitted, at, bucket});
+  records_.push_back(std::move(record));
+  retransmit_baseline_.push_back(retransmits_total_);
+  return static_cast<int64_t>(records_.size()) - 1;
+}
+
+void TxnTraceRecorder::Record(int64_t handle, TxnPhase phase, SimTime at,
+                              int32_t detail) {
+  if (handle < 0 || !enabled()) return;
+  records_[static_cast<size_t>(handle)].events.push_back(
+      TxnTraceEvent{phase, at, detail});
+}
+
+void TxnTraceRecorder::AddNetHops(int64_t handle, int32_t hops) {
+  if (handle < 0 || !enabled()) return;
+  records_[static_cast<size_t>(handle)].net_hops += hops;
+}
+
+void TxnTraceRecorder::Finalize(int64_t handle, SimTime at) {
+  if (handle < 0 || !enabled()) return;
+  TxnTraceRecord& record = records_[static_cast<size_t>(handle)];
+  record.retransmits_seen =
+      retransmits_total_ - retransmit_baseline_[static_cast<size_t>(handle)];
+  const SimTime start = record.events.empty() ? at : record.events[0].at;
+  record.migration_overlap = MoveOverlap(start, at);
+  record.done = true;
+}
+
+void TxnTraceRecorder::OnMoveStarted(SimTime at) {
+  if (!enabled()) return;
+  open_moves_.push_back(at);
+}
+
+void TxnTraceRecorder::OnMoveEnded(SimTime at) {
+  if (!enabled() || open_moves_.empty()) return;
+  // Moves finish in unspecified order; close the most recent open start
+  // (windows are merged before overlap computation, so pairing order
+  // does not change the union).
+  move_windows_.emplace_back(open_moves_.back(), at);
+  open_moves_.pop_back();
+}
+
+void TxnTraceRecorder::NoteRetransmit() {
+  if (!enabled()) return;
+  ++retransmits_total_;
+}
+
+SimDuration TxnTraceRecorder::MoveOverlap(SimTime start, SimTime end) const {
+  if (end <= start) return 0;
+  // Clip every window (open moves extend to `end`), merge the union,
+  // then sum — overlapping concurrent moves are not double-counted.
+  std::vector<std::pair<SimTime, SimTime>> clipped;
+  for (const auto& [ws, we] : move_windows_) {
+    const SimTime s = std::max(ws, start);
+    const SimTime e = std::min(we, end);
+    if (e > s) clipped.emplace_back(s, e);
+  }
+  for (SimTime ws : open_moves_) {
+    const SimTime s = std::max(ws, start);
+    if (end > s) clipped.emplace_back(s, end);
+  }
+  if (clipped.empty()) return 0;
+  std::sort(clipped.begin(), clipped.end());
+  SimDuration total = 0;
+  SimTime cur_start = clipped[0].first;
+  SimTime cur_end = clipped[0].second;
+  for (size_t i = 1; i < clipped.size(); ++i) {
+    if (clipped[i].first <= cur_end) {
+      cur_end = std::max(cur_end, clipped[i].second);
+    } else {
+      total += cur_end - cur_start;
+      cur_start = clipped[i].first;
+      cur_end = clipped[i].second;
+    }
+  }
+  total += cur_end - cur_start;
+  return total;
+}
+
+std::string TxnTraceRecorder::ToString() const {
+  std::string out;
+  char buf[160];
+  for (const TxnTraceRecord& record : records_) {
+    std::snprintf(buf, sizeof(buf),
+                  "txn %lld proc=%s bucket=%d hops=%d retransmits=%lld "
+                  "move_overlap_us=%lld%s\n",
+                  static_cast<long long>(record.txn_id), record.proc.c_str(),
+                  record.bucket, record.net_hops,
+                  static_cast<long long>(record.retransmits_seen),
+                  static_cast<long long>(record.migration_overlap),
+                  record.done ? "" : " (open)");
+    out += buf;
+    for (const TxnTraceEvent& event : record.events) {
+      std::snprintf(buf, sizeof(buf), "  [%s] %s detail=%d\n",
+                    FormatSimTime(event.at).c_str(), TxnPhaseName(event.phase),
+                    event.detail);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+uint64_t TxnTraceRecorder::Fingerprint() const {
+  return MurmurHash64A(ToString(), 0);
+}
+
+void TxnTraceRecorder::Clear() {
+  records_.clear();
+  retransmit_baseline_.clear();
+  move_windows_.clear();
+  open_moves_.clear();
+  retransmits_total_ = 0;
+  sampled_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace obs
+}  // namespace pstore

@@ -112,6 +112,87 @@ TEST(HistogramTest, LargeValuesDoNotOverflowBuckets) {
   EXPECT_GT(h.Percentile(50), 0);
 }
 
+TEST(HistogramTest, BucketGeometryIsExactBelowSubBuckets) {
+  // Values below 32 land in exact unit-wide buckets.
+  for (int64_t v = 0; v < 32; ++v) {
+    const int index = Histogram::BucketIndexOf(v);
+    EXPECT_EQ(Histogram::BucketLowerBound(index), v);
+    EXPECT_EQ(Histogram::BucketWidth(index), 1);
+  }
+}
+
+TEST(HistogramTest, BucketGeometryAtOctaveBoundaries) {
+  // Every value falls inside its bucket's [lower, lower + width) range,
+  // adjacent buckets tile without gaps, and width/lower stays within
+  // the advertised ~2%/32-sub-bucket error (width <= lower / 16 above
+  // the exact range).
+  for (int64_t v : {31LL, 32LL, 33LL, 63LL, 64LL, 127LL, 128LL, 1000LL,
+                    4095LL, 4096LL, (1LL << 20) - 1, 1LL << 20,
+                    (1LL << 40) + 123}) {
+    const int index = Histogram::BucketIndexOf(v);
+    const int64_t lower = Histogram::BucketLowerBound(index);
+    const int64_t width = Histogram::BucketWidth(index);
+    EXPECT_LE(lower, v) << "v=" << v;
+    EXPECT_LT(v, lower + width) << "v=" << v;
+    EXPECT_EQ(Histogram::BucketLowerBound(index + 1), lower + width)
+        << "v=" << v;
+    if (v >= 32) EXPECT_LE(width, lower / 16) << "v=" << v;
+  }
+}
+
+TEST(HistogramTest, InterpolatedExtremesAreExact) {
+  Histogram h;
+  h.Record(100);
+  h.Record(1000);
+  h.Record(100000);
+  EXPECT_DOUBLE_EQ(h.PercentileInterpolated(0), 100.0);
+  EXPECT_DOUBLE_EQ(h.PercentileInterpolated(100), 100000.0);
+  // Every quantile is clamped to the observed range.
+  for (double p = 0; p <= 100; p += 12.5) {
+    EXPECT_GE(h.PercentileInterpolated(p), 100.0);
+    EXPECT_LE(h.PercentileInterpolated(p), 100000.0);
+  }
+}
+
+TEST(HistogramTest, InterpolatedSingleValueIsThatValue) {
+  Histogram h;
+  h.Record(12345);
+  EXPECT_DOUBLE_EQ(h.PercentileInterpolated(0), 12345.0);
+  EXPECT_DOUBLE_EQ(h.PercentileInterpolated(50), 12345.0);
+  EXPECT_DOUBLE_EQ(h.PercentileInterpolated(99.9), 12345.0);
+  EXPECT_DOUBLE_EQ(h.PercentileInterpolated(100), 12345.0);
+  Histogram empty;
+  EXPECT_DOUBLE_EQ(empty.PercentileInterpolated(50), 0.0);
+}
+
+TEST(HistogramTest, InterpolationBeatsBucketMidpoints) {
+  // A uniform ramp: interpolated quantiles track the true values more
+  // tightly than the ~2% bucket error guarantees.
+  Histogram h;
+  for (int64_t v = 1; v <= 100000; ++v) h.Record(v);
+  EXPECT_NEAR(h.PercentileInterpolated(50), 50000.0, 1600.0);
+  EXPECT_NEAR(h.PercentileInterpolated(90), 90000.0, 2900.0);
+  EXPECT_NEAR(h.PercentileInterpolated(99), 99000.0, 3200.0);
+  EXPECT_NEAR(h.PercentileInterpolated(99.9), 99900.0, 3200.0);
+}
+
+TEST(HistogramTest, MergePreservesQuantiles) {
+  Histogram a, b, whole;
+  for (int64_t v = 1; v <= 1000; ++v) {
+    (v % 2 == 0 ? a : b).Record(v);
+    whole.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_EQ(a.min(), whole.min());
+  EXPECT_EQ(a.max(), whole.max());
+  for (double p : {50.0, 90.0, 99.0, 99.9}) {
+    EXPECT_DOUBLE_EQ(a.PercentileInterpolated(p),
+                     whole.PercentileInterpolated(p))
+        << "p=" << p;
+  }
+}
+
 TEST(WindowedPercentilesTest, SingleWindow) {
   WindowedPercentiles wp(kSecond);
   wp.Record(100 * kMillisecond, 1000);

@@ -5,9 +5,12 @@
 # A second pair of runs repeats the check under --spike (overload
 # control: load spikes, shedding, breakers, retries), a third under
 # --recovery (replication: promotion failover, replica lag, checkpoint +
-# log-replay restarts, re-replication), and a fourth under --partition
+# log-replay restarts, re-replication), a fourth under --partition
 # (simulated network: partitions, message loss/duplication/delay,
-# lease fencing, retransmission).
+# lease fencing, retransmission), and a fifth under
+# --spike --trace-sample=0.1 (transaction lifecycle tracing: sampled
+# txn traces and the Chrome trace_event JSON must also be
+# byte-identical across same-seed runs).
 #
 # Usage: [CHAOS_RUN=path/to/chaos_run] [SEED=N] [EVENTS=N] \
 #          tools/check_determinism.sh
@@ -28,11 +31,12 @@ workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
 
 status=0
-for run in a b c d e f g h; do
+for run in a b c d e f g h i j; do
   flags=""
   { [ "$run" = c ] || [ "$run" = d ]; } && flags="--spike"
   { [ "$run" = e ] || [ "$run" = f ]; } && flags="--recovery"
   { [ "$run" = g ] || [ "$run" = h ]; } && flags="--partition"
+  { [ "$run" = i ] || [ "$run" = j ]; } && flags="--spike --trace-sample=0.1"
   if ! "$CHAOS_RUN" --seed="$SEED" --events="$EVENTS" $flags \
        --out="$workdir/$run" > "$workdir/$run.stdout" 2>&1; then
     echo "check_determinism: run $run FAILED; tail of output:" >&2
@@ -42,7 +46,8 @@ for run in a b c d e f g h; do
 done
 [ "$status" -ne 0 ] && exit "$status"
 
-for pair in "a b plain" "c d spike" "e f recovery" "g h partition"; do
+for pair in "a b plain" "c d spike" "e f recovery" "g h partition" \
+            "i j spike+trace"; do
   set -- $pair
   if diff -r "$workdir/$1" "$workdir/$2" > "$workdir/diff.out" 2>&1; then
     files=$(ls "$workdir/$1" | wc -l | tr -d ' ')

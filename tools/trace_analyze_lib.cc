@@ -1,0 +1,245 @@
+#include "trace_analyze_lib.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "common/json.h"
+
+namespace pstore {
+namespace trace {
+
+namespace {
+
+bool StartsWith(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+/// Adds `us` to the named phase in an ordered stat list (first
+/// occurrence fixes the position, keeping reports deterministic).
+void AddPhase(std::vector<PhaseStat>* stats, const std::string& phase,
+              int64_t us) {
+  for (PhaseStat& s : *stats) {
+    if (s.phase == phase) {
+      s.total_us += us;
+      ++s.count;
+      return;
+    }
+  }
+  stats->push_back(PhaseStat{phase, us, 1});
+}
+
+std::string FormatUs(int64_t us) {
+  char buf[32];
+  if (us >= 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(us) / 1e6);
+  } else if (us >= 1000) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", static_cast<double>(us) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(us));
+  }
+  return buf;
+}
+
+}  // namespace
+
+Result<TraceAnalysis> AnalyzeChromeTrace(const std::string& json,
+                                         int32_t top_k) {
+  auto doc = JsonValue::Parse(json);
+  if (!doc.ok()) return doc.status();
+  if (!doc->is_object()) {
+    return Status::InvalidArgument("trace document is not a JSON object");
+  }
+  const JsonValue* events = doc->Get("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return Status::InvalidArgument("missing traceEvents array");
+  }
+
+  struct OpenPhase {
+    std::string name;
+    int64_t ts = 0;
+  };
+  struct TxnAccum {
+    TxnBreakdown breakdown;
+    OpenPhase open;
+    bool has_open = false;
+    bool has_start = false;
+    int64_t last_end = 0;
+  };
+  // std::map keys iterate sorted, so tie-broken output is stable.
+  std::map<int64_t, TxnAccum> txns;
+
+  struct Span {
+    std::string name;
+    int64_t ts = 0;
+    int64_t dur = 0;
+  };
+  std::vector<Span> moves;
+  std::vector<Span> rounds;
+
+  for (size_t i = 0; i < events->size(); ++i) {
+    const JsonValue& e = events->at(i);
+    if (!e.is_object()) {
+      return Status::InvalidArgument("traceEvents[" + std::to_string(i) +
+                                     "] is not an object");
+    }
+    const std::string ph = e.GetStringOr("ph", "");
+    const int64_t pid = static_cast<int64_t>(e.GetNumberOr("pid", -1));
+    const int64_t ts = static_cast<int64_t>(e.GetNumberOr("ts", 0));
+    const std::string name = e.GetStringOr("name", "");
+    if (pid == 0 && ph == "X") {
+      const int64_t dur = static_cast<int64_t>(e.GetNumberOr("dur", 0));
+      if (StartsWith(name, "migration.move")) {
+        moves.push_back(Span{name, ts, dur});
+      } else if (StartsWith(name, "migration.round")) {
+        rounds.push_back(Span{name, ts, dur});
+      }
+      continue;
+    }
+    if (pid != 1) continue;
+    const int64_t tid = static_cast<int64_t>(e.GetNumberOr("tid", 0));
+    TxnAccum& acc = txns[tid];
+    acc.breakdown.tid = tid;
+    if (ph == "B") {
+      if (acc.has_open) {
+        return Status::InvalidArgument(
+            "unmatched B event for txn " + std::to_string(tid) + " at ts " +
+            std::to_string(ts));
+      }
+      acc.open = OpenPhase{name, ts};
+      acc.has_open = true;
+      if (!acc.has_start) {
+        acc.breakdown.start_us = ts;
+        acc.has_start = true;
+      }
+      if (acc.breakdown.proc.empty()) {
+        const JsonValue* args = e.Get("args");
+        if (args != nullptr && args->is_object()) {
+          acc.breakdown.proc = args->GetStringOr("proc", "");
+        }
+      }
+    } else if (ph == "E") {
+      if (!acc.has_open || acc.open.name != name) {
+        return Status::InvalidArgument(
+            "unmatched E event for txn " + std::to_string(tid) + " at ts " +
+            std::to_string(ts));
+      }
+      AddPhase(&acc.breakdown.phases, name, ts - acc.open.ts);
+      acc.has_open = false;
+      acc.last_end = ts;
+    }
+    // Instant ("i") terminal markers carry no duration.
+  }
+
+  TraceAnalysis out;
+  for (auto& [tid, acc] : txns) {
+    (void)tid;
+    if (acc.has_open) {
+      // A still-open phase means the txn never finished inside the run
+      // window; attribute what we saw and close at the open point.
+      AddPhase(&acc.breakdown.phases, acc.open.name, 0);
+    }
+    acc.breakdown.total_us = acc.last_end - acc.breakdown.start_us;
+    for (const PhaseStat& p : acc.breakdown.phases) {
+      bool found = false;
+      for (PhaseStat& a : out.attribution) {
+        if (a.phase == p.phase) {
+          a.total_us += p.total_us;
+          a.count += p.count;
+          found = true;
+          break;
+        }
+      }
+      if (!found) out.attribution.push_back(p);
+    }
+    ++out.txns;
+    out.slowest.push_back(acc.breakdown);
+  }
+  std::stable_sort(out.attribution.begin(), out.attribution.end(),
+                   [](const PhaseStat& a, const PhaseStat& b) {
+                     return a.total_us > b.total_us;
+                   });
+  std::stable_sort(out.slowest.begin(), out.slowest.end(),
+                   [](const TxnBreakdown& a, const TxnBreakdown& b) {
+                     return a.total_us > b.total_us;
+                   });
+  if (top_k >= 0 && out.slowest.size() > static_cast<size_t>(top_k)) {
+    out.slowest.resize(static_cast<size_t>(top_k));
+  }
+
+  std::stable_sort(moves.begin(), moves.end(),
+                   [](const Span& a, const Span& b) { return a.ts < b.ts; });
+  for (const Span& move : moves) {
+    MigrationCritical mc;
+    mc.name = move.name;
+    mc.start_us = move.ts;
+    mc.duration_us = move.dur;
+    for (const Span& round : rounds) {
+      // A round is the move's child when its interval nests inside.
+      if (round.ts >= move.ts && round.ts + round.dur <= move.ts + move.dur) {
+        ++mc.rounds;
+        if (round.dur >= mc.longest_round_us) {
+          mc.longest_round_us = round.dur;
+          mc.longest_round = round.name;
+        }
+      }
+    }
+    out.migrations.push_back(std::move(mc));
+  }
+  return out;
+}
+
+std::string RenderAnalysis(const TraceAnalysis& analysis) {
+  std::string out;
+  char buf[256];
+
+  out += "== Per-phase latency attribution ==\n";
+  int64_t grand_total = 0;
+  for (const PhaseStat& p : analysis.attribution) grand_total += p.total_us;
+  std::snprintf(buf, sizeof(buf), "%lld sampled txns, %s traced time\n",
+                static_cast<long long>(analysis.txns),
+                FormatUs(grand_total).c_str());
+  out += buf;
+  for (const PhaseStat& p : analysis.attribution) {
+    const double pct =
+        grand_total > 0
+            ? 100.0 * static_cast<double>(p.total_us) /
+                  static_cast<double>(grand_total)
+            : 0.0;
+    std::snprintf(buf, sizeof(buf),
+                  "  %-12s %10s  %5.1f%%  (%lld intervals)\n",
+                  p.phase.c_str(), FormatUs(p.total_us).c_str(), pct,
+                  static_cast<long long>(p.count));
+    out += buf;
+  }
+
+  out += "\n== Slowest transactions ==\n";
+  for (const TxnBreakdown& t : analysis.slowest) {
+    std::snprintf(buf, sizeof(buf), "  txn %lld (%s) total %s:",
+                  static_cast<long long>(t.tid),
+                  t.proc.empty() ? "?" : t.proc.c_str(),
+                  FormatUs(t.total_us).c_str());
+    out += buf;
+    for (const PhaseStat& p : t.phases) {
+      std::snprintf(buf, sizeof(buf), " %s=%s", p.phase.c_str(),
+                    FormatUs(p.total_us).c_str());
+      out += buf;
+    }
+    out += '\n';
+  }
+
+  out += "\n== Migration critical paths ==\n";
+  if (analysis.migrations.empty()) out += "  (no migrations in trace)\n";
+  for (const MigrationCritical& m : analysis.migrations) {
+    std::snprintf(buf, sizeof(buf),
+                  "  %s: %s over %d rounds; critical: %s (%s)\n",
+                  m.name.c_str(), FormatUs(m.duration_us).c_str(), m.rounds,
+                  m.longest_round.empty() ? "-" : m.longest_round.c_str(),
+                  FormatUs(m.longest_round_us).c_str());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace trace
+}  // namespace pstore

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file trace_analyze_lib.h
+/// The analysis logic behind tools/trace_analyze: read a Chrome
+/// `trace_event` JSON document (written by obs::ToChromeTraceJson, e.g.
+/// chaos_run --trace-sample=0.1 --out=DIR) and compute per-phase latency
+/// attribution across all sampled transactions, the top-k slowest
+/// transactions with their full phase breakdown, and the critical path
+/// of each migration (its rounds, and the longest round that gates the
+/// move). All inputs are virtual-time microseconds, so reports are
+/// deterministic for deterministic traces.
+
+namespace pstore {
+namespace trace {
+
+/// Aggregated time spent in one lifecycle phase.
+struct PhaseStat {
+  std::string phase;
+  int64_t total_us = 0;
+  int64_t count = 0;  ///< Intervals aggregated.
+};
+
+/// One transaction's end-to-end latency and its phase breakdown.
+struct TxnBreakdown {
+  int64_t tid = 0;          ///< Transaction id (the trace's tid).
+  std::string proc;         ///< Procedure name (from the B event args).
+  int64_t start_us = 0;     ///< First phase begin (virtual us).
+  int64_t total_us = 0;     ///< Last phase end - first begin.
+  std::vector<PhaseStat> phases;  ///< In first-occurrence order.
+};
+
+/// One migration move's critical path.
+struct MigrationCritical {
+  std::string name;          ///< e.g. "migration.move 3->4".
+  int64_t start_us = 0;
+  int64_t duration_us = 0;
+  int32_t rounds = 0;        ///< Rounds nested inside the move.
+  std::string longest_round; ///< The round gating the move's duration.
+  int64_t longest_round_us = 0;
+};
+
+/// The full report.
+struct TraceAnalysis {
+  int64_t txns = 0;                       ///< Transactions analyzed.
+  std::vector<PhaseStat> attribution;     ///< Sorted by total desc.
+  std::vector<TxnBreakdown> slowest;      ///< Top-k by total desc.
+  std::vector<MigrationCritical> migrations;  ///< In start order.
+};
+
+/// Parses a Chrome trace_event JSON document and computes the report.
+/// Transaction phases are the pid-1 B/E pairs (per-tid sequential, as
+/// the exporter emits them); migrations are the pid-0 complete ("X")
+/// spans named "migration.move ..." with their nested
+/// "migration.round ..." spans. Fails on malformed JSON or a missing
+/// traceEvents array.
+Result<TraceAnalysis> AnalyzeChromeTrace(const std::string& json,
+                                         int32_t top_k);
+
+/// Renders the report as the CLI's human-readable text.
+std::string RenderAnalysis(const TraceAnalysis& analysis);
+
+}  // namespace trace
+}  // namespace pstore
