@@ -37,6 +37,20 @@
 /// conserved, k-safety is restored after heal — and two same-seed runs
 /// must match byte for byte.
 ///
+/// --corruption switches to the durability scenario: k=1 replication
+/// with the content-modeled durable store (checksummed checkpoint and
+/// command-log records) plus a background scrubber, and a SCRIPTED
+/// fault plan — a primary-heavy crash whose dead disk is then bit-rotted
+/// AND torn, so the 20 s restart must *detect* the damage and degrade
+/// (previous-checkpoint fallback or wire re-replication); bit rot on a
+/// *live* node that only the scrubber can find and repair from the
+/// intact replica; a disk-stall window stretching the second restart's
+/// replay; and a backup-heavy crash/restart cycle on top. No corrupt
+/// record may ever be served, no committed row may be lost (an intact
+/// replica survives throughout), and two same-seed runs must match byte
+/// for byte — including the disk Rng stream and the store's content
+/// digest.
+///
 /// --trace-sample=P (0 < P <= 1) turns on transaction lifecycle tracing:
 /// sampled transactions record every phase transition on the virtual
 /// clock, and the dump gains txn_traces.txt plus a Chrome/Perfetto
@@ -48,7 +62,8 @@
 ///
 ///   ./build/examples/chaos_run [--seed=42] [--events=10] [--out=DIR]
 ///                              [--trace-sample=P]
-///                              [--spike | --recovery | --partition]
+///                              [--spike | --recovery | --partition |
+///                               --corruption]
 
 #include <cstdio>
 #include <cstdlib>
@@ -60,6 +75,7 @@
 
 #include "cluster/engine.h"
 #include "core/reactive_controller.h"
+#include "durability/content_store.h"
 #include "fault/fault_injector.h"
 #include "fault/invariant_checker.h"
 #include "migration/migration_executor.h"
@@ -105,6 +121,20 @@ struct RunResult {
   int64_t recoveries = 0;
   int64_t rows_lost = 0;
   int64_t degraded_at_end = 0;
+  // Durability-scenario extras (all 0 outside --corruption).
+  int64_t disk_corruptions = 0;
+  int64_t torn_writes = 0;
+  int64_t disk_stalls = 0;
+  int64_t records_corrupted = 0;
+  int64_t crc_detected = 0;
+  int64_t torn_detected = 0;
+  int64_t fallbacks = 0;
+  int64_t rereplicates = 0;
+  int64_t scrub_found = 0;
+  int64_t scrub_repairs = 0;
+  int64_t corrupt_served = 0;
+  uint64_t disk_rng_hash = 0;
+  uint64_t store_hash = 0;
   // Partition-scenario extras (all 0 outside --partition).
   int64_t net_partitions = 0;
   int64_t suspicions = 0;
@@ -131,7 +161,8 @@ struct RunResult {
 };
 
 RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike,
-                  bool recovery, bool partition, double trace_sample) {
+                  bool recovery, bool partition, bool corruption,
+                  double trace_sample) {
   // A tiny KV database: one table, Get and Put procedures. (Put is
   // registered in every mode but only the recovery workload issues it,
   // so the plain and spike scenarios are untouched.)
@@ -186,7 +217,7 @@ RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike,
     config.overload.breaker.min_samples = 20;
     config.overload.breaker.cooldown = 3 * kSecond;
   }
-  if (recovery || partition) {
+  if (recovery || partition || corruption) {
     // k=1 backups, synchronous apply, chunked re-replication, and
     // checkpoint + command-log replay on restart.
     config.replication.enabled = true;
@@ -196,6 +227,13 @@ RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike,
     config.replication.rebuild_rate_kbps = 10000.0;
     config.replication.wire_kbps = 100000.0;
     config.replication.checkpoint_period = 5 * kSecond;
+  }
+  if (corruption) {
+    // Content-modeled durable records plus a scrubber fast enough to
+    // sweep every node's checkpoint + log a few times between the
+    // scripted live-node bit rot and the end of the run.
+    config.replication.durability.enabled = true;
+    config.replication.durability.scrub_rate_kbps = 64.0;
   }
   if (partition) {
     // The simulated message substrate with the default timer chain:
@@ -303,6 +341,43 @@ RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike,
     part2.type = FaultType::kNetPartition;
     part2.duration = 6 * kSecond;
     plan.events = {part1, loss, delay, part2};
+  } else if (corruption) {
+    // Scripted so the assertions (damage detected and degraded around,
+    // scrubber repaired the live node, zero corrupt records served,
+    // zero rows lost) hold for every seed.
+    FaultEvent crash1;
+    crash1.at = 3 * kSecond;  // Races the 2 s scale-out's chunk streams.
+    crash1.type = FaultType::kNodeCrash;
+    crash1.scope = CrashScope::kPrimaryHeavy;
+    FaultEvent rot_dead;
+    rot_dead.at = 5 * kSecond;  // Auto-targets the crashed node's disk.
+    rot_dead.type = FaultType::kDiskCorruption;
+    rot_dead.probability = 0.3;
+    FaultEvent tear;
+    tear.at = 6 * kSecond;  // Same dead disk: torn tail on top of rot.
+    tear.type = FaultType::kTornWrite;
+    tear.probability = 0.3;
+    FaultEvent restart1;
+    restart1.at = 20 * kSecond;  // Must detect the damage and degrade.
+    restart1.type = FaultType::kNodeRestart;
+    FaultEvent rot_live;
+    rot_live.at = 30 * kSecond;  // Everything is up: hits a LIVE disk,
+    rot_live.type = FaultType::kDiskCorruption;  // only the scrubber
+    rot_live.probability = 0.3;                  // can find + repair it.
+    FaultEvent stall;
+    stall.at = 38 * kSecond;  // Window covers the 40 s crash's restart
+    stall.type = FaultType::kDiskStall;  // replay and throttles scrub.
+    stall.duration = 20 * kSecond;
+    stall.load_scale = 4.0;
+    FaultEvent crash2;
+    crash2.at = 40 * kSecond;
+    crash2.type = FaultType::kNodeCrash;
+    crash2.scope = CrashScope::kBackupHeavy;
+    FaultEvent restart2;
+    restart2.at = 55 * kSecond;  // Replay stretched by the stall window.
+    restart2.type = FaultType::kNodeRestart;
+    plan.events = {crash1, rot_dead, tear, restart1,
+                   rot_live, stall, crash2, restart2};
   } else {
     ChaosConfig chaos;
     chaos.horizon = 90 * kSecond;
@@ -342,7 +417,7 @@ RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike,
     for (int64_t i = 0; i < static_cast<int64_t>(rate * seconds); ++i) {
       TxnRequest req;
       req.key = (i * 48271) % rows;
-      if ((recovery || partition) && i % 4 == 0) {
+      if ((recovery || partition || corruption) && i % 4 == 0) {
         req.proc = put;
         req.args.push_back(Value(i));
       } else {
@@ -351,7 +426,7 @@ RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike,
       sim.ScheduleAt(SecondsToDuration(i / rate),
                      [&engine, req]() { engine.Submit(req); });
     }
-    if (recovery || partition) {
+    if (recovery || partition || corruption) {
       // A scale-out racing the 3 s crash (or partition): the executor
       // must abort or finish the move cleanly — retransmitting through
       // the fault under --partition — and keep replica placement legal.
@@ -434,7 +509,7 @@ RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike,
     out.sheds_seen = sheds_seen;
     out.safety_scale_outs = controller.scale_outs();
   }
-  if (recovery || partition) {
+  if (recovery || partition || corruption) {
     out.promotions = engine.replication()->promotions();
     out.rebuilds = engine.replication()->rebuilds_completed();
     out.backup_applies = engine.replication()->applies();
@@ -442,6 +517,23 @@ RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike,
     out.recoveries = engine.recoveries();
     out.rows_lost = engine.rows_lost();
     out.degraded_at_end = engine.replication()->degraded_buckets();
+  }
+  if (corruption) {
+    const durability::ContentDurableStore* store =
+        engine.replication()->content();
+    out.disk_corruptions = injector.disk_corruptions();
+    out.torn_writes = injector.torn_writes();
+    out.disk_stalls = injector.disk_stalls();
+    out.records_corrupted = injector.records_corrupted();
+    out.crc_detected = store->crc_failures_detected();
+    out.torn_detected = store->torn_segments_detected();
+    out.fallbacks = store->checkpoint_fallbacks();
+    out.rereplicates = store->replays_unrecoverable();
+    out.scrub_found = store->scrub_corruptions_found();
+    out.scrub_repairs = store->scrub_repairs();
+    out.corrupt_served = store->corrupt_records_served();
+    out.disk_rng_hash = injector.disk_rng_state_hash();
+    out.store_hash = store->StateHash();
   }
   if (partition) {
     out.net_partitions = injector.net_partitions();
@@ -486,6 +578,7 @@ int main(int argc, char** argv) {
   bool spike = false;
   bool recovery = false;
   bool partition = false;
+  bool corruption = false;
   double trace_sample = 0.0;
   std::string out_dir;
   for (int i = 1; i < argc; ++i) {
@@ -503,11 +596,14 @@ int main(int argc, char** argv) {
       recovery = true;
     } else if (std::strcmp(argv[i], "--partition") == 0) {
       partition = true;
+    } else if (std::strcmp(argv[i], "--corruption") == 0) {
+      corruption = true;
     }
   }
-  if (spike + recovery + partition > 1) {
+  if (spike + recovery + partition + corruption > 1) {
     std::fprintf(stderr,
-                 "--spike, --recovery and --partition are exclusive\n");
+                 "--spike, --recovery, --partition and --corruption are "
+                 "exclusive\n");
     return 2;
   }
 
@@ -515,11 +611,15 @@ int main(int argc, char** argv) {
       "chaos run, seed %llu, %d fault events%s\n",
       static_cast<unsigned long long>(seed), num_events,
       spike ? ", overload scenario"
-            : recovery ? ", recovery scenario (scripted plan)"
-                       : partition ? ", partition scenario (scripted plan)"
-                                   : "");
+            : recovery
+                  ? ", recovery scenario (scripted plan)"
+                  : partition
+                        ? ", partition scenario (scripted plan)"
+                        : corruption
+                              ? ", durability scenario (scripted plan)"
+                              : "");
   const RunResult first = RunOnce(seed, num_events, spike, recovery,
-                                  partition, trace_sample);
+                                  partition, corruption, trace_sample);
   std::printf("\nfault plan:\n%s", first.plan.c_str());
   std::printf("\nevent trace:\n%s", first.trace.c_str());
   std::printf(
@@ -573,6 +673,27 @@ int main(int argc, char** argv) {
                 static_cast<long long>(first.txns_sampled), trace_sample,
                 static_cast<unsigned long long>(first.txn_trace_fingerprint));
   }
+  if (corruption) {
+    std::printf(
+        "durability: %lld corruptions (%lld records), %lld torn writes, "
+        "%lld stall windows; detected %lld crc + %lld torn, "
+        "%lld fallbacks, %lld re-replications, scrub found %lld / "
+        "repaired %lld, %lld corrupt served, %lld rows lost, "
+        "%lld recoveries\n",
+        static_cast<long long>(first.disk_corruptions),
+        static_cast<long long>(first.records_corrupted),
+        static_cast<long long>(first.torn_writes),
+        static_cast<long long>(first.disk_stalls),
+        static_cast<long long>(first.crc_detected),
+        static_cast<long long>(first.torn_detected),
+        static_cast<long long>(first.fallbacks),
+        static_cast<long long>(first.rereplicates),
+        static_cast<long long>(first.scrub_found),
+        static_cast<long long>(first.scrub_repairs),
+        static_cast<long long>(first.corrupt_served),
+        static_cast<long long>(first.rows_lost),
+        static_cast<long long>(first.recoveries));
+  }
   if (recovery) {
     std::printf(
         "recovery: %lld promotions, %lld rebuilds, %lld backup applies, "
@@ -612,7 +733,7 @@ int main(int argc, char** argv) {
   // Replay: the same seed must reproduce the run exactly — the fault
   // trace, the metric dump and the span trace all fingerprint-equal.
   const RunResult second = RunOnce(seed, num_events, spike, recovery,
-                                   partition, trace_sample);
+                                   partition, corruption, trace_sample);
   const bool replay_ok =
       first.fingerprint == second.fingerprint &&
       first.events == second.events &&
@@ -629,7 +750,11 @@ int main(int argc, char** argv) {
       first.msgs_sent == second.msgs_sent &&
       first.msgs_dropped == second.msgs_dropped &&
       first.net_retransmits == second.net_retransmits &&
-      first.suspicions == second.suspicions;
+      first.suspicions == second.suspicions &&
+      first.disk_rng_hash == second.disk_rng_hash &&
+      first.store_hash == second.store_hash &&
+      first.crc_detected == second.crc_detected &&
+      first.scrub_repairs == second.scrub_repairs;
   std::printf("\nreplay: trace fingerprints %016llx vs %016llx, "
               "metrics %016llx vs %016llx, spans %016llx vs %016llx -> %s\n",
               static_cast<unsigned long long>(first.fingerprint),
@@ -660,8 +785,23 @@ int main(int argc, char** argv) {
        first.net_retransmits > 0 && first.fenced_commits == 0 &&
        first.net_double_applies == 0 && first.rows_lost == 0 &&
        first.degraded_at_end == 0);
+  // Durability acceptance: all three disk faults fired, the damaged
+  // restart *detected* (crc + torn) and degraded (fallback or wire
+  // re-replication), the scrubber found and repaired the live node's
+  // bit rot, both crashed nodes recovered, and the hard lines held —
+  // zero corrupt records served, zero committed rows lost, full k.
+  const bool corruption_ok =
+      !corruption ||
+      (first.disk_corruptions == 2 && first.torn_writes == 1 &&
+       first.disk_stalls == 1 && first.records_corrupted > 0 &&
+       first.crc_detected > 0 && first.torn_detected > 0 &&
+       first.fallbacks + first.rereplicates > 0 &&
+       first.scrub_found > 0 && first.scrub_repairs > 0 &&
+       first.corrupt_served == 0 && first.recoveries == 2 &&
+       first.rows_lost == 0 && first.degraded_at_end == 0);
   const bool ok = first.violations == 0 && second.violations == 0 &&
-                  replay_ok && recovery_ok && partition_ok;
+                  replay_ok && recovery_ok && partition_ok &&
+                  corruption_ok;
   std::printf("%s\n", ok ? "chaos run PASSED" : "chaos run FAILED");
   return ok ? 0 : 1;
 }

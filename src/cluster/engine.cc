@@ -27,7 +27,14 @@ Status EngineConfig::Validate() const {
         "need at least one bucket per partition at max scale");
   }
   if (overload.enabled) PSTORE_RETURN_NOT_OK(overload.Validate());
-  if (replication.enabled) PSTORE_RETURN_NOT_OK(replication.Validate());
+  if (replication.enabled) {
+    PSTORE_RETURN_NOT_OK(replication.Validate());
+    if (replication.k + 1 > max_nodes) {
+      return Status::InvalidArgument(
+          "replication.k + 1 exceeds max_nodes (a bucket's primary plus "
+          "its k replicas need k + 1 distinct nodes)");
+    }
+  }
   if (net.enabled) {
     PSTORE_RETURN_NOT_OK(net.Validate());
     if (!replication.enabled) {
@@ -80,6 +87,10 @@ ClusterEngine::ClusterEngine(Simulator* sim, Catalog catalog,
         config_.partitions_per_node);
     InitialReplicaPlacement();
     ScheduleCheckpoint();
+    if (replication_->content() != nullptr &&
+        config_.replication.durability.scrub_rate_kbps > 0) {
+      ScheduleScrub();
+    }
   }
   if (config_.net.enabled) {
     // A dedicated Rng stream: the substrate's draws (latency, loss)
@@ -199,6 +210,38 @@ void ClusterEngine::set_telemetry(const obs::Telemetry& telemetry) {
     metrics->RegisterCallbackGauge("replication.backup_rows", [this]() {
       return static_cast<double>(replication_->TotalBackupRowCount());
     });
+    // Durability metrics exist only with the content-modeled store, so
+    // metric dumps with durability.enabled=false stay byte-identical.
+    durability::ContentDurableStore* content = replication_->content();
+    if (content != nullptr) {
+      metrics->RegisterCallbackGauge("durability.crc_failures", [content]() {
+        return static_cast<double>(content->crc_failures_detected());
+      });
+      metrics->RegisterCallbackGauge("durability.torn_segments", [content]() {
+        return static_cast<double>(content->torn_segments_detected());
+      });
+      metrics->RegisterCallbackGauge(
+          "durability.checkpoint_fallbacks", [content]() {
+            return static_cast<double>(content->checkpoint_fallbacks());
+          });
+      metrics->RegisterCallbackGauge(
+          "durability.replays_unrecoverable", [content]() {
+            return static_cast<double>(content->replays_unrecoverable());
+          });
+      metrics->RegisterCallbackGauge("durability.scrub_verified", [content]() {
+        return static_cast<double>(content->scrub_records_verified());
+      });
+      metrics->RegisterCallbackGauge("durability.scrub_found", [content]() {
+        return static_cast<double>(content->scrub_corruptions_found());
+      });
+      metrics->RegisterCallbackGauge("durability.scrub_repairs", [content]() {
+        return static_cast<double>(content->scrub_repairs());
+      });
+      metrics->RegisterCallbackGauge(
+          "durability.corrupt_records_served", [content]() {
+            return static_cast<double>(content->corrupt_records_served());
+          });
+    }
   }
   // Net metrics exist only when the simulated substrate is on, keeping
   // the default build's metric dumps byte-identical.
@@ -484,18 +527,56 @@ Status ClusterEngine::RestartNode(NodeId n) {
     }
     // Recovery replays checkpoint + command log on the virtual clock;
     // the node stays down until FinishRecovery. The fault epoch bumps
-    // there, when the topology actually changes.
+    // there, when the topology actually changes. The plan is validated
+    // first: a damaged latest checkpoint degrades to the previous image
+    // with a longer replay, and a disk with nothing trustworthy left
+    // restores over the wire at the (slower) rebuild rate instead.
     node_recovering_[static_cast<size_t>(n)] = 1;
     recovery_start_[static_cast<size_t>(n)] = sim_->Now();
-    const SimDuration replay = replication_->RecoveryDuration(n);
+    const durability::RecoveryPlan plan = replication_->PlanRecovery(n);
+    SimDuration replay;
+    if (plan.mode == durability::RecoveryMode::kRereplicate) {
+      replay = std::max<SimDuration>(
+          1, static_cast<SimDuration>(
+                 replication_->checkpoint_kb(n) /
+                 config_.replication.rebuild_rate_kbps * 1e6));
+    } else {
+      replay = replication_->PlanDuration(plan);
+    }
+    const double stall =
+        disk_stall_hook_ != nullptr ? disk_stall_hook_(sim_->Now()) : 1.0;
+    if (stall != 1.0) {
+      replay = std::max<SimDuration>(
+          1, static_cast<SimDuration>(static_cast<double>(replay) * stall));
+    }
     const int64_t gen = ++recovery_gen_[static_cast<size_t>(n)];
     sim_->Schedule(replay, [this, n, gen]() { FinishRecovery(n, gen); });
     if (telemetry_.events != nullptr) {
-      telemetry_.events->Record(
-          sim_->Now(), "replication",
-          "node " + std::to_string(n) +
-              " restarting: checkpoint+log replay scheduled (" +
-              std::to_string(replay) + " us)");
+      if (plan.mode == durability::RecoveryMode::kNormal) {
+        telemetry_.events->Record(
+            sim_->Now(), "replication",
+            "node " + std::to_string(n) +
+                " restarting: checkpoint+log replay scheduled (" +
+                std::to_string(replay) + " us)");
+      } else if (plan.mode == durability::RecoveryMode::kFallback) {
+        telemetry_.events->Record(
+            sim_->Now(), "durability",
+            "node " + std::to_string(n) +
+                " restarting: latest checkpoint damaged (" +
+                std::to_string(plan.crc_failures) + " crc, " +
+                std::to_string(plan.torn_segments) +
+                " torn) -- fallback replay from previous image (" +
+                std::to_string(replay) + " us)");
+      } else {
+        telemetry_.events->Record(
+            sim_->Now(), "durability",
+            "node " + std::to_string(n) +
+                " restarting: durable state unrecoverable (" +
+                std::to_string(plan.crc_failures) + " crc, " +
+                std::to_string(plan.torn_segments) +
+                " torn) -- re-replicating over the wire (" +
+                std::to_string(replay) + " us)");
+      }
     }
     return Status::OK();
   }
@@ -890,8 +971,8 @@ void ClusterEngine::InitialReplicaPlacement() {
 void ClusterEngine::ReplicateWrite(PartitionId primary,
                                    const PendingTxn& pending,
                                    SimDuration service) {
-  replication_->RecordWrite(NodeOfPartition(primary));
   const BucketId b = pending.bucket;
+  replication_->RecordWrite(NodeOfPartition(primary), b, pending.req.key);
   const ProcedureDef& proc = registry_.Get(pending.req.proc);
   const SimDuration lag =
       replica_lag_hook_ ? replica_lag_hook_(sim_->Now()) : 0;
@@ -1103,19 +1184,64 @@ void ClusterEngine::ScheduleCheckpoint() {
   sim_->Schedule(config_.replication.checkpoint_period, [this]() {
     // Fuzzy checkpoint: every live node snapshots its hosted data size
     // and truncates its command log; a later restart replays from here.
+    // With the content-modeled store, the snapshot carries one
+    // checksummed record per hosted bucket (its current row count), so
+    // later damage is detectable per record.
     const std::vector<int32_t> counts = map_.BucketCounts();
     const double kb = replication_->kb_per_bucket();
+    durability::ContentDurableStore* content = replication_->content();
     for (NodeId n = 0; n < active_nodes_; ++n) {
       if (node_up_[static_cast<size_t>(n)] == 0) continue;
       int64_t buckets = 0;
+      std::vector<durability::CheckpointRecord> records;
       for (int32_t i = 0; i < config_.partitions_per_node; ++i) {
         const size_t p =
             static_cast<size_t>(n * config_.partitions_per_node + i);
-        if (p < counts.size()) buckets += counts[p];
+        if (p >= counts.size()) continue;
+        buckets += counts[p];
+        if (content == nullptr) continue;
+        for (BucketId b : map_.BucketsOfPartition(static_cast<PartitionId>(p))) {
+          durability::CheckpointRecord r;
+          r.bucket = b;
+          r.rows = fragments_[p]->BucketRowCount(b);
+          records.push_back(r);
+        }
       }
-      replication_->TakeCheckpoint(n, kb * static_cast<double>(buckets));
+      replication_->TakeCheckpoint(n, kb * static_cast<double>(buckets),
+                                   std::move(records));
     }
     ScheduleCheckpoint();
+  });
+}
+
+void ClusterEngine::ScheduleScrub() {
+  sim_->Schedule(kSecond, [this]() {
+    durability::ContentDurableStore* content = replication_->content();
+    // One tick verifies scrub_rate_kbps worth of records (the tick is a
+    // second); an open disk-stall window slows the scrubber like any
+    // other durable I/O. Crashed and recovering nodes' disks are
+    // offline to the scrubber — their damage waits for restart replay
+    // to detect it.
+    const double stall =
+        disk_stall_hook_ != nullptr ? disk_stall_hook_(sim_->Now()) : 1.0;
+    const auto budget = static_cast<int64_t>(
+        config_.replication.durability.scrub_rate_kbps /
+        config_.replication.durability.record_kb /
+        (stall < 1.0 ? 1.0 : stall));
+    // Repair re-fetches the damaged record's bits from a healthy
+    // replica, so it needs at least one other live node to ask.
+    const bool can_repair = live_nodes() > 1;
+    const durability::ScrubResult r = content->ScrubStep(
+        budget, can_repair,
+        [this](NodeId n) { return !IsNodeUp(n) || IsNodeRecovering(n); });
+    if ((r.found > 0 || r.repaired > 0) && telemetry_.events != nullptr) {
+      telemetry_.events->Record(
+          sim_->Now(), "durability",
+          "scrub: " + std::to_string(r.verified) + " verified, " +
+              std::to_string(r.found) + " damaged, " +
+              std::to_string(r.repaired) + " repaired");
+    }
+    ScheduleScrub();
   });
 }
 

@@ -234,6 +234,15 @@ class ClusterEngine {
     replica_lag_hook_ = std::move(hook);
   }
 
+  /// Installs a hook multiplying durable I/O latency — checkpoint load
+  /// and log replay during restart recovery, and the scrubber's
+  /// throughput (the kDiskStall fault). Called with the current virtual
+  /// time; must return >= 1.0 (1.0 = no stall). Only consulted when the
+  /// content-modeled durable store is on.
+  void set_disk_stall_hook(std::function<double(SimTime)> hook) {
+    disk_stall_hook_ = std::move(hook);
+  }
+
   // --- Network substrate / lease fencing --------------------------------
   //
   // With net.enabled, all cross-node traffic (heartbeats, replication
@@ -474,6 +483,10 @@ class ClusterEngine {
   void FinishRecovery(NodeId n, int64_t gen);
   /// Recurring cluster-wide fuzzy checkpoint.
   void ScheduleCheckpoint();
+  /// Recurring background scrub tick (content-modeled durability only):
+  /// verifies durable records at the configured kB/s, repairing damage
+  /// from a healthy replica while one survives.
+  void ScheduleScrub();
 
   // Network substrate internals (all no-ops when net_ is null).
   /// Recurring per-node heartbeat send loop (runs on the virtual clock
@@ -518,6 +531,7 @@ class ClusterEngine {
   int64_t recoveries_ = 0;
   SimDuration total_recovery_time_ = 0;
   std::function<SimDuration(SimTime)> replica_lag_hook_;
+  std::function<double(SimTime)> disk_stall_hook_;
 
   std::unique_ptr<net::NetworkModel> net_;
   std::vector<SimTime> last_hb_from_;      ///< Controller: last beat seen.

@@ -1,0 +1,405 @@
+#include "durability/content_store.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/murmur.h"
+
+namespace pstore {
+namespace durability {
+namespace {
+
+/// The bit pattern bit-rot flips into a payload. Corruption XORs it in
+/// without touching the stored CRC; repair-from-replica restores the
+/// original bits (the replica still has them) and reseals the CRC.
+constexpr uint64_t kBitRotMask = 0x8000000000000001ULL;
+
+int64_t TornCount(size_t size, double fraction) {
+  if (size == 0 || fraction <= 0) return 0;
+  auto cut = static_cast<int64_t>(
+      std::ceil(static_cast<double>(size) * fraction));
+  if (cut < 1) cut = 1;
+  if (cut > static_cast<int64_t>(size)) cut = static_cast<int64_t>(size);
+  return cut;
+}
+
+}  // namespace
+
+const char* RecoveryModeName(RecoveryMode mode) {
+  switch (mode) {
+    case RecoveryMode::kNormal:
+      return "normal";
+    case RecoveryMode::kFallback:
+      return "fallback";
+    case RecoveryMode::kRereplicate:
+      return "rereplicate";
+  }
+  return "unknown";
+}
+
+ContentDurableStore::ContentDurableStore(int32_t num_nodes)
+    : nodes_(static_cast<size_t>(num_nodes)) {}
+
+uint64_t ContentDurableStore::LogCrc(NodeId n, const LogRecord& r) {
+  const int64_t enc[5] = {static_cast<int64_t>(n),
+                          static_cast<int64_t>(r.bucket), r.key, r.seq,
+                          r.gen};
+  return MurmurHash64A(enc, sizeof(enc), /*seed=*/0x10c8);
+}
+
+uint64_t ContentDurableStore::CheckpointCrc(NodeId n,
+                                            const CheckpointRecord& r) {
+  const int64_t enc[4] = {static_cast<int64_t>(n),
+                          static_cast<int64_t>(r.bucket), r.rows, r.gen};
+  return MurmurHash64A(enc, sizeof(enc), /*seed=*/0xc4b7);
+}
+
+void ContentDurableStore::AppendLog(NodeId n, BucketId bucket, int64_t key) {
+  NodeState& s = nodes_[static_cast<size_t>(n)];
+  LogRecord r;
+  r.bucket = bucket;
+  r.key = key;
+  r.seq = s.next_seq++;
+  r.gen = s.gen;
+  r.crc = LogCrc(n, r);
+  s.log.push_back(r);
+  ++s.log_promised;
+}
+
+void ContentDurableStore::TakeCheckpoint(
+    NodeId n, double hosted_kb, std::vector<CheckpointRecord> records) {
+  NodeState& s = nodes_[static_cast<size_t>(n)];
+  const int64_t new_gen = s.gen + 1;
+  for (CheckpointRecord& r : records) {
+    r.gen = new_gen;
+    r.crc = CheckpointCrc(n, r);
+  }
+  s.previous = std::move(s.current);
+  s.current.records = std::move(records);
+  s.current.kb = hosted_kb;
+  s.current.gen = new_gen;
+  s.current.promised_records =
+      static_cast<int64_t>(s.current.records.size());
+  s.current.valid = true;
+  s.gen = new_gen;
+  // The log retains records back to the previous image's generation —
+  // exactly the window a fallback recovery replays. The prune is a
+  // writer-side rewrite, so the promised length shrinks with it (an
+  // earlier torn tail stays visible as promised > actual).
+  const int64_t keep_gen = s.previous.valid ? s.previous.gen : 0;
+  const size_t before = s.log.size();
+  s.log.erase(std::remove_if(s.log.begin(), s.log.end(),
+                             [keep_gen](const LogRecord& r) {
+                               return r.gen < keep_gen;
+                             }),
+              s.log.end());
+  s.log_promised -= static_cast<int64_t>(before - s.log.size());
+  if (s.scrub_cursor > s.log.size()) s.scrub_cursor = 0;
+  ++checkpoints_;
+}
+
+void ContentDurableStore::Reset(NodeId n) {
+  nodes_[static_cast<size_t>(n)] = NodeState{};
+}
+
+int64_t ContentDurableStore::log_entries(NodeId n) const {
+  const NodeState& s = nodes_[static_cast<size_t>(n)];
+  int64_t count = 0;
+  for (const LogRecord& r : s.log) {
+    if (r.gen >= s.gen) ++count;
+  }
+  return count;
+}
+
+double ContentDurableStore::checkpoint_kb(NodeId n) const {
+  return nodes_[static_cast<size_t>(n)].current.kb;
+}
+
+bool ContentDurableStore::ImageIntact(NodeId n, const CheckpointImage& img,
+                                      int64_t* crc_failures,
+                                      int64_t* torn) const {
+  bool ok = true;
+  if (static_cast<int64_t>(img.records.size()) < img.promised_records) {
+    ++*torn;
+    ok = false;
+  }
+  for (const CheckpointRecord& r : img.records) {
+    if (CheckpointCrc(n, r) != r.crc) {
+      ++*crc_failures;
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+bool ContentDurableStore::LogIntact(NodeId n, const NodeState& s,
+                                    int64_t min_gen,
+                                    int64_t* crc_failures) const {
+  bool ok = true;
+  for (const LogRecord& r : s.log) {
+    if (r.gen < min_gen) continue;
+    if (LogCrc(n, r) != r.crc) {
+      ++*crc_failures;
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+RecoveryPlan ContentDurableStore::PlanRecovery(NodeId n) {
+  RecoveryPlan plan;
+  NodeState& s = nodes_[static_cast<size_t>(n)];
+  const bool log_torn =
+      static_cast<int64_t>(s.log.size()) != s.log_promised;
+  auto count_log = [&s](int64_t min_gen) {
+    int64_t count = 0;
+    for (const LogRecord& r : s.log) {
+      if (r.gen >= min_gen) ++count;
+    }
+    return count;
+  };
+
+  // Validate only what the replay path would actually read: the latest
+  // image plus the log entries since it. Damage there escalates to the
+  // previous image + the full retained log; damage *there* leaves
+  // nothing trustworthy to replay.
+  int64_t cur_fail = 0, cur_torn = 0;
+  const bool cur_ok = ImageIntact(n, s.current, &cur_fail, &cur_torn);
+  int64_t log_fail_cur = 0;
+  const bool log_cur_ok =
+      LogIntact(n, s, s.gen, &log_fail_cur) && !log_torn;
+  plan.crc_failures += cur_fail + log_fail_cur;
+  plan.torn_segments += cur_torn + (log_torn ? 1 : 0);
+  if (cur_ok && log_cur_ok) {
+    plan.mode = RecoveryMode::kNormal;
+    plan.load_kb = s.current.kb;
+    plan.replay_entries = count_log(s.gen);
+  } else {
+    int64_t prev_fail = 0, prev_torn = 0;
+    const bool prev_ok =
+        s.previous.valid && ImageIntact(n, s.previous, &prev_fail, &prev_torn);
+    int64_t log_fail_all = 0;
+    const bool log_all_ok =
+        LogIntact(n, s, s.previous.gen, &log_fail_all) && !log_torn;
+    plan.crc_failures += prev_fail + std::max<int64_t>(
+                                         0, log_fail_all - log_fail_cur);
+    plan.torn_segments += prev_torn;
+    if (prev_ok && log_all_ok) {
+      plan.mode = RecoveryMode::kFallback;
+      plan.load_kb = s.previous.kb;
+      plan.replay_entries = count_log(s.previous.gen);
+      ++checkpoint_fallbacks_;
+    } else {
+      plan.mode = RecoveryMode::kRereplicate;
+      ++replays_unrecoverable_;
+    }
+  }
+  crc_failures_detected_ += plan.crc_failures;
+  torn_segments_detected_ += plan.torn_segments;
+  return plan;
+}
+
+void ContentDurableStore::ScrubRecord(NodeId n, size_t i, bool can_repair,
+                                      ScrubResult* out) {
+  NodeState& s = nodes_[static_cast<size_t>(n)];
+  ++scrub_records_verified_;
+  ++out->verified;
+  auto check_ckpt = [&](CheckpointRecord* r) {
+    if (CheckpointCrc(n, *r) == r->crc) return;
+    ++scrub_corruptions_found_;
+    ++crc_failures_detected_;
+    ++out->found;
+    if (!can_repair) return;
+    r->rows ^= kBitRotMask;  // Replica supplies the original bits.
+    r->crc = CheckpointCrc(n, *r);
+    ++scrub_repairs_;
+    ++out->repaired;
+  };
+  if (i < s.current.records.size()) {
+    check_ckpt(&s.current.records[i]);
+    return;
+  }
+  i -= s.current.records.size();
+  if (i < s.previous.records.size()) {
+    check_ckpt(&s.previous.records[i]);
+    return;
+  }
+  i -= s.previous.records.size();
+  LogRecord* r = &s.log[i];
+  if (LogCrc(n, *r) == r->crc) return;
+  ++scrub_corruptions_found_;
+  ++crc_failures_detected_;
+  ++out->found;
+  if (!can_repair) return;
+  r->key ^= kBitRotMask;  // Replica supplies the original bits.
+  r->crc = LogCrc(n, *r);
+  ++scrub_repairs_;
+  ++out->repaired;
+}
+
+ScrubResult ContentDurableStore::ScrubStep(
+    int64_t budget_records, bool can_repair,
+    const std::function<bool(NodeId)>& skip) {
+  ScrubResult out;
+  if (nodes_.empty() || budget_records <= 0) return out;
+  const auto num = static_cast<NodeId>(nodes_.size());
+  // A node's pass ends with length validation (promised vs actual per
+  // segment) — the check that catches torn tails; the per-record walk
+  // catches bit rot. `idle` bounds the sweep so a fully skipped or
+  // empty cluster terminates without consuming budget.
+  auto reseal = [&](NodeId node) {
+    NodeState& s = nodes_[static_cast<size_t>(node)];
+    auto seg = [&](int64_t* promised, int64_t actual) {
+      if (*promised == actual) return;
+      ++torn_segments_detected_;
+      ++out.found;
+      if (!can_repair) return;
+      *promised = actual;  // Tail re-written from a healthy replica.
+      ++scrub_repairs_;
+      ++out.repaired;
+    };
+    seg(&s.current.promised_records,
+        static_cast<int64_t>(s.current.records.size()));
+    seg(&s.log_promised, static_cast<int64_t>(s.log.size()));
+  };
+  NodeId n = scrub_node_;
+  NodeId idle = 0;
+  while (budget_records > 0 && idle < num) {
+    if (skip != nullptr && skip(n)) {
+      n = (n + 1) % num;
+      ++idle;
+      continue;
+    }
+    NodeState& s = nodes_[static_cast<size_t>(n)];
+    const size_t total = s.current.records.size() +
+                         s.previous.records.size() + s.log.size();
+    if (s.scrub_cursor >= total) {
+      reseal(n);
+      s.scrub_cursor = 0;
+      n = (n + 1) % num;
+      ++idle;
+      continue;
+    }
+    ScrubRecord(n, s.scrub_cursor, can_repair, &out);
+    ++s.scrub_cursor;
+    --budget_records;
+    idle = 0;
+    if (s.scrub_cursor >= total) {
+      reseal(n);
+      s.scrub_cursor = 0;
+      n = (n + 1) % num;
+    }
+  }
+  scrub_node_ = n;
+  return out;
+}
+
+int64_t ContentDurableStore::CorruptRecords(NodeId n, Rng* rng, double p) {
+  NodeState& s = nodes_[static_cast<size_t>(n)];
+  int64_t corrupted = 0;
+  auto rot_ckpt = [&](CheckpointRecord* r) {
+    // Already-damaged records are skipped so repeated bit rot never
+    // XORs itself back to a valid payload.
+    if (CheckpointCrc(n, *r) != r->crc) return;
+    if (!rng->NextBernoulli(p)) return;
+    r->rows ^= kBitRotMask;
+    ++corrupted;
+  };
+  for (CheckpointRecord& r : s.current.records) rot_ckpt(&r);
+  for (CheckpointRecord& r : s.previous.records) rot_ckpt(&r);
+  for (LogRecord& r : s.log) {
+    if (LogCrc(n, r) != r.crc) continue;
+    if (!rng->NextBernoulli(p)) continue;
+    r.key ^= kBitRotMask;
+    ++corrupted;
+  }
+  records_corrupted_ += corrupted;
+  return corrupted;
+}
+
+int64_t ContentDurableStore::TearTail(NodeId n, double fraction,
+                                      bool log_side) {
+  NodeState& s = nodes_[static_cast<size_t>(n)];
+  int64_t cut = 0;
+  if (log_side) {
+    cut = TornCount(s.log.size(), fraction);
+    s.log.resize(s.log.size() - static_cast<size_t>(cut));
+  } else {
+    cut = TornCount(s.current.records.size(), fraction);
+    s.current.records.resize(s.current.records.size() -
+                             static_cast<size_t>(cut));
+  }
+  // The segment header keeps promising the full length — that gap *is*
+  // what length validation detects.
+  if (cut > 0 && s.scrub_cursor > 0) s.scrub_cursor = 0;
+  records_torn_ += cut;
+  return cut;
+}
+
+int64_t ContentDurableStore::durable_records(NodeId n) const {
+  const NodeState& s = nodes_[static_cast<size_t>(n)];
+  return static_cast<int64_t>(s.current.records.size() +
+                              s.previous.records.size() + s.log.size());
+}
+
+int64_t ContentDurableStore::damaged_records(NodeId n) const {
+  const NodeState& s = nodes_[static_cast<size_t>(n)];
+  int64_t damaged = 0;
+  for (const CheckpointRecord& r : s.current.records) {
+    if (CheckpointCrc(n, r) != r.crc) ++damaged;
+  }
+  for (const CheckpointRecord& r : s.previous.records) {
+    if (CheckpointCrc(n, r) != r.crc) ++damaged;
+  }
+  for (const LogRecord& r : s.log) {
+    if (LogCrc(n, r) != r.crc) ++damaged;
+  }
+  return damaged;
+}
+
+uint64_t ContentDurableStore::StateHash() const {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  auto mix = [&h](uint64_t v) { h = MurmurHash64A(&v, sizeof(v), h); };
+  auto mix_double = [&](double v) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    mix(bits);
+  };
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    const NodeState& s = nodes_[n];
+    mix(static_cast<uint64_t>(s.gen));
+    mix(static_cast<uint64_t>(s.next_seq));
+    mix(static_cast<uint64_t>(s.log_promised));
+    mix_double(s.current.kb);
+    mix(static_cast<uint64_t>(s.current.promised_records));
+    for (const CheckpointRecord& r : s.current.records) {
+      mix(static_cast<uint64_t>(r.rows));
+      mix(r.crc);
+    }
+    mix_double(s.previous.kb);
+    for (const CheckpointRecord& r : s.previous.records) {
+      mix(static_cast<uint64_t>(r.rows));
+      mix(r.crc);
+    }
+    for (const LogRecord& r : s.log) {
+      mix(static_cast<uint64_t>(r.key));
+      mix(r.crc);
+    }
+  }
+  mix(static_cast<uint64_t>(checkpoints_));
+  mix(static_cast<uint64_t>(crc_failures_detected_));
+  mix(static_cast<uint64_t>(torn_segments_detected_));
+  mix(static_cast<uint64_t>(checkpoint_fallbacks_));
+  mix(static_cast<uint64_t>(replays_unrecoverable_));
+  mix(static_cast<uint64_t>(scrub_records_verified_));
+  mix(static_cast<uint64_t>(scrub_corruptions_found_));
+  mix(static_cast<uint64_t>(scrub_repairs_));
+  mix(static_cast<uint64_t>(records_corrupted_));
+  mix(static_cast<uint64_t>(records_torn_));
+  mix(static_cast<uint64_t>(corrupt_records_served_));
+  return h;
+}
+
+}  // namespace durability
+}  // namespace pstore

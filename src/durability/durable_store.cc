@@ -1,0 +1,9 @@
+#include "durability/durable_store.h"
+
+namespace pstore {
+namespace durability {
+
+DurableStore::~DurableStore() = default;
+
+}  // namespace durability
+}  // namespace pstore

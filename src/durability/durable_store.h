@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+/// \file durable_store.h
+/// The durable-storage abstraction restart recovery replays. Each node
+/// owns one checkpoint image plus one command log; the ReplicaManager
+/// writes both through this interface and derives recovery cost from
+/// what it reads back.
+///
+/// Two implementations exist:
+///  - CountingDurableStore (here): the historical fault-free model —
+///    opaque per-node byte counts and entry tallies, arithmetically
+///    identical to the pre-durability bookkeeping, so traces produced
+///    with `durability.enabled = false` stay byte-identical.
+///  - ContentDurableStore (content_store.h): every checkpoint and log
+///    entry is a checksummed logical record, so bit rot and torn
+///    writes are *detectable* on replay and scrubbing is meaningful.
+
+namespace pstore {
+namespace durability {
+
+using NodeId = int32_t;
+using BucketId = int32_t;
+
+/// One checkpointed bucket snapshot: which bucket, how many committed
+/// rows it held, stamped with the checkpoint generation and a CRC over
+/// the record's deterministic encoding. The CRC is stored, not derived
+/// on read — corruption flips payload bits without updating it, which
+/// is exactly what validation catches.
+struct CheckpointRecord {
+  BucketId bucket = 0;
+  int64_t rows = 0;
+  int64_t gen = 0;
+  uint64_t crc = 0;
+};
+
+/// \brief Per-node checkpoint + command-log storage.
+class DurableStore {
+ public:
+  virtual ~DurableStore();
+
+  /// Appends one committed-write record to node `n`'s command log.
+  /// `bucket`/`key` identify the write (the counting store ignores
+  /// them; the content store checksums them into the record).
+  virtual void AppendLog(NodeId n, BucketId bucket, int64_t key) = 0;
+
+  /// Fuzzy checkpoint of node `n`: snapshots its hosted kB (and, for
+  /// the content store, the per-bucket `records`, whose `gen`/`crc`
+  /// fields the store stamps) and truncates the replay obligation to
+  /// entries logged after this point.
+  virtual void TakeCheckpoint(NodeId n, double hosted_kb,
+                              std::vector<CheckpointRecord> records) = 0;
+
+  /// Discards node `n`'s durable state (a recovered or newly
+  /// provisioned node rejoins empty, with nothing to replay).
+  virtual void Reset(NodeId n) = 0;
+
+  /// Command-log entries node `n` must replay after its last
+  /// checkpoint (damage ignored — this is the fault-free tally).
+  virtual int64_t log_entries(NodeId n) const = 0;
+
+  /// Size of node `n`'s latest checkpoint image.
+  virtual double checkpoint_kb(NodeId n) const = 0;
+
+  /// Checkpoints taken across all nodes.
+  virtual int64_t checkpoints() const = 0;
+};
+
+/// \brief The historical opaque-size model: fault-free by construction.
+///
+/// Reproduces the pre-durability arithmetic exactly (same counters,
+/// same truncation points), so the replication layer's disabled-path
+/// behaviour — and every trace derived from it — is unchanged.
+class CountingDurableStore : public DurableStore {
+ public:
+  explicit CountingDurableStore(int32_t num_nodes)
+      : checkpoint_kb_(static_cast<size_t>(num_nodes), 0.0),
+        log_entries_(static_cast<size_t>(num_nodes), 0) {}
+
+  void AppendLog(NodeId n, BucketId /*bucket*/, int64_t /*key*/) override {
+    ++log_entries_[static_cast<size_t>(n)];
+  }
+
+  void TakeCheckpoint(NodeId n, double hosted_kb,
+                      std::vector<CheckpointRecord> /*records*/) override {
+    checkpoint_kb_[static_cast<size_t>(n)] = hosted_kb;
+    log_entries_[static_cast<size_t>(n)] = 0;
+    ++checkpoints_;
+  }
+
+  void Reset(NodeId n) override {
+    checkpoint_kb_[static_cast<size_t>(n)] = 0.0;
+    log_entries_[static_cast<size_t>(n)] = 0;
+  }
+
+  int64_t log_entries(NodeId n) const override {
+    return log_entries_[static_cast<size_t>(n)];
+  }
+  double checkpoint_kb(NodeId n) const override {
+    return checkpoint_kb_[static_cast<size_t>(n)];
+  }
+  int64_t checkpoints() const override { return checkpoints_; }
+
+ private:
+  std::vector<double> checkpoint_kb_;  ///< Per node.
+  std::vector<int64_t> log_entries_;   ///< Per node, since checkpoint.
+  int64_t checkpoints_ = 0;
+};
+
+}  // namespace durability
+}  // namespace pstore

@@ -9,7 +9,10 @@ namespace pstore {
 
 FaultInjector::FaultInjector(ClusterEngine* engine,
                              MigrationExecutor* migrator, uint64_t seed)
-    : engine_(engine), migrator_(migrator), rng_(seed) {}
+    : engine_(engine),
+      migrator_(migrator),
+      rng_(seed),
+      disk_rng_(seed ^ 0x2545f4914f6cdd1dULL) {}
 
 Status FaultInjector::Arm(const FaultPlan& plan) {
   if (armed_) return Status::FailedPrecondition("already armed");
@@ -32,6 +35,14 @@ Status FaultInjector::Arm(const FaultPlan& plan) {
     engine_->set_replica_lag_hook([this](SimTime now) {
       return now < lag_until_ ? lag_len_ : SimDuration{0};
     });
+    if (engine_->replication()->content() != nullptr) {
+      // Disk-stall windows multiply durable I/O latency (checkpoint
+      // load, log replay, scrub throughput); only a content-modeled
+      // store has durable I/O to stall.
+      engine_->set_disk_stall_hook([this](SimTime now) {
+        return now < disk_stall_until_ ? disk_stall_factor_ : 1.0;
+      });
+    }
   }
   for (const FaultEvent& event : plan.events) {
     sim->ScheduleAt(event.at, [this, event]() { ApplyEvent(event); });
@@ -84,6 +95,20 @@ NodeId FaultInjector::PickCrashTarget(CrashScope scope) const {
 NodeId FaultInjector::PickRestartTarget() const {
   for (NodeId n = 0; n < engine_->active_nodes(); ++n) {
     if (!engine_->IsNodeUp(n) && !engine_->IsNodeRecovering(n)) return n;
+  }
+  return -1;
+}
+
+NodeId FaultInjector::PickDiskTarget() const {
+  // A crashed node's disk is the most interesting victim: the damage
+  // surfaces when restart replay validates it. Fall back to the
+  // highest live node, whose damage the scrubber (or its next restart)
+  // must catch.
+  for (NodeId n = 0; n < engine_->active_nodes(); ++n) {
+    if (!engine_->IsNodeUp(n) && !engine_->IsNodeRecovering(n)) return n;
+  }
+  for (NodeId n = engine_->active_nodes() - 1; n >= 0; --n) {
+    if (engine_->IsNodeUp(n)) return n;
   }
   return -1;
 }
@@ -212,6 +237,83 @@ void FaultInjector::ApplyEvent(const FaultEvent& event) {
       trace_.Record(now, "net-delay window open for " +
                              FormatSimTime(event.duration) + " (delay " +
                              FormatSimTime(event.stall) + ")");
+      return;
+    // The disk faults are recorded but inert when the durable store is
+    // not content-modeled, and skipped events draw nothing from either
+    // Rng stream — so toggling durability.enabled leaves every other
+    // fault's draw sequence byte-identical.
+    case FaultType::kDiskCorruption: {
+      durability::ContentDurableStore* store =
+          engine_->replication() != nullptr
+              ? engine_->replication()->content()
+              : nullptr;
+      if (store == nullptr) {
+        trace_.Record(now, "disk-corruption skipped: durability disabled");
+        return;
+      }
+      const NodeId target =
+          event.node >= 0 ? event.node : PickDiskTarget();
+      if (target < 0) {
+        trace_.Record(now, "disk-corruption skipped: no target disk");
+        return;
+      }
+      const int64_t hit =
+          store->CorruptRecords(target, &disk_rng_, event.probability);
+      ++disk_corruptions_;
+      records_corrupted_ += hit;
+      trace_.Record(now, "disk-corruption on node " +
+                             std::to_string(target) + ": " +
+                             std::to_string(hit) +
+                             " records bit-rotted (p=" +
+                             std::to_string(event.probability) + ")");
+      return;
+    }
+    case FaultType::kTornWrite: {
+      durability::ContentDurableStore* store =
+          engine_->replication() != nullptr
+              ? engine_->replication()->content()
+              : nullptr;
+      if (store == nullptr) {
+        trace_.Record(now, "torn-write skipped: durability disabled");
+        return;
+      }
+      const NodeId target =
+          event.node >= 0 ? event.node : PickDiskTarget();
+      if (target < 0) {
+        trace_.Record(now, "torn-write skipped: no target disk");
+        return;
+      }
+      // A tear damages whatever was mid-write; if the drawn segment is
+      // empty (e.g. no checkpoint taken yet), the in-flight write was
+      // on the other one.
+      bool log_side = disk_rng_.NextBernoulli(0.5);
+      int64_t cut = store->TearTail(target, event.probability, log_side);
+      if (cut == 0) {
+        log_side = !log_side;
+        cut = store->TearTail(target, event.probability, log_side);
+      }
+      ++torn_writes_;
+      records_torn_ += cut;
+      trace_.Record(now, "torn-write on node " + std::to_string(target) +
+                             ": " + std::to_string(cut) +
+                             (log_side ? " log" : " checkpoint") +
+                             " records truncated (tail=" +
+                             std::to_string(event.probability) + ")");
+      return;
+    }
+    case FaultType::kDiskStall:
+      if (engine_->replication() == nullptr ||
+          engine_->replication()->content() == nullptr) {
+        trace_.Record(now, "disk-stall skipped: durability disabled");
+        return;
+      }
+      disk_stall_until_ = now + event.duration;
+      disk_stall_factor_ = event.load_scale;
+      ++disk_stalls_;
+      trace_.Record(now, "disk-stall window open for " +
+                             FormatSimTime(event.duration) +
+                             " (xlatency=" +
+                             std::to_string(event.load_scale) + ")");
       return;
   }
 }

@@ -68,10 +68,26 @@ class FaultInjector {
   int64_t net_losses() const { return net_losses_; }
   /// Net-delay windows opened.
   int64_t net_delays() const { return net_delays_; }
+  /// Disk-corruption events applied (0 when the durable store is not
+  /// content-modeled — the events are recorded but inert).
+  int64_t disk_corruptions() const { return disk_corruptions_; }
+  /// Torn-write events applied.
+  int64_t torn_writes() const { return torn_writes_; }
+  /// Disk-stall windows opened.
+  int64_t disk_stalls() const { return disk_stalls_; }
+  /// Durable records bit-rotted across all corruption events.
+  int64_t records_corrupted() const { return records_corrupted_; }
+  /// Durable records truncated across all torn-write events.
+  int64_t records_torn() const { return records_torn_; }
 
   /// Digest of the injector's Rng state — equal across two runs iff the
   /// runs made identical random draws (determinism golden tests).
   uint64_t rng_state_hash() const { return rng_.StateHash(); }
+
+  /// Digest of the dedicated disk-fault Rng stream (seeded
+  /// independently, so disk faults never perturb chunk-failure draws
+  /// and vice versa; skipped disk events draw nothing).
+  uint64_t disk_rng_state_hash() const { return disk_rng_.StateHash(); }
 
  private:
   void ApplyEvent(const FaultEvent& event);
@@ -85,11 +101,21 @@ class FaultInjector {
   /// Lowest-indexed crashed active node that is not already replaying
   /// recovery; -1 if none.
   NodeId PickRestartTarget() const;
+  /// Picks the disk a storage fault damages: the lowest crashed,
+  /// not-yet-recovering node if any (its damage surfaces at restart
+  /// replay), else the highest live node (the scrubber's beat); -1 if
+  /// no node exists.
+  NodeId PickDiskTarget() const;
   ChunkFault OnChunk(PartitionId src, PartitionId dst, SimTime now);
 
   ClusterEngine* engine_;
   MigrationExecutor* migrator_;
   Rng rng_;
+  /// Dedicated stream for disk faults (per-record corruption draws,
+  /// torn-side picks): seeded `seed ^ 0x2545f4914f6cdd1d`, so adding
+  /// disk events to a plan leaves every other fault's draw sequence
+  /// byte-identical.
+  Rng disk_rng_;
   EventTrace trace_;
   bool armed_ = false;
 
@@ -104,6 +130,8 @@ class FaultInjector {
   double spike_scale_ = 1.0;
   SimTime lag_until_ = -1;
   SimDuration lag_len_ = 0;
+  SimTime disk_stall_until_ = -1;
+  double disk_stall_factor_ = 1.0;
 
   int64_t crashes_ = 0;
   int64_t restarts_ = 0;
@@ -113,6 +141,11 @@ class FaultInjector {
   int64_t net_partitions_ = 0;
   int64_t net_losses_ = 0;
   int64_t net_delays_ = 0;
+  int64_t disk_corruptions_ = 0;
+  int64_t torn_writes_ = 0;
+  int64_t disk_stalls_ = 0;
+  int64_t records_corrupted_ = 0;
+  int64_t records_torn_ = 0;
 };
 
 /// \brief Decorator that scales another predictor's forecasts by the

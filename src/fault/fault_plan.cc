@@ -26,8 +26,35 @@ const char* FaultTypeName(FaultType type) {
       return "net-loss";
     case FaultType::kNetDelay:
       return "net-delay";
+    case FaultType::kDiskCorruption:
+      return "disk-corruption";
+    case FaultType::kTornWrite:
+      return "torn-write";
+    case FaultType::kDiskStall:
+      return "disk-stall";
   }
   return "unknown";
+}
+
+bool IsWindowFault(FaultType type) {
+  switch (type) {
+    case FaultType::kMigrationStall:
+    case FaultType::kChunkFailure:
+    case FaultType::kMisforecast:
+    case FaultType::kLoadSpike:
+    case FaultType::kReplicaLag:
+    case FaultType::kNetPartition:
+    case FaultType::kNetLoss:
+    case FaultType::kNetDelay:
+    case FaultType::kDiskStall:
+      return true;
+    case FaultType::kNodeCrash:
+    case FaultType::kNodeRestart:
+    case FaultType::kDiskCorruption:
+    case FaultType::kTornWrite:
+      return false;
+  }
+  return false;
 }
 
 std::string FaultEvent::ToString() const {
@@ -76,6 +103,20 @@ std::string FaultEvent::ToString() const {
       out += " window=" + FormatSimTime(duration) +
              " delay=" + FormatSimTime(stall);
       break;
+    case FaultType::kDiskCorruption:
+      out += " node=" +
+             (node < 0 ? std::string("auto") : std::to_string(node)) +
+             " p=" + std::to_string(probability);
+      break;
+    case FaultType::kTornWrite:
+      out += " node=" +
+             (node < 0 ? std::string("auto") : std::to_string(node)) +
+             " tail=" + std::to_string(probability);
+      break;
+    case FaultType::kDiskStall:
+      out += " window=" + FormatSimTime(duration) +
+             " xlatency=" + std::to_string(load_scale);
+      break;
   }
   return out;
 }
@@ -97,6 +138,9 @@ Status FaultPlan::Validate() const {
     if (e.load_scale <= 0) {
       return Status::InvalidArgument("load_scale <= 0");
     }
+    if (IsWindowFault(e.type) && e.duration == 0) {
+      return Status::InvalidArgument("window fault with zero duration");
+    }
   }
   return Status::OK();
 }
@@ -117,12 +161,14 @@ Status ChaosConfig::Validate() const {
       chunk_failure_weight < 0 || misforecast_weight < 0 ||
       load_spike_weight < 0 || replica_lag_weight < 0 ||
       net_partition_weight < 0 || net_loss_weight < 0 ||
-      net_delay_weight < 0) {
+      net_delay_weight < 0 || disk_corruption_weight < 0 ||
+      torn_write_weight < 0 || disk_stall_weight < 0) {
     return Status::InvalidArgument("fault weights must be >= 0");
   }
   if (crash_weight + restart_weight + stall_weight + chunk_failure_weight +
           misforecast_weight + load_spike_weight + replica_lag_weight +
-          net_partition_weight + net_loss_weight + net_delay_weight <=
+          net_partition_weight + net_loss_weight + net_delay_weight +
+          disk_corruption_weight + torn_write_weight + disk_stall_weight <=
       0) {
     return Status::InvalidArgument("at least one weight must be > 0");
   }
@@ -142,7 +188,8 @@ FaultPlan RandomFaultPlan(Rng* rng, const ChaosConfig& config) {
        config.chunk_failure_weight, config.misforecast_weight,
        config.load_spike_weight, config.replica_lag_weight,
        config.net_partition_weight, config.net_loss_weight,
-       config.net_delay_weight});
+       config.net_delay_weight, config.disk_corruption_weight,
+       config.torn_write_weight, config.disk_stall_weight});
   for (int32_t i = 0; i < config.num_events; ++i) {
     FaultEvent e;
     e.at = static_cast<SimTime>(
@@ -202,6 +249,25 @@ FaultPlan RandomFaultPlan(Rng* rng, const ChaosConfig& config) {
                              static_cast<uint64_t>(config.max_window)));
         e.stall = 1 + static_cast<SimDuration>(rng->NextBounded(
                           static_cast<uint64_t>(config.max_stall)));
+        break;
+      case FaultType::kDiskCorruption:
+        e.node = -1;  // injector picks the damaged disk at fire time
+        // Heavy enough bit rot that a few records in a damaged node's
+        // checkpoint/log almost surely break, light enough that intact
+        // majorities survive for fallback paths.
+        e.probability = 0.2 + 0.6 * rng->NextDouble();
+        break;
+      case FaultType::kTornWrite:
+        e.node = -1;  // injector picks the damaged disk at fire time
+        // Tear off a visible but partial tail.
+        e.probability = 0.1 + 0.4 * rng->NextDouble();
+        break;
+      case FaultType::kDiskStall:
+        e.duration = 1 + static_cast<SimDuration>(rng->NextBounded(
+                             static_cast<uint64_t>(config.max_window)));
+        // 2x to 8x durable I/O latency — a browning disk, not a dead
+        // one.
+        e.load_scale = 2.0 + 6.0 * rng->NextDouble();
         break;
     }
     plan.events.push_back(e);

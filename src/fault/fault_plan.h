@@ -33,9 +33,29 @@ enum class FaultType {
   kNetPartition,    ///< Open a window isolating a node from the rest.
   kNetLoss,         ///< Open a window of message drop/duplication.
   kNetDelay,        ///< Open a window of extra per-message latency.
+  kDiskCorruption,  ///< Bit-rot flips durable record payloads (CRCs stale).
+  kTornWrite,       ///< Truncate the tail of a checkpoint or log segment.
+  kDiskStall,       ///< Open a window multiplying durable I/O latency.
+};
+
+/// Every FaultType, in declaration order — exhaustiveness tests sweep
+/// this so a new enum entry can't ship half-wired.
+inline constexpr FaultType kAllFaultTypes[] = {
+    FaultType::kNodeCrash,     FaultType::kNodeRestart,
+    FaultType::kMigrationStall, FaultType::kChunkFailure,
+    FaultType::kMisforecast,   FaultType::kLoadSpike,
+    FaultType::kReplicaLag,    FaultType::kNetPartition,
+    FaultType::kNetLoss,       FaultType::kNetDelay,
+    FaultType::kDiskCorruption, FaultType::kTornWrite,
+    FaultType::kDiskStall,
 };
 
 const char* FaultTypeName(FaultType type);
+
+/// True for the fault types that open a window (`duration` > 0
+/// required); crash/restart and the disk point faults
+/// (corruption/torn-write) fire instantaneously.
+bool IsWindowFault(FaultType type);
 
 /// How a node = -1 crash picks its victim. kAny is the historical
 /// highest-live-node rule; the scoped variants target the node hosting
@@ -63,7 +83,11 @@ enum class CrashScope {
 /// when the engine's substrate is off) reuse `node` (-1 = auto) and
 /// `duration` for kNetPartition, `probability` (drop) plus
 /// `dup_probability` for kNetLoss, and `stall` (extra latency) for
-/// kNetDelay.
+/// kNetDelay. The disk faults (inert when the durable store is not
+/// content-modeled) reuse `node` (-1 = auto) for the damaged disk,
+/// `probability` as the per-record corruption odds (kDiskCorruption)
+/// or the torn tail fraction (kTornWrite), and `duration` plus
+/// `load_scale` (the I/O latency multiplier) for kDiskStall windows.
 struct FaultEvent {
   SimTime at = 0;
   FaultType type = FaultType::kNodeCrash;
@@ -84,7 +108,9 @@ struct FaultPlan {
   std::vector<FaultEvent> events;
 
   /// Rejects negative times/durations/stalls, probabilities outside
-  /// [0, 1], and non-positive forecast scales.
+  /// [0, 1], non-positive forecast scales, and zero/negative windows
+  /// on window faults (a window fault with no window is a misarmed
+  /// plan, not a no-op).
   Status Validate() const;
 
   /// One event per line, in schedule order (golden-testable).
@@ -117,6 +143,13 @@ struct ChaosConfig {
   double net_partition_weight = 0.0;
   double net_loss_weight = 0.0;
   double net_delay_weight = 0.0;
+  /// Weights of the durable-storage faults (kDiskCorruption /
+  /// kTornWrite / kDiskStall). Default 0 for the same trailing-bucket
+  /// reason: pre-existing seeds draw identical plans, and the events
+  /// are inert anyway when the durable store is not content-modeled.
+  double disk_corruption_weight = 0.0;
+  double torn_write_weight = 0.0;
+  double disk_stall_weight = 0.0;
   SimDuration max_window = kMinute;     ///< Max window fault duration.
   SimDuration max_stall = 10 * kSecond; ///< Max per-chunk stall.
 

@@ -299,6 +299,46 @@ Status InvariantChecker::Check() {
     last_net_delivered_ = net->messages_delivered();
   }
 
+  // 10. Durability: storage damage must be *detected*, never served.
+  //     The tripwire counts records replayed into live state without
+  //     passing CRC validation — structurally zero (PlanRecovery
+  //     validates before any replay is scheduled), and any nonzero
+  //     value is write-once evidence of a validation hole. Repairs can
+  //     only fix damage that was found first, and detection/scrub
+  //     counters are monotone. Committed-row durability itself (never
+  //     resurrected stale, never lost while an intact replica
+  //     survives) rides the row-conservation check above: a corrupt
+  //     replay that resurrected or dropped rows would break it, and
+  //     rows_lost() stays the honest ledger when no replica survives.
+  if (engine_->replication() != nullptr &&
+      engine_->replication()->content() != nullptr) {
+    const durability::ContentDurableStore* store =
+        engine_->replication()->content();
+    if (store->corrupt_records_served() > 0) {
+      Violation("durable store served " +
+                std::to_string(store->corrupt_records_served()) +
+                " corrupt record(s) into live state (CRC validation "
+                "bypassed)");
+    }
+    if (store->scrub_repairs() >
+        store->scrub_corruptions_found() + store->torn_segments_detected()) {
+      Violation("scrubber repaired " +
+                std::to_string(store->scrub_repairs()) +
+                " record(s) but only found " +
+                std::to_string(store->scrub_corruptions_found() +
+                               store->torn_segments_detected()) +
+                " damaged (repair without detection)");
+    }
+    if (store->crc_failures_detected() < last_crc_failures_) {
+      Violation("crc_failures_detected moved backwards");
+    }
+    last_crc_failures_ = store->crc_failures_detected();
+    if (store->scrub_records_verified() < last_scrub_verified_) {
+      Violation("scrub_records_verified moved backwards");
+    }
+    last_scrub_verified_ = store->scrub_records_verified();
+  }
+
   if (violations_.size() != before) {
     return Status::Internal(
         std::to_string(violations_.size() - before) +

@@ -22,7 +22,11 @@
 /// When the simulated network substrate is enabled, it additionally
 /// audits the fencing tripwires (no commit without a valid lease, no
 /// chunk sequence applied twice) and message conservation (sent +
-/// duplicated = delivered + dropped + in flight).
+/// duplicated = delivered + dropped + in flight). With the
+/// content-modeled durable store it audits the durability tripwire (no
+/// record replayed into live state without passing CRC validation),
+/// that repairs never exceed damage found, and that the detection and
+/// scrub counters are monotone.
 /// Run it standalone via Check() or on a cadence via StartPeriodic().
 
 namespace pstore {
@@ -88,6 +92,8 @@ class InvariantChecker {
   int64_t last_committed_ = -1;
   double last_kb_moved_ = -1.0;
   int64_t last_net_delivered_ = -1;
+  int64_t last_crc_failures_ = -1;
+  int64_t last_scrub_verified_ = -1;
 
   // Two-strike memory for the rebuild-liveness check: a bucket is only
   // reported stalled when it was already stalled on the previous tick

@@ -25,8 +25,14 @@ ReplicaManager::ReplicaManager(const Catalog* catalog,
   rebuild_target_.assign(static_cast<size_t>(num_buckets_), -1);
   rebuild_gen_.assign(static_cast<size_t>(num_buckets_), 0);
   int32_t num_nodes = total_partitions / partitions_per_node_;
-  checkpoint_kb_.assign(static_cast<size_t>(num_nodes), 0.0);
-  log_entries_.assign(static_cast<size_t>(num_nodes), 0);
+  if (config_.durability.enabled) {
+    auto content =
+        std::make_unique<durability::ContentDurableStore>(num_nodes);
+    content_ = content.get();
+    durable_ = std::move(content);
+  } else {
+    durable_ = std::make_unique<durability::CountingDurableStore>(num_nodes);
+  }
 }
 
 int64_t ReplicaManager::degraded_buckets() const {
@@ -208,22 +214,36 @@ Status ReplicaManager::FinishRebuild(BucketId b,
   return Status::OK();
 }
 
-void ReplicaManager::TakeCheckpoint(NodeId n, double hosted_kb) {
-  checkpoint_kb_[static_cast<size_t>(n)] = hosted_kb;
-  log_entries_[static_cast<size_t>(n)] = 0;
-  ++checkpoints_;
+void ReplicaManager::TakeCheckpoint(
+    NodeId n, double hosted_kb,
+    std::vector<durability::CheckpointRecord> records) {
+  durable_->TakeCheckpoint(n, hosted_kb, std::move(records));
 }
 
-void ReplicaManager::ResetNode(NodeId n) {
-  checkpoint_kb_[static_cast<size_t>(n)] = 0.0;
-  log_entries_[static_cast<size_t>(n)] = 0;
+void ReplicaManager::ResetNode(NodeId n) { durable_->Reset(n); }
+
+durability::RecoveryPlan ReplicaManager::PlanRecovery(NodeId n) {
+  if (content_ != nullptr) return content_->PlanRecovery(n);
+  durability::RecoveryPlan plan;
+  plan.load_kb = durable_->checkpoint_kb(n);
+  plan.replay_entries = durable_->log_entries(n);
+  return plan;
+}
+
+SimDuration ReplicaManager::PlanDuration(
+    const durability::RecoveryPlan& plan) const {
+  // checkpoint kB / (kB/s) gives seconds; convert to microseconds.
+  double load_us = plan.load_kb / config_.checkpoint_load_kbps * 1e6;
+  double replay_us = static_cast<double>(plan.replay_entries) *
+                     config_.replay_us_per_entry;
+  auto total = static_cast<SimDuration>(load_us + replay_us);
+  return total < 1 ? 1 : total;
 }
 
 SimDuration ReplicaManager::RecoveryDuration(NodeId n) const {
-  // checkpoint_kb / (kB/s) gives seconds; convert to microseconds.
-  double load_us = checkpoint_kb_[static_cast<size_t>(n)] /
-                   config_.checkpoint_load_kbps * 1e6;
-  double replay_us = static_cast<double>(log_entries_[static_cast<size_t>(n)]) *
+  double load_us =
+      durable_->checkpoint_kb(n) / config_.checkpoint_load_kbps * 1e6;
+  double replay_us = static_cast<double>(durable_->log_entries(n)) *
                      config_.replay_us_per_entry;
   auto total = static_cast<SimDuration>(load_us + replay_us);
   return total < 1 ? 1 : total;

@@ -7,6 +7,8 @@
 
 #include "common/sim_time.h"
 #include "common/status.h"
+#include "durability/content_store.h"
+#include "durability/durable_store.h"
 #include "replication/replication_config.h"
 #include "storage/fragment.h"
 #include "storage/partition_map.h"
@@ -168,29 +170,63 @@ class ReplicaManager {
   int64_t outstanding_applies() const { return outstanding_applies_; }
 
   // --- Checkpoint + command log (restart recovery) ---------------------
+  //
+  // Both are written through the DurableStore interface. The default
+  // CountingDurableStore reproduces the historical opaque-size
+  // bookkeeping exactly; with config.durability.enabled a
+  // ContentDurableStore models every checkpoint/log entry as a
+  // checksummed record, so restart replay *validates* before it
+  // replays and damage degrades recovery instead of corrupting it.
 
-  /// Logs one committed write on the primary's node.
-  void RecordWrite(NodeId n) { ++log_entries_[static_cast<size_t>(n)]; }
+  /// Logs one committed write on the primary's node. `bucket`/`key`
+  /// identify the write for the content-modeled store (the counting
+  /// store ignores them).
+  void RecordWrite(NodeId n, BucketId bucket = 0, int64_t key = 0) {
+    durable_->AppendLog(n, bucket, key);
+  }
 
-  /// Fuzzy checkpoint of node `n`: snapshots its hosted kB and
+  /// Fuzzy checkpoint of node `n`: snapshots its hosted kB (plus the
+  /// per-bucket `records` when the content store is active) and
   /// truncates its command log.
-  void TakeCheckpoint(NodeId n, double hosted_kb);
+  void TakeCheckpoint(NodeId n, double hosted_kb,
+                      std::vector<durability::CheckpointRecord> records = {});
 
   /// Clears node `n`'s recovery state (a recovered or newly provisioned
   /// node rejoins empty, with nothing to replay).
   void ResetNode(NodeId n);
 
+  /// Validates node `n`'s durable state and derives the replay
+  /// obligation. The counting store is fault-free by construction, so
+  /// its plan is always kNormal with the raw counters; the content
+  /// store CRC/length-checks every record and may degrade to fallback
+  /// or re-replication (bumping its detection counters).
+  durability::RecoveryPlan PlanRecovery(NodeId n);
+
+  /// Virtual time a recovery plan costs: checkpoint load at the
+  /// configured rate plus per-entry log replay. Always >= 1 us: even
+  /// an empty node pays a floor cost, so recovery is never
+  /// instantaneous.
+  SimDuration PlanDuration(const durability::RecoveryPlan& plan) const;
+
   /// Virtual time node `n` needs to load its last checkpoint and replay
-  /// its command log. Always >= 1 us: even an empty node pays a floor
-  /// cost, so recovery is never instantaneous.
+  /// its command log, damage ignored (the fault-free cost; equals
+  /// PlanDuration(PlanRecovery(n)) for an undamaged store).
   SimDuration RecoveryDuration(NodeId n) const;
 
-  int64_t checkpoints() const { return checkpoints_; }
-  int64_t log_entries(NodeId n) const {
-    return log_entries_[static_cast<size_t>(n)];
-  }
+  int64_t checkpoints() const { return durable_->checkpoints(); }
+  int64_t log_entries(NodeId n) const { return durable_->log_entries(n); }
   double checkpoint_kb(NodeId n) const {
-    return checkpoint_kb_[static_cast<size_t>(n)];
+    return durable_->checkpoint_kb(n);
+  }
+
+  /// The durable store restart recovery replays (never null).
+  durability::DurableStore* durable() { return durable_.get(); }
+
+  /// The content-modeled store, or nullptr when durability is disabled
+  /// (the fault surface and scrubber only exist with content).
+  durability::ContentDurableStore* content() { return content_; }
+  const durability::ContentDurableStore* content() const {
+    return content_;
   }
 
   // --- Counters --------------------------------------------------------
@@ -215,8 +251,10 @@ class ReplicaManager {
   std::vector<int64_t> rebuild_gen_;         ///< Per bucket.
   int64_t rebuilds_in_flight_ = 0;
 
-  std::vector<double> checkpoint_kb_;   ///< Per node.
-  std::vector<int64_t> log_entries_;    ///< Per node, since checkpoint.
+  /// Checkpoint + command-log storage; counting or content-modeled
+  /// per config_.durability.enabled.
+  std::unique_ptr<durability::DurableStore> durable_;
+  durability::ContentDurableStore* content_ = nullptr;  ///< Owned above.
 
   int64_t applies_ = 0;
   int64_t outstanding_applies_ = 0;
@@ -226,7 +264,6 @@ class ReplicaManager {
   int64_t rebuilds_started_ = 0;
   int64_t rebuilds_completed_ = 0;
   int64_t rebuild_chunks_landed_ = 0;
-  int64_t checkpoints_ = 0;
 };
 
 }  // namespace replication

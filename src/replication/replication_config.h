@@ -4,6 +4,7 @@
 
 #include "common/sim_time.h"
 #include "common/status.h"
+#include "durability/durability_config.h"
 
 /// \file replication_config.h
 /// Configuration for the k-safety subsystem: per-bucket primary/backup
@@ -68,7 +69,16 @@ struct ReplicationConfig {
   /// Replay cost per logged command during restart recovery.
   double replay_us_per_entry = 100.0;
 
-  /// Rejects non-positive sizes/rates/periods and k < 1.
+  /// Content-modeled durable storage (checksummed checkpoint/log
+  /// records, corruption detection, scrubbing). Disabled by default;
+  /// with `durability.enabled == false` the opaque-size bookkeeping is
+  /// arithmetically unchanged and pre-existing traces stay
+  /// byte-identical.
+  durability::DurabilityConfig durability;
+
+  /// Rejects non-positive or non-finite sizes/rates/periods and k < 1
+  /// (the engine additionally bounds k against its node ceiling), and
+  /// validates the embedded durability config when enabled.
   Status Validate() const;
 };
 

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "fault/event_trace.h"
 
 namespace pstore {
@@ -144,6 +147,54 @@ TEST(FaultPlanTest, CrashScopePrintsOnlyWhenScoped) {
   EXPECT_NE(e.ToString().find("scope=primary"), std::string::npos);
   e.scope = CrashScope::kBackupHeavy;
   EXPECT_NE(e.ToString().find("scope=backup"), std::string::npos);
+}
+
+// Exhaustiveness sweep over kAllFaultTypes: a new enum entry that is
+// missing its name, its window classification, or a validation rule
+// fails here instead of shipping half-wired.
+
+TEST(FaultPlanTest, EveryFaultTypeHasADistinctName) {
+  std::set<std::string> names;
+  for (FaultType type : kAllFaultTypes) {
+    const std::string name = FaultTypeName(type);
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "unknown") << "unnamed fault type";
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+  }
+  EXPECT_EQ(names.size(),
+            sizeof(kAllFaultTypes) / sizeof(kAllFaultTypes[0]));
+}
+
+TEST(FaultPlanTest, EveryFaultTypeRoundTripsValidation) {
+  for (FaultType type : kAllFaultTypes) {
+    FaultEvent e;
+    e.type = type;
+    if (IsWindowFault(type)) e.duration = kSecond;
+    FaultPlan plan;
+    plan.events = {e};
+    EXPECT_TRUE(plan.Validate().ok()) << FaultTypeName(type);
+    // Every event prints its type name (plans are golden-testable).
+    EXPECT_NE(e.ToString().find(FaultTypeName(type)), std::string::npos)
+        << FaultTypeName(type);
+  }
+}
+
+TEST(FaultPlanTest, WindowFaultsRejectZeroAndNegativeWindows) {
+  for (FaultType type : kAllFaultTypes) {
+    FaultEvent e;
+    e.type = type;
+    FaultPlan plan;
+    plan.events = {e};
+    if (IsWindowFault(type)) {
+      // A window fault with no window is a misarmed plan, not a no-op.
+      EXPECT_TRUE(plan.Validate().IsInvalidArgument()) << FaultTypeName(type);
+      plan.events[0].duration = -kSecond;
+      EXPECT_TRUE(plan.Validate().IsInvalidArgument()) << FaultTypeName(type);
+    } else {
+      // Point faults carry no window: duration 0 is their normal shape.
+      EXPECT_TRUE(plan.Validate().ok()) << FaultTypeName(type);
+    }
+  }
 }
 
 TEST(EventTraceTest, FingerprintIsOrderSensitive) {

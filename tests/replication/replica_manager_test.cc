@@ -2,9 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <functional>
+#include <limits>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "cluster/engine.h"
 #include "storage/schema.h"
 #include "storage/value.h"
 
@@ -58,23 +63,114 @@ class ReplicaManagerTest : public ::testing::Test {
   StorageFragment primary_;
 };
 
-TEST(ReplicationConfigTest, ValidateRejectsBadKnobs) {
+TEST(ReplicationConfigTest, ValidateRejectsBadKnobsTableDriven) {
+  // Every field Validate checks, one row each: the mutation applied to
+  // an otherwise-default config and the error it must produce. A new
+  // knob without a row (and a rejection message) shows up as a gap
+  // here before it ships unvalidated.
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  struct Case {
+    const char* what;
+    std::function<void(ReplicationConfig*)> mutate;
+    const char* error;
+  };
+  const std::vector<Case> cases = {
+      {"k zero", [](ReplicationConfig* c) { c->k = 0; }, "k < 1"},
+      {"apply_weight nan",
+       [nan](ReplicationConfig* c) { c->apply_weight = nan; },
+       "apply_weight not finite"},
+      {"apply_weight negative",
+       [](ReplicationConfig* c) { c->apply_weight = -0.1; },
+       "apply_weight < 0"},
+      {"db_size_mb inf",
+       [inf](ReplicationConfig* c) { c->db_size_mb = inf; },
+       "db_size_mb not finite"},
+      {"db_size_mb zero", [](ReplicationConfig* c) { c->db_size_mb = 0; },
+       "db_size_mb <= 0"},
+      {"rebuild_chunk_kb nan",
+       [nan](ReplicationConfig* c) { c->rebuild_chunk_kb = nan; },
+       "rebuild_chunk_kb not finite"},
+      {"rebuild_chunk_kb negative",
+       [](ReplicationConfig* c) { c->rebuild_chunk_kb = -1; },
+       "rebuild_chunk_kb <= 0"},
+      {"rebuild_rate_kbps nan",
+       [nan](ReplicationConfig* c) { c->rebuild_rate_kbps = nan; },
+       "rebuild_rate_kbps not finite"},
+      {"rebuild_rate_kbps zero",
+       [](ReplicationConfig* c) { c->rebuild_rate_kbps = 0; },
+       "rebuild_rate_kbps <= 0"},
+      {"wire_kbps inf", [inf](ReplicationConfig* c) { c->wire_kbps = inf; },
+       "wire_kbps not finite"},
+      {"wire_kbps zero", [](ReplicationConfig* c) { c->wire_kbps = 0; },
+       "wire_kbps <= 0"},
+      {"checkpoint_period zero",
+       [](ReplicationConfig* c) { c->checkpoint_period = 0; },
+       "checkpoint_period <= 0"},
+      {"checkpoint_load_kbps nan",
+       [nan](ReplicationConfig* c) { c->checkpoint_load_kbps = nan; },
+       "checkpoint_load_kbps not finite"},
+      {"checkpoint_load_kbps zero",
+       [](ReplicationConfig* c) { c->checkpoint_load_kbps = 0; },
+       "checkpoint_load_kbps <= 0"},
+      {"replay_us_per_entry nan",
+       [nan](ReplicationConfig* c) { c->replay_us_per_entry = nan; },
+       "replay_us_per_entry not finite"},
+      {"replay_us_per_entry negative",
+       [](ReplicationConfig* c) { c->replay_us_per_entry = -1; },
+       "replay_us_per_entry < 0"},
+      {"durability scrub_rate_kbps negative",
+       [](ReplicationConfig* c) {
+         c->durability.enabled = true;
+         c->durability.scrub_rate_kbps = -1;
+       },
+       "scrub_rate_kbps < 0"},
+      {"durability scrub_rate_kbps nan",
+       [nan](ReplicationConfig* c) {
+         c->durability.enabled = true;
+         c->durability.scrub_rate_kbps = nan;
+       },
+       "scrub_rate_kbps not finite"},
+      {"durability record_kb zero",
+       [](ReplicationConfig* c) {
+         c->durability.enabled = true;
+         c->durability.record_kb = 0;
+       },
+       "record_kb <= 0"},
+  };
+  EXPECT_TRUE(ReplicationConfig().Validate().ok());
+  for (const Case& test : cases) {
+    ReplicationConfig config;
+    test.mutate(&config);
+    const Status status = config.Validate();
+    EXPECT_TRUE(status.IsInvalidArgument()) << test.what;
+    EXPECT_NE(status.ToString().find(test.error), std::string::npos)
+        << test.what << ": got " << status.ToString();
+  }
+}
+
+TEST(ReplicationConfigTest, DurabilityKnobsOnlyValidatedWhenEnabled) {
+  // The opt-in contract: stray durability knobs on a config that never
+  // enables the content store must not fail validation (pre-existing
+  // configs can't start rejecting).
   ReplicationConfig config;
+  config.durability.enabled = false;
+  config.durability.scrub_rate_kbps = -5.0;
+  config.durability.record_kb = 0.0;
   EXPECT_TRUE(config.Validate().ok());
-  config.k = 0;
+  config.durability.enabled = true;
   EXPECT_FALSE(config.Validate().ok());
-  config = ReplicationConfig();
-  config.apply_weight = -0.1;
-  EXPECT_FALSE(config.Validate().ok());
-  config = ReplicationConfig();
-  config.rebuild_rate_kbps = 0;
-  EXPECT_FALSE(config.Validate().ok());
-  config = ReplicationConfig();
-  config.checkpoint_period = 0;
-  EXPECT_FALSE(config.Validate().ok());
-  config = ReplicationConfig();
-  config.replay_us_per_entry = -1;
-  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(ReplicationConfigTest, EngineRejectsKBeyondMaxNodes) {
+  // k backups + 1 primary must fit the cluster at max scale.
+  EngineConfig config;
+  config.replication.enabled = true;
+  config.replication.k = config.max_nodes;
+  const Status status = config.Validate();
+  EXPECT_TRUE(status.IsInvalidArgument());
+  config.replication.k = config.max_nodes - 1;
+  EXPECT_TRUE(config.Validate().ok());
 }
 
 TEST_F(ReplicaManagerTest, StartsEmptyAndDegraded) {

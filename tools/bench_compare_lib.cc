@@ -28,8 +28,9 @@ const char* StatusLabel(CaseStatus s) {
   return "?";
 }
 
-/// Pulls {name, value} pairs for ns/op cases out of a "cases" array.
-Status CollectCases(const JsonValue& cases,
+/// Pulls {name, value} pairs for cases of the gated unit out of a
+/// "cases" array; other units are untracked metrics.
+Status CollectCases(const JsonValue& cases, const std::string& unit,
                     std::vector<std::pair<std::string, double>>* out) {
   if (!cases.is_array()) {
     return Status::InvalidArgument("\"cases\" is not an array");
@@ -43,7 +44,7 @@ Status CollectCases(const JsonValue& cases,
     if (name.empty()) {
       return Status::InvalidArgument("case entry has no name");
     }
-    if (c.GetStringOr("unit", "") != "ns/op") continue;  // metrics: untracked
+    if (c.GetStringOr("unit", "") != unit) continue;
     out->emplace_back(name, c.GetNumberOr("value", 0.0));
   }
   return Status::OK();
@@ -124,10 +125,13 @@ Result<CompareReport> CompareBenchDocs(const JsonValue& baseline,
                                    current_cases.status().message());
   }
   std::vector<std::pair<std::string, double>> base, cur;
-  PSTORE_RETURN_NOT_OK(CollectCases(baseline_cases.ValueOrDie(), &base));
-  PSTORE_RETURN_NOT_OK(CollectCases(current_cases.ValueOrDie(), &cur));
+  PSTORE_RETURN_NOT_OK(
+      CollectCases(baseline_cases.ValueOrDie(), options.unit, &base));
+  PSTORE_RETURN_NOT_OK(
+      CollectCases(current_cases.ValueOrDie(), options.unit, &cur));
   if (base.empty()) {
-    return Status::InvalidArgument("baseline tracks no ns/op cases");
+    return Status::InvalidArgument("baseline tracks no " + options.unit +
+                                   " cases");
   }
 
   auto find = [](const std::vector<std::pair<std::string, double>>& v,

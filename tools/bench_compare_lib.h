@@ -27,6 +27,12 @@ struct CompareOptions {
   double threshold = 0.5;
   /// Divide per-case ratios by the median ratio (see file comment).
   bool normalize = true;
+  /// Which case unit the gate tracks. The default gates wall-clock
+  /// microbenchmark cases; "s" gates deterministic virtual-clock grids
+  /// (e.g. bench_recovery_mttr's MTTR cells), where --no-normalize is
+  /// the right companion since there is no machine-speed factor to
+  /// cancel.
+  std::string unit = "ns/op";
 };
 
 enum class CaseStatus {
@@ -61,10 +67,11 @@ struct CompareReport {
   std::string ToString() const;
 };
 
-/// Extracts the gated case list ({name -> ns/op} for unit == "ns/op")
-/// from a result document: either a single-run file (top-level "cases")
-/// or a trajectory baseline ("runs" array — the LAST run is the
-/// baseline). Fails on schema_version mismatch or missing fields.
+/// Extracts the gated case list (every case whose unit matches the
+/// CompareOptions unit; {name -> value}) from a result document: either
+/// a single-run file (top-level "cases") or a trajectory baseline
+/// ("runs" array — the LAST run is the baseline). Fails on
+/// schema_version mismatch or missing fields.
 Result<JsonValue> ExtractLatestCases(const JsonValue& doc);
 
 /// Diffs `current` (single-run document) against `baseline` (single-run

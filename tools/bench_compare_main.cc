@@ -23,7 +23,7 @@ void Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --baseline=FILE --current=FILE [--threshold=F]\n"
-      "          [--no-normalize] [--update --label=TEXT]\n",
+      "          [--unit=U] [--no-normalize] [--update --label=TEXT]\n",
       argv0);
 }
 
@@ -46,6 +46,7 @@ int main(int argc, char** argv) {
     if (ParseFlag(argv[i], "--baseline", &baseline_path)) continue;
     if (ParseFlag(argv[i], "--current", &current_path)) continue;
     if (ParseFlag(argv[i], "--label", &label)) continue;
+    if (ParseFlag(argv[i], "--unit", &options.unit)) continue;
     if (ParseFlag(argv[i], "--threshold", &threshold_str)) {
       char* end = nullptr;
       options.threshold = std::strtod(threshold_str.c_str(), &end);

@@ -7,10 +7,13 @@
 # --recovery (replication: promotion failover, replica lag, checkpoint +
 # log-replay restarts, re-replication), a fourth under --partition
 # (simulated network: partitions, message loss/duplication/delay,
-# lease fencing, retransmission), and a fifth under
+# lease fencing, retransmission), a fifth under
 # --spike --trace-sample=0.1 (transaction lifecycle tracing: sampled
 # txn traces and the Chrome trace_event JSON must also be
-# byte-identical across same-seed runs).
+# byte-identical across same-seed runs), and a sixth under
+# --corruption --trace-sample=0.1 (content-modeled durability: disk
+# corruption, torn writes, disk stalls, scrubbing and repair -- plus
+# sampled traces -- must replay byte-identically too).
 #
 # Usage: [CHAOS_RUN=path/to/chaos_run] [SEED=N] [EVENTS=N] \
 #          tools/check_determinism.sh
@@ -31,12 +34,13 @@ workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
 
 status=0
-for run in a b c d e f g h i j; do
+for run in a b c d e f g h i j k l; do
   flags=""
   { [ "$run" = c ] || [ "$run" = d ]; } && flags="--spike"
   { [ "$run" = e ] || [ "$run" = f ]; } && flags="--recovery"
   { [ "$run" = g ] || [ "$run" = h ]; } && flags="--partition"
   { [ "$run" = i ] || [ "$run" = j ]; } && flags="--spike --trace-sample=0.1"
+  { [ "$run" = k ] || [ "$run" = l ]; } && flags="--corruption --trace-sample=0.1"
   if ! "$CHAOS_RUN" --seed="$SEED" --events="$EVENTS" $flags \
        --out="$workdir/$run" > "$workdir/$run.stdout" 2>&1; then
     echo "check_determinism: run $run FAILED; tail of output:" >&2
@@ -47,7 +51,7 @@ done
 [ "$status" -ne 0 ] && exit "$status"
 
 for pair in "a b plain" "c d spike" "e f recovery" "g h partition" \
-            "i j spike+trace"; do
+            "i j spike+trace" "k l corruption+trace"; do
   set -- $pair
   if diff -r "$workdir/$1" "$workdir/$2" > "$workdir/diff.out" 2>&1; then
     files=$(ls "$workdir/$1" | wc -l | tr -d ' ')

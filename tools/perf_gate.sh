@@ -1,34 +1,49 @@
 #!/bin/sh
 # Perf regression gate (DESIGN.md §12): run the microbenchmark suite,
 # then diff its JSON output against the committed baseline trajectory.
+# A second stage runs bench_recovery_mttr and gates its deterministic
+# virtual-clock MTTR grid (unit "s") against its own committed
+# trajectory — so recovery-path regressions (slower replay planning,
+# scrubbing overhead) trip the gate the same way hot-path ns/op
+# regressions do.
 # Exits non-zero when any tracked case regresses past the threshold or
 # vanishes from the suite.
 #
 # Environment overrides (defaults assume running from the repo root
 # with the standard ./build tree):
-#   BENCH_MICRO_PERF  path to the bench_micro_perf binary
-#   BENCH_COMPARE     path to the bench_compare binary
-#   BASELINE          committed trajectory JSON
-#   CURRENT           where the bench writes its JSON
-#   THRESHOLD         tolerated normalized slowdown (default 0.5 = +50%)
+#   BENCH_MICRO_PERF     path to the bench_micro_perf binary
+#   BENCH_RECOVERY_MTTR  path to the bench_recovery_mttr binary
+#   BENCH_COMPARE        path to the bench_compare binary
+#   BASELINE             committed micro-perf trajectory JSON
+#   CURRENT              where bench_micro_perf writes its JSON
+#   BASELINE_RECOVERY    committed recovery-MTTR trajectory JSON
+#   CURRENT_RECOVERY     where bench_recovery_mttr writes its JSON
+#   THRESHOLD            tolerated normalized slowdown (default 0.5 = +50%)
 set -u
 
 BENCH_MICRO_PERF="${BENCH_MICRO_PERF:-build/bench/bench_micro_perf}"
+BENCH_RECOVERY_MTTR="${BENCH_RECOVERY_MTTR:-build/bench/bench_recovery_mttr}"
 BENCH_COMPARE="${BENCH_COMPARE:-build/tools/bench_compare}"
 BASELINE="${BASELINE:-bench/baselines/BENCH_micro_perf.json}"
 CURRENT="${CURRENT:-bench_out/BENCH_micro_perf.json}"
+BASELINE_RECOVERY="${BASELINE_RECOVERY:-bench/baselines/BENCH_recovery_mttr.json}"
+CURRENT_RECOVERY="${CURRENT_RECOVERY:-bench_out/BENCH_recovery_mttr.json}"
 THRESHOLD="${THRESHOLD:-0.5}"
 
-for f in "$BENCH_MICRO_PERF" "$BENCH_COMPARE"; do
+for f in "$BENCH_MICRO_PERF" "$BENCH_RECOVERY_MTTR" "$BENCH_COMPARE"; do
   if [ ! -x "$f" ]; then
     echo "perf_gate: missing binary $f (build first)" >&2
     exit 2
   fi
 done
-if [ ! -f "$BASELINE" ]; then
-  echo "perf_gate: missing baseline $BASELINE" >&2
-  exit 2
-fi
+for f in "$BASELINE" "$BASELINE_RECOVERY"; do
+  if [ ! -f "$f" ]; then
+    echo "perf_gate: missing baseline $f" >&2
+    exit 2
+  fi
+done
+
+status=0
 
 rm -f "$CURRENT"
 if ! "$BENCH_MICRO_PERF" --benchmark_min_time=0.05; then
@@ -39,6 +54,26 @@ if [ ! -f "$CURRENT" ]; then
   echo "perf_gate: bench_micro_perf wrote no JSON at $CURRENT" >&2
   exit 1
 fi
+if ! "$BENCH_COMPARE" --baseline="$BASELINE" --current="$CURRENT" \
+    --threshold="$THRESHOLD"; then
+  status=1
+fi
 
-exec "$BENCH_COMPARE" --baseline="$BASELINE" --current="$CURRENT" \
-  --threshold="$THRESHOLD"
+rm -f "$CURRENT_RECOVERY"
+if ! "$BENCH_RECOVERY_MTTR" --seconds=30; then
+  echo "perf_gate: bench_recovery_mttr exited non-zero" >&2
+  exit 1
+fi
+if [ ! -f "$CURRENT_RECOVERY" ]; then
+  echo "perf_gate: bench_recovery_mttr wrote no JSON at $CURRENT_RECOVERY" >&2
+  exit 1
+fi
+# The MTTR grid is virtual-clock deterministic (same seed, same clock),
+# so no median normalization: any drift is a real behavior change.
+if ! "$BENCH_COMPARE" --baseline="$BASELINE_RECOVERY" \
+    --current="$CURRENT_RECOVERY" --threshold="$THRESHOLD" \
+    --unit=s --no-normalize; then
+  status=1
+fi
+
+exit "$status"
