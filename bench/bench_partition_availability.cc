@@ -243,6 +243,20 @@ int main(int argc, char** argv) {
                            lease == nominal_lease;
       const CellResult cell =
           RunCell(cut, lease, nominal ? &telemetry : nullptr);
+      {
+        // Tracked by tools/perf_gate.sh (virtual-clock seconds, gated
+        // with --unit=s --no-normalize). recovery_s is -1 when goodput
+        // never crossed 90% of baseline; clamp so ratios stay sane.
+        char prefix[64];
+        std::snprintf(prefix, sizeof(prefix), "avail/cut%.0f_lease%.0f",
+                      cut, lease);
+        const std::string p(prefix);
+        bench::RecordBenchCase(
+            {p + "/dark_s", cell.unavailable_s, "s", 0.0, 0});
+        bench::RecordBenchCase(
+            {p + "/recover_s", std::max(cell.recovery_s, 0.0), "s", 0.0,
+             0});
+      }
       table.AddRow(
           {TableWriter::Fmt(cut, 0), TableWriter::Fmt(lease, 0),
            TableWriter::Fmt(cell.baseline_tps, 0),

@@ -1,0 +1,330 @@
+/// Revocation survival: committed-row loss and goodput dip through a
+/// spot revocation, as functions of the notice period and the failure
+/// domain count. A 6-node k=1 cluster with the topology layer enabled
+/// serves a steady read/write mix; at t=10s one node receives a
+/// revocation notice and starts a deadline-aware graceful drain —
+/// hottest buckets evacuate first, and whatever the notice window
+/// cannot fit falls back to replica promotion when the hard kill lands
+/// at the deadline. With domain-diverse placement every bucket keeps an
+/// out-of-domain replica, so committed rows survive regardless of how
+/// short the notice is; the notice period only buys a smaller goodput
+/// dip (evacuated buckets move gracefully instead of failing over).
+///
+/// Output: survival table + bench_out CSV (revocation_survival.csv) +
+/// one nominal cell's telemetry dump.
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "cluster/engine.h"
+#include "common/table_writer.h"
+#include "migration/migration_executor.h"
+#include "sim/simulator.h"
+#include "storage/schema.h"
+#include "txn/procedure.h"
+
+using namespace pstore;
+
+namespace {
+
+constexpr double kRevokeSecond = 10.0;
+constexpr double kRunSeconds = 30.0;
+constexpr double kDrainSeconds = 15.0;
+constexpr int64_t kRows = 600;
+constexpr double kRateTps = 400.0;
+constexpr NodeId kRevokedNode = 5;
+
+struct CellResult {
+  double notice_ms = 0;
+  int32_t num_domains = 0;
+  double baseline_tps = 0;  ///< Mean committed/s before the notice.
+  double dip_tps = 0;       ///< Min committed/s in the drain window.
+  double dark_s = 0;        ///< Seconds with zero commits, whole run.
+  int64_t buckets_evacuated = 0;
+  int64_t left_to_promotion = 0;
+  int64_t promotions = 0;
+  int64_t drains = 0;
+  int64_t drain_kills = 0;
+  int64_t kills_infeasible = 0;
+  int64_t rows_lost = 0;
+  int64_t rows_at_end = 0;
+  int64_t degraded_at_end = 0;
+};
+
+/// One (notice period, domain count) cell: revoke node 5 at t=10s with
+/// the given notice; the drain hook starts the deadline evacuation and
+/// the engine hard-kills the node when the notice expires.
+CellResult RunCell(double notice_ms, int32_t num_domains,
+                   obs::TelemetryBundle* telemetry) {
+  Catalog catalog;
+  const TableId table = *catalog.AddTable(Schema(
+      "KV", {{"k", ColumnType::kInt64}, {"v", ColumnType::kInt64}}, 0));
+  ProcedureRegistry registry;
+  const ProcedureId get = *registry.Register(ProcedureDef{
+      "Get",
+      [table](ExecutionContext& ctx, const TxnRequest& req) {
+        TxnResult r;
+        auto row = ctx.Get(table, req.key);
+        if (!row.ok()) {
+          r.status = row.status();
+        } else {
+          r.rows.push_back(std::move(row).MoveValueUnsafe());
+        }
+        return r;
+      },
+      1.0});
+  const ProcedureId put = *registry.Register(ProcedureDef{
+      "Put",
+      [table](ExecutionContext& ctx, const TxnRequest& req) {
+        TxnResult r;
+        r.status = ctx.Upsert(
+            table, Row({Value(req.key), req.args.empty()
+                                            ? Value(int64_t{0})
+                                            : req.args[0]}));
+        return r;
+      },
+      1.0});
+
+  Simulator sim;
+  EngineConfig config;
+  config.num_buckets = 64;
+  config.partitions_per_node = 2;
+  config.max_nodes = 6;
+  config.initial_nodes = 6;
+  config.txn_service_us_mean = 2000.0;  // 500 txn/s per partition.
+  config.txn_service_cv = 0.0;
+  config.replication.enabled = true;
+  config.replication.k = 1;
+  config.replication.db_size_mb = 10.0;
+  config.replication.rebuild_chunk_kb = 100.0;
+  config.replication.rebuild_rate_kbps = 10240.0;
+  config.replication.wire_kbps = 102400.0;
+  config.replication.checkpoint_period = 5 * kSecond;
+  config.topology.enabled = true;
+  config.topology.num_domains = num_domains;
+  config.topology.spot_from_node = 1;
+  ClusterEngine engine(&sim, catalog, registry, config);
+  if (telemetry != nullptr && obs::Enabled()) {
+    engine.set_telemetry(telemetry->view());
+  }
+  for (int64_t k = 0; k < kRows; ++k) {
+    if (!engine.LoadRow(table, Row({Value(k), Value(k)})).ok()) return {};
+  }
+
+  MigrationOptions migration;
+  migration.chunk_kb = 100;
+  migration.rate_kbps = 10000;
+  migration.wire_kbps = 100000;
+  migration.db_size_mb = 10;
+  MigrationExecutor migrator(&engine, migration);
+  if (telemetry != nullptr && obs::Enabled()) {
+    migrator.set_telemetry(telemetry->view());
+  }
+  engine.set_drain_hook([&migrator](NodeId n, SimTime deadline) {
+    (void)migrator.StartEvacuation(n, deadline);
+  });
+
+  // Steady load, one write in four, upserts restricted to preloaded
+  // keys so the total row count is conserved exactly.
+  const auto arrivals = static_cast<int64_t>(kRateTps * kRunSeconds);
+  for (int64_t i = 0; i < arrivals; ++i) {
+    TxnRequest req;
+    req.key = (i * 48271) % kRows;
+    if (i % 4 == 0) {
+      req.proc = put;
+      req.args.push_back(Value(i));
+    } else {
+      req.proc = get;
+    }
+    const SimTime at =
+        static_cast<SimTime>(static_cast<double>(i) * 1e6 / kRateTps);
+    sim.ScheduleAt(at, [&engine, req]() { engine.Submit(req); });
+  }
+
+  // The fault: a spot-revocation notice for node 5. The engine starts
+  // the graceful drain (the hook above kicks the evacuation) and
+  // schedules the hard kill at the deadline itself.
+  sim.ScheduleAt(SecondsToDuration(kRevokeSecond), [&engine, notice_ms]() {
+    (void)engine.StartDrain(
+        kRevokedNode, SecondsToDuration(notice_ms / 1000.0));
+  });
+
+  // Goodput sampler: committed/s.
+  std::vector<int64_t> committed_per_s;
+  auto sample = std::make_shared<std::function<void(int64_t)>>();
+  *sample = [&](int64_t last_committed) {
+    committed_per_s.push_back(engine.txns_committed() - last_committed);
+    if (sim.Now() < SecondsToDuration(kRunSeconds)) {
+      sim.Schedule(kSecond, [&, c = engine.txns_committed()]() {
+        (*sample)(c);
+      });
+    }
+  };
+  sim.Schedule(kSecond, [&]() { (*sample)(0); });
+
+  sim.RunUntil(SecondsToDuration(kRunSeconds));
+  // Drain: kill aftermath — rebuilds restore k on the survivors.
+  sim.RunUntil(SecondsToDuration(kRunSeconds + kDrainSeconds));
+
+  CellResult cell;
+  cell.notice_ms = notice_ms;
+  cell.num_domains = num_domains;
+  // The disruption window spans the notice plus the failover tail; cap
+  // it at the end of the sampled run.
+  const double window_end =
+      std::min(kRevokeSecond + notice_ms / 1000.0 + 3.0, kRunSeconds - 1);
+  double base_sum = 0;
+  size_t base_n = 0;
+  cell.dip_tps = kRateTps;
+  for (size_t i = 1; i < committed_per_s.size(); ++i) {
+    const auto second = static_cast<double>(i);
+    if (second < kRevokeSecond) {
+      base_sum += static_cast<double>(committed_per_s[i]);
+      ++base_n;
+    } else if (second < window_end) {
+      cell.dip_tps = std::min(
+          cell.dip_tps, static_cast<double>(committed_per_s[i]));
+    }
+    if (second < kRunSeconds - 1 && committed_per_s[i] == 0) {
+      cell.dark_s += 1.0;
+    }
+  }
+  cell.baseline_tps = base_n > 0 ? base_sum / static_cast<double>(base_n)
+                                 : 0;
+  cell.buckets_evacuated = migrator.buckets_evacuated();
+  cell.left_to_promotion = migrator.evacuations_deadline_skipped();
+  cell.promotions = engine.replication()->promotions();
+  cell.drains = engine.drains_started();
+  cell.drain_kills = engine.drain_kills();
+  cell.kills_infeasible = engine.drain_kills_infeasible();
+  cell.rows_lost = engine.rows_lost();
+  cell.rows_at_end = engine.TotalRowCount();
+  cell.degraded_at_end = engine.replication()->degraded_buckets();
+  if (telemetry != nullptr) telemetry->metrics.FreezeCallbackGauges();
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::PrintBanner(
+      "Revocation survival",
+      "committed-row loss and goodput dip through a spot revocation, by "
+      "notice period and failure-domain count",
+      "domain-diverse placement makes row survival independent of the "
+      "notice period: every bucket keeps an out-of-domain replica, so "
+      "the hard kill promotes instead of losing data — the notice only "
+      "buys a smaller goodput dip via graceful evacuation");
+
+  (void)bench::DoubleFlag(argc, argv, "seconds", kRunSeconds);
+  const std::vector<double> notice_ms = {20.0, 100.0, 5000.0};
+  const std::vector<int32_t> domain_counts = {2, 3, 4};
+  const double nominal_notice = 100.0;
+  const int32_t nominal_domains = 3;
+
+  TableWriter table({"notice (ms)", "domains", "base (txn/s)",
+                     "dip (txn/s)", "dark (s)", "evacuated", "promoted",
+                     "promotions", "rows lost"});
+  std::vector<double> notice_col, domain_col, base_col, dip_col, dark_col,
+      evac_col, left_col, promo_col, lost_col;
+  obs::TelemetryBundle telemetry;
+  int failures = 0;
+  for (const double notice : notice_ms) {
+    for (const int32_t domains : domain_counts) {
+      const bool nominal =
+          notice == nominal_notice && domains == nominal_domains;
+      const CellResult cell =
+          RunCell(notice, domains, nominal ? &telemetry : nullptr);
+      {
+        char prefix[64];
+        std::snprintf(prefix, sizeof(prefix), "survival/notice%.0f_dom%d",
+                      notice, domains);
+        const std::string p(prefix);
+        bench::RecordBenchCase(
+            {p + "/dip_tps", cell.dip_tps, "", 0.0, 0});
+        bench::RecordBenchCase(
+            {p + "/rows_lost", static_cast<double>(cell.rows_lost), "",
+             0.0, 0});
+        bench::RecordBenchCase(
+            {p + "/evacuated",
+             static_cast<double>(cell.buckets_evacuated), "", 0.0, 0});
+      }
+      table.AddRow(
+          {TableWriter::Fmt(notice, 0),
+           TableWriter::Fmt(static_cast<double>(domains), 0),
+           TableWriter::Fmt(cell.baseline_tps, 0),
+           TableWriter::Fmt(cell.dip_tps, 0),
+           TableWriter::Fmt(cell.dark_s, 0),
+           TableWriter::Fmt(static_cast<double>(cell.buckets_evacuated),
+                            0),
+           TableWriter::Fmt(static_cast<double>(cell.left_to_promotion),
+                            0),
+           TableWriter::Fmt(static_cast<double>(cell.promotions), 0),
+           TableWriter::Fmt(static_cast<double>(cell.rows_lost), 0)});
+      notice_col.push_back(notice);
+      domain_col.push_back(static_cast<double>(domains));
+      base_col.push_back(cell.baseline_tps);
+      dip_col.push_back(cell.dip_tps);
+      dark_col.push_back(cell.dark_s);
+      evac_col.push_back(static_cast<double>(cell.buckets_evacuated));
+      left_col.push_back(static_cast<double>(cell.left_to_promotion));
+      promo_col.push_back(static_cast<double>(cell.promotions));
+      lost_col.push_back(static_cast<double>(cell.rows_lost));
+      // Acceptance: exactly one drain and one hard kill fire; with 6
+      // nodes and >= 2 domains a domain-diverse replica set always
+      // exists, so no committed row may be lost however short the
+      // notice; the survivors rebuild back to full replication factor;
+      // and the workload's upserts touch only preloaded keys so the
+      // row count is conserved exactly.
+      if (cell.drains != 1 || cell.drain_kills != 1) {
+        std::fprintf(stderr,
+                     "FAIL: drains=%ld kills=%ld (notice=%.0f dom=%d)\n",
+                     static_cast<long>(cell.drains),
+                     static_cast<long>(cell.drain_kills), notice, domains);
+        ++failures;
+      }
+      if (cell.kills_infeasible != 0 || cell.rows_lost != 0 ||
+          cell.rows_at_end != kRows) {
+        std::fprintf(stderr,
+                     "FAIL: infeasible=%ld rows lost=%ld at_end=%ld "
+                     "(notice=%.0f dom=%d)\n",
+                     static_cast<long>(cell.kills_infeasible),
+                     static_cast<long>(cell.rows_lost),
+                     static_cast<long>(cell.rows_at_end), notice, domains);
+        ++failures;
+      }
+      if (cell.degraded_at_end != 0) {
+        std::fprintf(stderr,
+                     "FAIL: %ld buckets still degraded after drain "
+                     "(notice=%.0f dom=%d)\n",
+                     static_cast<long>(cell.degraded_at_end), notice,
+                     domains);
+        ++failures;
+      }
+      if (cell.baseline_tps <= 0) {
+        std::fprintf(stderr,
+                     "FAIL: no baseline goodput (notice=%.0f dom=%d)\n",
+                     notice, domains);
+        ++failures;
+      }
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape: rows lost stays zero in every cell — "
+               "survival comes from domain-diverse placement, not the "
+               "notice. Longer notices evacuate more buckets before the "
+               "kill (fewer fall back to promotion), shrinking the "
+               "goodput dip.\n";
+  bench::WriteCsv("revocation_survival.csv",
+                  {"notice_ms", "num_domains", "baseline_tps", "dip_tps",
+                   "dark_s", "buckets_evacuated", "left_to_promotion",
+                   "promotions", "rows_lost"},
+                  {notice_col, domain_col, base_col, dip_col, dark_col,
+                   evac_col, left_col, promo_col, lost_col});
+  bench::WriteRunTelemetry("revocation_survival", &telemetry);
+  return failures == 0 ? 0 : 1;
+}

@@ -51,6 +51,23 @@
 /// for byte — including the disk Rng stream and the store's content
 /// digest.
 ///
+/// --revocation switches to the topology scenario: k=1 replication plus
+/// the failure-domain topology layer (3 domains striped across the node
+/// index, node 0 on-demand, everyone else spot-revocable), and a
+/// SCRIPTED fault plan — a generous-notice spot revocation whose drain
+/// evacuates every bucket before the hard kill, the revoked node
+/// rejoining, a correlated domain outage that a domain-diverse replica
+/// map must survive with zero committed-row loss, two restarts, and a
+/// short-notice revocation whose window fits nothing, so every bucket
+/// falls back to replica promotion at the kill. The controllers must
+/// treat drains as impending capacity loss, the drain-deadline and
+/// domain-diversity audits must stay clean — and two same-seed runs
+/// must match byte for byte.
+///
+/// --list-scenarios prints every scripted scenario with a one-line
+/// description and exits (tools/check_determinism.sh uses it to reject
+/// unknown scenario names).
+///
 /// --trace-sample=P (0 < P <= 1) turns on transaction lifecycle tracing:
 /// sampled transactions record every phase transition on the virtual
 /// clock, and the dump gains txn_traces.txt plus a Chrome/Perfetto
@@ -61,9 +78,9 @@
 /// artifact stays byte-identical.
 ///
 ///   ./build/examples/chaos_run [--seed=42] [--events=10] [--out=DIR]
-///                              [--trace-sample=P]
+///                              [--trace-sample=P] [--list-scenarios]
 ///                              [--spike | --recovery | --partition |
-///                               --corruption]
+///                               --corruption | --revocation]
 
 #include <cstdio>
 #include <cstdlib>
@@ -135,6 +152,15 @@ struct RunResult {
   int64_t corrupt_served = 0;
   uint64_t disk_rng_hash = 0;
   uint64_t store_hash = 0;
+  // Revocation-scenario extras (all 0 outside --revocation).
+  int64_t spot_revocations = 0;
+  int64_t domain_outages = 0;
+  int64_t infeasible_outages = 0;
+  int64_t drains_started = 0;
+  int64_t drain_kills = 0;
+  int64_t drain_kills_infeasible = 0;
+  int64_t buckets_evacuated = 0;
+  int64_t evac_deadline_skipped = 0;
   // Partition-scenario extras (all 0 outside --partition).
   int64_t net_partitions = 0;
   int64_t suspicions = 0;
@@ -162,7 +188,7 @@ struct RunResult {
 
 RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike,
                   bool recovery, bool partition, bool corruption,
-                  double trace_sample) {
+                  bool revocation, double trace_sample) {
   // A tiny KV database: one table, Get and Put procedures. (Put is
   // registered in every mode but only the recovery workload issues it,
   // so the plain and spike scenarios are untouched.)
@@ -217,7 +243,7 @@ RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike,
     config.overload.breaker.min_samples = 20;
     config.overload.breaker.cooldown = 3 * kSecond;
   }
-  if (recovery || partition || corruption) {
+  if (recovery || partition || corruption || revocation) {
     // k=1 backups, synchronous apply, chunked re-replication, and
     // checkpoint + command-log replay on restart.
     config.replication.enabled = true;
@@ -234,6 +260,13 @@ RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike,
     // scripted live-node bit rot and the end of the run.
     config.replication.durability.enabled = true;
     config.replication.durability.scrub_rate_kbps = 64.0;
+  }
+  if (revocation) {
+    // Failure domains striped across the node index (n % 3), node 0
+    // on-demand, every other node spot-revocable.
+    config.topology.enabled = true;
+    config.topology.num_domains = 3;
+    config.topology.spot_from_node = 1;
   }
   if (partition) {
     // The simulated message substrate with the default timer chain:
@@ -267,6 +300,14 @@ RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike,
   migration.db_size_mb = 10;
   MigrationExecutor migrator(&engine, migration);
   migrator.set_telemetry(telemetry.view());
+  if (revocation) {
+    // A revocation notice immediately starts the deadline-aware
+    // evacuation: hottest buckets first, with replica promotion
+    // covering whatever the notice window cannot fit.
+    engine.set_drain_hook([&migrator](NodeId n, SimTime deadline) {
+      (void)migrator.StartEvacuation(n, deadline);
+    });
+  }
 
   ReactiveConfig reactive;
   reactive.q = 100.0;
@@ -378,6 +419,33 @@ RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike,
     restart2.type = FaultType::kNodeRestart;
     plan.events = {crash1, rot_dead, tear, restart1,
                    rot_live, stall, crash2, restart2};
+  } else if (revocation) {
+    // Scripted so the assertions (a generous notice evacuates before
+    // the kill, a short notice falls back to promotion, a domain
+    // outage loses nothing on a domain-diverse map) hold for every
+    // seed.
+    FaultEvent revoke1;
+    revoke1.at = 8 * kSecond;  // After the 2 s scale-out settles.
+    revoke1.type = FaultType::kSpotRevocation;
+    revoke1.duration = 20 * kSecond;  // Generous notice: evacuates all.
+    FaultEvent restart1;
+    restart1.at = 35 * kSecond;  // Revoked node rejoins, fresh instance.
+    restart1.type = FaultType::kNodeRestart;
+    FaultEvent outage;
+    outage.at = 45 * kSecond;  // Correlated crash of a whole domain.
+    outage.type = FaultType::kDomainOutage;
+    FaultEvent restart2;
+    restart2.at = 60 * kSecond;
+    restart2.type = FaultType::kNodeRestart;
+    FaultEvent restart3;
+    restart3.at = 62 * kSecond;
+    restart3.type = FaultType::kNodeRestart;
+    FaultEvent revoke2;
+    revoke2.at = 80 * kSecond;  // Notice shorter than one bucket's
+    revoke2.type = FaultType::kSpotRevocation;  // transfer time: every
+    revoke2.duration = 10 * kMillisecond;       // bucket misses the
+    plan.events = {revoke1, restart1, outage,   // deadline and promotes.
+                   restart2, restart3, revoke2};
   } else {
     ChaosConfig chaos;
     chaos.horizon = 90 * kSecond;
@@ -417,7 +485,8 @@ RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike,
     for (int64_t i = 0; i < static_cast<int64_t>(rate * seconds); ++i) {
       TxnRequest req;
       req.key = (i * 48271) % rows;
-      if ((recovery || partition || corruption) && i % 4 == 0) {
+      if ((recovery || partition || corruption || revocation) &&
+          i % 4 == 0) {
         req.proc = put;
         req.args.push_back(Value(i));
       } else {
@@ -426,7 +495,7 @@ RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike,
       sim.ScheduleAt(SecondsToDuration(i / rate),
                      [&engine, req]() { engine.Submit(req); });
     }
-    if (recovery || partition || corruption) {
+    if (recovery || partition || corruption || revocation) {
       // A scale-out racing the 3 s crash (or partition): the executor
       // must abort or finish the move cleanly — retransmitting through
       // the fault under --partition — and keep replica placement legal.
@@ -509,7 +578,7 @@ RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike,
     out.sheds_seen = sheds_seen;
     out.safety_scale_outs = controller.scale_outs();
   }
-  if (recovery || partition || corruption) {
+  if (recovery || partition || corruption || revocation) {
     out.promotions = engine.replication()->promotions();
     out.rebuilds = engine.replication()->rebuilds_completed();
     out.backup_applies = engine.replication()->applies();
@@ -534,6 +603,16 @@ RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike,
     out.corrupt_served = store->corrupt_records_served();
     out.disk_rng_hash = injector.disk_rng_state_hash();
     out.store_hash = store->StateHash();
+  }
+  if (revocation) {
+    out.spot_revocations = injector.spot_revocations();
+    out.domain_outages = injector.domain_outages();
+    out.infeasible_outages = injector.infeasible_outages();
+    out.drains_started = engine.drains_started();
+    out.drain_kills = engine.drain_kills();
+    out.drain_kills_infeasible = engine.drain_kills_infeasible();
+    out.buckets_evacuated = migrator.buckets_evacuated();
+    out.evac_deadline_skipped = migrator.evacuations_deadline_skipped();
   }
   if (partition) {
     out.net_partitions = injector.net_partitions();
@@ -579,6 +658,8 @@ int main(int argc, char** argv) {
   bool recovery = false;
   bool partition = false;
   bool corruption = false;
+  bool revocation = false;
+  bool list_scenarios = false;
   double trace_sample = 0.0;
   std::string out_dir;
   for (int i = 1; i < argc; ++i) {
@@ -598,12 +679,33 @@ int main(int argc, char** argv) {
       partition = true;
     } else if (std::strcmp(argv[i], "--corruption") == 0) {
       corruption = true;
+    } else if (std::strcmp(argv[i], "--revocation") == 0) {
+      revocation = true;
+    } else if (std::strcmp(argv[i], "--list-scenarios") == 0) {
+      list_scenarios = true;
     }
   }
-  if (spike + recovery + partition + corruption > 1) {
+  if (list_scenarios) {
+    std::printf(
+        "scenarios:\n"
+        "  (default)     seeded random fault mix: crashes, restarts, "
+        "migration stalls, chunk failures, misforecast windows\n"
+        "  --spike       overload: load-spike windows against bounded "
+        "queues, shedding, breakers and a client retry budget\n"
+        "  --recovery    replication: scripted crash/lag/restart/crash "
+        "with promotion failover and re-replication\n"
+        "  --partition   network: scripted partitions, loss/duplication "
+        "and delay windows over the message substrate\n"
+        "  --corruption  durability: scripted bit rot, torn writes and "
+        "disk stalls against the content-modeled store\n"
+        "  --revocation  topology: scripted spot-revocation notices "
+        "(graceful drain + deadline evacuation) and a domain outage\n");
+    return 0;
+  }
+  if (spike + recovery + partition + corruption + revocation > 1) {
     std::fprintf(stderr,
-                 "--spike, --recovery, --partition and --corruption are "
-                 "exclusive\n");
+                 "--spike, --recovery, --partition, --corruption and "
+                 "--revocation are exclusive\n");
     return 2;
   }
 
@@ -617,9 +719,13 @@ int main(int argc, char** argv) {
                         ? ", partition scenario (scripted plan)"
                         : corruption
                               ? ", durability scenario (scripted plan)"
-                              : "");
+                              : revocation
+                                    ? ", revocation scenario "
+                                      "(scripted plan)"
+                                    : "");
   const RunResult first = RunOnce(seed, num_events, spike, recovery,
-                                  partition, corruption, trace_sample);
+                                  partition, corruption, revocation,
+                                  trace_sample);
   std::printf("\nfault plan:\n%s", first.plan.c_str());
   std::printf("\nevent trace:\n%s", first.trace.c_str());
   std::printf(
@@ -694,6 +800,23 @@ int main(int argc, char** argv) {
         static_cast<long long>(first.rows_lost),
         static_cast<long long>(first.recoveries));
   }
+  if (revocation) {
+    std::printf(
+        "revocation: %lld notices, %lld drain kills (%lld infeasible), "
+        "%lld buckets evacuated, %lld left to promotion, %lld domain "
+        "outages (%lld infeasible), %lld promotions, %lld rows lost, "
+        "%lld degraded at end\n",
+        static_cast<long long>(first.spot_revocations),
+        static_cast<long long>(first.drain_kills),
+        static_cast<long long>(first.drain_kills_infeasible),
+        static_cast<long long>(first.buckets_evacuated),
+        static_cast<long long>(first.evac_deadline_skipped),
+        static_cast<long long>(first.domain_outages),
+        static_cast<long long>(first.infeasible_outages),
+        static_cast<long long>(first.promotions),
+        static_cast<long long>(first.rows_lost),
+        static_cast<long long>(first.degraded_at_end));
+  }
   if (recovery) {
     std::printf(
         "recovery: %lld promotions, %lld rebuilds, %lld backup applies, "
@@ -733,7 +856,8 @@ int main(int argc, char** argv) {
   // Replay: the same seed must reproduce the run exactly — the fault
   // trace, the metric dump and the span trace all fingerprint-equal.
   const RunResult second = RunOnce(seed, num_events, spike, recovery,
-                                   partition, corruption, trace_sample);
+                                   partition, corruption, revocation,
+                                   trace_sample);
   const bool replay_ok =
       first.fingerprint == second.fingerprint &&
       first.events == second.events &&
@@ -754,7 +878,11 @@ int main(int argc, char** argv) {
       first.disk_rng_hash == second.disk_rng_hash &&
       first.store_hash == second.store_hash &&
       first.crc_detected == second.crc_detected &&
-      first.scrub_repairs == second.scrub_repairs;
+      first.scrub_repairs == second.scrub_repairs &&
+      first.drains_started == second.drains_started &&
+      first.drain_kills == second.drain_kills &&
+      first.buckets_evacuated == second.buckets_evacuated &&
+      first.evac_deadline_skipped == second.evac_deadline_skipped;
   std::printf("\nreplay: trace fingerprints %016llx vs %016llx, "
               "metrics %016llx vs %016llx, spans %016llx vs %016llx -> %s\n",
               static_cast<unsigned long long>(first.fingerprint),
@@ -799,9 +927,22 @@ int main(int argc, char** argv) {
        first.scrub_found > 0 && first.scrub_repairs > 0 &&
        first.corrupt_served == 0 && first.recoveries == 2 &&
        first.rows_lost == 0 && first.degraded_at_end == 0);
+  // Revocation acceptance: both notices fired and hard-killed on
+  // deadline, the generous notice really evacuated, the short notice
+  // really fell back to promotion, the domain outage was survivable
+  // (domain-diverse placement in force) — and the hard lines held:
+  // zero committed rows lost, full k restored by the end.
+  const bool revocation_ok =
+      !revocation ||
+      (first.spot_revocations == 2 && first.domain_outages == 1 &&
+       first.drains_started == 2 && first.drain_kills == 2 &&
+       first.buckets_evacuated > 0 && first.evac_deadline_skipped > 0 &&
+       first.promotions > 0 && first.infeasible_outages == 0 &&
+       first.drain_kills_infeasible == 0 && first.rows_lost == 0 &&
+       first.degraded_at_end == 0);
   const bool ok = first.violations == 0 && second.violations == 0 &&
                   replay_ok && recovery_ok && partition_ok &&
-                  corruption_ok;
+                  corruption_ok && revocation_ok;
   std::printf("%s\n", ok ? "chaos run PASSED" : "chaos run FAILED");
   return ok ? 0 : 1;
 }

@@ -43,6 +43,14 @@ Status EngineConfig::Validate() const {
           "promotes backup replicas)");
     }
   }
+  if (topology.enabled) {
+    PSTORE_RETURN_NOT_OK(topology.Validate());
+    if (!replication.enabled) {
+      return Status::InvalidArgument(
+          "topology.enabled requires replication.enabled (domain-diverse "
+          "placement and drain failover act on backup replicas)");
+    }
+  }
   return Status::OK();
 }
 
@@ -78,6 +86,16 @@ ClusterEngine::ClusterEngine(Simulator* sim, Catalog catalog,
     admission_ = std::make_unique<overload::AdmissionController>(
         config_.overload, config_.max_nodes);
   }
+  if (config_.topology.enabled) {
+    // No extra Rng stream: the topology layer is fully deterministic
+    // (domain and class derive from the node index), so toggling it
+    // cannot perturb any other subsystem's draw sequence.
+    policy_ = std::make_unique<topology::PlacementPolicy>(config_.topology);
+    const size_t mn = static_cast<size_t>(config_.max_nodes);
+    node_draining_.assign(mn, 0);
+    drain_deadline_.assign(mn, 0);
+    drain_gen_.assign(mn, 0);
+  }
   if (config_.replication.enabled) {
     node_recovering_.assign(static_cast<size_t>(config_.max_nodes), 0);
     recovery_gen_.assign(static_cast<size_t>(config_.max_nodes), 0);
@@ -85,6 +103,9 @@ ClusterEngine::ClusterEngine(Simulator* sim, Catalog catalog,
     replication_ = std::make_unique<replication::ReplicaManager>(
         &catalog_, config_.replication, config_.num_buckets, total,
         config_.partitions_per_node);
+    if (policy_ != nullptr) {
+      replication_->set_placement_policy(policy_.get());
+    }
     InitialReplicaPlacement();
     ScheduleCheckpoint();
     if (replication_->content() != nullptr &&
@@ -268,6 +289,15 @@ void ClusterEngine::set_telemetry(const obs::Telemetry& telemetry) {
       return static_cast<double>(nodes_suspected());
     });
   }
+  // Topology metrics exist only when the topology layer is on, keeping
+  // the default build's metric dumps byte-identical.
+  if (policy_ != nullptr) {
+    m_drains_ = metrics->GetCounter("topology.drains_started");
+    m_drain_kills_ = metrics->GetCounter("topology.drain_kills");
+    metrics->RegisterCallbackGauge("topology.nodes_draining", [this]() {
+      return static_cast<double>(nodes_draining());
+    });
+  }
   // Per-procedure / per-partition latency histograms exist only when
   // lifecycle tracing is on, keeping the default build's metric dumps
   // byte-identical.
@@ -306,6 +336,12 @@ Status ClusterEngine::ActivateNodes(int32_t n) {
       replication_->ResetNode(i);
     }
     if (net_ != nullptr) ResetLease(i);
+    if (policy_ != nullptr) {
+      // A node index released mid-drain must not inherit that stale
+      // drain (or its deadline kill) when reprovisioned.
+      node_draining_[static_cast<size_t>(i)] = 0;
+      ++drain_gen_[static_cast<size_t>(i)];
+    }
   }
   active_nodes_ = n;
   allocation_timeline_.push_back(AllocationEvent{sim_->Now(), active_nodes_});
@@ -343,6 +379,10 @@ Status ClusterEngine::DeactivateNodes(int32_t n) {
       ++recovery_gen_[static_cast<size_t>(m)];
       replication_->ResetNode(m);
       if (net_ != nullptr) ResetLease(m);
+      if (policy_ != nullptr) {
+        node_draining_[static_cast<size_t>(m)] = 0;
+        ++drain_gen_[static_cast<size_t>(m)];
+      }
     }
   }
   active_nodes_ = n;
@@ -377,6 +417,12 @@ Status ClusterEngine::CrashNode(NodeId n) {
   }
   node_up_[static_cast<size_t>(n)] = 0;
   ++fault_epoch_;
+  if (policy_ != nullptr && node_draining_[static_cast<size_t>(n)] != 0) {
+    // A crash supersedes a pending drain; the generation bump voids the
+    // scheduled deadline kill.
+    node_draining_[static_cast<size_t>(n)] = 0;
+    ++drain_gen_[static_cast<size_t>(n)];
+  }
   if (net_ != nullptr) {
     // Fail-stop is authoritative: the node is dead, not suspected, and
     // any fence against it is moot (this failover supersedes it).
@@ -914,6 +960,100 @@ bool ClusterEngine::RecoveryInProgress() const {
   return nodes_recovering() > 0 || replication_->degraded_buckets() > 0;
 }
 
+int32_t ClusterEngine::nodes_draining() const {
+  if (policy_ == nullptr) return 0;
+  int32_t draining = 0;
+  for (int32_t n = 0; n < active_nodes_; ++n) {
+    if (node_draining_[static_cast<size_t>(n)] != 0) ++draining;
+  }
+  return draining;
+}
+
+Status ClusterEngine::StartDrain(NodeId n, SimDuration notice) {
+  if (policy_ == nullptr) {
+    return Status::FailedPrecondition("topology layer is disabled");
+  }
+  if (!IsNodeUp(n)) {
+    return Status::FailedPrecondition(
+        "node " + std::to_string(n) + " is not an up, active node");
+  }
+  if (node_draining_[static_cast<size_t>(n)] != 0) {
+    return Status::FailedPrecondition(
+        "node " + std::to_string(n) + " is already draining");
+  }
+  if (live_nodes() <= 1) {
+    return Status::FailedPrecondition("cannot drain the last live node");
+  }
+  if (notice <= 0) return Status::InvalidArgument("notice must be positive");
+  const SimTime deadline = sim_->Now() + notice;
+  node_draining_[static_cast<size_t>(n)] = 1;
+  drain_deadline_[static_cast<size_t>(n)] = deadline;
+  ++drains_started_;
+  const int64_t gen = ++drain_gen_[static_cast<size_t>(n)];
+  sim_->Schedule(notice, [this, n, gen]() { FinishDrainDeadline(n, gen); });
+  if (m_drains_ != nullptr) m_drains_->Increment();
+  if (telemetry_.events != nullptr) {
+    telemetry_.events->Record(
+        sim_->Now(), "topology",
+        "node " + std::to_string(n) + " draining (" +
+            topology::NodeClassName(policy_->ClassOf(n)) + ", domain " +
+            std::to_string(policy_->DomainOf(n)) + "): hard kill at " +
+            std::to_string(deadline) + " us");
+  }
+  if (drain_hook_) drain_hook_(n, deadline);
+  return Status::OK();
+}
+
+void ClusterEngine::FinishDrainDeadline(NodeId n, int64_t gen) {
+  if (policy_ == nullptr || n >= active_nodes_ ||
+      gen != drain_gen_[static_cast<size_t>(n)] ||
+      node_draining_[static_cast<size_t>(n)] == 0) {
+    return;  // Crashed, released, or reprovisioned while draining.
+  }
+  node_draining_[static_cast<size_t>(n)] = 0;
+  ++drain_gen_[static_cast<size_t>(n)];
+  ++drain_kills_;
+  if (m_drain_kills_ != nullptr) m_drain_kills_->Increment();
+  // Feasibility snapshot before the kill: a hosted bucket with no live
+  // replica off this node cannot be promoted — its rows are about to
+  // be honestly lost, and zero-loss assertions must exclude this kill.
+  bool infeasible = false;
+  if (replication_ != nullptr) {
+    for (int32_t k = 0; k < config_.partitions_per_node && !infeasible;
+         ++k) {
+      const PartitionId p = n * config_.partitions_per_node + k;
+      for (BucketId b : map_.BucketsOfPartition(p)) {
+        bool survivable = false;
+        for (PartitionId r : replication_->replicas(b)) {
+          const NodeId rn = NodeOfPartition(r);
+          if (rn != n && IsNodeUp(rn)) {
+            survivable = true;
+            break;
+          }
+        }
+        if (!survivable) {
+          infeasible = true;
+          break;
+        }
+      }
+    }
+  }
+  if (infeasible) ++drain_kills_infeasible_;
+  if (telemetry_.events != nullptr) {
+    std::string msg = "node " + std::to_string(n) +
+                      " revocation deadline reached: hard kill";
+    if (infeasible) msg += " (bucket without live replica: rows at risk)";
+    telemetry_.events->Record(sim_->Now(), "topology", msg);
+  }
+  Status st = CrashNode(n);
+  if (!st.ok() && telemetry_.events != nullptr) {
+    telemetry_.events->Record(
+        sim_->Now(), "topology",
+        "revocation kill of node " + std::to_string(n) +
+            " rejected: " + st.ToString());
+  }
+}
+
 PartitionId ClusterEngine::ChooseBackupPartition(BucketId b) const {
   const PartitionId primary = map_.PartitionOfBucket(b);
   const NodeId primary_node = NodeOfPartition(primary);
@@ -923,6 +1063,8 @@ PartitionId ClusterEngine::ChooseBackupPartition(BucketId b) const {
       pending_target >= 0 ? NodeOfPartition(pending_target) : -1;
   PartitionId best = -1;
   int64_t best_load = 0;
+  PartitionId best_diverse = -1;  // Best candidate off the primary's domain.
+  int64_t best_diverse_load = 0;
   for (PartitionId q = 0; q < active_partitions(); ++q) {
     const NodeId qn = NodeOfPartition(q);
     if (qn == primary_node || qn == pending_node || !IsNodeUp(qn)) continue;
@@ -932,6 +1074,12 @@ PartitionId ClusterEngine::ChooseBackupPartition(BucketId b) const {
         (node_suspected_[static_cast<size_t>(qn)] != 0 ||
          node_fenced_[static_cast<size_t>(qn)] != 0 ||
          !net_->Reachable(net::NetworkModel::kController, qn))) {
+      continue;
+    }
+    // Draining nodes are minutes from a hard kill; a fresh replica
+    // there would just re-degrade the bucket at the deadline.
+    if (policy_ != nullptr &&
+        node_draining_[static_cast<size_t>(qn)] != 0) {
       continue;
     }
     bool node_has_replica = false;
@@ -947,8 +1095,15 @@ PartitionId ClusterEngine::ChooseBackupPartition(BucketId b) const {
       best = q;
       best_load = load;
     }
+    if (policy_ != nullptr && policy_->PrefersForBackup(primary_node, qn) &&
+        (best_diverse < 0 || load < best_diverse_load)) {
+      best_diverse = q;
+      best_diverse_load = load;
+    }
   }
-  return best;
+  // Domain diversity beats load balance: a same-domain backup is one
+  // correlated outage away from losing the bucket with its primary.
+  return best_diverse >= 0 ? best_diverse : best;
 }
 
 void ClusterEngine::InitialReplicaPlacement() {
@@ -1049,7 +1204,10 @@ void ClusterEngine::OnBucketReassigned(BucketId bucket, PartitionId to) {
     replication_->CancelRebuild(bucket);
     degraded = true;
   }
-  if (degraded) KickRebuilds();
+  // With the topology layer on, a reassignment can break domain
+  // diversity without degrading k (the new primary landed in the
+  // backups' domain); the sweep restores it.
+  if (degraded || policy_ != nullptr) KickRebuilds();
 }
 
 void ClusterEngine::KickRebuilds() {
@@ -1062,6 +1220,31 @@ void ClusterEngine::KickRebuilds() {
     if (target < 0) continue;  // Retried on the next topology change.
     const int64_t gen = replication_->BeginRebuild(b, target);
     ScheduleRebuildChunk(b, 0, gen);
+  }
+  if (policy_ == nullptr) return;
+  // Diversity repair: a full-k bucket whose primary and every backup
+  // share one failure domain survives no domain outage. When a
+  // diverse-domain candidate exists, relocate the lowest-id backup
+  // onto it (rows preserved; same mechanism as primary-collision
+  // relocation in OnBucketReassigned).
+  for (BucketId b = 0; b < config_.num_buckets; ++b) {
+    if (replication_->IsDegraded(b) || replication_->rebuild_in_flight(b)) {
+      continue;
+    }
+    const NodeId primary_node = NodeOfPartition(map_.PartitionOfBucket(b));
+    if (replication_->IsDomainDiverse(b, primary_node)) continue;
+    const PartitionId target = ChooseBackupPartition(b);
+    if (target < 0 ||
+        policy_->SameDomain(primary_node, NodeOfPartition(target))) {
+      continue;  // No diverse candidate; retried on topology change.
+    }
+    const auto& reps = replication_->replicas(b);
+    if (reps.empty()) continue;
+    Status s = replication_->MoveReplica(b, reps.front(), target);
+    if (!s.ok()) {
+      PSTORE_LOG(Warn) << "diversity relocation of bucket " << b
+                       << " failed: " << s.ToString();
+    }
   }
 }
 

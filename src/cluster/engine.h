@@ -20,6 +20,7 @@
 #include "storage/fragment.h"
 #include "storage/partition_map.h"
 #include "storage/schema.h"
+#include "topology/topology.h"
 #include "txn/procedure.h"
 
 /// \file engine.h
@@ -81,6 +82,15 @@ struct EngineConfig {
   /// the historical build. Requires `replication.enabled` (fenced
   /// failover promotes backups).
   net::NetConfig net;
+
+  /// Cluster topology (failure domains, node classes, domain-diverse
+  /// replica placement, spot-revocation drains). Disabled by default;
+  /// with `topology.enabled == false` no PlacementPolicy exists, no
+  /// extra Rng stream is created, placement and failover are untouched,
+  /// and the engine's event sequence stays byte-identical to the
+  /// historical build. Requires `replication.enabled` (diversity
+  /// constrains backup replica placement).
+  topology::TopologyConfig topology;
 
   Status Validate() const;
 };
@@ -319,6 +329,70 @@ class ClusterEngine {
     return replicas_evicted_unreachable_;
   }
 
+  // --- Topology layer / graceful drain ----------------------------------
+  //
+  // With topology.enabled, every node maps to a failure domain and a
+  // node class (spot vs on-demand), backup placement prefers domains
+  // different from the primary's (so no bucket keeps its primary and
+  // all backups in one domain while a diverse target exists), and
+  // nodes can be *drained*: a spot-revocation notice marks the node
+  // draining — no new backup replicas target it and controllers treat
+  // it as impending capacity loss — until the deadline, when it is
+  // hard-killed like a crash. Evacuation itself is driven through the
+  // drain hook (chaos harnesses wire it to MigrationExecutor's
+  // deadline-aware evacuator); whatever misses the deadline falls back
+  // to replica promotion in the kill's failover.
+
+  /// The placement policy, or nullptr when topology is disabled.
+  const topology::PlacementPolicy* placement_policy() const {
+    return policy_.get();
+  }
+
+  /// True while node `n` is draining toward a revocation deadline.
+  bool IsNodeDraining(NodeId n) const {
+    return policy_ != nullptr && n >= 0 && n < active_nodes_ &&
+           node_draining_[static_cast<size_t>(n)] != 0;
+  }
+
+  /// Active nodes currently draining. Controllers treat these as
+  /// impending capacity loss: scale out ahead of the kill and defer
+  /// scale-ins. Always 0 when topology is disabled.
+  int32_t nodes_draining() const;
+
+  /// Absolute hard-kill deadline of a draining node (meaningful only
+  /// while IsNodeDraining(n)).
+  SimTime drain_deadline(NodeId n) const {
+    return policy_ != nullptr && n >= 0 && n < active_nodes_
+               ? drain_deadline_[static_cast<size_t>(n)]
+               : 0;
+  }
+
+  /// Puts node `n` into the draining state with `notice` of advance
+  /// warning; at the deadline the node is hard-killed (CrashNode).
+  /// Fails with FailedPrecondition when topology is disabled, `n` is
+  /// not an up active node, `n` is already draining, or `n` is the
+  /// last live node; InvalidArgument when `notice` <= 0.
+  Status StartDrain(NodeId n, SimDuration notice);
+
+  /// Installs a hook fired when a drain starts, with the node and its
+  /// hard-kill deadline; chaos harnesses wire it to the migration
+  /// executor's deadline-aware evacuator.
+  void set_drain_hook(std::function<void(NodeId, SimTime)> hook) {
+    drain_hook_ = std::move(hook);
+  }
+
+  /// Drains started (spot-revocation notices accepted).
+  int64_t drains_started() const { return drains_started_; }
+
+  /// Draining nodes hard-killed at their deadline.
+  int64_t drain_kills() const { return drain_kills_; }
+
+  /// Deadline kills that found some hosted bucket with no live replica
+  /// left to promote — revocations infeasible to survive (rows were
+  /// honestly lost). Stays 0 whenever a live replica existed off the
+  /// doomed node at the deadline.
+  int64_t drain_kills_infeasible() const { return drain_kills_infeasible_; }
+
   // --- Data ------------------------------------------------------------
 
   const Catalog& catalog() const { return catalog_; }
@@ -481,6 +555,11 @@ class ClusterEngine {
   void FinishRebuild(BucketId bucket, int64_t gen);
   /// Recovery replay done: node rejoins, fault epoch bumps.
   void FinishRecovery(NodeId n, int64_t gen);
+  /// Revocation deadline reached: clears the draining state, snapshots
+  /// survivability (any hosted bucket without a live off-node replica
+  /// marks the kill infeasible), and hard-kills the node. `gen` guards
+  /// against deadlines voided by an earlier crash or release.
+  void FinishDrainDeadline(NodeId n, int64_t gen);
   /// Recurring cluster-wide fuzzy checkpoint.
   void ScheduleCheckpoint();
   /// Recurring background scrub tick (content-modeled durability only):
@@ -545,6 +624,15 @@ class ClusterEngine {
   int64_t buckets_deferred_ = 0;
   int64_t replicas_evicted_unreachable_ = 0;
 
+  std::unique_ptr<topology::PlacementPolicy> policy_;
+  std::vector<uint8_t> node_draining_;   ///< Indexed by NodeId.
+  std::vector<SimTime> drain_deadline_;  ///< Hard-kill deadline.
+  std::vector<int64_t> drain_gen_;       ///< Stale-deadline guard.
+  int64_t drains_started_ = 0;
+  int64_t drain_kills_ = 0;
+  int64_t drain_kills_infeasible_ = 0;
+  std::function<void(NodeId, SimTime)> drain_hook_;
+
   obs::Telemetry telemetry_;
   // Cached metric handles (null until set_telemetry).
   obs::Counter* m_committed_ = nullptr;
@@ -566,6 +654,8 @@ class ClusterEngine {
   obs::Counter* m_suspicions_ = nullptr;
   obs::Counter* m_fenced_failovers_ = nullptr;
   obs::Counter* m_fenced_rejections_ = nullptr;
+  obs::Counter* m_drains_ = nullptr;
+  obs::Counter* m_drain_kills_ = nullptr;
   obs::Gauge* m_active_nodes_ = nullptr;
   obs::Gauge* m_live_nodes_ = nullptr;
   obs::HistogramMetric* m_latency_us_ = nullptr;

@@ -110,9 +110,13 @@ bool PredictiveController::SafetyNet(double current_rate) {
   // Recovery replay / re-replication consumes capacity the measured
   // rate cannot see, so a cluster below full k-safety trips the net at
   // a correspondingly lower measured watermark (one node's worth of
-  // slack is reserved for the catch-up work).
+  // slack is reserved for the catch-up work). Draining nodes are netted
+  // out the same way: their capacity is already scheduled to vanish at
+  // the revocation deadline, so the net sizes against what will remain.
+  const int32_t usable =
+      std::max(1, live - engine_->nodes_draining());
   const int32_t capacity_nodes =
-      engine_->RecoveryInProgress() ? std::max(1, live - 1) : live;
+      engine_->RecoveryInProgress() ? std::max(1, usable - 1) : usable;
   if (!breaker_overload &&
       current_rate <=
           config_.safety_net_watermark * config_.q_hat * capacity_nodes) {
@@ -303,6 +307,21 @@ void PredictiveController::PlanAndAct(double current_rate) {
             "scale-in deferred: " +
                 std::to_string(engine_->nodes_suspected()) +
                 " node(s) suspected unreachable");
+      }
+      return;
+    }
+    // And never shrink while a node is draining toward a revocation
+    // deadline: the drain is impending capacity loss the forecast
+    // cannot see, and releasing machines now would leave the evacuated
+    // buckets (and the deadline kill's failover) nowhere to land.
+    if (engine_->nodes_draining() > 0) {
+      scale_in_streak_ = 0;
+      if (telemetry_.events != nullptr) {
+        telemetry_.events->Record(
+            engine_->simulator()->Now(), "controller",
+            "scale-in deferred: " +
+                std::to_string(engine_->nodes_draining()) +
+                " node(s) draining (impending revocation)");
       }
       return;
     }

@@ -109,26 +109,41 @@ void ReactiveController::Tick() {
     const bool recovery_overload =
         recovering && recovery_scale_epoch_ != epoch;
 
-    if (rate_overload || breaker_overload || recovery_overload) {
+    // A draining node is capacity already scheduled to vanish (a spot
+    // revocation's hard kill): treat each revocation wave as overload
+    // evidence and provision the replacements before the deadline, one
+    // scale-out per wave.
+    const int32_t draining = engine_->nodes_draining();
+    const bool drain_overload =
+        draining > 0 && engine_->drains_started() > drains_seen_;
+
+    if (rate_overload || breaker_overload || recovery_overload ||
+        drain_overload) {
       // Overload detected: scale out to fit the observed load.
       const int32_t target =
           rate_overload || breaker_overload
               ? std::max(n + 1, size_for(smoothed_rate_))
-              : std::min(n + 1, engine_->max_nodes());
+              : drain_overload
+                    ? std::min(n + draining, engine_->max_nodes())
+                    : std::min(n + 1, engine_->max_nodes());
       if (target > n) {
         low_since_ = -1;
         Status st = migrator_->StartMove(target, nullptr,
                                          config_.rate_multiplier);
         if (st.ok()) {
           if (recovery_overload) recovery_scale_epoch_ = epoch;
+          if (drain_overload) drains_seen_ = engine_->drains_started();
           ++scale_outs_;
           if (m_scale_outs_ != nullptr) m_scale_outs_->Add(1);
           if (telemetry_.events != nullptr) {
             const char* cause =
                 breaker_overload
                     ? "breaker-open overload at "
-                    : rate_overload ? "overload at "
-                                    : "degraded-k/recovery overload at ";
+                    : rate_overload
+                          ? "overload at "
+                          : drain_overload
+                                ? "drain/revocation overload at "
+                                : "degraded-k/recovery overload at ";
             telemetry_.events->Record(
                 engine_->simulator()->Now(), "reactive",
                 cause + obs::FormatMetricValue(smoothed_rate_) +
@@ -138,7 +153,7 @@ void ReactiveController::Tick() {
         }
       }
     } else if (n > engine_->min_active_nodes() && live > 1 && !recovering &&
-               engine_->nodes_suspected() == 0 &&
+               engine_->nodes_suspected() == 0 && draining == 0 &&
                smoothed_rate_ <
                    config_.low_watermark * config_.q * (live - 1)) {
       // Load would comfortably fit on a smaller cluster; require it to
@@ -147,7 +162,9 @@ void ReactiveController::Tick() {
       // backup with no node left to rebuild onto. A suspected
       // (unreachable but not yet fenced) node vetoes the branch: its
       // load is invisible to the rate estimate and shrinking mid-
-      // partition could strand buckets that are about to fail over.
+      // partition could strand buckets that are about to fail over. A
+      // draining node vetoes it too: its capacity is already scheduled
+      // to vanish at the revocation deadline.
       const SimTime now = engine_->simulator()->Now();
       if (low_since_ < 0) low_since_ = now;
       if (now - low_since_ >= config_.scale_in_hold) {

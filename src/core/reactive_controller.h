@@ -93,6 +93,10 @@ class ReactiveController {
   /// Fault epoch whose recovery already triggered a scale-out (one
   /// extra node per crash/restart, not one per tick).
   int64_t recovery_scale_epoch_ = -1;
+  /// Drains already answered with a scale-out (engine drains_started()
+  /// watermark: one emergency scale-out per revocation wave, not one
+  /// per tick while a node drains).
+  int64_t drains_seen_ = 0;
   double smoothed_rate_ = 0;
   SimTime low_since_ = -1;
   int64_t scale_outs_ = 0;

@@ -113,6 +113,37 @@ NodeId FaultInjector::PickDiskTarget() const {
   return -1;
 }
 
+NodeId FaultInjector::PickSpotTarget() const {
+  const topology::PlacementPolicy* policy = engine_->placement_policy();
+  for (NodeId n = engine_->active_nodes() - 1; n >= 1; --n) {
+    if (engine_->IsNodeUp(n) && !engine_->IsNodeDraining(n) &&
+        policy->ClassOf(n) == topology::NodeClass::kSpot) {
+      return n;
+    }
+  }
+  return -1;
+}
+
+int32_t FaultInjector::PickDomainTarget() const {
+  const topology::PlacementPolicy* policy = engine_->placement_policy();
+  const int32_t home = policy->DomainOf(0);  // Sparing node 0's domain
+                                             // keeps the cluster alive.
+  int32_t best = -1;
+  int32_t best_live = 0;
+  for (int32_t d = 0; d < policy->config().num_domains; ++d) {
+    if (d == home) continue;
+    int32_t live = 0;
+    for (NodeId n = 0; n < engine_->active_nodes(); ++n) {
+      if (engine_->IsNodeUp(n) && policy->DomainOf(n) == d) ++live;
+    }
+    if (live > 0 && live >= best_live) {  // >= keeps ties on higher index.
+      best = d;
+      best_live = live;
+    }
+  }
+  return best;
+}
+
 void FaultInjector::ApplyEvent(const FaultEvent& event) {
   const SimTime now = engine_->simulator()->Now();
   switch (event.type) {
@@ -315,6 +346,105 @@ void FaultInjector::ApplyEvent(const FaultEvent& event) {
                              " (xlatency=" +
                              std::to_string(event.load_scale) + ")");
       return;
+    // The topology faults are recorded but inert when the engine's
+    // topology layer is off, and they draw nothing from either Rng
+    // stream in any case — so toggling topology.enabled leaves every
+    // other fault's draw sequence byte-identical.
+    case FaultType::kSpotRevocation: {
+      if (engine_->placement_policy() == nullptr) {
+        trace_.Record(now, "spot-revocation skipped: topology disabled");
+        return;
+      }
+      const NodeId target =
+          event.node >= 0 ? event.node : PickSpotTarget();
+      if (target < 0) {
+        trace_.Record(now, "spot-revocation skipped: no revocable node");
+        return;
+      }
+      Status st = engine_->StartDrain(target, event.duration);
+      if (st.ok()) {
+        ++spot_revocations_;
+        trace_.Record(now, "spot revocation of node " +
+                               std::to_string(target) + ": draining with " +
+                               FormatSimTime(event.duration) + " notice");
+      } else {
+        trace_.Record(now, "spot revocation of node " +
+                               std::to_string(target) +
+                               " rejected: " + st.ToString());
+      }
+      return;
+    }
+    case FaultType::kDomainOutage: {
+      const topology::PlacementPolicy* policy = engine_->placement_policy();
+      if (policy == nullptr) {
+        trace_.Record(now, "domain-outage skipped: topology disabled");
+        return;
+      }
+      const int32_t domain =
+          event.node >= 0 ? event.node % policy->config().num_domains
+                          : PickDomainTarget();
+      if (domain < 0) {
+        trace_.Record(now, "domain-outage skipped: no target domain");
+        return;
+      }
+      // Feasibility snapshot before the first crash: a bucket whose
+      // every live copy (primary and backups) sits inside the doomed
+      // domain cannot survive the correlated kill, however failover
+      // sequences the promotions.
+      bool infeasible = false;
+      replication::ReplicaManager* rep = engine_->replication();
+      if (rep != nullptr) {
+        for (NodeId n = 0; n < engine_->active_nodes() && !infeasible;
+             ++n) {
+          if (!engine_->IsNodeUp(n) || policy->DomainOf(n) != domain) {
+            continue;
+          }
+          for (int32_t i = 0;
+               i < engine_->partitions_per_node() && !infeasible; ++i) {
+            const PartitionId p = n * engine_->partitions_per_node() + i;
+            for (BucketId b :
+                 engine_->partition_map().BucketsOfPartition(p)) {
+              bool survivable = false;
+              for (PartitionId r : rep->replicas(b)) {
+                const NodeId rn = rep->node_of(r);
+                if (engine_->IsNodeUp(rn) &&
+                    policy->DomainOf(rn) != domain) {
+                  survivable = true;
+                  break;
+                }
+              }
+              if (!survivable) {
+                infeasible = true;
+                break;
+              }
+            }
+          }
+        }
+      }
+      if (infeasible) ++infeasible_outages_;
+      int32_t crashed = 0;
+      for (NodeId n = 0; n < engine_->active_nodes(); ++n) {
+        if (!engine_->IsNodeUp(n) || policy->DomainOf(n) != domain) {
+          continue;
+        }
+        Status st = engine_->CrashNode(n);
+        if (st.ok()) {
+          ++crashed;
+        } else {
+          trace_.Record(now, "domain-outage crash of node " +
+                                 std::to_string(n) +
+                                 " rejected: " + st.ToString());
+        }
+      }
+      ++domain_outages_;
+      std::string msg = "domain outage in domain " +
+                        std::to_string(domain) + ": " +
+                        std::to_string(crashed) + " nodes crashed (live=" +
+                        std::to_string(engine_->live_nodes()) + ")";
+      if (infeasible) msg += " [bucket(s) without out-of-domain replica]";
+      trace_.Record(now, msg);
+      return;
+    }
   }
 }
 

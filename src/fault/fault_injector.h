@@ -79,6 +79,16 @@ class FaultInjector {
   int64_t records_corrupted() const { return records_corrupted_; }
   /// Durable records truncated across all torn-write events.
   int64_t records_torn() const { return records_torn_; }
+  /// Spot-revocation notices delivered (0 when the topology layer is
+  /// off — the events are recorded in the trace but inert).
+  int64_t spot_revocations() const { return spot_revocations_; }
+  /// Domain outages fired.
+  int64_t domain_outages() const { return domain_outages_; }
+  /// Domain outages that found some bucket with every live copy inside
+  /// the doomed domain at fire time — correlated failures no placement
+  /// could have survived. Zero-loss assertions exclude runs where this
+  /// (or the engine's drain_kills_infeasible) is non-zero.
+  int64_t infeasible_outages() const { return infeasible_outages_; }
 
   /// Digest of the injector's Rng state — equal across two runs iff the
   /// runs made identical random draws (determinism golden tests).
@@ -106,6 +116,14 @@ class FaultInjector {
   /// replay), else the highest live node (the scrubber's beat); -1 if
   /// no node exists.
   NodeId PickDiskTarget() const;
+  /// Picks the auto spot-revocation victim: the highest-indexed live,
+  /// not-yet-draining spot-class node (never node 0); -1 if none.
+  /// Requires the engine's topology layer. Zero Rng draws.
+  NodeId PickSpotTarget() const;
+  /// Picks the auto outage domain: the domain (excluding node 0's, so
+  /// the cluster survives) with the most live nodes, ties toward the
+  /// higher index; -1 if every other domain is empty. Zero Rng draws.
+  int32_t PickDomainTarget() const;
   ChunkFault OnChunk(PartitionId src, PartitionId dst, SimTime now);
 
   ClusterEngine* engine_;
@@ -146,6 +164,9 @@ class FaultInjector {
   int64_t disk_stalls_ = 0;
   int64_t records_corrupted_ = 0;
   int64_t records_torn_ = 0;
+  int64_t spot_revocations_ = 0;
+  int64_t domain_outages_ = 0;
+  int64_t infeasible_outages_ = 0;
 };
 
 /// \brief Decorator that scales another predictor's forecasts by the

@@ -32,6 +32,10 @@ const char* FaultTypeName(FaultType type) {
       return "torn-write";
     case FaultType::kDiskStall:
       return "disk-stall";
+    case FaultType::kSpotRevocation:
+      return "spot-revocation";
+    case FaultType::kDomainOutage:
+      return "domain-outage";
   }
   return "unknown";
 }
@@ -47,11 +51,13 @@ bool IsWindowFault(FaultType type) {
     case FaultType::kNetLoss:
     case FaultType::kNetDelay:
     case FaultType::kDiskStall:
+    case FaultType::kSpotRevocation:
       return true;
     case FaultType::kNodeCrash:
     case FaultType::kNodeRestart:
     case FaultType::kDiskCorruption:
     case FaultType::kTornWrite:
+    case FaultType::kDomainOutage:
       return false;
   }
   return false;
@@ -117,6 +123,15 @@ std::string FaultEvent::ToString() const {
       out += " window=" + FormatSimTime(duration) +
              " xlatency=" + std::to_string(load_scale);
       break;
+    case FaultType::kSpotRevocation:
+      out += " node=" +
+             (node < 0 ? std::string("auto") : std::to_string(node)) +
+             " notice=" + FormatSimTime(duration);
+      break;
+    case FaultType::kDomainOutage:
+      out += " domain=" +
+             (node < 0 ? std::string("auto") : std::to_string(node));
+      break;
   }
   return out;
 }
@@ -162,13 +177,15 @@ Status ChaosConfig::Validate() const {
       load_spike_weight < 0 || replica_lag_weight < 0 ||
       net_partition_weight < 0 || net_loss_weight < 0 ||
       net_delay_weight < 0 || disk_corruption_weight < 0 ||
-      torn_write_weight < 0 || disk_stall_weight < 0) {
+      torn_write_weight < 0 || disk_stall_weight < 0 ||
+      spot_revocation_weight < 0 || domain_outage_weight < 0) {
     return Status::InvalidArgument("fault weights must be >= 0");
   }
   if (crash_weight + restart_weight + stall_weight + chunk_failure_weight +
           misforecast_weight + load_spike_weight + replica_lag_weight +
           net_partition_weight + net_loss_weight + net_delay_weight +
-          disk_corruption_weight + torn_write_weight + disk_stall_weight <=
+          disk_corruption_weight + torn_write_weight + disk_stall_weight +
+          spot_revocation_weight + domain_outage_weight <=
       0) {
     return Status::InvalidArgument("at least one weight must be > 0");
   }
@@ -189,7 +206,8 @@ FaultPlan RandomFaultPlan(Rng* rng, const ChaosConfig& config) {
        config.load_spike_weight, config.replica_lag_weight,
        config.net_partition_weight, config.net_loss_weight,
        config.net_delay_weight, config.disk_corruption_weight,
-       config.torn_write_weight, config.disk_stall_weight});
+       config.torn_write_weight, config.disk_stall_weight,
+       config.spot_revocation_weight, config.domain_outage_weight});
   for (int32_t i = 0; i < config.num_events; ++i) {
     FaultEvent e;
     e.at = static_cast<SimTime>(
@@ -268,6 +286,16 @@ FaultPlan RandomFaultPlan(Rng* rng, const ChaosConfig& config) {
         // 2x to 8x durable I/O latency — a browning disk, not a dead
         // one.
         e.load_scale = 2.0 + 6.0 * rng->NextDouble();
+        break;
+      case FaultType::kSpotRevocation:
+        e.node = -1;  // injector picks a live spot node at fire time
+        // The advance-notice window: the drained node is hard-killed
+        // when it closes, evacuated or not.
+        e.duration = 1 + static_cast<SimDuration>(rng->NextBounded(
+                             static_cast<uint64_t>(config.max_window)));
+        break;
+      case FaultType::kDomainOutage:
+        e.node = -1;  // injector picks the doomed domain at fire time
         break;
     }
     plan.events.push_back(e);

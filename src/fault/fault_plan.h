@@ -36,6 +36,8 @@ enum class FaultType {
   kDiskCorruption,  ///< Bit-rot flips durable record payloads (CRCs stale).
   kTornWrite,       ///< Truncate the tail of a checkpoint or log segment.
   kDiskStall,       ///< Open a window multiplying durable I/O latency.
+  kSpotRevocation,  ///< Advance-notice drain window, then a hard kill.
+  kDomainOutage,    ///< Correlated crash of every node in one domain.
 };
 
 /// Every FaultType, in declaration order — exhaustiveness tests sweep
@@ -47,7 +49,8 @@ inline constexpr FaultType kAllFaultTypes[] = {
     FaultType::kReplicaLag,    FaultType::kNetPartition,
     FaultType::kNetLoss,       FaultType::kNetDelay,
     FaultType::kDiskCorruption, FaultType::kTornWrite,
-    FaultType::kDiskStall,
+    FaultType::kDiskStall,     FaultType::kSpotRevocation,
+    FaultType::kDomainOutage,
 };
 
 const char* FaultTypeName(FaultType type);
@@ -88,6 +91,11 @@ enum class CrashScope {
 /// `probability` as the per-record corruption odds (kDiskCorruption)
 /// or the torn tail fraction (kTornWrite), and `duration` plus
 /// `load_scale` (the I/O latency multiplier) for kDiskStall windows.
+/// The topology faults (inert when the engine's topology layer is off)
+/// reuse `node` (-1 = auto picks a spot-class victim) and `duration`
+/// as the advance-notice window for kSpotRevocation (the node drains
+/// until the deadline, then is hard-killed), and `node` (-1 = auto
+/// picks a whole failure domain) for kDomainOutage.
 struct FaultEvent {
   SimTime at = 0;
   FaultType type = FaultType::kNodeCrash;
@@ -150,6 +158,12 @@ struct ChaosConfig {
   double disk_corruption_weight = 0.0;
   double torn_write_weight = 0.0;
   double disk_stall_weight = 0.0;
+  /// Weights of the topology faults (kSpotRevocation / kDomainOutage).
+  /// Default 0 for the same trailing-bucket reason: pre-existing seeds
+  /// draw identical plans, and the events are inert anyway when the
+  /// engine's topology layer is off.
+  double spot_revocation_weight = 0.0;
+  double domain_outage_weight = 0.0;
   SimDuration max_window = kMinute;     ///< Max window fault duration.
   SimDuration max_stall = 10 * kSecond; ///< Max per-chunk stall.
 

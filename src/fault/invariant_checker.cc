@@ -339,6 +339,55 @@ Status InvariantChecker::Check() {
     last_scrub_verified_ = store->scrub_records_verified();
   }
 
+  // 11. Topology / graceful drain: a draining node must be hard-killed
+  //     at its revocation deadline (the kill event fires at exactly the
+  //     deadline instant, possibly after this tick's check — two-strike
+  //     covers the race), and no fully-replicated bucket may keep its
+  //     primary and every backup in one failure domain while a
+  //     domain-diverse backup target exists (the diversity-repair sweep
+  //     must converge; two-strike covers its scheduling lag).
+  if (const topology::PlacementPolicy* policy =
+          engine_->placement_policy()) {
+    if (drain_overdue_.size() != static_cast<size_t>(engine_->max_nodes())) {
+      drain_overdue_.assign(static_cast<size_t>(engine_->max_nodes()), 0);
+    }
+    for (NodeId n = 0; n < engine_->active_nodes(); ++n) {
+      const bool overdue = engine_->IsNodeDraining(n) &&
+                           sim->Now() > engine_->drain_deadline(n);
+      if (overdue && drain_overdue_[static_cast<size_t>(n)] != 0) {
+        Violation("node " + std::to_string(n) +
+                  " still draining past its revocation deadline " +
+                  FormatSimTime(engine_->drain_deadline(n)) +
+                  " (hard kill never fired)");
+      }
+      drain_overdue_[static_cast<size_t>(n)] = overdue ? 1 : 0;
+    }
+    if (const replication::ReplicaManager* rep = engine_->replication()) {
+      if (diversity_stalled_.size() !=
+          static_cast<size_t>(map.num_buckets())) {
+        diversity_stalled_.assign(static_cast<size_t>(map.num_buckets()), 0);
+      }
+      for (BucketId b = 0; b < map.num_buckets(); ++b) {
+        const NodeId primary_node =
+            engine_->NodeOfPartition(map.PartitionOfBucket(b));
+        bool stalled = false;
+        if (!rep->IsDegraded(b) && !rep->rebuild_in_flight(b) &&
+            !rep->IsDomainDiverse(b, primary_node)) {
+          const PartitionId target = engine_->ChooseBackupPartition(b);
+          stalled = target >= 0 &&
+                    !policy->SameDomain(primary_node,
+                                        engine_->NodeOfPartition(target));
+        }
+        if (stalled && diversity_stalled_[static_cast<size_t>(b)] != 0) {
+          Violation("bucket " + std::to_string(b) +
+                    " has no out-of-domain replica while a domain-diverse "
+                    "backup target exists");
+        }
+        diversity_stalled_[static_cast<size_t>(b)] = stalled ? 1 : 0;
+      }
+    }
+  }
+
   if (violations_.size() != before) {
     return Status::Internal(
         std::to_string(violations_.size() - before) +

@@ -26,7 +26,11 @@
 /// content-modeled durable store it audits the durability tripwire (no
 /// record replayed into live state without passing CRC validation),
 /// that repairs never exceed damage found, and that the detection and
-/// scrub counters are monotone.
+/// scrub counters are monotone. With the topology layer it audits the
+/// graceful-drain contract (a draining node is hard-killed at its
+/// revocation deadline) and domain diversity (no fully-replicated
+/// bucket keeps its primary and every backup in one failure domain
+/// while a domain-diverse backup target exists).
 /// Run it standalone via Check() or on a cadence via StartPeriodic().
 
 namespace pstore {
@@ -100,6 +104,12 @@ class InvariantChecker {
   // (a rebuild may legally start later within the same virtual instant
   // the first time the condition is observed).
   std::vector<uint8_t> rebuild_stalled_;
+  // Two-strike memories for the topology audits (same rationale): the
+  // hard-kill event fires at exactly the deadline instant, possibly
+  // after this tick's check, and the diversity-repair sweep may run
+  // later within the same virtual instant.
+  std::vector<uint8_t> drain_overdue_;
+  std::vector<uint8_t> diversity_stalled_;
 };
 
 }  // namespace pstore

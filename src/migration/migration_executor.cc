@@ -63,6 +63,22 @@ struct MigrationExecutor::ActiveMove {
   std::vector<std::vector<std::shared_ptr<Stream>>> round_streams;
 };
 
+/// One deadline-aware drain evacuation: a sequential, chunk-paced stream
+/// off a draining node, re-planned bucket by bucket so destinations track
+/// the live topology.
+struct MigrationExecutor::Evacuation {
+  NodeId node = -1;
+  SimTime deadline = 0;            ///< Absolute hard-kill time.
+  std::vector<BucketId> queue;     ///< Hottest-first evacuation order.
+  size_t idx = 0;                  ///< Next queue entry to ship.
+  double remaining_kb = 0;         ///< Virtual kB left in current bucket.
+  double kb_per_bucket = 0;
+  double rate_kbps = 0;            ///< Sustained rate incl. multiplier.
+  PartitionId src = -1;            ///< Current bucket's source partition.
+  PartitionId dst = -1;            ///< Current bucket's destination.
+  SimTime earliest_next = 0;       ///< Rate-limit gate for next chunk.
+};
+
 MigrationExecutor::MigrationExecutor(ClusterEngine* engine,
                                      MigrationOptions options)
     : engine_(engine), options_(options) {
@@ -92,6 +108,11 @@ void MigrationExecutor::set_telemetry(const obs::Telemetry& telemetry) {
   // builds' metric dumps stay byte-identical.
   if (engine_->config().overload.enabled) {
     m_chunk_backpressure_ = m.GetCounter("migration.chunk_backpressure");
+  }
+  // Evacuations exist only with the topology layer; gating the metric on
+  // it keeps non-topology metric dumps byte-identical.
+  if (engine_->config().topology.enabled) {
+    m_buckets_evacuated_ = m.GetCounter("migration.buckets_evacuated");
   }
 }
 
@@ -749,6 +770,198 @@ void MigrationExecutor::RetryChunk(const std::shared_ptr<Stream>& stream,
     }
     NextChunk(stream);
   });
+}
+
+Status MigrationExecutor::StartEvacuation(NodeId node, SimTime deadline) {
+  if (evac_ != nullptr) {
+    return Status::FailedPrecondition("an evacuation is in flight");
+  }
+  if (!engine_->IsNodeUp(node)) {
+    return Status::FailedPrecondition("evacuation source node " +
+                                      std::to_string(node) + " is not up");
+  }
+  const SimTime now = engine_->simulator()->Now();
+  if (deadline <= now) {
+    return Status::InvalidArgument("evacuation deadline is in the past");
+  }
+
+  // Hottest buckets first: whatever the notice window cannot fit falls
+  // back to replica promotion at the hard kill (losing any unreplicated
+  // tail), so the stream spends its budget on the data taking the most
+  // traffic. Ties break toward the lower bucket id for determinism.
+  const PartitionMap& map = engine_->partition_map();
+  const std::vector<int64_t>& heat = engine_->bucket_access_counts();
+  const int32_t p = engine_->partitions_per_node();
+  std::vector<BucketId> queue;
+  for (PartitionId sp = node * p; sp < (node + 1) * p; ++sp) {
+    const std::vector<BucketId> owned = map.BucketsOfPartition(sp);
+    queue.insert(queue.end(), owned.begin(), owned.end());
+  }
+  std::sort(queue.begin(), queue.end(), [&](BucketId a, BucketId b) {
+    const int64_t ha = heat[static_cast<size_t>(a)];
+    const int64_t hb = heat[static_cast<size_t>(b)];
+    return ha != hb ? ha > hb : a < b;
+  });
+
+  auto evac = std::make_unique<Evacuation>();
+  evac->node = node;
+  evac->deadline = deadline;
+  evac->queue = std::move(queue);
+  evac->kb_per_bucket =
+      options_.db_size_mb * 1024.0 / engine_->config().num_buckets;
+  evac->rate_kbps = options_.rate_kbps * options_.rate_multiplier;
+  evac->earliest_next = now;
+  evac_ = std::move(evac);
+  ++evac_epoch_;
+  Emit("evacuation of node " + std::to_string(node) + " started: " +
+       std::to_string(evac_->queue.size()) + " bucket(s), deadline " +
+       std::to_string(deadline) + " us");
+  NextEvacBucket();
+  return Status::OK();
+}
+
+void MigrationExecutor::NextEvacBucket() {
+  Evacuation& evac = *evac_;
+  Simulator* sim = engine_->simulator();
+  if (evac.idx >= evac.queue.size()) {
+    FinishEvacuation(std::to_string(buckets_evacuated_) +
+                     " bucket(s) evacuated in total");
+    return;
+  }
+  if (!engine_->IsNodeUp(evac.node)) {
+    FinishEvacuation("source node is down");
+    return;
+  }
+  // Deadline gate: pacing makes a bucket take kb / rate seconds plus the
+  // last chunk's wire burst. Once the projected landing overruns the
+  // hard kill the stream stops — shipping half a bucket helps nobody,
+  // and replica promotion covers whatever stays behind.
+  const SimDuration bucket_time =
+      SecondsToDuration(evac.kb_per_bucket / evac.rate_kbps) +
+      SecondsToDuration(std::min(options_.chunk_kb, evac.kb_per_bucket) /
+                        options_.wire_kbps);
+  if (sim->Now() + bucket_time > evac.deadline) {
+    const int64_t left = static_cast<int64_t>(evac.queue.size() - evac.idx);
+    evacuations_deadline_skipped_ += left;
+    FinishEvacuation(std::to_string(left) +
+                     " bucket(s) left to replica promotion: deadline too "
+                     "close");
+    return;
+  }
+  // The bucket may have been relocated off the draining node meanwhile
+  // (skew manager, a reconfiguration round): skip without shipping.
+  const BucketId bucket = evac.queue[evac.idx];
+  const PartitionMap& map = engine_->partition_map();
+  evac.src = map.PartitionOfBucket(bucket);
+  if (engine_->NodeOfPartition(evac.src) != evac.node) {
+    ++evac.idx;
+    NextEvacBucket();
+    return;
+  }
+  // Destination: the live, non-draining node (never the source) with the
+  // fewest buckets, ties toward the lower node id; within it the
+  // least-loaded partition, ties toward the lower index.
+  const int32_t p = engine_->partitions_per_node();
+  NodeId best_node = -1;
+  size_t best_count = 0;
+  for (NodeId n = 0; n < engine_->active_nodes(); ++n) {
+    if (n == evac.node || !engine_->IsNodeUp(n) ||
+        engine_->IsNodeDraining(n)) {
+      continue;
+    }
+    size_t count = 0;
+    for (int32_t k = 0; k < p; ++k) {
+      count += map.BucketsOfPartition(n * p + k).size();
+    }
+    if (best_node < 0 || count < best_count) {
+      best_node = n;
+      best_count = count;
+    }
+  }
+  if (best_node < 0) {
+    FinishEvacuation("no live non-draining destination node");
+    return;
+  }
+  evac.dst = best_node * p;
+  size_t dst_count = map.BucketsOfPartition(evac.dst).size();
+  for (int32_t k = 1; k < p; ++k) {
+    const PartitionId cand = best_node * p + k;
+    const size_t count = map.BucketsOfPartition(cand).size();
+    if (count < dst_count) {
+      evac.dst = cand;
+      dst_count = count;
+    }
+  }
+  evac.remaining_kb = evac.kb_per_bucket;
+  EvacChunk();
+}
+
+void MigrationExecutor::EvacChunk() {
+  Evacuation& evac = *evac_;
+  Simulator* sim = engine_->simulator();
+  const int64_t epoch = evac_epoch_;
+  const double chunk_kb = std::min(options_.chunk_kb, evac.remaining_kb);
+  const SimDuration busy = SecondsToDuration(chunk_kb / options_.wire_kbps);
+  const SimDuration period = SecondsToDuration(chunk_kb / evac.rate_kbps);
+  const SimDuration gate_delay =
+      std::max<SimDuration>(0, evac.earliest_next - sim->Now());
+  sim->Schedule(gate_delay, [this, busy, period, chunk_kb, epoch]() {
+    if (epoch != evac_epoch_) return;  // evacuation ended meanwhile
+    Evacuation& evac = *evac_;
+    // The hard kill (or an unrelated crash) beats the chunk: the stream
+    // cannot make progress, and ownership must not flip to a dead node.
+    if (!engine_->IsNodeUp(evac.node) ||
+        !engine_->IsNodeUp(engine_->NodeOfPartition(evac.dst))) {
+      FinishEvacuation("endpoint node went down");
+      return;
+    }
+    evac.earliest_next = engine_->simulator()->Now() + period;
+    // Occupy both partition executors for the burst, like a regular
+    // migration chunk; the chunk lands when the later side finishes.
+    auto joins = std::make_shared<int32_t>(2);
+    auto on_side_done = [this, joins, chunk_kb, epoch](SimTime, SimTime) {
+      if (epoch != evac_epoch_) return;
+      if (--*joins > 0) return;
+      Evacuation& evac = *evac_;
+      if (!engine_->IsNodeUp(evac.node) ||
+          !engine_->IsNodeUp(engine_->NodeOfPartition(evac.dst))) {
+        FinishEvacuation("endpoint died mid-chunk");
+        return;
+      }
+      total_kb_moved_ += chunk_kb;
+      if (m_chunks_landed_ != nullptr) {
+        m_chunks_landed_->Add(1);
+        m_kb_moved_->Set(total_kb_moved_);
+      }
+      evac.remaining_kb -= chunk_kb;
+      if (evac.remaining_kb > 1e-9) {
+        EvacChunk();
+        return;
+      }
+      const BucketId bucket = evac.queue[evac.idx];
+      Status st = engine_->ApplyBucketMove(
+          BucketMove{bucket, evac.src, evac.dst});
+      if (st.ok()) {
+        ++buckets_evacuated_;
+        if (m_buckets_evacuated_ != nullptr) m_buckets_evacuated_->Add(1);
+        if (m_buckets_flipped_ != nullptr) m_buckets_flipped_->Add(1);
+      } else {
+        PSTORE_LOG(Info) << "evacuated bucket " << bucket
+                         << " relocated concurrently: " << st.ToString();
+      }
+      ++evac.idx;
+      NextEvacBucket();
+    };
+    engine_->executor(evac.src)->Enqueue(busy, on_side_done);
+    engine_->executor(evac.dst)->Enqueue(busy, on_side_done);
+  });
+}
+
+void MigrationExecutor::FinishEvacuation(const std::string& why) {
+  Emit("evacuation of node " + std::to_string(evac_->node) +
+       " ended: " + why);
+  ++evac_epoch_;  // cancels every event still scheduled for this stream
+  evac_.reset();
 }
 
 void MigrationExecutor::FinishRound() {

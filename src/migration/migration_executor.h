@@ -102,6 +102,21 @@ class MigrationExecutor {
 
   bool InProgress() const { return in_progress_; }
 
+  /// Begins a deadline-aware evacuation of `node`'s buckets (a draining
+  /// spot node's revocation-notice window). Buckets ship one at a time,
+  /// hottest first (engine bucket access counts, ties toward the lower
+  /// bucket id), each to the live, non-draining node with the fewest
+  /// buckets. Once the projected transfer of the next bucket would
+  /// overrun `deadline`, the remainder is left behind (counted in
+  /// evacuations_deadline_skipped()) to fall back on replica promotion
+  /// at the hard kill. Runs alongside a full reconfiguration — the two
+  /// tolerate each other's concurrent relocations — but at most one
+  /// evacuation is in flight at a time.
+  Status StartEvacuation(NodeId node, SimTime deadline);
+
+  /// True while a drain evacuation stream is running.
+  bool EvacuationInProgress() const { return evac_ != nullptr; }
+
   /// Aborts the in-flight move, if any: all pending chunk transfers are
   /// cancelled, ownership of unlanded buckets never flips, and the
   /// completion callback is dropped (aborted moves do not report
@@ -147,6 +162,17 @@ class MigrationExecutor {
   /// Moves that ended in Abort().
   int64_t moves_aborted() const { return moves_aborted_; }
 
+  /// Buckets whose ownership flipped off a draining node before its
+  /// revocation deadline (across all evacuations).
+  int64_t buckets_evacuated() const { return buckets_evacuated_; }
+
+  /// Buckets a drain evacuation left behind because the projected
+  /// transfer would have overrun the deadline. Replica promotion covers
+  /// them when the hard kill lands.
+  int64_t evacuations_deadline_skipped() const {
+    return evacuations_deadline_skipped_;
+  }
+
   // --- Net chunk protocol counters (all 0 with net disabled) -----------
   //
   // With the engine's simulated network substrate on, chunks ship as
@@ -176,6 +202,7 @@ class MigrationExecutor {
  private:
   struct Stream;          // one partition-pair bucket stream
   struct ActiveMove;      // state of the in-flight reconfiguration
+  struct Evacuation;      // state of the in-flight drain evacuation
 
   void StartRound();
   void StartStream(const std::shared_ptr<Stream>& stream);
@@ -221,6 +248,15 @@ class MigrationExecutor {
   bool EndpointsUp(const Stream& stream) const;
   void FinishRound();
   void FinishMove();
+  // Drain evacuation stream (sequential, deadline-gated).
+  /// Deadline-gates the next queued bucket, picks its destination and
+  /// starts its chunk pacing; finishes the evacuation when the queue is
+  /// exhausted, the deadline is too close, or an endpoint died.
+  void NextEvacBucket();
+  /// Ships one evacuation chunk (pacing gate, dual-executor burst) and
+  /// advances the stream when it lands.
+  void EvacChunk();
+  void FinishEvacuation(const std::string& why);
   void Emit(const std::string& what);
 
   ClusterEngine* engine_;
@@ -256,6 +292,13 @@ class MigrationExecutor {
   /// Bumped on every move start/finish/abort; scheduled events capture
   /// it and become no-ops if the move they belong to is gone.
   int64_t move_epoch_ = 0;
+  std::unique_ptr<Evacuation> evac_;
+  int64_t buckets_evacuated_ = 0;
+  int64_t evacuations_deadline_skipped_ = 0;
+  /// Bumped on every evacuation start/finish; scheduled evacuation
+  /// events capture it and become no-ops once their stream is gone.
+  int64_t evac_epoch_ = 0;
+  obs::Counter* m_buckets_evacuated_ = nullptr;
   std::function<void()> on_complete_;
   ChunkFaultHook fault_hook_;
   std::function<void(const std::string&)> event_sink_;

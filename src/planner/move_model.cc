@@ -97,6 +97,22 @@ double MoveModel::Capacity(int32_t n) const {
   return config_.q * n * (1.0 - config_.replication_overhead);
 }
 
+double MoveModel::EvacuationTimeMinutes(double g) const {
+  g = std::clamp(g, 0.0, 1.0);
+  return g * config_.d_minutes;
+}
+
+double MoveModel::EvacuableFraction(double notice_minutes, int32_t n) const {
+  if (n < 1 || notice_minutes <= 0) return 0.0;
+  const double share = 1.0 / n;
+  return std::min(share, notice_minutes / config_.d_minutes);
+}
+
+double MoveModel::EvacuationCost(int32_t n) const {
+  if (n < 1) return 0.0;
+  return EvacuationTimeMinutes(1.0 / n);
+}
+
 double MoveModel::EffectiveCapacity(int32_t b, int32_t a, double f) const {
   assert(b >= 1 && a >= 1);
   f = std::clamp(f, 0.0, 1.0);

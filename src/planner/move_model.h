@@ -92,6 +92,29 @@ class MoveModel {
   /// Fraction of the database that the move transfers: |1 - s/l|.
   double FractionMoved(int32_t b, int32_t a) const;
 
+  // --- Evacuation costing (graceful drain of one node of n) ------------
+  //
+  // A spot revocation gives one node a notice window to evacuate its
+  // 1/n share of the database. The stream is sequential (one
+  // sender-receiver pair; the draining node is both the bottleneck and
+  // the only sender), so the single-pair rate D governs: evacuating a
+  // fraction g of the database takes g * D minutes.
+
+  /// Minutes to evacuate fraction `g` in [0, 1] of the database through
+  /// one sender-receiver pair: g * D.
+  double EvacuationTimeMinutes(double g) const;
+
+  /// Fraction of the database a notice window of `notice_minutes` can
+  /// evacuate through one pair, capped at the draining node's 1/n share.
+  /// 0 when n < 1 — with no cluster there is nothing to evacuate.
+  double EvacuableFraction(double notice_minutes, int32_t n) const;
+
+  /// Machine-minutes the evacuation holds beyond steady state: the
+  /// replacement node runs for the full transfer of the node's 1/n
+  /// share (capacity must exist before the deadline, Section 4.4's
+  /// just-in-time allocation applied to a forced move).
+  double EvacuationCost(int32_t n) const;
+
  private:
   MoveModelConfig config_;
 };

@@ -139,6 +139,16 @@ int64_t ReplicaManager::DropReplicasOnNode(NodeId n) {
   return dropped;
 }
 
+bool ReplicaManager::IsDomainDiverse(BucketId b, NodeId primary_node) const {
+  if (policy_ == nullptr) return true;
+  const auto& list = replicas_[static_cast<size_t>(b)];
+  if (list.empty()) return true;
+  for (PartitionId r : list) {
+    if (!policy_->SameDomain(primary_node, node_of(r))) return true;
+  }
+  return false;
+}
+
 int64_t ReplicaManager::TotalBackupRowCount() const {
   int64_t total = 0;
   for (const auto& frag : backups_) total += frag->TotalRowCount();

@@ -13,6 +13,7 @@
 #include "storage/fragment.h"
 #include "storage/partition_map.h"
 #include "storage/schema.h"
+#include "topology/topology.h"
 
 /// \file replica_manager.h
 /// Replica placement and recovery bookkeeping for k-safety. The manager
@@ -107,6 +108,25 @@ class ReplicaManager {
   /// Drops every replica hosted on node `n` (crash or release). Returns
   /// the number of replicas dropped.
   int64_t DropReplicasOnNode(NodeId n);
+
+  /// Attaches the cluster's placement policy (not owned; must outlive
+  /// this). Null — the default — means topology is off and placement
+  /// stays domain-blind.
+  void set_placement_policy(const topology::PlacementPolicy* policy) {
+    policy_ = policy;
+  }
+  const topology::PlacementPolicy* placement_policy() const {
+    return policy_;
+  }
+
+  /// True when bucket `b`'s replica set spans beyond the primary's
+  /// failure domain — some backup lives in a different domain than
+  /// `primary_node`, so one domain outage cannot take out every copy.
+  /// Vacuously true with no policy attached (topology off) or with no
+  /// replicas (diversity is the degraded-bucket audit's concern, not
+  /// this one's). The engine's diversity-repair sweep and the
+  /// invariant checker's domain-diversity audit both consult this.
+  bool IsDomainDiverse(BucketId b, NodeId primary_node) const;
 
   StorageFragment* backup_fragment(PartitionId q) {
     return backups_[static_cast<size_t>(q)].get();
@@ -243,6 +263,7 @@ class ReplicaManager {
   ReplicationConfig config_;
   int32_t num_buckets_;
   int32_t partitions_per_node_;
+  const topology::PlacementPolicy* policy_ = nullptr;  ///< Not owned.
 
   std::vector<std::unique_ptr<StorageFragment>> backups_;  ///< Per partition.
   std::vector<std::vector<PartitionId>> replicas_;  ///< Per bucket, sorted.

@@ -1,0 +1,34 @@
+#include "topology/topology.h"
+
+#include <cassert>
+
+namespace pstore {
+namespace topology {
+
+const char* NodeClassName(NodeClass c) {
+  switch (c) {
+    case NodeClass::kOnDemand:
+      return "on-demand";
+    case NodeClass::kSpot:
+      return "spot";
+  }
+  return "unknown";
+}
+
+Status TopologyConfig::Validate() const {
+  if (num_domains < 1) {
+    return Status::InvalidArgument("num_domains must be >= 1");
+  }
+  if (spot_from_node < 1) {
+    return Status::InvalidArgument(
+        "spot_from_node must be >= 1 (node 0 is always on-demand)");
+  }
+  return Status::OK();
+}
+
+PlacementPolicy::PlacementPolicy(TopologyConfig config) : config_(config) {
+  assert(config_.Validate().ok());
+}
+
+}  // namespace topology
+}  // namespace pstore

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "fault/event_trace.h"
 
@@ -135,6 +137,128 @@ TEST(FaultPlanTest, DefaultWeightsNeverDrawReplicaLag) {
   }
   EXPECT_EQ(plan.ToString().find("replica-lag"), std::string::npos);
   EXPECT_EQ(plan.ToString().find("scope="), std::string::npos);
+}
+
+TEST(FaultPlanTest, SpotRevocationWeightValidatesAndSteersMix) {
+  ChaosConfig config;
+  config.spot_revocation_weight = -1;
+  EXPECT_TRUE(config.Validate().IsInvalidArgument());
+
+  config = ChaosConfig{};
+  config.num_events = 30;
+  config.crash_weight = 0.0;
+  config.restart_weight = 0.0;
+  config.stall_weight = 0.0;
+  config.chunk_failure_weight = 0.0;
+  config.misforecast_weight = 0.0;
+  config.spot_revocation_weight = 1.0;
+  EXPECT_TRUE(config.Validate().ok());
+  Rng rng(13);
+  const FaultPlan plan = RandomFaultPlan(&rng, config);
+  for (const FaultEvent& e : plan.events) {
+    EXPECT_EQ(e.type, FaultType::kSpotRevocation);
+    EXPECT_EQ(e.node, -1);     // Injector picks a spot node at fire time.
+    EXPECT_GT(e.duration, 0);  // Advance-notice window.
+  }
+  EXPECT_NE(plan.ToString().find("spot-revocation"), std::string::npos);
+  EXPECT_NE(plan.ToString().find("notice="), std::string::npos);
+}
+
+TEST(FaultPlanTest, DomainOutageWeightValidatesAndSteersMix) {
+  ChaosConfig config;
+  config.domain_outage_weight = -1;
+  EXPECT_TRUE(config.Validate().IsInvalidArgument());
+
+  config = ChaosConfig{};
+  config.num_events = 30;
+  config.crash_weight = 0.0;
+  config.restart_weight = 0.0;
+  config.stall_weight = 0.0;
+  config.chunk_failure_weight = 0.0;
+  config.misforecast_weight = 0.0;
+  config.domain_outage_weight = 1.0;
+  EXPECT_TRUE(config.Validate().ok());
+  Rng rng(17);
+  const FaultPlan plan = RandomFaultPlan(&rng, config);
+  for (const FaultEvent& e : plan.events) {
+    EXPECT_EQ(e.type, FaultType::kDomainOutage);
+    EXPECT_EQ(e.node, -1);  // Injector picks the doomed domain.
+    EXPECT_EQ(e.duration, 0);  // A point fault: the domain just dies.
+  }
+  EXPECT_NE(plan.ToString().find("domain-outage"), std::string::npos);
+  EXPECT_NE(plan.ToString().find("domain=auto"), std::string::npos);
+}
+
+TEST(FaultPlanTest, DefaultWeightsNeverDrawTopologyFaults) {
+  // Both topology weights default to 0 in the trailing weight buckets,
+  // so pre-existing seeded plans keep drawing exactly what they always
+  // did.
+  ChaosConfig config;
+  config.num_events = 200;
+  Rng rng(5);
+  const FaultPlan plan = RandomFaultPlan(&rng, config);
+  for (const FaultEvent& e : plan.events) {
+    EXPECT_NE(e.type, FaultType::kSpotRevocation);
+    EXPECT_NE(e.type, FaultType::kDomainOutage);
+  }
+  EXPECT_EQ(plan.ToString().find("spot-revocation"), std::string::npos);
+  EXPECT_EQ(plan.ToString().find("domain-outage"), std::string::npos);
+}
+
+TEST(FaultPlanTest, WindowFieldValidationTableDriven) {
+  // Every field FaultPlan::Validate checks, one row each: the event
+  // mutation and the error it must produce (mirroring the
+  // ReplicationConfig table). A new FaultEvent field without a row
+  // here ships unvalidated — add one alongside the Validate rule.
+  struct Case {
+    const char* what;
+    std::function<void(FaultEvent*)> mutate;
+    const char* error;
+  };
+  const std::vector<Case> cases = {
+      {"negative time", [](FaultEvent* e) { e->at = -1; },
+       "event time < 0"},
+      {"negative duration", [](FaultEvent* e) { e->duration = -kSecond; },
+       "duration < 0"},
+      {"negative stall", [](FaultEvent* e) { e->stall = -1; },
+       "stall < 0"},
+      {"probability above one",
+       [](FaultEvent* e) { e->probability = 1.5; },
+       "probability outside [0, 1]"},
+      {"probability negative",
+       [](FaultEvent* e) { e->probability = -0.1; },
+       "probability outside [0, 1]"},
+      {"dup_probability above one",
+       [](FaultEvent* e) { e->dup_probability = 2.0; },
+       "dup_probability outside [0, 1]"},
+      {"forecast_scale zero",
+       [](FaultEvent* e) { e->forecast_scale = 0.0; },
+       "forecast_scale <= 0"},
+      {"load_scale zero", [](FaultEvent* e) { e->load_scale = 0.0; },
+       "load_scale <= 0"},
+      {"revocation without notice window",
+       [](FaultEvent* e) {
+         e->type = FaultType::kSpotRevocation;
+         e->duration = 0;
+       },
+       "window fault with zero duration"},
+      {"migration stall without window",
+       [](FaultEvent* e) {
+         e->type = FaultType::kMigrationStall;
+         e->duration = 0;
+       },
+       "window fault with zero duration"},
+  };
+  for (const Case& test : cases) {
+    FaultEvent e;
+    test.mutate(&e);
+    FaultPlan plan;
+    plan.events = {e};
+    const Status status = plan.Validate();
+    EXPECT_TRUE(status.IsInvalidArgument()) << test.what;
+    EXPECT_NE(status.ToString().find(test.error), std::string::npos)
+        << test.what << ": got " << status.ToString();
+  }
 }
 
 TEST(FaultPlanTest, CrashScopePrintsOnlyWhenScoped) {

@@ -1,0 +1,84 @@
+#include "net/net_config.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace pstore {
+namespace {
+
+using net::NetConfig;
+
+TEST(NetConfigTest, DefaultsValidate) {
+  EXPECT_TRUE(NetConfig().Validate().ok());
+}
+
+TEST(NetConfigTest, ValidateRejectsBadKnobsTableDriven) {
+  // Every field Validate checks, one row each: the mutation applied to
+  // an otherwise-default config and the error it must produce. A new
+  // knob without a row (and a rejection message) shows up as a gap
+  // here before it ships unvalidated.
+  struct Case {
+    const char* what;
+    std::function<void(NetConfig*)> mutate;
+    const char* error;
+  };
+  const std::vector<Case> cases = {
+      {"min_latency_us negative",
+       [](NetConfig* c) { c->min_latency_us = -1; }, "min_latency_us < 0"},
+      {"mean below min",
+       [](NetConfig* c) {
+         c->min_latency_us = 500;
+         c->mean_latency_us = 200;
+       },
+       "mean_latency_us < min_latency_us"},
+      {"heartbeat_period zero",
+       [](NetConfig* c) { c->heartbeat_period = 0; },
+       "heartbeat_period <= 0"},
+      {"heartbeat_period negative",
+       [](NetConfig* c) { c->heartbeat_period = -kSecond; },
+       "heartbeat_period <= 0"},
+      {"suspicion at heartbeat",
+       [](NetConfig* c) { c->suspicion_timeout = c->heartbeat_period; },
+       "need heartbeat_period < suspicion_timeout"},
+      {"lease at suspicion",
+       [](NetConfig* c) { c->lease_timeout = c->suspicion_timeout; },
+       "need suspicion_timeout < lease_timeout"},
+      {"lease below suspicion",
+       [](NetConfig* c) { c->lease_timeout = c->suspicion_timeout / 2; },
+       "need suspicion_timeout < lease_timeout"},
+      {"failover at lease",
+       [](NetConfig* c) { c->failover_timeout = c->lease_timeout; },
+       "need lease_timeout < failover_timeout"},
+      {"retransmit factor one",
+       [](NetConfig* c) { c->retransmit_timeout_factor = 1.0; },
+       "retransmit_timeout_factor must be > 1"},
+      {"retransmit factor negative",
+       [](NetConfig* c) { c->retransmit_timeout_factor = -4.0; },
+       "retransmit_timeout_factor must be > 1"},
+  };
+  for (const Case& test : cases) {
+    NetConfig config;
+    test.mutate(&config);
+    const Status status = config.Validate();
+    EXPECT_TRUE(status.IsInvalidArgument()) << test.what;
+    EXPECT_NE(status.ToString().find(test.error), std::string::npos)
+        << test.what << ": got " << status.ToString();
+  }
+}
+
+TEST(NetConfigTest, TimerChainValidatesWhenStrictlyOrdered) {
+  // The safety argument rests on heartbeat < suspicion < lease <
+  // failover; any strictly ordered chain must pass, however tight.
+  NetConfig config;
+  config.heartbeat_period = 100 * kMillisecond;
+  config.suspicion_timeout = 101 * kMillisecond;
+  config.lease_timeout = 102 * kMillisecond;
+  config.failover_timeout = 103 * kMillisecond;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+}  // namespace
+}  // namespace pstore

@@ -10,10 +10,18 @@
 # lease fencing, retransmission), a fifth under
 # --spike --trace-sample=0.1 (transaction lifecycle tracing: sampled
 # txn traces and the Chrome trace_event JSON must also be
-# byte-identical across same-seed runs), and a sixth under
+# byte-identical across same-seed runs), a sixth under
 # --corruption --trace-sample=0.1 (content-modeled durability: disk
 # corruption, torn writes, disk stalls, scrubbing and repair -- plus
-# sampled traces -- must replay byte-identically too).
+# sampled traces -- must replay byte-identically too), and a seventh
+# under --revocation (topology: spot-revocation notices, graceful
+# drain with deadline evacuation, and a correlated domain outage).
+#
+# The scenario list is cross-checked against the binary's own
+# --list-scenarios output first, so a scenario added to chaos_run
+# without a determinism pair here — or a pair naming a scenario the
+# binary no longer knows — fails loudly instead of silently shrinking
+# coverage.
 #
 # Usage: [CHAOS_RUN=path/to/chaos_run] [SEED=N] [EVENTS=N] \
 #          tools/check_determinism.sh
@@ -33,14 +41,42 @@ fi
 workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
 
+# Every scenario flag exercised below must be one the binary itself
+# advertises, and every advertised scenario must have a pair below.
+if ! "$CHAOS_RUN" --list-scenarios > "$workdir/scenarios.out" 2>&1; then
+  echo "check_determinism: $CHAOS_RUN --list-scenarios failed:" >&2
+  cat "$workdir/scenarios.out" >&2
+  exit 1
+fi
+covered="(default) --spike --recovery --partition --corruption --revocation"
 status=0
-for run in a b c d e f g h i j k l; do
+for scenario in $covered; do
+  if ! grep -q -- "^  $scenario " "$workdir/scenarios.out"; then
+    echo "check_determinism: scenario '$scenario' has a determinism" \
+         "pair here but $CHAOS_RUN --list-scenarios does not know it" >&2
+    status=1
+  fi
+done
+while read -r name _; do
+  case " $covered " in
+    *" $name "*) ;;
+    *)
+      echo "check_determinism: $CHAOS_RUN --list-scenarios advertises" \
+           "'$name' but no determinism pair covers it — add one" >&2
+      status=1
+      ;;
+  esac
+done < <(sed -n 's/^  \([^ ]*\)  .*/\1/p' "$workdir/scenarios.out")
+[ "$status" -ne 0 ] && exit "$status"
+
+for run in a b c d e f g h i j k l m n; do
   flags=""
   { [ "$run" = c ] || [ "$run" = d ]; } && flags="--spike"
   { [ "$run" = e ] || [ "$run" = f ]; } && flags="--recovery"
   { [ "$run" = g ] || [ "$run" = h ]; } && flags="--partition"
   { [ "$run" = i ] || [ "$run" = j ]; } && flags="--spike --trace-sample=0.1"
   { [ "$run" = k ] || [ "$run" = l ]; } && flags="--corruption --trace-sample=0.1"
+  { [ "$run" = m ] || [ "$run" = n ]; } && flags="--revocation"
   if ! "$CHAOS_RUN" --seed="$SEED" --events="$EVENTS" $flags \
        --out="$workdir/$run" > "$workdir/$run.stdout" 2>&1; then
     echo "check_determinism: run $run FAILED; tail of output:" >&2
@@ -51,7 +87,7 @@ done
 [ "$status" -ne 0 ] && exit "$status"
 
 for pair in "a b plain" "c d spike" "e f recovery" "g h partition" \
-            "i j spike+trace" "k l corruption+trace"; do
+            "i j spike+trace" "k l corruption+trace" "m n revocation"; do
   set -- $pair
   if diff -r "$workdir/$1" "$workdir/$2" > "$workdir/diff.out" 2>&1; then
     files=$(ls "$workdir/$1" | wc -l | tr -d ' ')

@@ -5,7 +5,10 @@
 # virtual-clock MTTR grid (unit "s") against its own committed
 # trajectory — so recovery-path regressions (slower replay planning,
 # scrubbing overhead) trip the gate the same way hot-path ns/op
-# regressions do.
+# regressions do. A third stage runs bench_partition_availability and
+# gates both its outage grid (unit "s": dark/recovery seconds per
+# partition x lease cell) and its latency percentiles (unit "us") the
+# same deterministic way.
 # Exits non-zero when any tracked case regresses past the threshold or
 # vanishes from the suite.
 #
@@ -18,6 +21,9 @@
 #   CURRENT              where bench_micro_perf writes its JSON
 #   BASELINE_RECOVERY    committed recovery-MTTR trajectory JSON
 #   CURRENT_RECOVERY     where bench_recovery_mttr writes its JSON
+#   BENCH_PARTITION_AVAILABILITY  path to that bench binary
+#   BASELINE_PARTITION   committed partition-availability trajectory JSON
+#   CURRENT_PARTITION    where bench_partition_availability writes JSON
 #   THRESHOLD            tolerated normalized slowdown (default 0.5 = +50%)
 set -u
 
@@ -28,15 +34,19 @@ BASELINE="${BASELINE:-bench/baselines/BENCH_micro_perf.json}"
 CURRENT="${CURRENT:-bench_out/BENCH_micro_perf.json}"
 BASELINE_RECOVERY="${BASELINE_RECOVERY:-bench/baselines/BENCH_recovery_mttr.json}"
 CURRENT_RECOVERY="${CURRENT_RECOVERY:-bench_out/BENCH_recovery_mttr.json}"
+BENCH_PARTITION_AVAILABILITY="${BENCH_PARTITION_AVAILABILITY:-build/bench/bench_partition_availability}"
+BASELINE_PARTITION="${BASELINE_PARTITION:-bench/baselines/BENCH_partition_availability.json}"
+CURRENT_PARTITION="${CURRENT_PARTITION:-bench_out/BENCH_partition_availability.json}"
 THRESHOLD="${THRESHOLD:-0.5}"
 
-for f in "$BENCH_MICRO_PERF" "$BENCH_RECOVERY_MTTR" "$BENCH_COMPARE"; do
+for f in "$BENCH_MICRO_PERF" "$BENCH_RECOVERY_MTTR" \
+    "$BENCH_PARTITION_AVAILABILITY" "$BENCH_COMPARE"; do
   if [ ! -x "$f" ]; then
     echo "perf_gate: missing binary $f (build first)" >&2
     exit 2
   fi
 done
-for f in "$BASELINE" "$BASELINE_RECOVERY"; do
+for f in "$BASELINE" "$BASELINE_RECOVERY" "$BASELINE_PARTITION"; do
   if [ ! -f "$f" ]; then
     echo "perf_gate: missing baseline $f" >&2
     exit 2
@@ -73,6 +83,30 @@ fi
 if ! "$BENCH_COMPARE" --baseline="$BASELINE_RECOVERY" \
     --current="$CURRENT_RECOVERY" --threshold="$THRESHOLD" \
     --unit=s --no-normalize; then
+  status=1
+fi
+
+rm -f "$CURRENT_PARTITION"
+if ! "$BENCH_PARTITION_AVAILABILITY"; then
+  echo "perf_gate: bench_partition_availability exited non-zero" >&2
+  exit 1
+fi
+if [ ! -f "$CURRENT_PARTITION" ]; then
+  echo "perf_gate: bench_partition_availability wrote no JSON at" \
+       "$CURRENT_PARTITION" >&2
+  exit 1
+fi
+# Also virtual-clock deterministic; the grid records two units — outage
+# seconds per cell and the nominal cell's latency percentiles — so the
+# gate compares each unit separately.
+if ! "$BENCH_COMPARE" --baseline="$BASELINE_PARTITION" \
+    --current="$CURRENT_PARTITION" --threshold="$THRESHOLD" \
+    --unit=s --no-normalize; then
+  status=1
+fi
+if ! "$BENCH_COMPARE" --baseline="$BASELINE_PARTITION" \
+    --current="$CURRENT_PARTITION" --threshold="$THRESHOLD" \
+    --unit=us --no-normalize; then
   status=1
 fi
 
