@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <iostream>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -138,7 +139,8 @@ CellResult RunCell(double offered_tps, bool limits, double seconds,
 
 int main(int argc, char** argv) {
   bench::PrintBanner(
-      "Overload sweep", "Goodput and p99 vs offered load, limits off/on",
+      "Overload degradation",
+      "Goodput and p99 vs offered load, limits off/on",
       "bounded queues + deadline shedding hold goodput near capacity "
       "(Eq. 7: L ~ mu * T); unbounded FIFOs collapse past saturation");
 
@@ -170,6 +172,20 @@ int main(int argc, char** argv) {
       p99_col.push_back(cell.p99_ms);
       shed_col.push_back(cell.shed_rate);
       depth_col.push_back(static_cast<double>(cell.max_depth));
+      // Tracked cells for the perf gate (DESIGN.md §12). The grid is
+      // virtual-clock deterministic, so these are exact. Goodput is
+      // recorded as its inverse (us per good txn) so that a goodput
+      // *drop* — the regression we care about — raises the value and
+      // trips bench_compare's one-sided threshold.
+      const std::string cell_name = std::string("f") +
+                                    TableWriter::Fmt(factor, 2) +
+                                    (limits ? "_on" : "_off");
+      if (cell.goodput_tps > 0) {
+        bench::RecordBenchCase({"good_txn_cost/" + cell_name,
+                                1e6 / cell.goodput_tps, "us/txn", 0.0, 0});
+      }
+      bench::RecordBenchCase(
+          {"p99/" + cell_name, cell.p99_ms, "ms", 0.0, 0});
       if (limits && factor >= 1.0) {
         plateau = std::max(plateau, cell.goodput_tps);
       }

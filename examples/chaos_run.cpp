@@ -64,6 +64,19 @@
 /// domain-diversity audits must stay clean — and two same-seed runs
 /// must match byte for byte.
 ///
+/// --flashcrowd switches to the misprediction scenario: a SPAR-driven
+/// PredictiveController with the forecast-divergence guard enabled
+/// (DESIGN.md §16) serves a steady load, and a SCRIPTED fault plan
+/// opens a kTraceDropout window (the controller keeps seeing its last
+/// stale sample) overlapping the onset of a kFlashCrowd window (3x the
+/// offered load, invisible to the forecast by construction) — while a
+/// stale-forecast scale-in is mid-flight. The guard must detect the
+/// divergence once real telemetry returns, veto the predictive path,
+/// truncate the now-wrong move at a chunk boundary, re-plan reactively
+/// from the current placement, and rejoin prediction after the crowd
+/// passes — with the plan-repair invariant audits clean and, as
+/// always, two same-seed runs byte-identical.
+///
 /// --list-scenarios prints every scripted scenario with a one-line
 /// description and exits (tools/check_determinism.sh uses it to reject
 /// unknown scenario names).
@@ -80,8 +93,10 @@
 ///   ./build/examples/chaos_run [--seed=42] [--events=10] [--out=DIR]
 ///                              [--trace-sample=P] [--list-scenarios]
 ///                              [--spike | --recovery | --partition |
-///                               --corruption | --revocation]
+///                               --corruption | --revocation |
+///                               --flashcrowd]
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -91,7 +106,9 @@
 #include <vector>
 
 #include "cluster/engine.h"
+#include "core/predictive_controller.h"
 #include "core/reactive_controller.h"
+#include "prediction/spar.h"
 #include "durability/content_store.h"
 #include "fault/fault_injector.h"
 #include "fault/invariant_checker.h"
@@ -161,6 +178,14 @@ struct RunResult {
   int64_t drain_kills_infeasible = 0;
   int64_t buckets_evacuated = 0;
   int64_t evac_deadline_skipped = 0;
+  // Flash-crowd-scenario extras (all 0 outside --flashcrowd).
+  int64_t flash_crowds = 0;
+  int64_t trace_dropouts = 0;
+  int64_t divergences = 0;
+  int64_t guard_rejoins = 0;
+  int64_t guard_vetoes = 0;
+  int64_t plan_repairs = 0;
+  int64_t moves_truncated = 0;
   // Partition-scenario extras (all 0 outside --partition).
   int64_t net_partitions = 0;
   int64_t suspicions = 0;
@@ -188,7 +213,7 @@ struct RunResult {
 
 RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike,
                   bool recovery, bool partition, bool corruption,
-                  bool revocation, double trace_sample) {
+                  bool revocation, bool flashcrowd, double trace_sample) {
   // A tiny KV database: one table, Get and Put procedures. (Put is
   // registered in every mode but only the recovery workload issues it,
   // so the plain and spike scenarios are untouched.)
@@ -298,6 +323,13 @@ RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike,
   migration.rate_kbps = 10000;
   migration.wire_kbps = 100000;
   migration.db_size_mb = 10;
+  if (flashcrowd) {
+    // Slow the streams down (~11 s for a 3 -> 2 shrink) so the
+    // stale-forecast scale-in is still mid-flight when the guard
+    // detects the divergence — the plan-repair path needs a move to
+    // truncate.
+    migration.rate_kbps = 300;
+  }
   MigrationExecutor migrator(&engine, migration);
   migrator.set_telemetry(telemetry.view());
   if (revocation) {
@@ -317,9 +349,43 @@ RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike,
   reactive.monitor_period = kSecond;
   reactive.scale_in_hold = 5 * kSecond;
   ReactiveController controller(&engine, &migrator, reactive);
-  controller.set_telemetry(telemetry.view());
-  if (spike) controller.set_overload(engine.admission());
-  controller.Start();
+  if (!flashcrowd) {
+    controller.set_telemetry(telemetry.view());
+    if (spike) controller.set_overload(engine.admission());
+    controller.Start();
+  }
+
+  // Flash-crowd scenario: predictive control driven by a SPAR model
+  // fitted on four minutes of synthetic seasonal history (2 s slots),
+  // with the forecast-divergence guard armed. Started below, after the
+  // injector exists (the trace-dropout probe polls it).
+  SparConfig spar_config;
+  spar_config.period = 30;
+  spar_config.num_periods = 2;
+  spar_config.num_recent = 5;
+  SparPredictor spar(spar_config);
+  std::unique_ptr<PredictiveController> predictive;
+  if (flashcrowd) {
+    std::vector<double> history;
+    for (int32_t i = 0; i < 120; ++i) {
+      history.push_back(230.0 + 20.0 * std::sin(2.0 * M_PI * i / 30.0));
+    }
+    ControllerConfig pc;
+    pc.move_model.q = 100.0;
+    pc.move_model.partitions_per_node = 2;
+    // D: 10 MB at 300 kB/s is ~33 s -> ~0.56 "minutes".
+    pc.move_model.d_minutes = 0.6;
+    pc.move_model.interval_minutes = 2.0 / 60.0;  // 2 s control ticks.
+    pc.q_hat = 125.0;
+    pc.horizon_intervals = 8;
+    pc.prediction_inflation = 0.15;
+    pc.guard.enabled = true;
+    if (!spar.Fit(history, pc.horizon_intervals).ok()) abort();
+    predictive = std::make_unique<PredictiveController>(&engine, &migrator,
+                                                        &spar, pc);
+    predictive->set_telemetry(telemetry.view());
+    predictive->SeedHistory(std::move(history));
+  }
 
   // Sample the registry once per virtual second (read-only: the tick
   // never perturbs engine state, so traces match un-sampled runs).
@@ -446,6 +512,23 @@ RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike,
     revoke2.duration = 10 * kMillisecond;       // bucket misses the
     plan.events = {revoke1, restart1, outage,   // deadline and promotes.
                    restart2, restart3, revoke2};
+  } else if (flashcrowd) {
+    // Scripted so the assertions (divergence detected, predictive path
+    // vetoed, the mid-flight move truncated and re-planned, prediction
+    // rejoined) hold for every seed. The dropout opens WITH the crowd:
+    // the controller keeps seeing its last pre-crowd sample, so the
+    // stale-forecast scale-in below launches into the surge and the
+    // guard can only react once real telemetry returns at 40 s.
+    FaultEvent dropout;
+    dropout.at = 30 * kSecond;
+    dropout.type = FaultType::kTraceDropout;
+    dropout.duration = 10 * kSecond;
+    FaultEvent flash;
+    flash.at = 30 * kSecond;  // 3x of 230 txn/s needs 8 nodes at Q=100.
+    flash.type = FaultType::kFlashCrowd;
+    flash.duration = 32 * kSecond;
+    flash.load_scale = 3.0;
+    plan.events = {dropout, flash};
   } else {
     ChaosConfig chaos;
     chaos.horizon = 90 * kSecond;
@@ -461,6 +544,11 @@ RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike,
 
   FaultInjector injector(&engine, &migrator, seed);
   if (!injector.Arm(plan).ok()) abort();
+  if (flashcrowd) {
+    predictive->set_trace_dropout_probe(
+        [&injector]() { return injector.trace_dropout_active(); });
+    predictive->Start();
+  }
 
   InvariantChecker checker(&engine, &migrator);
   checker.set_expected_rows(rows);
@@ -476,7 +564,32 @@ RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike,
   auto resubmit =
       std::make_shared<std::function<void(TxnRequest, int32_t)>>();
   auto generate = std::make_shared<std::function<void(int64_t)>>();
-  if (!spike) {
+  if (flashcrowd) {
+    // Self-scheduling generator: 230 txn/s base, multiplied live by the
+    // injector's offered_load_scale() — the flash-crowd surge raises
+    // what is *offered*, while the forecast path (which consults only
+    // load_scale()) never sees it coming. That asymmetry is the whole
+    // scenario.
+    const double base_rate = 230.0;
+    *generate = [&sim, &engine, &injector, get, rows, base_rate, seconds,
+                 self = generate.get()](int64_t i) {
+      if (sim.Now() >= SecondsToDuration(seconds)) return;
+      TxnRequest req;
+      req.proc = get;
+      req.key = (i * 48271) % rows;
+      engine.Submit(req);
+      const double rate = base_rate * injector.offered_load_scale();
+      const auto gap = static_cast<SimDuration>(1e6 / rate);
+      sim.Schedule(gap < 1 ? 1 : gap, [self, i]() { (*self)(i + 1); });
+    };
+    sim.Schedule(0, [self = generate.get()]() { (*self)(0); });
+    // A scale-in planned from the stale pre-crowd forecast, started
+    // inside the dropout window: exactly the wrong move, mid-flight
+    // when the guard detects the divergence — forcing the truncate +
+    // re-plan repair path rather than a clean handoff.
+    sim.ScheduleAt(38 * kSecond,
+                   [&migrator]() { (void)migrator.StartMove(2, nullptr); });
+  } else if (!spike) {
     // Steady 40 txn/s for 120 virtual seconds: pure reads, except that
     // the recovery and partition scenarios write one in four so the
     // command log and the synchronous backup applies carry real traffic
@@ -551,6 +664,7 @@ RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike,
   sim.RunUntil(SecondsToDuration(seconds));
   checker.Stop();
   controller.Stop();
+  if (predictive != nullptr) predictive->Stop();
   sim.RunUntil(SecondsToDuration(seconds + 30));
   checker.Check();
 
@@ -614,6 +728,15 @@ RunResult RunOnce(uint64_t seed, int32_t num_events, bool spike,
     out.buckets_evacuated = migrator.buckets_evacuated();
     out.evac_deadline_skipped = migrator.evacuations_deadline_skipped();
   }
+  if (flashcrowd) {
+    out.flash_crowds = injector.flash_crowds();
+    out.trace_dropouts = injector.trace_dropouts();
+    out.divergences = predictive->guard_monitor()->divergences();
+    out.guard_rejoins = predictive->guard_monitor()->rejoins();
+    out.guard_vetoes = predictive->guard_vetoes();
+    out.plan_repairs = predictive->plan_repairs();
+    out.moves_truncated = migrator.moves_truncated();
+  }
   if (partition) {
     out.net_partitions = injector.net_partitions();
     out.suspicions = engine.suspicions();
@@ -659,6 +782,7 @@ int main(int argc, char** argv) {
   bool partition = false;
   bool corruption = false;
   bool revocation = false;
+  bool flashcrowd = false;
   bool list_scenarios = false;
   double trace_sample = 0.0;
   std::string out_dir;
@@ -681,6 +805,8 @@ int main(int argc, char** argv) {
       corruption = true;
     } else if (std::strcmp(argv[i], "--revocation") == 0) {
       revocation = true;
+    } else if (std::strcmp(argv[i], "--flashcrowd") == 0) {
+      flashcrowd = true;
     } else if (std::strcmp(argv[i], "--list-scenarios") == 0) {
       list_scenarios = true;
     }
@@ -699,13 +825,16 @@ int main(int argc, char** argv) {
         "  --corruption  durability: scripted bit rot, torn writes and "
         "disk stalls against the content-modeled store\n"
         "  --revocation  topology: scripted spot-revocation notices "
-        "(graceful drain + deadline evacuation) and a domain outage\n");
+        "(graceful drain + deadline evacuation) and a domain outage\n"
+        "  --flashcrowd  guard: scripted unforecast flash crowd under a "
+        "telemetry dropout, with divergence handoff and plan repair\n");
     return 0;
   }
-  if (spike + recovery + partition + corruption + revocation > 1) {
+  if (spike + recovery + partition + corruption + revocation + flashcrowd >
+      1) {
     std::fprintf(stderr,
-                 "--spike, --recovery, --partition, --corruption and "
-                 "--revocation are exclusive\n");
+                 "--spike, --recovery, --partition, --corruption, "
+                 "--revocation and --flashcrowd are exclusive\n");
     return 2;
   }
 
@@ -722,10 +851,13 @@ int main(int argc, char** argv) {
                               : revocation
                                     ? ", revocation scenario "
                                       "(scripted plan)"
-                                    : "");
+                                    : flashcrowd
+                                          ? ", flash-crowd scenario "
+                                            "(scripted plan)"
+                                          : "");
   const RunResult first = RunOnce(seed, num_events, spike, recovery,
                                   partition, corruption, revocation,
-                                  trace_sample);
+                                  flashcrowd, trace_sample);
   std::printf("\nfault plan:\n%s", first.plan.c_str());
   std::printf("\nevent trace:\n%s", first.trace.c_str());
   std::printf(
@@ -772,6 +904,21 @@ int main(int argc, char** argv) {
         static_cast<long long>(first.net_double_applies),
         static_cast<long long>(first.rows_lost),
         static_cast<long long>(first.degraded_at_end));
+  }
+  if (flashcrowd) {
+    std::printf(
+        "guard: %lld flash crowds, %lld trace dropouts, %lld divergences, "
+        "%lld rejoins, %lld vetoes, %lld plan repairs, %lld moves "
+        "truncated, %lld moves total (%lld aborted)\n",
+        static_cast<long long>(first.flash_crowds),
+        static_cast<long long>(first.trace_dropouts),
+        static_cast<long long>(first.divergences),
+        static_cast<long long>(first.guard_rejoins),
+        static_cast<long long>(first.guard_vetoes),
+        static_cast<long long>(first.plan_repairs),
+        static_cast<long long>(first.moves_truncated),
+        static_cast<long long>(first.moves),
+        static_cast<long long>(first.moves_aborted));
   }
   if (trace_sample > 0) {
     std::printf("tracing: %lld txns sampled at rate %g, fingerprint "
@@ -857,7 +1004,7 @@ int main(int argc, char** argv) {
   // trace, the metric dump and the span trace all fingerprint-equal.
   const RunResult second = RunOnce(seed, num_events, spike, recovery,
                                    partition, corruption, revocation,
-                                   trace_sample);
+                                   flashcrowd, trace_sample);
   const bool replay_ok =
       first.fingerprint == second.fingerprint &&
       first.events == second.events &&
@@ -882,7 +1029,12 @@ int main(int argc, char** argv) {
       first.drains_started == second.drains_started &&
       first.drain_kills == second.drain_kills &&
       first.buckets_evacuated == second.buckets_evacuated &&
-      first.evac_deadline_skipped == second.evac_deadline_skipped;
+      first.evac_deadline_skipped == second.evac_deadline_skipped &&
+      first.divergences == second.divergences &&
+      first.guard_rejoins == second.guard_rejoins &&
+      first.guard_vetoes == second.guard_vetoes &&
+      first.plan_repairs == second.plan_repairs &&
+      first.moves_truncated == second.moves_truncated;
   std::printf("\nreplay: trace fingerprints %016llx vs %016llx, "
               "metrics %016llx vs %016llx, spans %016llx vs %016llx -> %s\n",
               static_cast<unsigned long long>(first.fingerprint),
@@ -940,9 +1092,20 @@ int main(int argc, char** argv) {
        first.promotions > 0 && first.infeasible_outages == 0 &&
        first.drain_kills_infeasible == 0 && first.rows_lost == 0 &&
        first.degraded_at_end == 0);
+  // Flash-crowd acceptance: both control-plane fault windows opened,
+  // the guard diverged and (after the crowd passed) rejoined, the
+  // predictive path was vetoed while diverged, and the stale scale-in
+  // was truncated mid-flight and re-planned — exactly once — with the
+  // plan-repair invariant audits silent throughout.
+  const bool flashcrowd_ok =
+      !flashcrowd ||
+      (first.flash_crowds == 1 && first.trace_dropouts == 1 &&
+       first.divergences >= 1 && first.guard_rejoins >= 1 &&
+       first.guard_vetoes > 0 && first.plan_repairs == 1 &&
+       first.moves_truncated == 1);
   const bool ok = first.violations == 0 && second.violations == 0 &&
                   replay_ok && recovery_ok && partition_ok &&
-                  corruption_ok && revocation_ok;
+                  corruption_ok && revocation_ok && flashcrowd_ok;
   std::printf("%s\n", ok ? "chaos run PASSED" : "chaos run FAILED");
   return ok ? 0 : 1;
 }

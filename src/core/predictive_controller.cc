@@ -31,6 +31,7 @@ Status ControllerConfig::Validate() const {
   if (refit_interval < 0) {
     return Status::InvalidArgument("refit_interval < 0");
   }
+  PSTORE_RETURN_NOT_OK(guard.Validate());
   return Status::OK();
 }
 
@@ -45,6 +46,10 @@ PredictiveController::PredictiveController(ClusterEngine* engine,
       planner_(MoveModel(config.move_model), engine->max_nodes()),
       interval_(SecondsToDuration(config.move_model.interval_minutes * 60.0)) {
   assert(config_.Validate().ok());
+  if (config_.guard.enabled) {
+    monitor_ = std::make_unique<guard::ForecastMonitor>(config_.guard);
+    arbiter_ = std::make_unique<guard::HybridArbiter>(config_.guard);
+  }
 }
 
 void PredictiveController::SeedHistory(std::vector<double> history) {
@@ -67,6 +72,13 @@ void PredictiveController::set_telemetry(const obs::Telemetry& telemetry) {
   m_forecast_error_ = m.GetGauge("controller.forecast_error");
   m_plan_cost_ = m.GetGauge("controller.plan_cost");
   m_forecast_abs_error_ = m.GetHistogram("controller.forecast_abs_error");
+  // Guard metrics exist only when the guard does — a disabled guard
+  // must leave every pre-existing metric dump byte-identical.
+  if (monitor_ != nullptr) {
+    monitor_->set_telemetry(telemetry_);
+    m_guard_vetoes_ = m.GetCounter("guard.vetoes");
+    m_plan_repairs_ = m.GetCounter("guard.plan_repairs");
+  }
 }
 
 void PredictiveController::Start() {
@@ -165,16 +177,35 @@ void PredictiveController::Tick() {
   // Measure the load over the interval that just elapsed.
   const int64_t submitted = engine_->txns_submitted();
   const double seconds = DurationToSeconds(interval_);
-  const double rate =
-      static_cast<double>(submitted - last_submitted_) / seconds;
+  double rate = static_cast<double>(submitted - last_submitted_) / seconds;
   last_submitted_ = submitted;
+  // A trace dropout starves the measurement pipeline: the controller —
+  // and through it the predictor, its refits, and the guard — keeps
+  // seeing the last sample that arrived, not the load actually offered.
+  if (dropout_probe_ && dropout_probe_() && !series_.empty()) {
+    rate = series_.back();
+  }
   series_.push_back(rate);
   if (m_measured_rate_ != nullptr) m_measured_rate_->Set(rate);
   // Score the one-step-ahead forecast made on the previous tick against
   // the rate just measured (the paper's MSE diagnostics, Section 5).
-  if (last_forecast_next_ >= 0 && m_forecast_error_ != nullptr) {
-    m_forecast_error_->Set(rate - last_forecast_next_);
-    m_forecast_abs_error_->Record(std::abs(rate - last_forecast_next_));
+  if (last_forecast_next_ >= 0) {
+    if (m_forecast_error_ != nullptr) {
+      m_forecast_error_->Set(rate - last_forecast_next_);
+      m_forecast_abs_error_->Record(std::abs(rate - last_forecast_next_));
+    }
+    if (monitor_ != nullptr) {
+      const guard::GuardState prev = monitor_->state();
+      const guard::GuardState next =
+          monitor_->Observe(rate, last_forecast_next_);
+      if (next != prev && telemetry_.events != nullptr) {
+        telemetry_.events->Record(
+            engine_->simulator()->Now(), "guard",
+            std::string("forecast ") + guard::GuardStateName(prev) + " -> " +
+                guard::GuardStateName(next) + " (ewma residual " +
+                obs::FormatMetricValue(monitor_->ewma_abs_residual()) + ")");
+      }
+    }
   }
   last_forecast_next_ = -1.0;
 
@@ -192,14 +223,91 @@ void PredictiveController::Tick() {
     }
   }
 
+  // The guard (when enabled) rules first: while the forecast is
+  // diverged it vetoes the predictive path, takes reactive control, and
+  // may truncate + re-plan a move that is mid-flight (DESIGN.md §16).
+  const bool vetoed = monitor_ != nullptr && GuardStep(rate);
   // While a reconfiguration is in flight, keep measuring but do not
   // plan; the cycle restarts when the move completes (Section 6).
-  if (!migrator_->InProgress()) {
+  if (!vetoed && !migrator_->InProgress()) {
     if (!SafetyNet(rate)) {
       PlanAndAct(rate);
     }
   }
+  // While the predictive path is benched — or a move is in flight and
+  // PlanAndAct never ran — the monitor still needs a residual next tick
+  // or the guard could never observe the forecast settle and rejoin.
+  // Shadow-forecast one step without acting on it.
+  if (monitor_ != nullptr && last_forecast_next_ < 0) {
+    auto shadow = predictor_->Forecast(
+        series_, static_cast<int64_t>(series_.size()) - 1,
+        config_.horizon_intervals);
+    if (shadow.ok() && !shadow->empty()) {
+      last_forecast_next_ = std::max(0.0, (*shadow)[0]);
+      if (m_forecast_next_ != nullptr) {
+        m_forecast_next_->Set(last_forecast_next_);
+      }
+    }
+  }
   engine_->simulator()->Schedule(interval_, [this]() { Tick(); });
+}
+
+bool PredictiveController::GuardStep(double rate) {
+  guard::ArbiterInputs in;
+  in.state = monitor_->state();
+  in.move_in_flight = migrator_->InProgress();
+  in.move_target =
+      in.move_in_flight ? migrator_->history().back().to_nodes : 0;
+  in.active_nodes = engine_->active_nodes();
+  in.needed_nodes = planner_.NodesForLoad(rate * 1.15);
+  in.min_floor = engine_->min_active_nodes();
+  in.max_nodes = engine_->max_nodes();
+  const guard::ArbiterRuling ruling = arbiter_->Decide(in);
+  if (ruling.action == guard::ArbiterAction::kAllowPredictive) {
+    return false;
+  }
+  ++guard_vetoes_;
+  if (m_guard_vetoes_ != nullptr) m_guard_vetoes_->Add(1);
+  scale_in_streak_ = 0;
+  if (ruling.action == guard::ArbiterAction::kRepairInFlight) {
+    // The in-flight schedule was planned from a forecast the guard has
+    // condemned, and it lands short of what reactive control needs now:
+    // truncate at the next chunk boundary and re-plan from the current
+    // placement.
+    Status st = migrator_->TruncateMove(
+        "forecast diverged; re-planning for " +
+        std::to_string(ruling.reactive_target) + " nodes");
+    if (st.ok()) {
+      ++plan_repairs_;
+      if (m_plan_repairs_ != nullptr) m_plan_repairs_->Add(1);
+      if (telemetry_.events != nullptr) {
+        telemetry_.events->Record(
+            engine_->simulator()->Now(), "guard",
+            "plan repair: truncated in-flight move; reactive target " +
+                std::to_string(ruling.reactive_target));
+      }
+    } else {
+      PSTORE_LOG(Warn) << "plan repair truncate failed: " << st.ToString();
+    }
+  }
+  if (!migrator_->InProgress() &&
+      ruling.reactive_target > engine_->active_nodes()) {
+    if (telemetry_.events != nullptr) {
+      telemetry_.events->Record(
+          engine_->simulator()->Now(), "guard",
+          "reactive control while diverged: scale to " +
+              std::to_string(ruling.reactive_target) + " nodes");
+    }
+    Status st = migrator_->StartMove(ruling.reactive_target, nullptr,
+                                     config_.infeasible_rate_multiplier);
+    if (st.ok()) {
+      ++moves_started_;
+      if (m_moves_started_ != nullptr) m_moves_started_->Add(1);
+    } else {
+      PSTORE_LOG(Warn) << "guard StartMove failed: " << st.ToString();
+    }
+  }
+  return true;
 }
 
 void PredictiveController::PlanAndAct(double current_rate) {

@@ -1,11 +1,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "cluster/engine.h"
 #include "common/status.h"
+#include "guard/forecast_monitor.h"
+#include "guard/hybrid_arbiter.h"
 #include "migration/migration_executor.h"
 #include "obs/telemetry.h"
 #include "planner/dp_planner.h"
@@ -59,6 +62,12 @@ struct ControllerConfig {
   /// predictor on the accumulated measured series every this many
   /// control intervals (the paper refits weekly). 0 disables.
   int64_t refit_interval = 0;
+
+  /// Forecast-divergence guard (DESIGN.md §16). Strictly opt-in:
+  /// with `guard.enabled == false` (the default) the controller
+  /// constructs no monitor or arbiter, registers no guard metrics,
+  /// and every pre-existing trace stays byte-identical.
+  guard::GuardConfig guard;
 
   Status Validate() const;
 };
@@ -118,6 +127,29 @@ class PredictiveController {
   /// Times the predictor was refit online.
   int64_t refits() const { return refits_; }
 
+  /// Ticks on which the guard's arbiter vetoed the predictive path and
+  /// handed control to reactive provisioning (guard enabled only).
+  int64_t guard_vetoes() const { return guard_vetoes_; }
+
+  /// Mid-flight plan repairs: an in-flight move truncated at a chunk
+  /// boundary because the forecast it was planned from diverged, then
+  /// re-planned reactively from the current placement.
+  int64_t plan_repairs() const { return plan_repairs_; }
+
+  /// The forecast-divergence monitor, or nullptr when the guard is
+  /// disabled. Exposes the EWMA/CUSUM residual state for tests.
+  const guard::ForecastMonitor* guard_monitor() const {
+    return monitor_.get();
+  }
+
+  /// Installs a probe the controller polls each tick; while it returns
+  /// true the telemetry pipeline is down (FaultType::kTraceDropout) and
+  /// the tick sees the *last* measured rate instead of a fresh sample —
+  /// the stale-data path the guard must survive. Unset = never stale.
+  void set_trace_dropout_probe(std::function<bool()> probe) {
+    dropout_probe_ = std::move(probe);
+  }
+
   /// Attaches observability sinks ("controller.*" and "planner.*"
   /// metrics: measured rate, one-step forecast error, planning work and
   /// cost, scale decisions and safety-net trips as events, per-tick and
@@ -143,6 +175,10 @@ class PredictiveController {
   void ApplyReservations(int64_t now_interval, std::vector<double>* load);
   /// Returns true if it fired (and possibly started a move).
   bool SafetyNet(double current_rate);
+  /// Guard control step: feeds this tick's residual to the monitor and
+  /// executes the arbiter's ruling. Returns true when the predictive
+  /// path is vetoed for this tick (reactive control or plan repair).
+  bool GuardStep(double rate);
 
   ClusterEngine* engine_;
   MigrationExecutor* migrator_;
@@ -165,6 +201,8 @@ class PredictiveController {
   obs::Gauge* m_forecast_error_ = nullptr;
   obs::Gauge* m_plan_cost_ = nullptr;
   obs::HistogramMetric* m_forecast_abs_error_ = nullptr;
+  obs::Counter* m_guard_vetoes_ = nullptr;
+  obs::Counter* m_plan_repairs_ = nullptr;
   /// One-step-ahead forecast made on the previous tick (uninflated),
   /// compared against the rate measured this tick; < 0 = none pending.
   double last_forecast_next_ = -1.0;
@@ -179,6 +217,13 @@ class PredictiveController {
   int64_t safety_net_activations_ = 0;
   int64_t refits_ = 0;
   int64_t ticks_since_refit_ = 0;
+  // Guard state (null unless config.guard.enabled — the opt-in
+  // contract: a disabled guard allocates nothing and draws nothing).
+  std::unique_ptr<guard::ForecastMonitor> monitor_;
+  std::unique_ptr<guard::HybridArbiter> arbiter_;
+  std::function<bool()> dropout_probe_;
+  int64_t guard_vetoes_ = 0;
+  int64_t plan_repairs_ = 0;
 };
 
 }  // namespace pstore

@@ -445,6 +445,23 @@ void FaultInjector::ApplyEvent(const FaultEvent& event) {
       trace_.Record(now, msg);
       return;
     }
+    // The control-plane faults open windows and draw nothing from
+    // either Rng stream; runs that never poll flash_scale() /
+    // trace_dropout_active() feel nothing.
+    case FaultType::kFlashCrowd:
+      flash_until_ = now + event.duration;
+      flash_scale_ = event.load_scale;
+      ++flash_crowds_;
+      trace_.Record(now, "flash-crowd window open for " +
+                             FormatSimTime(event.duration) + " (xload=" +
+                             std::to_string(event.load_scale) + ")");
+      return;
+    case FaultType::kTraceDropout:
+      dropout_until_ = now + event.duration;
+      ++trace_dropouts_;
+      trace_.Record(now, "trace-dropout window open for " +
+                             FormatSimTime(event.duration));
+      return;
   }
 }
 
@@ -476,6 +493,18 @@ double FaultInjector::forecast_scale() const {
 
 double FaultInjector::load_scale() const {
   return engine_->simulator()->Now() < spike_until_ ? spike_scale_ : 1.0;
+}
+
+double FaultInjector::flash_scale() const {
+  return engine_->simulator()->Now() < flash_until_ ? flash_scale_ : 1.0;
+}
+
+double FaultInjector::offered_load_scale() const {
+  return load_scale() * flash_scale();
+}
+
+bool FaultInjector::trace_dropout_active() const {
+  return engine_->simulator()->Now() < dropout_until_;
 }
 
 Result<std::vector<double>> MisforecastPredictor::Forecast(

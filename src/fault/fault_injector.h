@@ -50,6 +50,21 @@ class FaultInjector {
   /// windows). Workload drivers consult this when pacing submissions.
   double load_scale() const;
 
+  /// Flash-crowd load multiplier currently in force (1.0 outside
+  /// flash-crowd windows). Kept separate from load_scale() so the two
+  /// window kinds compose; workload drivers that should feel both
+  /// multiply them (offered_load_scale()). The forecast path never
+  /// consults this — a flash crowd is unforecast by construction.
+  double flash_scale() const;
+
+  /// Combined offered-load multiplier: load_scale() * flash_scale().
+  double offered_load_scale() const;
+
+  /// True while a trace-dropout window is open: the controller's
+  /// telemetry feed is stale, so measurement consumers should hold
+  /// their last-good value instead of reading fresh load.
+  bool trace_dropout_active() const;
+
   const EventTrace& trace() const { return trace_; }
   EventTrace* mutable_trace() { return &trace_; }
 
@@ -89,6 +104,10 @@ class FaultInjector {
   /// could have survived. Zero-loss assertions exclude runs where this
   /// (or the engine's drain_kills_infeasible) is non-zero.
   int64_t infeasible_outages() const { return infeasible_outages_; }
+  /// Flash-crowd windows opened.
+  int64_t flash_crowds() const { return flash_crowds_; }
+  /// Trace-dropout windows opened.
+  int64_t trace_dropouts() const { return trace_dropouts_; }
 
   /// Digest of the injector's Rng state — equal across two runs iff the
   /// runs made identical random draws (determinism golden tests).
@@ -150,6 +169,9 @@ class FaultInjector {
   SimDuration lag_len_ = 0;
   SimTime disk_stall_until_ = -1;
   double disk_stall_factor_ = 1.0;
+  SimTime flash_until_ = -1;
+  double flash_scale_ = 1.0;
+  SimTime dropout_until_ = -1;
 
   int64_t crashes_ = 0;
   int64_t restarts_ = 0;
@@ -167,6 +189,8 @@ class FaultInjector {
   int64_t spot_revocations_ = 0;
   int64_t domain_outages_ = 0;
   int64_t infeasible_outages_ = 0;
+  int64_t flash_crowds_ = 0;
+  int64_t trace_dropouts_ = 0;
 };
 
 /// \brief Decorator that scales another predictor's forecasts by the

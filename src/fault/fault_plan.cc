@@ -36,6 +36,10 @@ const char* FaultTypeName(FaultType type) {
       return "spot-revocation";
     case FaultType::kDomainOutage:
       return "domain-outage";
+    case FaultType::kFlashCrowd:
+      return "flash-crowd";
+    case FaultType::kTraceDropout:
+      return "trace-dropout";
   }
   return "unknown";
 }
@@ -52,6 +56,8 @@ bool IsWindowFault(FaultType type) {
     case FaultType::kNetDelay:
     case FaultType::kDiskStall:
     case FaultType::kSpotRevocation:
+    case FaultType::kFlashCrowd:
+    case FaultType::kTraceDropout:
       return true;
     case FaultType::kNodeCrash:
     case FaultType::kNodeRestart:
@@ -132,6 +138,13 @@ std::string FaultEvent::ToString() const {
       out += " domain=" +
              (node < 0 ? std::string("auto") : std::to_string(node));
       break;
+    case FaultType::kFlashCrowd:
+      out += " window=" + FormatSimTime(duration) +
+             " xload=" + std::to_string(load_scale);
+      break;
+    case FaultType::kTraceDropout:
+      out += " window=" + FormatSimTime(duration);
+      break;
   }
   return out;
 }
@@ -178,14 +191,16 @@ Status ChaosConfig::Validate() const {
       net_partition_weight < 0 || net_loss_weight < 0 ||
       net_delay_weight < 0 || disk_corruption_weight < 0 ||
       torn_write_weight < 0 || disk_stall_weight < 0 ||
-      spot_revocation_weight < 0 || domain_outage_weight < 0) {
+      spot_revocation_weight < 0 || domain_outage_weight < 0 ||
+      flash_crowd_weight < 0 || trace_dropout_weight < 0) {
     return Status::InvalidArgument("fault weights must be >= 0");
   }
   if (crash_weight + restart_weight + stall_weight + chunk_failure_weight +
           misforecast_weight + load_spike_weight + replica_lag_weight +
           net_partition_weight + net_loss_weight + net_delay_weight +
           disk_corruption_weight + torn_write_weight + disk_stall_weight +
-          spot_revocation_weight + domain_outage_weight <=
+          spot_revocation_weight + domain_outage_weight +
+          flash_crowd_weight + trace_dropout_weight <=
       0) {
     return Status::InvalidArgument("at least one weight must be > 0");
   }
@@ -207,7 +222,8 @@ FaultPlan RandomFaultPlan(Rng* rng, const ChaosConfig& config) {
        config.net_partition_weight, config.net_loss_weight,
        config.net_delay_weight, config.disk_corruption_weight,
        config.torn_write_weight, config.disk_stall_weight,
-       config.spot_revocation_weight, config.domain_outage_weight});
+       config.spot_revocation_weight, config.domain_outage_weight,
+       config.flash_crowd_weight, config.trace_dropout_weight});
   for (int32_t i = 0; i < config.num_events; ++i) {
     FaultEvent e;
     e.at = static_cast<SimTime>(
@@ -296,6 +312,17 @@ FaultPlan RandomFaultPlan(Rng* rng, const ChaosConfig& config) {
         break;
       case FaultType::kDomainOutage:
         e.node = -1;  // injector picks the doomed domain at fire time
+        break;
+      case FaultType::kFlashCrowd:
+        e.duration = 1 + static_cast<SimDuration>(rng->NextBounded(
+                             static_cast<uint64_t>(config.max_window)));
+        // 2x to 8x the offered load, like kLoadSpike — but the
+        // predictor never trained on it, so the forecast stays flat.
+        e.load_scale = 2.0 + 6.0 * rng->NextDouble();
+        break;
+      case FaultType::kTraceDropout:
+        e.duration = 1 + static_cast<SimDuration>(rng->NextBounded(
+                             static_cast<uint64_t>(config.max_window)));
         break;
     }
     plan.events.push_back(e);

@@ -38,6 +38,8 @@ enum class FaultType {
   kDiskStall,       ///< Open a window multiplying durable I/O latency.
   kSpotRevocation,  ///< Advance-notice drain window, then a hard kill.
   kDomainOutage,    ///< Correlated crash of every node in one domain.
+  kFlashCrowd,      ///< Open an unforecast load-multiplier window.
+  kTraceDropout,    ///< Open a telemetry gap feeding the predictor stale data.
 };
 
 /// Every FaultType, in declaration order — exhaustiveness tests sweep
@@ -50,7 +52,8 @@ inline constexpr FaultType kAllFaultTypes[] = {
     FaultType::kNetLoss,       FaultType::kNetDelay,
     FaultType::kDiskCorruption, FaultType::kTornWrite,
     FaultType::kDiskStall,     FaultType::kSpotRevocation,
-    FaultType::kDomainOutage,
+    FaultType::kDomainOutage,  FaultType::kFlashCrowd,
+    FaultType::kTraceDropout,
 };
 
 const char* FaultTypeName(FaultType type);
@@ -95,7 +98,15 @@ enum class CrashScope {
 /// reuse `node` (-1 = auto picks a spot-class victim) and `duration`
 /// as the advance-notice window for kSpotRevocation (the node drains
 /// until the deadline, then is hard-killed), and `node` (-1 = auto
-/// picks a whole failure domain) for kDomainOutage.
+/// picks a whole failure domain) for kDomainOutage. The control-plane
+/// faults reuse `duration` plus `load_scale` for kFlashCrowd (an
+/// offered-load multiplier window the predictor never saw in training
+/// — unlike kLoadSpike it composes with the flash-crowd scenario's
+/// predictive controller, and unlike kMisforecast the forecast path is
+/// untouched: reality moves, the model does not), and `duration` alone
+/// for kTraceDropout (while open, the controller's measurement feed is
+/// stale — FaultInjector::trace_dropout_active() — so the predictor
+/// trains on frozen telemetry).
 struct FaultEvent {
   SimTime at = 0;
   FaultType type = FaultType::kNodeCrash;
@@ -164,6 +175,12 @@ struct ChaosConfig {
   /// engine's topology layer is off.
   double spot_revocation_weight = 0.0;
   double domain_outage_weight = 0.0;
+  /// Weights of the control-plane faults (kFlashCrowd / kTraceDropout).
+  /// Default 0 for the same trailing-bucket reason: pre-existing seeds
+  /// draw identical plans, and the events are inert anyway for runs
+  /// that never poll the flash-crowd/dropout accessors.
+  double flash_crowd_weight = 0.0;
+  double trace_dropout_weight = 0.0;
   SimDuration max_window = kMinute;     ///< Max window fault duration.
   SimDuration max_stall = 10 * kSecond; ///< Max per-chunk stall.
 

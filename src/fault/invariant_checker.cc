@@ -388,6 +388,59 @@ Status InvariantChecker::Check() {
     }
   }
 
+  // 12. Plan repair (DESIGN.md §16): an aborted or truncated move must
+  //     leave no bucket stranded — ownership stays a partition of the
+  //     universe with every bucket on an active partition of a live
+  //     node (sections 1/2 sweep that structurally every tick; here the
+  //     executor's own bookkeeping is audited so a repair that forgot
+  //     its teardown cannot masquerade as a clean abort). Every ended
+  //     record has a real time range, `truncated` implies `aborted`,
+  //     the history's flag counts reconcile with the counters, and at
+  //     most one record is in flight — exactly when InProgress().
+  if (migrator_ != nullptr) {
+    int64_t aborted_records = 0;
+    int64_t truncated_records = 0;
+    int64_t in_flight_records = 0;
+    for (size_t i = 0; i < migrator_->history().size(); ++i) {
+      const MoveRecord& rec = migrator_->history()[i];
+      if (rec.end < 0) ++in_flight_records;
+      if (rec.aborted) {
+        ++aborted_records;
+        if (rec.end < 0) {
+          Violation("move record " + std::to_string(i) +
+                    " aborted but still marked in flight");
+        }
+      }
+      if (rec.truncated) {
+        ++truncated_records;
+        if (!rec.aborted) {
+          Violation("move record " + std::to_string(i) +
+                    " truncated without being marked aborted");
+        }
+      }
+    }
+    if (aborted_records != migrator_->moves_aborted()) {
+      Violation("aborted move records (" + std::to_string(aborted_records) +
+                ") != moves_aborted counter (" +
+                std::to_string(migrator_->moves_aborted()) + ")");
+    }
+    if (truncated_records != migrator_->moves_truncated()) {
+      Violation("truncated move records (" +
+                std::to_string(truncated_records) +
+                ") != moves_truncated counter (" +
+                std::to_string(migrator_->moves_truncated()) + ")");
+    }
+    if (in_flight_records > 1) {
+      Violation(std::to_string(in_flight_records) +
+                " move records in flight at once");
+    }
+    if ((in_flight_records == 1) != migrator_->InProgress()) {
+      Violation("in-flight move records (" +
+                std::to_string(in_flight_records) +
+                ") disagree with InProgress()");
+    }
+  }
+
   if (violations_.size() != before) {
     return Status::Internal(
         std::to_string(violations_.size() - before) +

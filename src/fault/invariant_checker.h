@@ -30,7 +30,12 @@
 /// graceful-drain contract (a draining node is hard-killed at its
 /// revocation deadline) and domain diversity (no fully-replicated
 /// bucket keeps its primary and every backup in one failure domain
-/// while a domain-diverse backup target exists).
+/// while a domain-diverse backup target exists). With mid-flight plan
+/// repair (DESIGN.md §16) it audits that an aborted or truncated move
+/// strands no bucket and double-owns none: every ended record carries a
+/// real time range, `truncated` implies `aborted`, the history's flag
+/// counts reconcile with the executor's counters, and at most one
+/// record is in flight — exactly when the executor says InProgress().
 /// Run it standalone via Check() or on a cadence via StartPeriodic().
 
 namespace pstore {

@@ -1,0 +1,117 @@
+#include "guard/forecast_monitor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pstore {
+namespace guard {
+
+const char* GuardStateName(GuardState state) {
+  switch (state) {
+    case GuardState::kHealthy:
+      return "healthy";
+    case GuardState::kSuspect:
+      return "suspect";
+    case GuardState::kDiverged:
+      return "diverged";
+  }
+  return "unknown";
+}
+
+ForecastMonitor::ForecastMonitor(GuardConfig config) : config_(config) {
+  assert(config_.Validate().ok());
+}
+
+void ForecastMonitor::set_telemetry(const obs::Telemetry& telemetry) {
+  if (telemetry.metrics == nullptr) return;
+  obs::MetricsRegistry& m = *telemetry.metrics;
+  m_windows_ = m.GetCounter("guard.windows");
+  m_divergences_ = m.GetCounter("guard.divergences");
+  m_rejoins_ = m.GetCounter("guard.rejoins");
+  m_state_ = m.GetGauge("guard.state");
+  m_residual_ = m.GetGauge("guard.residual");
+  m_ewma_ = m.GetGauge("guard.ewma_abs_residual");
+  m_cusum_high_ = m.GetGauge("guard.cusum_high");
+  m_cusum_low_ = m.GetGauge("guard.cusum_low");
+}
+
+bool ForecastMonitor::Alarming() const {
+  return ewma_ > config_.suspect_threshold ||
+         cusum_high_ > config_.cusum_h || cusum_low_ > config_.cusum_h;
+}
+
+GuardState ForecastMonitor::Observe(double observed, double predicted) {
+  ++windows_observed_;
+  // Relative residual: positive = under-forecast (reality above the
+  // model), negative = over-forecast. The denominator floor keeps
+  // near-zero forecasts from inflating residuals without bound.
+  const double residual = (observed - predicted) /
+                          std::max(predicted, config_.min_rate);
+  ewma_ = config_.ewma_alpha * std::abs(residual) +
+          (1.0 - config_.ewma_alpha) * ewma_;
+  // The cap bounds rejoin inertia: a long surge otherwise banks mass
+  // that drains at only k per window, pinning the guard in kDiverged
+  // long after the forecast has settled.
+  cusum_high_ = std::min(
+      config_.cusum_cap,
+      std::max(0.0, cusum_high_ + residual - config_.cusum_k));
+  cusum_low_ = std::min(
+      config_.cusum_cap,
+      std::max(0.0, cusum_low_ - residual - config_.cusum_k));
+
+  const bool alarming = Alarming();
+  switch (state_) {
+    case GuardState::kHealthy:
+      if (alarming) {
+        state_ = GuardState::kSuspect;
+        suspect_streak_ = 1;
+      }
+      break;
+    case GuardState::kSuspect:
+      if (alarming) {
+        if (++suspect_streak_ >= config_.diverge_windows) {
+          state_ = GuardState::kDiverged;
+          ++divergences_;
+          if (m_divergences_ != nullptr) m_divergences_->Add(1);
+          settle_streak_ = 0;
+        }
+      } else {
+        // One settled window clears suspicion: hysteresis is only in
+        // the diverge direction here, the costly transition.
+        state_ = GuardState::kHealthy;
+        suspect_streak_ = 0;
+      }
+      break;
+    case GuardState::kDiverged:
+      if (!alarming) {
+        if (++settle_streak_ >= config_.rejoin_windows) {
+          state_ = GuardState::kHealthy;
+          suspect_streak_ = 0;
+          // The accumulated CUSUM mass belongs to the surge just
+          // ridden out; carrying it over would re-trip on the first
+          // post-rejoin window.
+          cusum_high_ = 0.0;
+          cusum_low_ = 0.0;
+          ++rejoins_;
+          if (m_rejoins_ != nullptr) m_rejoins_->Add(1);
+        }
+      } else {
+        settle_streak_ = 0;
+      }
+      break;
+  }
+
+  if (m_windows_ != nullptr) {
+    m_windows_->Add(1);
+    m_state_->Set(static_cast<double>(state_));
+    m_residual_->Set(residual);
+    m_ewma_->Set(ewma_);
+    m_cusum_high_->Set(cusum_high_);
+    m_cusum_low_->Set(cusum_low_);
+  }
+  return state_;
+}
+
+}  // namespace guard
+}  // namespace pstore

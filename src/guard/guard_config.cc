@@ -1,0 +1,29 @@
+#include "guard/guard_config.h"
+
+namespace pstore {
+namespace guard {
+
+Status GuardConfig::Validate() const {
+  if (ewma_alpha <= 0 || ewma_alpha > 1) {
+    return Status::InvalidArgument("ewma_alpha outside (0, 1]");
+  }
+  if (cusum_k < 0) return Status::InvalidArgument("cusum_k < 0");
+  if (cusum_h <= 0) return Status::InvalidArgument("cusum_h <= 0");
+  if (cusum_cap <= cusum_h) {
+    return Status::InvalidArgument("cusum_cap must be > cusum_h");
+  }
+  if (suspect_threshold <= 0) {
+    return Status::InvalidArgument("suspect_threshold <= 0");
+  }
+  if (diverge_windows < 1) {
+    return Status::InvalidArgument("diverge_windows < 1");
+  }
+  if (rejoin_windows < 1) {
+    return Status::InvalidArgument("rejoin_windows < 1");
+  }
+  if (min_rate <= 0) return Status::InvalidArgument("min_rate <= 0");
+  return Status::OK();
+}
+
+}  // namespace guard
+}  // namespace pstore

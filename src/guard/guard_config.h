@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+
+/// \file guard_config.h
+/// Knobs for the control-plane guard (DESIGN.md §16): the
+/// ForecastMonitor's EWMA/CUSUM residual tracking and the
+/// HybridArbiter's divergence arbitration. Strictly opt-in: with
+/// `enabled == false` (the default) the controller constructs no
+/// monitor, registers no guard metrics, records no guard events, and
+/// every pre-existing trace stays byte-identical.
+
+namespace pstore {
+namespace guard {
+
+struct GuardConfig {
+  bool enabled = false;
+
+  /// EWMA smoothing factor for the absolute relative residual
+  /// |observed - predicted| / max(predicted, min_rate). Higher = more
+  /// reactive to the latest window, lower = smoother.
+  double ewma_alpha = 0.3;
+
+  /// CUSUM reference value k (allowed per-window drift, in relative
+  /// residual units): residual mass below k is slack, mass above it
+  /// accumulates toward the decision threshold.
+  double cusum_k = 0.25;
+
+  /// CUSUM decision threshold h: either one-sided sum crossing it is
+  /// divergence evidence (sustained small bias trips this even when no
+  /// single window looks alarming).
+  double cusum_h = 1.5;
+
+  /// Upper clamp on either CUSUM accumulator. Without it a long surge
+  /// banks unbounded mass that then drains at only k per window, so the
+  /// guard would stay diverged long after the forecast settled; the cap
+  /// bounds that rejoin inertia to (cusum_cap - cusum_h) / cusum_k
+  /// windows. Must exceed cusum_h.
+  double cusum_cap = 3.0;
+
+  /// EWMA level above which a single window counts as suspect evidence
+  /// (large instantaneous misses trip this before CUSUM accumulates).
+  double suspect_threshold = 0.5;
+
+  /// Consecutive suspect windows required to enter kDiverged — the
+  /// hysteresis that keeps one noisy window from handing control to
+  /// the reactive path.
+  int32_t diverge_windows = 2;
+
+  /// Consecutive settled windows required to leave kDiverged and
+  /// rejoin prediction — the opposite-direction hysteresis that keeps
+  /// a briefly-lucky forecast from reclaiming control mid-surge.
+  int32_t rejoin_windows = 3;
+
+  /// Floor for the relative-residual denominator (txn/s), so
+  /// near-zero forecasts cannot inflate residuals without bound.
+  double min_rate = 1.0;
+
+  Status Validate() const;
+};
+
+}  // namespace guard
+}  // namespace pstore

@@ -307,6 +307,45 @@ void MigrationExecutor::Abort(const std::string& reason) {
   }
 }
 
+Status MigrationExecutor::TruncateMove(const std::string& reason) {
+  if (!in_progress_) {
+    return Status::FailedPrecondition("no move in flight to truncate");
+  }
+  PSTORE_LOG(Warn) << "migration truncated: " << reason;
+  Emit("migration truncated: " + reason);
+  history_.back().end = engine_->simulator()->Now();
+  history_.back().aborted = true;
+  history_.back().truncated = true;
+  ++moves_aborted_;
+  ++moves_truncated_;
+  // The epoch bump is the chunk-boundary fence: every event still
+  // scheduled for this move captured the old epoch and now no-ops, so
+  // an in-flight chunk's ownership flip (which only happens in its
+  // epoch-checked completion handler) never lands. Buckets whose last
+  // chunk already landed keep their new owners.
+  ++move_epoch_;
+  move_.reset();
+  in_progress_ = false;
+  on_complete_ = nullptr;  // truncated moves do not report completion
+  if (m_moves_aborted_ != nullptr) {
+    m_moves_aborted_->Add(1);
+    m_in_progress_->Set(0);
+    m_move_duration_ms_->Record(
+        static_cast<double>(history_.back().end - history_.back().start) /
+        1000.0);
+  }
+  if (telemetry_.tracer != nullptr) {
+    if (round_span_ != 0) telemetry_.tracer->End(round_span_);
+    if (move_span_ != 0) telemetry_.tracer->End(move_span_);
+    round_span_ = 0;
+    move_span_ = 0;
+  }
+  if (telemetry_.txn_traces != nullptr) {
+    telemetry_.txn_traces->OnMoveEnded(engine_->simulator()->Now());
+  }
+  return Status::OK();
+}
+
 void MigrationExecutor::Emit(const std::string& what) {
   if (event_sink_) event_sink_(what);
   // Telemetry mirrors the same notices under a "migration" category; the

@@ -61,11 +61,17 @@ struct MoveRecord {
   SimTime end = -1;  ///< -1 while in flight.
   int32_t from_nodes = 0;
   int32_t to_nodes = 0;
-  bool aborted = false;  ///< True if the move ended without completing.
+  bool aborted = false;    ///< True if the move ended without completing.
+  /// True when the move was deliberately cut short at a chunk boundary
+  /// for a mid-flight plan repair (TruncateMove). Always implies
+  /// `aborted` — the schedule did not complete — but distinguishes the
+  /// guard's intentional repair from a fault-driven Abort().
+  bool truncated = false;
 
   bool operator==(const MoveRecord& o) const {
     return start == o.start && end == o.end && from_nodes == o.from_nodes &&
-           to_nodes == o.to_nodes && aborted == o.aborted;
+           to_nodes == o.to_nodes && aborted == o.aborted &&
+           truncated == o.truncated;
   }
 };
 
@@ -125,6 +131,18 @@ class MigrationExecutor {
   /// where they are — ownership remains a partition of the universe.
   void Abort(const std::string& reason);
 
+  /// Mid-flight plan repair (DESIGN.md §16): cuts the in-flight move
+  /// short at a chunk boundary so the controller can re-plan from the
+  /// current placement. Reuses the move-epoch fence — every event still
+  /// scheduled for this move no-ops, ownership of unlanded buckets
+  /// never flips, landed buckets keep their new owners, so ownership
+  /// remains a partition of the universe (the InvariantChecker audits
+  /// that no bucket is stranded or double-owned afterwards). The
+  /// history record carries both `aborted` and `truncated`; the
+  /// completion callback is dropped. FailedPrecondition when no move
+  /// is in flight.
+  Status TruncateMove(const std::string& reason);
+
   /// Installs (or clears, with nullptr) the fault layer's per-chunk
   /// decision hook. Timeout/retry machinery is armed only while a hook
   /// is installed; without one the executor schedules exactly the same
@@ -159,8 +177,12 @@ class MigrationExecutor {
   /// engine's overload control is disabled.
   int64_t chunks_backpressured() const { return chunks_backpressured_; }
 
-  /// Moves that ended in Abort().
+  /// Moves that ended in Abort() (TruncateMove included — a truncation
+  /// is a deliberate abort; moves_truncated() counts that subset).
   int64_t moves_aborted() const { return moves_aborted_; }
+
+  /// Moves cut short by TruncateMove for a mid-flight plan repair.
+  int64_t moves_truncated() const { return moves_truncated_; }
 
   /// Buckets whose ownership flipped off a draining node before its
   /// revocation deadline (across all evacuations).
@@ -284,6 +306,7 @@ class MigrationExecutor {
   int64_t chunk_retries_ = 0;
   int64_t chunks_backpressured_ = 0;
   int64_t moves_aborted_ = 0;
+  int64_t moves_truncated_ = 0;
   int64_t net_retransmits_ = 0;
   int64_t net_duplicate_data_ = 0;
   int64_t net_duplicate_acks_ = 0;

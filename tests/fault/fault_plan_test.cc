@@ -189,6 +189,73 @@ TEST(FaultPlanTest, DomainOutageWeightValidatesAndSteersMix) {
   EXPECT_NE(plan.ToString().find("domain=auto"), std::string::npos);
 }
 
+TEST(FaultPlanTest, FlashCrowdWeightValidatesAndSteersMix) {
+  ChaosConfig config;
+  config.flash_crowd_weight = -1;
+  EXPECT_TRUE(config.Validate().IsInvalidArgument());
+
+  config = ChaosConfig{};
+  config.num_events = 30;
+  config.crash_weight = 0.0;
+  config.restart_weight = 0.0;
+  config.stall_weight = 0.0;
+  config.chunk_failure_weight = 0.0;
+  config.misforecast_weight = 0.0;
+  config.flash_crowd_weight = 1.0;
+  EXPECT_TRUE(config.Validate().ok());
+  Rng rng(19);
+  const FaultPlan plan = RandomFaultPlan(&rng, config);
+  for (const FaultEvent& e : plan.events) {
+    EXPECT_EQ(e.type, FaultType::kFlashCrowd);
+    EXPECT_GT(e.duration, 0);      // Surge window length.
+    EXPECT_GE(e.load_scale, 2.0);  // 2x-8x, like kLoadSpike.
+    EXPECT_LE(e.load_scale, 8.0);
+    // The forecast path is untouched: reality moves, the model does not.
+    EXPECT_EQ(e.forecast_scale, 1.0);
+  }
+  EXPECT_NE(plan.ToString().find("flash-crowd"), std::string::npos);
+  EXPECT_NE(plan.ToString().find("xload="), std::string::npos);
+}
+
+TEST(FaultPlanTest, TraceDropoutWeightValidatesAndSteersMix) {
+  ChaosConfig config;
+  config.trace_dropout_weight = -1;
+  EXPECT_TRUE(config.Validate().IsInvalidArgument());
+
+  config = ChaosConfig{};
+  config.num_events = 30;
+  config.crash_weight = 0.0;
+  config.restart_weight = 0.0;
+  config.stall_weight = 0.0;
+  config.chunk_failure_weight = 0.0;
+  config.misforecast_weight = 0.0;
+  config.trace_dropout_weight = 1.0;
+  EXPECT_TRUE(config.Validate().ok());
+  Rng rng(23);
+  const FaultPlan plan = RandomFaultPlan(&rng, config);
+  for (const FaultEvent& e : plan.events) {
+    EXPECT_EQ(e.type, FaultType::kTraceDropout);
+    EXPECT_GT(e.duration, 0);  // Telemetry-gap window length.
+  }
+  EXPECT_NE(plan.ToString().find("trace-dropout"), std::string::npos);
+}
+
+TEST(FaultPlanTest, DefaultWeightsNeverDrawControlPlaneFaults) {
+  // Both control-plane weights default to 0 in the trailing weight
+  // buckets, so pre-existing seeded plans keep drawing exactly what
+  // they always did.
+  ChaosConfig config;
+  config.num_events = 200;
+  Rng rng(5);
+  const FaultPlan plan = RandomFaultPlan(&rng, config);
+  for (const FaultEvent& e : plan.events) {
+    EXPECT_NE(e.type, FaultType::kFlashCrowd);
+    EXPECT_NE(e.type, FaultType::kTraceDropout);
+  }
+  EXPECT_EQ(plan.ToString().find("flash-crowd"), std::string::npos);
+  EXPECT_EQ(plan.ToString().find("trace-dropout"), std::string::npos);
+}
+
 TEST(FaultPlanTest, DefaultWeightsNeverDrawTopologyFaults) {
   // Both topology weights default to 0 in the trailing weight buckets,
   // so pre-existing seeded plans keep drawing exactly what they always
@@ -245,6 +312,18 @@ TEST(FaultPlanTest, WindowFieldValidationTableDriven) {
       {"migration stall without window",
        [](FaultEvent* e) {
          e->type = FaultType::kMigrationStall;
+         e->duration = 0;
+       },
+       "window fault with zero duration"},
+      {"flash crowd without window",
+       [](FaultEvent* e) {
+         e->type = FaultType::kFlashCrowd;
+         e->duration = 0;
+       },
+       "window fault with zero duration"},
+      {"trace dropout without window",
+       [](FaultEvent* e) {
+         e->type = FaultType::kTraceDropout;
          e->duration = 0;
        },
        "window fault with zero duration"},

@@ -1,0 +1,65 @@
+#include "guard/guard_config.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace pstore {
+namespace guard {
+namespace {
+
+TEST(GuardConfigTest, DefaultsAreValidAndDisabled) {
+  GuardConfig config;
+  EXPECT_FALSE(config.enabled);
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(GuardConfigTest, ValidateRejectsBadKnobsTableDriven) {
+  struct Case {
+    const char* what;
+    std::function<void(GuardConfig*)> mutate;
+    const char* error;
+  };
+  const std::vector<Case> cases = {
+      {"zero ewma alpha", [](GuardConfig* c) { c->ewma_alpha = 0.0; },
+       "ewma_alpha outside (0, 1]"},
+      {"alpha above one", [](GuardConfig* c) { c->ewma_alpha = 1.5; },
+       "ewma_alpha outside (0, 1]"},
+      {"negative cusum k", [](GuardConfig* c) { c->cusum_k = -0.1; },
+       "cusum_k < 0"},
+      {"zero cusum h", [](GuardConfig* c) { c->cusum_h = 0.0; },
+       "cusum_h <= 0"},
+      {"cap at threshold",
+       [](GuardConfig* c) { c->cusum_cap = c->cusum_h; },
+       "cusum_cap must be > cusum_h"},
+      {"cap below threshold",
+       [](GuardConfig* c) { c->cusum_cap = 0.5; },
+       "cusum_cap must be > cusum_h"},
+      {"zero suspect threshold",
+       [](GuardConfig* c) { c->suspect_threshold = 0.0; },
+       "suspect_threshold <= 0"},
+      {"zero diverge windows",
+       [](GuardConfig* c) { c->diverge_windows = 0; },
+       "diverge_windows < 1"},
+      {"zero rejoin windows",
+       [](GuardConfig* c) { c->rejoin_windows = 0; },
+       "rejoin_windows < 1"},
+      {"zero min rate", [](GuardConfig* c) { c->min_rate = 0.0; },
+       "min_rate <= 0"},
+  };
+  for (const Case& c : cases) {
+    GuardConfig config;
+    config.enabled = true;
+    c.mutate(&config);
+    const Status st = config.Validate();
+    EXPECT_FALSE(st.ok()) << c.what;
+    EXPECT_NE(st.ToString().find(c.error), std::string::npos)
+        << c.what << ": " << st.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace guard
+}  // namespace pstore

@@ -119,6 +119,33 @@ TEST(SparIncrementalTest, ForecastsMatchFullFit) {
   }
 }
 
+TEST(SparIncrementalTest, FlashCrowdStepStaysBitIdentical) {
+  // A flash crowd is the worst case for incremental accumulation: the
+  // appended slots jump discontinuously to 3x the seasonal base, so any
+  // reordering of the Gram-matrix summation would surface as a bit
+  // difference here long before it showed up on smooth series.
+  std::vector<double> full = NoisySeries(kPeriod * 8, 6);
+  const size_t onset = full.size() - 8;
+  for (size_t t = onset; t < full.size(); ++t) full[t] *= 3.0;
+
+  SparPredictor incremental(SmallConfig());
+  ASSERT_TRUE(
+      incremental
+          .Fit(std::vector<double>(full.begin(), full.begin() + onset),
+               kHorizon)
+          .ok());
+  // Slot-by-slot, exactly as the controller refits while the crowd
+  // builds: each step must match a from-scratch fit on the same prefix.
+  for (size_t len = onset + 1; len <= full.size(); ++len) {
+    std::vector<double> series(full.begin(), full.begin() + len);
+    ASSERT_TRUE(incremental.Refit(series, kHorizon).ok());
+
+    SparPredictor reference(SmallConfig());
+    ASSERT_TRUE(reference.Fit(series, kHorizon).ok());
+    ExpectIdenticalModels(incremental, reference);
+  }
+}
+
 TEST(SparIncrementalTest, HorizonChangeFallsBackToFullFit) {
   const std::vector<double> series = NoisySeries(kPeriod * 8, 4);
   SparPredictor incremental(SmallConfig());

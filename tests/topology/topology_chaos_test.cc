@@ -24,38 +24,8 @@ namespace {
 using testing_util::MakeKvDatabase;
 using testing_util::SmallEngineConfig;
 
-// --- Config & policy units -------------------------------------------
-
-TEST(TopologyConfigTest, ValidateRejectsBadKnobsTableDriven) {
-  struct Case {
-    const char* what;
-    std::function<void(topology::TopologyConfig*)> mutate;
-    const char* error;
-  };
-  const std::vector<Case> cases = {
-      {"num_domains zero",
-       [](topology::TopologyConfig* c) { c->num_domains = 0; },
-       "num_domains must be >= 1"},
-      {"num_domains negative",
-       [](topology::TopologyConfig* c) { c->num_domains = -3; },
-       "num_domains must be >= 1"},
-      {"spot_from_node zero",
-       [](topology::TopologyConfig* c) { c->spot_from_node = 0; },
-       "spot_from_node must be >= 1"},
-      {"spot_from_node negative",
-       [](topology::TopologyConfig* c) { c->spot_from_node = -1; },
-       "spot_from_node must be >= 1"},
-  };
-  EXPECT_TRUE(topology::TopologyConfig().Validate().ok());
-  for (const Case& test : cases) {
-    topology::TopologyConfig config;
-    test.mutate(&config);
-    const Status status = config.Validate();
-    EXPECT_TRUE(status.IsInvalidArgument()) << test.what;
-    EXPECT_NE(status.ToString().find(test.error), std::string::npos)
-        << test.what << ": got " << status.ToString();
-  }
-}
+// --- Policy units ----------------------------------------------------
+// (TopologyConfig::Validate units live in topology_config_test.cc.)
 
 TEST(PlacementPolicyTest, StripesDomainsAndClassesDeterministically) {
   topology::TopologyConfig config;

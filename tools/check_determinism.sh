@@ -13,9 +13,13 @@
 # byte-identical across same-seed runs), a sixth under
 # --corruption --trace-sample=0.1 (content-modeled durability: disk
 # corruption, torn writes, disk stalls, scrubbing and repair -- plus
-# sampled traces -- must replay byte-identically too), and a seventh
+# sampled traces -- must replay byte-identically too), a seventh
 # under --revocation (topology: spot-revocation notices, graceful
-# drain with deadline evacuation, and a correlated domain outage).
+# drain with deadline evacuation, and a correlated domain outage), and
+# an eighth under --flashcrowd --trace-sample=0.1 (control-plane guard:
+# an unforecast flash crowd under a telemetry dropout, with divergence
+# handoff, mid-flight plan repair and rejoin -- plus sampled traces --
+# must replay byte-identically too).
 #
 # The scenario list is cross-checked against the binary's own
 # --list-scenarios output first, so a scenario added to chaos_run
@@ -48,7 +52,7 @@ if ! "$CHAOS_RUN" --list-scenarios > "$workdir/scenarios.out" 2>&1; then
   cat "$workdir/scenarios.out" >&2
   exit 1
 fi
-covered="(default) --spike --recovery --partition --corruption --revocation"
+covered="(default) --spike --recovery --partition --corruption --revocation --flashcrowd"
 status=0
 for scenario in $covered; do
   if ! grep -q -- "^  $scenario " "$workdir/scenarios.out"; then
@@ -69,7 +73,7 @@ while read -r name _; do
 done < <(sed -n 's/^  \([^ ]*\)  .*/\1/p' "$workdir/scenarios.out")
 [ "$status" -ne 0 ] && exit "$status"
 
-for run in a b c d e f g h i j k l m n; do
+for run in a b c d e f g h i j k l m n o p; do
   flags=""
   { [ "$run" = c ] || [ "$run" = d ]; } && flags="--spike"
   { [ "$run" = e ] || [ "$run" = f ]; } && flags="--recovery"
@@ -77,6 +81,7 @@ for run in a b c d e f g h i j k l m n; do
   { [ "$run" = i ] || [ "$run" = j ]; } && flags="--spike --trace-sample=0.1"
   { [ "$run" = k ] || [ "$run" = l ]; } && flags="--corruption --trace-sample=0.1"
   { [ "$run" = m ] || [ "$run" = n ]; } && flags="--revocation"
+  { [ "$run" = o ] || [ "$run" = p ]; } && flags="--flashcrowd --trace-sample=0.1"
   if ! "$CHAOS_RUN" --seed="$SEED" --events="$EVENTS" $flags \
        --out="$workdir/$run" > "$workdir/$run.stdout" 2>&1; then
     echo "check_determinism: run $run FAILED; tail of output:" >&2
@@ -87,7 +92,8 @@ done
 [ "$status" -ne 0 ] && exit "$status"
 
 for pair in "a b plain" "c d spike" "e f recovery" "g h partition" \
-            "i j spike+trace" "k l corruption+trace" "m n revocation"; do
+            "i j spike+trace" "k l corruption+trace" "m n revocation" \
+            "o p flashcrowd+trace"; do
   set -- $pair
   if diff -r "$workdir/$1" "$workdir/$2" > "$workdir/diff.out" 2>&1; then
     files=$(ls "$workdir/$1" | wc -l | tr -d ' ')

@@ -8,7 +8,9 @@
 # regressions do. A third stage runs bench_partition_availability and
 # gates both its outage grid (unit "s": dark/recovery seconds per
 # partition x lease cell) and its latency percentiles (unit "us") the
-# same deterministic way.
+# same deterministic way. A fourth stage runs bench_overload_degradation
+# and gates its goodput grid (unit "us/txn": inverse goodput, so a
+# goodput collapse raises the value) plus its p99 grid (unit "ms").
 # Exits non-zero when any tracked case regresses past the threshold or
 # vanishes from the suite.
 #
@@ -24,6 +26,9 @@
 #   BENCH_PARTITION_AVAILABILITY  path to that bench binary
 #   BASELINE_PARTITION   committed partition-availability trajectory JSON
 #   CURRENT_PARTITION    where bench_partition_availability writes JSON
+#   BENCH_OVERLOAD_DEGRADATION  path to that bench binary
+#   BASELINE_OVERLOAD    committed overload-degradation trajectory JSON
+#   CURRENT_OVERLOAD     where bench_overload_degradation writes JSON
 #   THRESHOLD            tolerated normalized slowdown (default 0.5 = +50%)
 set -u
 
@@ -37,16 +42,21 @@ CURRENT_RECOVERY="${CURRENT_RECOVERY:-bench_out/BENCH_recovery_mttr.json}"
 BENCH_PARTITION_AVAILABILITY="${BENCH_PARTITION_AVAILABILITY:-build/bench/bench_partition_availability}"
 BASELINE_PARTITION="${BASELINE_PARTITION:-bench/baselines/BENCH_partition_availability.json}"
 CURRENT_PARTITION="${CURRENT_PARTITION:-bench_out/BENCH_partition_availability.json}"
+BENCH_OVERLOAD_DEGRADATION="${BENCH_OVERLOAD_DEGRADATION:-build/bench/bench_overload_degradation}"
+BASELINE_OVERLOAD="${BASELINE_OVERLOAD:-bench/baselines/BENCH_overload_degradation.json}"
+CURRENT_OVERLOAD="${CURRENT_OVERLOAD:-bench_out/BENCH_overload_degradation.json}"
 THRESHOLD="${THRESHOLD:-0.5}"
 
 for f in "$BENCH_MICRO_PERF" "$BENCH_RECOVERY_MTTR" \
-    "$BENCH_PARTITION_AVAILABILITY" "$BENCH_COMPARE"; do
+    "$BENCH_PARTITION_AVAILABILITY" "$BENCH_OVERLOAD_DEGRADATION" \
+    "$BENCH_COMPARE"; do
   if [ ! -x "$f" ]; then
     echo "perf_gate: missing binary $f (build first)" >&2
     exit 2
   fi
 done
-for f in "$BASELINE" "$BASELINE_RECOVERY" "$BASELINE_PARTITION"; do
+for f in "$BASELINE" "$BASELINE_RECOVERY" "$BASELINE_PARTITION" \
+    "$BASELINE_OVERLOAD"; do
   if [ ! -f "$f" ]; then
     echo "perf_gate: missing baseline $f" >&2
     exit 2
@@ -107,6 +117,31 @@ fi
 if ! "$BENCH_COMPARE" --baseline="$BASELINE_PARTITION" \
     --current="$CURRENT_PARTITION" --threshold="$THRESHOLD" \
     --unit=us --no-normalize; then
+  status=1
+fi
+
+rm -f "$CURRENT_OVERLOAD"
+if ! "$BENCH_OVERLOAD_DEGRADATION" --seconds=10; then
+  echo "perf_gate: bench_overload_degradation exited non-zero" >&2
+  exit 1
+fi
+if [ ! -f "$CURRENT_OVERLOAD" ]; then
+  echo "perf_gate: bench_overload_degradation wrote no JSON at" \
+       "$CURRENT_OVERLOAD" >&2
+  exit 1
+fi
+# Virtual-clock deterministic like the MTTR grid. Goodput is tracked as
+# us per good transaction (a goodput drop raises the value), p99 in ms;
+# both gated exactly, no machine-speed normalization. The baseline was
+# recorded with --seconds=10, matching the invocation above.
+if ! "$BENCH_COMPARE" --baseline="$BASELINE_OVERLOAD" \
+    --current="$CURRENT_OVERLOAD" --threshold="$THRESHOLD" \
+    --unit=us/txn --no-normalize; then
+  status=1
+fi
+if ! "$BENCH_COMPARE" --baseline="$BASELINE_OVERLOAD" \
+    --current="$CURRENT_OVERLOAD" --threshold="$THRESHOLD" \
+    --unit=ms --no-normalize; then
   status=1
 fi
 
